@@ -1,0 +1,110 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (ids t1..t6, f1, s4a..s4d, a1) and runs Bechamel timing
+   micro-benchmarks (id: timing).
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything at scale 0.2
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --only t1 --scale 0.05
+     dune exec bench/main.exe -- --only timing *)
+
+let default_scale = 0.2
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let timing_benchmarks ~scale =
+  ignore scale;
+  let open Bechamel in
+  let spec = Pn_synth.Numerical.nsyn 3 in
+  let ds = Pn_synth.Numerical.generate spec ~seed:11 ~n:20_000 in
+  let target = Pn_synth.Numerical.target_class in
+  let pn_model = Pnrule.Learner.train ds ~target in
+  let tests =
+    [
+      Test.make ~name:"pnrule-train-20k"
+        (Staged.stage (fun () -> ignore (Pnrule.Learner.train ds ~target)));
+      Test.make ~name:"ripper-train-20k"
+        (Staged.stage (fun () ->
+             let params = { Pn_ripper.Params.default with optimization_passes = 0 } in
+             ignore (Pn_ripper.Learner.train ~params ds ~target)));
+      Test.make ~name:"c45-tree-train-20k"
+        (Staged.stage (fun () -> ignore (Pn_c45.Tree.train ds)));
+      Test.make ~name:"pnrule-score-20k"
+        (Staged.stage (fun () -> ignore (Pnrule.Model.predict_all pn_model ds)));
+    ]
+  in
+  let benchmark test =
+    let quota = Time.second 2.0 in
+    Benchmark.all
+      (Benchmark.cfg ~limit:200 ~quota ~kde:(Some 10) ())
+      Toolkit.Instance.[ monotonic_clock ]
+      test
+  in
+  let analyze raw =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  Printf.printf "\n== Timing (Bechamel, monotonic clock) ==\n%!";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "%-32s %14.0f ns/run\n%!" name t
+          | Some _ | None -> Printf.printf "%-32s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let registry =
+  Pn_harness.Tables.all
+  @ [ ("timing", "Bechamel timing micro-benchmarks", timing_benchmarks) ]
+
+let () =
+  let only = ref [] in
+  let scale = ref default_scale in
+  let list_only = ref false in
+  let verbose = ref false in
+  let spec =
+    [
+      ( "--only",
+        Arg.String (fun s -> only := s :: !only),
+        "ID run only this benchmark (repeatable)" );
+      ("--scale", Arg.Set_float scale, "S dataset scale relative to the paper (default 0.2)");
+      ("--list", Arg.Set list_only, " list benchmark ids");
+      ("-v", Arg.Set verbose, " verbose (method-level progress on stderr)");
+    ]
+  in
+  Arg.parse spec (fun s -> only := s :: !only) "bench/main.exe [--only ID] [--scale S]";
+  if !verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  if !list_only then
+    List.iter (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc) registry
+  else begin
+    let selected =
+      match !only with
+      | [] -> registry
+      | ids -> List.filter (fun (id, _, _) -> List.mem id ids) registry
+    in
+    if selected = [] then begin
+      prerr_endline "no matching benchmark id; use --list";
+      exit 1
+    end;
+    Printf.printf "running %d benchmark(s) at scale %.3f\n%!" (List.length selected) !scale;
+    List.iter
+      (fun (id, desc, run) ->
+        Printf.printf "\n#### [%s] %s\n%!" id desc;
+        let t0 = Unix.gettimeofday () in
+        run ~scale:!scale;
+        Printf.printf "#### [%s] done in %.1fs\n%!" id (Unix.gettimeofday () -. t0))
+      selected
+  end

@@ -1,0 +1,304 @@
+(* Command-line interface to the PNrule library.
+
+   Subcommands:
+     train     train a classifier on a CSV file and print the model
+     eval      train on one CSV, evaluate on another, print metrics
+     predict   score a CSV with a saved model
+     gen       write one of the paper's synthetic datasets to CSV
+     inspect   print a dataset summary *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let target_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "target" ] ~docv:"CLASS" ~doc:"Name of the target class.")
+
+let class_column_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "class-column" ] ~docv:"NAME"
+        ~doc:"CSV column holding the class label (default: last column).")
+
+(* Dispatch on file extension: .arff loads as ARFF, anything else as
+   CSV. *)
+let load_csv ?class_column path =
+  try
+    if Filename.check_suffix (String.lowercase_ascii path) ".arff" then
+      Pn_data.Arff_io.load ?class_attribute:class_column path
+    else Pn_data.Csv_io.load ?class_column path
+  with
+  | Pn_data.Csv_io.Parse_error msg | Pn_data.Arff_io.Parse_error msg ->
+    Printf.eprintf "error: cannot parse %s: %s\n" path msg;
+    exit 1
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let resolve_target ds name =
+  match Pn_data.Dataset.class_index ds name with
+  | i -> i
+  | exception Not_found ->
+    Printf.eprintf "error: class %S not found; classes are: %s\n" name
+      (String.concat ", " (Array.to_list ds.Pn_data.Dataset.classes));
+    exit 1
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print learner progress.")
+
+(* ------------------------------------------------------------------ *)
+(* Method construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let method_arg =
+  Arg.(
+    value
+    & opt (enum [ ("pnrule", `Pnrule); ("ripper", `Ripper); ("c45rules", `C45rules); ("c45tree", `C45tree) ]) `Pnrule
+    & info [ "method" ] ~docv:"METHOD"
+        ~doc:"Classifier: $(b,pnrule), $(b,ripper), $(b,c45rules) or $(b,c45tree).")
+
+let stratified_arg =
+  Arg.(
+    value & flag
+    & info [ "stratified" ]
+        ~doc:"Train on the stratified (\"-we\") re-weighted training set.")
+
+let rp_arg =
+  Arg.(
+    value & opt float 0.95
+    & info [ "rp" ] ~docv:"FRAC" ~doc:"PNrule: minimum target coverage of the P-phase.")
+
+let rn_arg =
+  Arg.(
+    value & opt float 0.7
+    & info [ "rn" ] ~docv:"FRAC" ~doc:"PNrule: recall floor guiding N-rule refinement.")
+
+let p1_arg =
+  Arg.(value & flag & info [ "p1" ] ~doc:"PNrule: restrict P-rules to one condition.")
+
+let metric_arg =
+  Arg.(
+    value
+    & opt (enum [ ("z-number", Pn_metrics.Rule_metric.Z_number); ("info-gain", Pn_metrics.Rule_metric.Info_gain); ("gini", Pn_metrics.Rule_metric.Gini); ("chi-squared", Pn_metrics.Rule_metric.Chi_squared) ]) Pn_metrics.Rule_metric.Z_number
+    & info [ "metric" ] ~docv:"METRIC" ~doc:"PNrule rule-evaluation metric.")
+
+let pnrule_params rp rn p1 metric =
+  {
+    Pnrule.Params.default with
+    min_coverage = rp;
+    recall_floor = rn;
+    max_p_rule_length = (if p1 then Some 1 else None);
+    metric;
+  }
+
+let spec_of_method meth stratified params =
+  match meth with
+  | `Pnrule -> Pn_harness.Methods.pnrule ~params ()
+  | `Ripper -> Pn_harness.Methods.ripper ~stratified ()
+  | `C45rules -> Pn_harness.Methods.c45rules ~stratified ()
+  | `C45tree -> Pn_harness.Methods.c45tree ~stratified ()
+
+(* ------------------------------------------------------------------ *)
+(* train                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let train_cmd =
+  let run verbose data class_column target rp rn p1 metric out =
+    setup_logs verbose;
+    let ds = load_csv ?class_column data in
+    let target = resolve_target ds target in
+    let params = pnrule_params rp rn p1 metric in
+    let model, stats = Pnrule.Learner.train_with_stats ~params ds ~target in
+    Format.printf "%a@." Pnrule.Model.pp model;
+    Format.printf "P-phase coverage: %.3f@." stats.Pnrule.Learner.p_coverage;
+    Format.printf "training-set performance: %a@." Pn_metrics.Confusion.pp
+      stats.Pnrule.Learner.train_confusion;
+    match out with
+    | Some path ->
+      Pnrule.Serialize.save model path;
+      Printf.printf "model written to %s\n" path
+    | None -> ()
+  in
+  let data =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA.csv")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Save the trained model to this file.")
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train a PNrule model on a CSV dataset and print it.")
+    Term.(
+      const run $ verbose_arg $ data $ class_column_arg $ target_arg $ rp_arg
+      $ rn_arg $ p1_arg $ metric_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* predict                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let predict_cmd =
+  let run model_file data class_column scores =
+    let model =
+      try Pnrule.Serialize.load model_file with
+      | Pnrule.Serialize.Corrupt msg ->
+        Printf.eprintf "error: cannot read model %s: %s\n" model_file msg;
+        exit 1
+      | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let ds = load_csv ?class_column data in
+    (* The CSV must be schema-compatible with the model. *)
+    if ds.Pn_data.Dataset.attrs <> model.Pnrule.Model.attrs then begin
+      Printf.eprintf "error: %s's schema differs from the model's\n" data;
+      exit 1
+    end;
+    let has_labels = ds.Pn_data.Dataset.classes = model.Pnrule.Model.classes in
+    for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+      if scores then Printf.printf "%.4f\n" (Pnrule.Model.score model ds i)
+      else
+        print_endline
+          (if Pnrule.Model.predict model ds i then
+             model.Pnrule.Model.classes.(model.Pnrule.Model.target)
+           else "not-" ^ model.Pnrule.Model.classes.(model.Pnrule.Model.target))
+    done;
+    if has_labels then begin
+      let cm = Pnrule.Model.evaluate model ds in
+      Printf.eprintf "recall=%.4f precision=%.4f F=%.4f\n"
+        (Pn_metrics.Confusion.recall cm)
+        (Pn_metrics.Confusion.precision cm)
+        (Pn_metrics.Confusion.f_measure cm)
+    end
+  in
+  let model_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL.pn")
+  in
+  let data =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DATA.csv")
+  in
+  let scores =
+    Arg.(
+      value & flag
+      & info [ "scores" ] ~doc:"Print probability-like scores instead of labels.")
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Classify a CSV with a saved model (one line per record on stdout; \
+          metrics on stderr when the data is labeled).")
+    Term.(const run $ model_file $ data $ class_column_arg $ scores)
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let eval_cmd =
+  let run verbose train_file test_file class_column target meth stratified rp rn p1 metric =
+    setup_logs verbose;
+    let train = load_csv ?class_column train_file in
+    let test = load_csv ?class_column test_file in
+    let target = resolve_target train target in
+    let params = pnrule_params rp rn p1 metric in
+    let spec = spec_of_method meth stratified params in
+    let r = Pn_harness.Experiment.run spec ~train ~test ~target in
+    Printf.printf "%s: recall=%.4f precision=%.4f F=%.4f (train %.1fs)\n"
+      r.Pn_harness.Experiment.method_name r.recall r.precision r.f_measure
+      r.train_seconds
+  in
+  let train_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRAIN.csv")
+  in
+  let test_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"TEST.csv")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Train on one CSV, evaluate on another.")
+    Term.(
+      const run $ verbose_arg $ train_file $ test_file $ class_column_arg
+      $ target_arg $ method_arg $ stratified_arg $ rp_arg $ rn_arg $ p1_arg
+      $ metric_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run model n seed out =
+    let ds =
+      match model with
+      | "syngen" -> Pn_synth.General.generate Pn_synth.General.default ~seed ~n
+      | "kdd-train" -> Pn_synth.Kddcup.train ~seed ~n
+      | "kdd-test" -> Pn_synth.Kddcup.test ~seed ~n
+      | name when String.length name = 5 && String.sub name 0 4 = "nsyn" ->
+        Pn_synth.Numerical.generate
+          (Pn_synth.Numerical.nsyn (int_of_string (String.sub name 4 1)))
+          ~seed ~n
+      | name when String.length name = 4 && String.sub name 0 3 = "coa" ->
+        Pn_synth.Categorical.generate
+          (Pn_synth.Categorical.coa (int_of_string (String.sub name 3 1)))
+          ~seed ~n
+      | name when String.length name = 5 && String.sub name 0 4 = "coad" ->
+        Pn_synth.Categorical.generate
+          (Pn_synth.Categorical.coad (int_of_string (String.sub name 4 1)))
+          ~seed ~n
+      | other ->
+        Printf.eprintf
+          "error: unknown model %S (try nsyn1..nsyn6, coa1..coa6, coad1..coad4, \
+           syngen, kdd-train, kdd-test)\n"
+          other;
+        exit 1
+    in
+    if Filename.check_suffix (String.lowercase_ascii out) ".arff" then
+      Pn_data.Arff_io.save ds out
+    else Pn_data.Csv_io.save ds out;
+    Printf.printf "wrote %d records to %s\n" (Pn_data.Dataset.n_records ds) out
+  in
+  let model =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL")
+  in
+  let n =
+    Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Records to generate.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate one of the paper's synthetic datasets as CSV.")
+    Term.(const run $ model $ n $ seed $ out)
+
+(* ------------------------------------------------------------------ *)
+(* inspect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let inspect_cmd =
+  let run data class_column =
+    let ds = load_csv ?class_column data in
+    Format.printf "%a@." Pn_data.Summary.pp ds
+  in
+  let data =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA.csv")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print a dataset's schema and class balance.")
+    Term.(const run $ data $ class_column_arg)
+
+let () =
+  let doc = "two-phase rule induction for rare classes (PNrule)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pnrule" ~version:"1.0.0" ~doc)
+          [ train_cmd; eval_cmd; predict_cmd; gen_cmd; inspect_cmd ]))

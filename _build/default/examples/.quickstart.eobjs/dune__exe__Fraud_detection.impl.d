@@ -1,0 +1,1 @@
+examples/fraud_detection.ml: Array Filename Format List Pn_data Pn_harness Pn_util Sys

@@ -1,0 +1,1 @@
+examples/intrusion_detection.ml: Format List Pn_c45 Pn_data Pn_metrics Pn_ripper Pn_synth Pnrule

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Pn_data Pn_metrics Pn_util Pnrule

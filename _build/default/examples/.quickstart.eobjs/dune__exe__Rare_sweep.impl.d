@@ -1,0 +1,1 @@
+examples/rare_sweep.ml: List Pn_harness Pn_synth Printf

@@ -1,0 +1,1 @@
+examples/threshold_tuning.ml: Array Filename Format Pn_data Pn_metrics Pn_util Pnrule Sys

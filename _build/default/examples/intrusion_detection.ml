@@ -1,0 +1,50 @@
+(* Intrusion detection on the simulated KDDCUP'99 data (the paper's §4).
+
+   Trains classifiers for the rare r2l class (0.23 % of training traffic)
+   and shows why two-phase induction helps: the r2l "presence" signature
+   (ftp/telnet services) also covers dos floods, so precision comes from
+   the N-phase learning the absence of dos.
+
+   Run with: dune exec examples/intrusion_detection.exe *)
+
+let () =
+  let train = Pn_synth.Kddcup.train ~seed:42 ~n:60_000 in
+  let test = Pn_synth.Kddcup.test ~seed:43 ~n:40_000 in
+  let target = Pn_synth.Kddcup.r2l in
+  Format.printf "training data:@.%a@." Pn_data.Dataset.pp_summary train;
+
+  (* The paper's best r2l setting: information-gain metric and very
+     general one-condition P-rules (r2l.P1), leaving false-positive
+     removal entirely to the N-phase. *)
+  let params =
+    {
+      Pnrule.Params.default with
+      metric = Pn_metrics.Rule_metric.Info_gain;
+      min_coverage = 0.95;
+      recall_floor = 0.95;
+      max_p_rule_length = Some 1;
+    }
+  in
+  let model, stats = Pnrule.Learner.train_with_stats ~params train ~target in
+  Format.printf "@.PNrule model for r2l:@.%a@." Pnrule.Model.pp model;
+  List.iteri
+    (fun i (fp, tp) ->
+      Format.printf "N-rule %d removes %.0f false positives at the cost of %.0f r2l records@."
+        i fp tp)
+    stats.Pnrule.Learner.n_rule_coverage;
+
+  let report name cm =
+    Format.printf "%-12s recall=%.4f precision=%.4f F=%.4f@." name
+      (Pn_metrics.Confusion.recall cm)
+      (Pn_metrics.Confusion.precision cm)
+      (Pn_metrics.Confusion.f_measure cm)
+  in
+  Format.printf "@.test-set comparison for r2l (shifted distribution, novel attacks):@.";
+  report "PNrule" (Pnrule.Model.evaluate model test);
+  let ripper = Pn_ripper.Learner.train train ~target in
+  report "RIPPER" (Pn_ripper.Model.evaluate ripper test);
+  let c45 = Pn_c45.Rules.train train in
+  report "C4.5rules" (Pn_c45.Rules.evaluate_binary c45 test ~target);
+  Format.printf
+    "@.(test recall is inherently limited: the test r2l mass is dominated by@ \
+     attack subclasses absent from training, as in the real contest data)@."

@@ -1,0 +1,1 @@
+lib/c45/params.mli: Format

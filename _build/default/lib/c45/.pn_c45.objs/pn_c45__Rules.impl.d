@@ -1,0 +1,1 @@
+lib/c45/rules.ml: Array Float Format List Logs Params Pn_data Pn_induct Pn_metrics Pn_rules Pn_util Tree

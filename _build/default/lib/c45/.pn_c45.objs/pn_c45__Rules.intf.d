@@ -1,0 +1,1 @@
+lib/c45/rules.mli: Format Params Pn_data Pn_metrics Pn_rules Tree

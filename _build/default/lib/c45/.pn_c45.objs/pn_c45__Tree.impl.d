@@ -1,0 +1,1 @@
+lib/c45/tree.ml: Array Float Format List Params Pn_data Pn_metrics Pn_rules Pn_util String

@@ -1,0 +1,1 @@
+lib/c45/tree.mli: Format Params Pn_data Pn_metrics Pn_rules

@@ -1,0 +1,22 @@
+type t = {
+  cf : float;
+  min_objects : float;
+  max_depth : int;
+  gain_ratio : bool;
+  r8_penalty : bool;
+  max_initial_rules_per_class : int;
+}
+
+let default =
+  {
+    cf = 0.25;
+    min_objects = 2.0;
+    max_depth = 60;
+    gain_ratio = true;
+    r8_penalty = true;
+    max_initial_rules_per_class = 512;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "cf=%.2f minobjs=%.1f max_depth=%d gain_ratio=%b r8=%b" t.cf
+    t.min_objects t.max_depth t.gain_ratio t.r8_penalty

@@ -1,0 +1,24 @@
+(** C4.5 hyper-parameters (Quinlan '93 Release 8 defaults as used in the
+    paper: CF = 0.25, minimum 2 cases per branch). *)
+
+type t = {
+  cf : float;  (** pruning confidence level (lower prunes harder) *)
+  min_objects : float;
+      (** minimum weighted cases in at least two branches of a split *)
+  max_depth : int;  (** safety cap on tree depth *)
+  gain_ratio : bool;
+      (** select splits by gain ratio (C4.5) rather than raw gain (ID3) *)
+  r8_penalty : bool;
+      (** Release 8's log₂(candidates)/N correction on continuous-split
+          gain *)
+  max_initial_rules_per_class : int;
+      (** C4.5rules guard: when the overfitted tree yields more paths for
+          a class than this, only the highest-weight paths are
+          generalized (the dropped ones are tiny noise shards that MDL
+          subset selection would discard; the cap keeps rule-set
+          construction near-linear). *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

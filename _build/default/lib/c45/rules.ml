@@ -1,0 +1,315 @@
+type t = {
+  groups : (int * Pn_rules.Rule_list.t) list;
+  default_class : int;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+  params : Params.t;
+}
+
+let src = Logs.Src.create "c45rules" ~doc:"C4.5rules construction"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Pessimistic error rate of a rule for [cls]: upper confidence limit on
+   the error among the weight it covers. An uncovered rule is useless, so
+   it gets the worst possible estimate. *)
+let pessimistic ~cf ~covered ~errors =
+  if covered <= 0.0 then 1.0
+  else Pn_util.Stats.binomial_upper ~cf ~n:covered ~e:errors
+
+(* One pass over the data evaluates the rule and, simultaneously, every
+   "drop one condition" variant: a record failing exactly one condition
+   would be covered by the variant that drops it. *)
+let drop_profiles ds ~cls conds =
+  let k = Array.length conds in
+  let covered = ref 0.0
+  and errors = ref 0.0 in
+  let drop_covered = Array.make k 0.0
+  and drop_errors = Array.make k 0.0 in
+  for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+    let failures = ref 0 and last_fail = ref (-1) in
+    (try
+       for j = 0 to k - 1 do
+         if not (Pn_rules.Condition.matches ds conds.(j) i) then begin
+           incr failures;
+           last_fail := j;
+           if !failures > 1 then raise Exit
+         end
+       done
+     with Exit -> ());
+    if !failures <= 1 then begin
+      let w = Pn_data.Dataset.weight ds i in
+      let err = if Pn_data.Dataset.label ds i = cls then 0.0 else w in
+      if !failures = 0 then begin
+        covered := !covered +. w;
+        errors := !errors +. err;
+        for j = 0 to k - 1 do
+          drop_covered.(j) <- drop_covered.(j) +. w;
+          drop_errors.(j) <- drop_errors.(j) +. err
+        done
+      end
+      else begin
+        let j = !last_fail in
+        drop_covered.(j) <- drop_covered.(j) +. w;
+        drop_errors.(j) <- drop_errors.(j) +. err
+      end
+    end
+  done;
+  (!covered, !errors, drop_covered, drop_errors)
+
+let generalize ~cf ds ~cls conds =
+  let rec loop conds =
+    let k = Array.length conds in
+    if k = 0 then conds
+    else begin
+      let covered, errors, drop_covered, drop_errors = drop_profiles ds ~cls conds in
+      let current = pessimistic ~cf ~covered ~errors in
+      let best = ref None in
+      for j = 0 to k - 1 do
+        let est = pessimistic ~cf ~covered:drop_covered.(j) ~errors:drop_errors.(j) in
+        match !best with
+        | Some (e, _) when e <= est -> ()
+        | Some _ | None -> best := Some (est, j)
+      done;
+      match !best with
+      | Some (est, j) when est <= current +. 1e-12 ->
+        loop (Pn_util.Arr.filteri (fun idx _ -> idx <> j) conds)
+      | Some _ | None -> conds
+    end
+  in
+  loop conds
+
+(* ------------------------------------------------------------------ *)
+(* Per-class subset selection by MDL                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Hill-climb on the MDL of "this class's rules against the rest" by
+   deleting rules. Exhaustive greedy would cost O(R³·N); instead each
+   rule's covered-record list is materialized once, a per-record cover
+   count makes a deletion's effect O(|rule coverage|), and backward
+   passes repeat until a pass deletes nothing — the same fixed point the
+   slow greedy reaches in practice. *)
+let select_subset ~n_candidates ds ~cls rules =
+  match rules with
+  | [] -> []
+  | _ ->
+    let n = Pn_data.Dataset.n_records ds in
+    let rules = Array.of_list rules in
+    let r = Array.length rules in
+    let coverage =
+      Array.map
+        (fun rule ->
+          let hits = ref [] in
+          for i = n - 1 downto 0 do
+            if Pn_rules.Rule.matches ds rule i then hits := i :: !hits
+          done;
+          Array.of_list !hits)
+        rules
+    in
+    let cover_count = Array.make n 0 in
+    Array.iter (Array.iter (fun i -> cover_count.(i) <- cover_count.(i) + 1)) coverage;
+    let total_pos = Pn_data.Dataset.class_weight ds cls in
+    let total = Pn_data.Dataset.total_weight ds in
+    let covered_pos = ref 0.0 and covered_all = ref 0.0 in
+    for i = 0 to n - 1 do
+      if cover_count.(i) > 0 then begin
+        let w = Pn_data.Dataset.weight ds i in
+        covered_all := !covered_all +. w;
+        if Pn_data.Dataset.label ds i = cls then covered_pos := !covered_pos +. w
+      end
+    done;
+    let selected = Array.make r true in
+    let theory = ref 0.0 in
+    Array.iter
+      (fun rule ->
+        theory :=
+          !theory
+          +. Pn_metrics.Mdl.theory_bits ~n_candidate_conditions:n_candidates
+               ~rule_conditions:(Pn_rules.Rule.n_conditions rule))
+      rules;
+    let dl ~theory ~covered_pos ~covered_all =
+      theory
+      +. Pn_metrics.Mdl.exception_bits ~covered:covered_all
+           ~uncovered:(total -. covered_all)
+           ~fp:(covered_all -. covered_pos)
+           ~fn:(total_pos -. covered_pos)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for j = r - 1 downto 0 do
+        if selected.(j) then begin
+          (* What the union loses if rule j goes: its uniquely covered
+             records. *)
+          let lost_pos = ref 0.0 and lost_all = ref 0.0 in
+          Array.iter
+            (fun i ->
+              if cover_count.(i) = 1 then begin
+                let w = Pn_data.Dataset.weight ds i in
+                lost_all := !lost_all +. w;
+                if Pn_data.Dataset.label ds i = cls then lost_pos := !lost_pos +. w
+              end)
+            coverage.(j);
+          let theory_without =
+            !theory
+            -. Pn_metrics.Mdl.theory_bits ~n_candidate_conditions:n_candidates
+                 ~rule_conditions:(Pn_rules.Rule.n_conditions rules.(j))
+          in
+          let dl_with =
+            dl ~theory:!theory ~covered_pos:!covered_pos ~covered_all:!covered_all
+          in
+          let dl_without =
+            dl ~theory:theory_without
+              ~covered_pos:(!covered_pos -. !lost_pos)
+              ~covered_all:(!covered_all -. !lost_all)
+          in
+          if dl_without <= dl_with then begin
+            selected.(j) <- false;
+            changed := true;
+            theory := theory_without;
+            covered_pos := !covered_pos -. !lost_pos;
+            covered_all := !covered_all -. !lost_all;
+            Array.iter (fun i -> cover_count.(i) <- cover_count.(i) - 1) coverage.(j)
+          end
+        end
+      done
+    done;
+    List.filteri (fun j _ -> selected.(j)) (Array.to_list rules)
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dedup rules =
+  let rec loop seen = function
+    | [] -> List.rev seen
+    | r :: rest ->
+      let duplicate =
+        List.exists
+          (fun s ->
+            Pn_rules.Rule.n_conditions s = Pn_rules.Rule.n_conditions r
+            && List.for_all2 Pn_rules.Condition.equal s.Pn_rules.Rule.conditions
+                 r.Pn_rules.Rule.conditions)
+          seen
+      in
+      if duplicate then loop seen rest else loop (r :: seen) rest
+  in
+  loop [] rules
+
+let of_tree (tree : Tree.t) ds =
+  let params = tree.Tree.params in
+  let cf = params.Params.cf in
+  let n_classes = Pn_data.Dataset.n_classes ds in
+  let n_candidates = Pn_induct.Grower.candidate_space_size ds in
+  let paths = Tree.paths tree in
+  Log.debug (fun m -> m "%d paths from tree" (List.length paths));
+  (* Group paths per class and cap each group at the heaviest
+     [max_initial_rules_per_class] leaves. Overfitted trees on large noisy
+     data shed thousands of 2-3-record shards; generalizing all of them is
+     quadratic work for rules the MDL subset selection deletes anyway. *)
+  let grouped = Array.make n_classes [] in
+  List.iter
+    (fun (conds, cls, counts) ->
+      grouped.(cls) <- (Pn_util.Arr.sum_floats counts, conds) :: grouped.(cls))
+    paths;
+  let by_class = Array.make n_classes [] in
+  Array.iteri
+    (fun cls weighted_paths ->
+      let cap = params.Params.max_initial_rules_per_class in
+      let weighted_paths =
+        List.sort (fun (w1, _) (w2, _) -> Float.compare w2 w1) weighted_paths
+      in
+      let kept = Pn_util.Arr.take cap weighted_paths in
+      if List.length weighted_paths > cap then
+        Log.debug (fun m ->
+            m "class %d: generalizing %d of %d paths (cap)" cls cap
+              (List.length weighted_paths));
+      List.iter
+        (fun (_, conds) ->
+          let conds = generalize ~cf ds ~cls (Array.of_list conds) in
+          if Array.length conds > 0 then
+            by_class.(cls) <-
+              Pn_rules.Rule.of_conditions (Array.to_list conds) :: by_class.(cls))
+        kept)
+    grouped;
+  let selected =
+    Array.mapi
+      (fun cls rules ->
+        let rules = dedup (List.rev rules) in
+        let rules = select_subset ~n_candidates ds ~cls rules in
+        Log.debug (fun m -> m "class %d: %d rules after selection" cls (List.length rules));
+        rules)
+      by_class
+  in
+  (* Order classes by the false positives their ruleset commits. *)
+  let fp_of cls rules =
+    let rl = Pn_rules.Rule_list.of_list rules in
+    let fp = ref 0.0 in
+    for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+      if Pn_data.Dataset.label ds i <> cls && Pn_rules.Rule_list.any_match ds rl i
+      then fp := !fp +. Pn_data.Dataset.weight ds i
+    done;
+    !fp
+  in
+  let order =
+    List.sort
+      (fun (_, fp1) (_, fp2) -> Float.compare fp1 fp2)
+      (List.init n_classes (fun cls -> (cls, fp_of cls selected.(cls))))
+  in
+  let groups =
+    List.map (fun (cls, _) -> (cls, Pn_rules.Rule_list.of_list selected.(cls))) order
+  in
+  (* Default class: most frequent among records no rule covers. *)
+  let uncovered = Array.make n_classes 0.0 in
+  for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+    let hit =
+      List.exists (fun (_, rl) -> Pn_rules.Rule_list.any_match ds rl i) groups
+    in
+    if not hit then begin
+      let c = Pn_data.Dataset.label ds i in
+      uncovered.(c) <- uncovered.(c) +. Pn_data.Dataset.weight ds i
+    end
+  done;
+  let default_class = ref 0 in
+  Array.iteri (fun c w -> if w > uncovered.(!default_class) then default_class := c) uncovered;
+  {
+    groups;
+    default_class = !default_class;
+    classes = ds.Pn_data.Dataset.classes;
+    attrs = ds.Pn_data.Dataset.attrs;
+    params;
+  }
+
+let train ?params ds = of_tree (Tree.train_unpruned ?params ds) ds
+
+let predict t ds i =
+  let rec loop = function
+    | [] -> t.default_class
+    | (cls, rl) :: rest ->
+      if Pn_rules.Rule_list.any_match ds rl i then cls else loop rest
+  in
+  loop t.groups
+
+let evaluate_binary t ds ~target =
+  let acc = ref Pn_metrics.Confusion.zero in
+  for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+    acc :=
+      Pn_metrics.Confusion.add !acc
+        ~actual:(Pn_data.Dataset.label ds i = target)
+        ~predicted:(predict t ds i = target)
+        ~weight:(Pn_data.Dataset.weight ds i)
+  done;
+  !acc
+
+let n_rules t =
+  List.fold_left (fun acc (_, rl) -> acc + Pn_rules.Rule_list.length rl) 0 t.groups
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>C4.5rules model (default: %s)@,"
+    t.classes.(t.default_class);
+  List.iter
+    (fun (cls, rl) ->
+      Format.fprintf ppf "rules for %s:@,%a" t.classes.(cls)
+        (Pn_rules.Rule_list.pp t.attrs) rl)
+    t.groups;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** C4.5rules (Quinlan '93 ch. 5): convert an overfitted decision tree to
+    a ruleset.
+
+    Every root-to-leaf path becomes a rule for the leaf's class. Each rule
+    is generalized by greedily deleting conditions whose removal does not
+    increase the pessimistic error estimate (CF = the tree's). Rules are
+    deduplicated, a per-class subset is selected by greedy MDL
+    minimization, classes are ordered by the false positives their
+    rulesets commit, and the default class is the one most frequent among
+    uncovered training records. *)
+
+type t = {
+  groups : (int * Pn_rules.Rule_list.t) list;
+      (** (class, its rules) in evaluation order *)
+  default_class : int;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+  params : Params.t;
+}
+
+(** [train ?params ds] builds the unpruned tree and converts it. *)
+val train : ?params:Params.t -> Pn_data.Dataset.t -> t
+
+(** [of_tree tree ds] converts an existing (typically unpruned) tree using
+    [ds] as the generalization set. The paper's C4.5rules-we variant
+    builds the tree from the stratified set but generalizes on the
+    unit-weight set; this entry point supports that. *)
+val of_tree : Tree.t -> Pn_data.Dataset.t -> t
+
+val predict : t -> Pn_data.Dataset.t -> int -> int
+
+val evaluate_binary : t -> Pn_data.Dataset.t -> target:int -> Pn_metrics.Confusion.t
+
+val n_rules : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,348 @@
+type split =
+  | Num_threshold of { col : int; threshold : float }
+  | Cat_multi of { col : int }
+
+type node =
+  | Leaf of { counts : float array; predicted : int }
+  | Split of {
+      split : split;
+      children : node array;
+      counts : float array;
+      predicted : int;
+    }
+
+type t = {
+  root : node;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+  params : Params.t;
+}
+
+let node_counts = function
+  | Leaf { counts; _ } | Split { counts; _ } -> counts
+
+let majority counts =
+  let best = ref 0 in
+  Array.iteri (fun c w -> if w > counts.(!best) then best := c) counts;
+  !best
+
+let view_counts ~n_classes view =
+  let counts = Array.make n_classes 0.0 in
+  Pn_data.View.iter view (fun i ->
+      let c = Pn_data.Dataset.label view.Pn_data.View.data i in
+      counts.(c) <- counts.(c) +. Pn_data.Dataset.weight view.Pn_data.View.data i);
+  counts
+
+(* Candidate split of one attribute: its information gain, split info, and
+   how to realize it. *)
+type candidate = { split : split; gain : float; split_info : float }
+
+let numeric_candidate ~params ~n_classes view ~col ~base_entropy ~total =
+  let ds = view.Pn_data.View.data in
+  let sorted = Pn_data.View.sorted_by_num view ~col in
+  let n = Array.length sorted in
+  if n < 2 then None
+  else begin
+    let left = Array.make n_classes 0.0 in
+    let right = view_counts ~n_classes view in
+    let left_w = ref 0.0 in
+    let best = ref None in
+    let boundaries = ref 0 in
+    let k = ref 0 in
+    while !k < n - 1 do
+      let i = sorted.(!k) in
+      let v = Pn_data.Dataset.num_value ds ~col i in
+      let c = Pn_data.Dataset.label ds i in
+      let w = Pn_data.Dataset.weight ds i in
+      left.(c) <- left.(c) +. w;
+      right.(c) <- right.(c) -. w;
+      left_w := !left_w +. w;
+      let v_next = Pn_data.Dataset.num_value ds ~col sorted.(!k + 1) in
+      if v_next > v then begin
+        incr boundaries;
+        let right_w = total -. !left_w in
+        if !left_w >= params.Params.min_objects && right_w >= params.Params.min_objects
+        then begin
+          let info =
+            (!left_w /. total *. Pn_util.Stats.entropy left)
+            +. (right_w /. total *. Pn_util.Stats.entropy right)
+          in
+          let gain = base_entropy -. info in
+          match !best with
+          | Some (g, _) when g >= gain -> ()
+          | Some _ | None -> best := Some (gain, v)
+        end
+      end;
+      incr k
+    done;
+    match !best with
+    | None -> None
+    | Some (gain, threshold) ->
+      (* Release 8 charges continuous splits for choosing among the
+         candidate thresholds. *)
+      let gain =
+        if params.Params.r8_penalty && !boundaries > 1 then
+          gain -. (Pn_util.Stats.log2 (float_of_int !boundaries) /. total)
+        else gain
+      in
+      if gain <= 0.0 then None
+      else begin
+        let left_w = ref 0.0 in
+        Pn_data.View.iter view (fun i ->
+            if Pn_data.Dataset.num_value ds ~col i <= threshold then
+              left_w := !left_w +. Pn_data.Dataset.weight ds i);
+        let split_info =
+          Pn_util.Stats.entropy [| !left_w; total -. !left_w |]
+        in
+        Some { split = Num_threshold { col; threshold }; gain; split_info }
+      end
+  end
+
+let categorical_candidate ~params ~n_classes view ~col ~arity ~base_entropy ~total =
+  let ds = view.Pn_data.View.data in
+  let per_value = Array.init arity (fun _ -> Array.make n_classes 0.0) in
+  Pn_data.View.iter view (fun i ->
+      let v = Pn_data.Dataset.cat_value ds ~col i in
+      let c = Pn_data.Dataset.label ds i in
+      per_value.(v).(c) <- per_value.(v).(c) +. Pn_data.Dataset.weight ds i);
+  let branch_weights = Array.map Pn_util.Arr.sum_floats per_value in
+  let populated =
+    Array.fold_left
+      (fun acc w -> if w >= params.Params.min_objects then acc + 1 else acc)
+      0 branch_weights
+  in
+  if populated < 2 then None
+  else begin
+    let info = ref 0.0 in
+    Array.iteri
+      (fun v w ->
+        if w > 0.0 then
+          info := !info +. (w /. total *. Pn_util.Stats.entropy per_value.(v)))
+      branch_weights;
+    let info = !info in
+    let gain = base_entropy -. info in
+    if gain <= 0.0 then None
+    else Some { split = Cat_multi { col }; gain; split_info = Pn_util.Stats.entropy branch_weights }
+  end
+
+let choose_split ~params ~n_classes view ~total ~counts =
+  let base_entropy = Pn_util.Stats.entropy counts in
+  if base_entropy <= 0.0 then None
+  else begin
+    let attrs = view.Pn_data.View.data.Pn_data.Dataset.attrs in
+    let candidates = ref [] in
+    Array.iteri
+      (fun col (attr : Pn_data.Attribute.t) ->
+        let cand =
+          match attr.kind with
+          | Pn_data.Attribute.Numeric ->
+            numeric_candidate ~params ~n_classes view ~col ~base_entropy ~total
+          | Pn_data.Attribute.Categorical values ->
+            categorical_candidate ~params ~n_classes view ~col
+              ~arity:(Array.length values) ~base_entropy ~total
+        in
+        match cand with
+        | Some c -> candidates := c :: !candidates
+        | None -> ())
+      attrs;
+    match !candidates with
+    | [] -> None
+    | cands ->
+      (* C4.5's average-gain gate: only candidates with at least average
+         gain compete on gain ratio, keeping ratio from favouring trivial
+         splits. *)
+      let cands = Array.of_list cands in
+      let avg_gain = Pn_util.Arr.mean_of (fun c -> c.gain) cands in
+      let eligible =
+        Pn_util.Arr.filteri (fun _ c -> c.gain >= avg_gain -. 1e-9) cands
+      in
+      let pool = if Array.length eligible = 0 then cands else eligible in
+      let score c =
+        if params.Params.gain_ratio then
+          if c.split_info <= 1e-9 then 0.0 else c.gain /. c.split_info
+        else c.gain
+      in
+      Some (Pn_util.Arr.max_by score pool)
+  end
+
+let split_view view = function
+  | Num_threshold { col; threshold } ->
+    let le, gt =
+      Pn_data.View.partition view (fun i ->
+          Pn_data.Dataset.num_value view.Pn_data.View.data ~col i <= threshold)
+    in
+    [| le; gt |]
+  | Cat_multi { col } ->
+    let ds = view.Pn_data.View.data in
+    let arity = Pn_data.Attribute.arity ds.Pn_data.Dataset.attrs.(col) in
+    let buckets = Array.make arity [] in
+    (* Reverse iteration keeps each bucket in index order. *)
+    for k = Pn_data.View.size view - 1 downto 0 do
+      let i = Pn_data.View.record view k in
+      let v = Pn_data.Dataset.cat_value ds ~col i in
+      buckets.(v) <- i :: buckets.(v)
+    done;
+    Array.map
+      (fun bucket -> Pn_data.View.of_indices ds (Array.of_list bucket))
+      buckets
+
+let rec build ~params ~n_classes view ~depth =
+  let counts = view_counts ~n_classes view in
+  let total = Pn_util.Arr.sum_floats counts in
+  let predicted = majority counts in
+  let make_leaf () = Leaf { counts; predicted } in
+  if
+    total < 2.0 *. params.Params.min_objects
+    || depth >= params.Params.max_depth
+    || Array.exists (fun w -> w >= total -. 1e-9) counts
+  then make_leaf ()
+  else begin
+    match choose_split ~params ~n_classes view ~total ~counts with
+    | None -> make_leaf ()
+    | Some { split; _ } ->
+      let parts = split_view view split in
+      let non_empty =
+        Array.fold_left
+          (fun acc v -> if Pn_data.View.is_empty v then acc else acc + 1)
+          0 parts
+      in
+      if non_empty < 2 then make_leaf ()
+      else begin
+        let children =
+          Array.map
+            (fun part ->
+              if Pn_data.View.is_empty part then Leaf { counts; predicted }
+              else build ~params ~n_classes part ~depth:(depth + 1))
+            parts
+        in
+        Split { split; children; counts; predicted }
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pessimistic-error pruning (subtree replacement)                      *)
+(* ------------------------------------------------------------------ *)
+
+let pessimistic_errors ~cf counts =
+  let total = Pn_util.Arr.sum_floats counts in
+  if total <= 0.0 then 0.0
+  else begin
+    let errors = total -. counts.(majority counts) in
+    total *. Pn_util.Stats.binomial_upper ~cf ~n:total ~e:errors
+  end
+
+let rec subtree_estimate ~cf = function
+  | Leaf { counts; _ } -> pessimistic_errors ~cf counts
+  | Split { children; _ } ->
+    Array.fold_left (fun acc child -> acc +. subtree_estimate ~cf child) 0.0 children
+
+let rec prune_node ~cf node =
+  match node with
+  | Leaf _ -> node
+  | Split ({ children; counts; predicted; _ } as s) ->
+    let children = Array.map (prune_node ~cf) children in
+    let pruned = Split { s with children } in
+    let as_leaf = Leaf { counts; predicted } in
+    (* C4.5 replaces when collapsing does not worsen the estimate by more
+       than a tenth of a case. *)
+    if pessimistic_errors ~cf counts <= subtree_estimate ~cf pruned +. 0.1 then as_leaf
+    else pruned
+
+let train_unpruned ?(params = Params.default) ds =
+  let n_classes = Pn_data.Dataset.n_classes ds in
+  let root = build ~params ~n_classes (Pn_data.View.all ds) ~depth:0 in
+  { root; classes = ds.Pn_data.Dataset.classes; attrs = ds.Pn_data.Dataset.attrs; params }
+
+let prune t = { t with root = prune_node ~cf:t.params.Params.cf t.root }
+
+let train ?params ds = prune (train_unpruned ?params ds)
+
+let rec predict_node ds i = function
+  | Leaf { predicted; _ } -> predicted
+  | Split { split; children; _ } -> (
+    match split with
+    | Num_threshold { col; threshold } ->
+      let child = if Pn_data.Dataset.num_value ds ~col i <= threshold then 0 else 1 in
+      predict_node ds i children.(child)
+    | Cat_multi { col } ->
+      predict_node ds i children.(Pn_data.Dataset.cat_value ds ~col i))
+
+let predict t ds i = predict_node ds i t.root
+
+let evaluate_binary t ds ~target =
+  let acc = ref Pn_metrics.Confusion.zero in
+  for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+    acc :=
+      Pn_metrics.Confusion.add !acc
+        ~actual:(Pn_data.Dataset.label ds i = target)
+        ~predicted:(predict t ds i = target)
+        ~weight:(Pn_data.Dataset.weight ds i)
+  done;
+  !acc
+
+let paths t =
+  let out = ref [] in
+  let rec walk conds = function
+    | Leaf { counts; predicted } ->
+      if Pn_util.Arr.sum_floats counts > 0.0 then
+        out := (List.rev conds, predicted, counts) :: !out
+    | Split { split; children; _ } -> (
+      match split with
+      | Num_threshold { col; threshold } ->
+        walk (Pn_rules.Condition.Num_le { col; threshold } :: conds) children.(0);
+        (* "value > threshold" expressed as ≥ the next representable
+           float, keeping the condition type closed under ≤ / ≥. *)
+        walk
+          (Pn_rules.Condition.Num_ge { col; threshold = Float.succ threshold } :: conds)
+          children.(1)
+      | Cat_multi { col } ->
+        Array.iteri
+          (fun value child ->
+            walk (Pn_rules.Condition.Cat_eq { col; value } :: conds) child)
+          children)
+  in
+  walk [] t.root;
+  List.rev !out
+
+let rec count_leaves = function
+  | Leaf _ -> 1
+  | Split { children; _ } -> Array.fold_left (fun acc c -> acc + count_leaves c) 0 children
+
+let n_leaves t = count_leaves t.root
+
+let rec node_depth = function
+  | Leaf _ -> 0
+  | Split { children; _ } ->
+    1 + Array.fold_left (fun acc c -> max acc (node_depth c)) 0 children
+
+let depth t = node_depth t.root
+
+let pp ppf t =
+  let rec go indent node =
+    let pad = String.make indent ' ' in
+    match node with
+    | Leaf { counts; predicted } ->
+      Format.fprintf ppf "%s-> %s (%.1f)@," pad t.classes.(predicted)
+        (Pn_util.Arr.sum_floats counts)
+    | Split { split; children; _ } -> (
+      match split with
+      | Num_threshold { col; threshold } ->
+        Format.fprintf ppf "%s%s <= %.4g:@," pad t.attrs.(col).Pn_data.Attribute.name
+          threshold;
+        go (indent + 2) children.(0);
+        Format.fprintf ppf "%s%s > %.4g:@," pad t.attrs.(col).Pn_data.Attribute.name
+          threshold;
+        go (indent + 2) children.(1)
+      | Cat_multi { col } ->
+        Array.iteri
+          (fun v child ->
+            Format.fprintf ppf "%s%s = %s:@," pad
+              t.attrs.(col).Pn_data.Attribute.name
+              (Pn_data.Attribute.value_name t.attrs.(col) v);
+            go (indent + 2) child)
+          children)
+  in
+  Format.fprintf ppf "@[<v>";
+  go 0 t.root;
+  Format.fprintf ppf "@]";
+  ignore node_counts

@@ -1,0 +1,52 @@
+(** C4.5 decision trees: gain-ratio induction with binary numeric splits
+    and multiway categorical splits, then pessimistic-error pruning by
+    subtree replacement. Multi-class. *)
+
+type split =
+  | Num_threshold of { col : int; threshold : float }
+      (** children.(0): value ≤ threshold; children.(1): value > *)
+  | Cat_multi of { col : int }  (** children indexed by category code *)
+
+type node =
+  | Leaf of { counts : float array; predicted : int }
+  | Split of {
+      split : split;
+      children : node array;
+      counts : float array;
+      predicted : int;  (** majority class, used when a branch is empty *)
+    }
+
+type t = {
+  root : node;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+  params : Params.t;
+}
+
+(** [train ?params ds] grows a full tree and prunes it. *)
+val train : ?params:Params.t -> Pn_data.Dataset.t -> t
+
+(** [train_unpruned ?params ds] grows the overfitted tree only (the
+    starting point of C4.5rules). *)
+val train_unpruned : ?params:Params.t -> Pn_data.Dataset.t -> t
+
+(** [prune t ds] applies pessimistic subtree replacement using the
+    training data distribution already stored in the nodes. *)
+val prune : t -> t
+
+(** [predict t ds i] is the predicted class index for record [i]. *)
+val predict : t -> Pn_data.Dataset.t -> int -> int
+
+(** [evaluate_binary t ds ~target] scores the tree as a binary classifier
+    for [target] (prediction = target vs anything else). *)
+val evaluate_binary : t -> Pn_data.Dataset.t -> target:int -> Pn_metrics.Confusion.t
+
+(** [paths t] enumerates every root-to-leaf path as (conditions along the
+    path, leaf class, leaf counts); the raw material of C4.5rules. *)
+val paths : t -> (Pn_rules.Condition.t list * int * float array) list
+
+val n_leaves : t -> int
+
+val depth : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/auto.ml: Learner List Model Params Pn_data Pn_metrics Pn_util

@@ -1,0 +1,1 @@
+lib/core/auto.mli: Model Params Pn_data

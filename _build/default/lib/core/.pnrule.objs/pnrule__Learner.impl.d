@@ -1,0 +1,1 @@
+lib/core/learner.ml: Array Float List Logs Model Params Pn_data Pn_induct Pn_metrics Pn_rules Pn_util

@@ -1,0 +1,1 @@
+lib/core/learner.mli: Model Params Pn_data Pn_metrics

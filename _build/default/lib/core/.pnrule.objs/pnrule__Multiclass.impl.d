@@ -1,0 +1,1 @@
+lib/core/multiclass.ml: Array Float Learner List Model Option Params Pn_data Pn_metrics Pn_util

@@ -1,0 +1,1 @@
+lib/core/multiphase.ml: Array Float Format List Params Pn_data Pn_induct Pn_metrics Pn_rules

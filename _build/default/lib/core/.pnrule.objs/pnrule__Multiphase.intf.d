@@ -1,0 +1,1 @@
+lib/core/multiphase.mli: Format Params Pn_data Pn_metrics Pn_rules

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Buffer Fun In_channel List Model Params Pn_data Pn_rules Printf Scanf String

@@ -1,0 +1,44 @@
+type choice = { params : Params.t; validation_f : float }
+
+let train ?(base = Params.default) ?(rps = [ 0.95; 0.99 ]) ?(rns = [ 0.7; 0.95 ])
+    ?(try_p1 = true) ?(validation_fraction = 0.3) ?(seed = 1) ds ~target =
+  let rng = Pn_util.Rng.create seed in
+  let validation, training =
+    Pn_data.View.split (Pn_data.View.all ds) rng ~left_fraction:validation_fraction
+  in
+  let training_ds = Pn_data.View.materialize training in
+  let validation_ds = Pn_data.View.materialize validation in
+  let lengths = if try_p1 then [ None; Some 1 ] else [ None ] in
+  let grid =
+    List.concat_map
+      (fun rp ->
+        List.concat_map
+          (fun rn ->
+            List.map
+              (fun len ->
+                { base with Params.min_coverage = rp; recall_floor = rn; max_p_rule_length = len })
+              lengths)
+          rns)
+      rps
+  in
+  let best =
+    List.fold_left
+      (fun best params ->
+        match Learner.train ~params training_ds ~target with
+        | model ->
+          let f =
+            Pn_metrics.Confusion.f_measure (Model.evaluate model validation_ds)
+          in
+          (match best with
+          | Some (_, bf) when bf >= f -> best
+          | Some _ | None -> Some (params, f))
+        | exception Invalid_argument _ ->
+          (* The training half can lose every target record only when the
+             class is vanishingly rare; skip the grid point. *)
+          best)
+      None grid
+  in
+  match best with
+  | None -> invalid_arg "Pnrule.Auto.train: no grid point could be trained"
+  | Some (params, validation_f) ->
+    (Learner.train ~params ds ~target, { params; validation_f })

@@ -1,0 +1,29 @@
+(** Automatic selection of PNrule's recall limits.
+
+    The paper's conclusion lists "automating or guiding the selection of
+    recall limits in each stage" as an open problem; this module provides
+    the standard solution: hold out a stratified validation split, train
+    the rp × rn grid (optionally with and without length-1 P-rules) on
+    the rest, pick the configuration with the best validation F-measure,
+    and retrain it on the full training set. *)
+
+type choice = {
+  params : Params.t;  (** the winning configuration *)
+  validation_f : float;  (** its F-measure on the held-out split *)
+}
+
+(** [train ?base ?rps ?rns ?try_p1 ?validation_fraction ?seed ds ~target]
+    returns the retrained model and the grid choice. Defaults: the
+    paper's grid rp ∈ {0.95, 0.99}, rn ∈ {0.7, 0.95}, [try_p1 = true],
+    30 % validation, seed 1. [base] seeds every grid point's remaining
+    parameters (default {!Params.default}). *)
+val train :
+  ?base:Params.t ->
+  ?rps:float list ->
+  ?rns:float list ->
+  ?try_p1:bool ->
+  ?validation_fraction:float ->
+  ?seed:int ->
+  Pn_data.Dataset.t ->
+  target:int ->
+  Model.t * choice

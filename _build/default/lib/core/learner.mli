@@ -1,0 +1,31 @@
+(** PNrule training (§2 of the paper).
+
+    The P-phase runs sequential covering for rules that *detect the
+    presence* of the target class, preferring support over accuracy until
+    the coverage target [rp] is met. The N-phase pools every record the
+    union of P-rules covers and runs sequential covering for rules that
+    *detect the absence* of the target class, stopping on MDL growth and
+    refining under the recall floor [rn]. Finally the ScoreMatrix is
+    estimated on the training set. *)
+
+type stats = {
+  p_coverage : float;
+      (** fraction of target-class weight covered by the P-rules *)
+  p_rule_coverage : (float * float) list;
+      (** per P-rule (positive, negative) weighted coverage on the
+          remaining set it was learned from, discovery order *)
+  n_rule_coverage : (float * float) list;
+      (** per N-rule (false positives removed, true positives sacrificed)
+          on the remaining pooled set, discovery order *)
+  n_dl_trace : float list;
+      (** description length after each accepted N-rule *)
+  train_confusion : Pn_metrics.Confusion.t;
+}
+
+(** [train ?params ds ~target] learns a binary PNrule model for class
+    index [target]. Raises [Invalid_argument] if the dataset carries no
+    target-class weight. *)
+val train : ?params:Params.t -> Pn_data.Dataset.t -> target:int -> Model.t
+
+val train_with_stats :
+  ?params:Params.t -> Pn_data.Dataset.t -> target:int -> Model.t * stats

@@ -1,0 +1,60 @@
+type t = {
+  target : int;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+  p_rules : Pn_rules.Rule_list.t;
+  n_rules : Pn_rules.Rule_list.t;
+  scores : float array array;
+  params : Params.t;
+}
+
+let score t ds i =
+  match Pn_rules.Rule_list.first_match ds t.p_rules i with
+  | None -> 0.0
+  | Some p ->
+    let col =
+      match Pn_rules.Rule_list.first_match ds t.n_rules i with
+      | None -> Pn_rules.Rule_list.length t.n_rules
+      | Some n -> n
+    in
+    t.scores.(p).(col)
+
+let predict t ds i =
+  if t.params.Params.use_scoring then score t ds i > t.params.Params.score_threshold
+  else
+    Pn_rules.Rule_list.any_match ds t.p_rules i
+    && not (Pn_rules.Rule_list.any_match ds t.n_rules i)
+
+let predict_all t ds = Array.init (Pn_data.Dataset.n_records ds) (predict t ds)
+
+let score_all t ds = Array.init (Pn_data.Dataset.n_records ds) (score t ds)
+
+let evaluate t ds =
+  let acc = ref Pn_metrics.Confusion.zero in
+  for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+    acc :=
+      Pn_metrics.Confusion.add !acc
+        ~actual:(Pn_data.Dataset.label ds i = t.target)
+        ~predicted:(predict t ds i)
+        ~weight:(Pn_data.Dataset.weight ds i)
+  done;
+  !acc
+
+let rule_counts t =
+  (Pn_rules.Rule_list.length t.p_rules, Pn_rules.Rule_list.length t.n_rules)
+
+let pp ppf t =
+  let np, nn = rule_counts t in
+  Format.fprintf ppf "@[<v>PNrule model for class %S (%d P-rules, %d N-rules)@,"
+    t.classes.(t.target) np nn;
+  Format.fprintf ppf "P-rules:@,%a" (Pn_rules.Rule_list.pp t.attrs) t.p_rules;
+  Format.fprintf ppf "N-rules:@,%a" (Pn_rules.Rule_list.pp t.attrs) t.n_rules;
+  Format.fprintf ppf "ScoreMatrix (rows: P-rules; last column: no N-rule):@,";
+  Array.iteri
+    (fun p row ->
+      Format.fprintf ppf "  P%-2d" p;
+      Array.iter (fun s -> Format.fprintf ppf " %5.2f" s) row;
+      ignore p;
+      Format.pp_print_cut ppf ())
+    t.scores;
+  Format.fprintf ppf "@]"

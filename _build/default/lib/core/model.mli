@@ -1,0 +1,43 @@
+(** Trained PNrule models.
+
+    A model is an ordered P-rule list, an ordered N-rule list, and the
+    ScoreMatrix. Prediction (§2.3): apply P-rules in rank order — if none
+    applies the score is 0; otherwise apply N-rules in rank order and
+    return ScoreMatrix[first P-rule, first N-rule], where "no N-rule
+    applies" is the implicit default last N-rule. *)
+
+type t = {
+  target : int;  (** index of the target class in [classes] *)
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+  p_rules : Pn_rules.Rule_list.t;
+  n_rules : Pn_rules.Rule_list.t;
+  scores : float array array;
+      (** nP rows × (nN + 1) columns; the last column is the default
+          "no N-rule applied" entry *)
+  params : Params.t;
+}
+
+(** [score t ds i] is the model's probability-like score ∈ [0,1] that
+    record [i] of [ds] belongs to the target class. *)
+val score : t -> Pn_data.Dataset.t -> int -> float
+
+(** [predict t ds i] thresholds [score] at [t.params.score_threshold].
+    When [t.params.use_scoring] is false, the plain DNF decision is used:
+    true iff some P-rule applies and no N-rule applies. *)
+val predict : t -> Pn_data.Dataset.t -> int -> bool
+
+val predict_all : t -> Pn_data.Dataset.t -> bool array
+
+(** [score_all t ds] is the per-record score vector, e.g. for
+    precision-recall analysis with {!Pn_metrics.Pr_curve}. *)
+val score_all : t -> Pn_data.Dataset.t -> float array
+
+(** [evaluate t ds] tallies the weighted confusion matrix of the model on
+    a dataset labeled with the same class table. *)
+val evaluate : t -> Pn_data.Dataset.t -> Pn_metrics.Confusion.t
+
+(** [rule_counts t] is (number of P-rules, number of N-rules). *)
+val rule_counts : t -> int * int
+
+val pp : Format.formatter -> t -> unit

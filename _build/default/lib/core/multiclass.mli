@@ -1,0 +1,35 @@
+(** Multi-class classification with PNrule, one binary model per class.
+
+    The paper focuses on binary rare-class models and notes (footnote 3)
+    that the framework extends to multi-class problems; this module
+    provides that extension: a PNrule model is trained for each class
+    against the rest, and a record is assigned the class whose model
+    scores it highest. Classes are trained rarest-first, and ties at
+    score 0 fall back to the most prevalent class. *)
+
+type t = {
+  models : (int * Model.t) array;  (** (class index, its binary model) *)
+  fallback : int;  (** majority class, used when every model scores 0 *)
+  classes : string array;
+}
+
+(** [train ?params ?params_for ds] trains one binary model per class.
+    [params_for class_index] overrides [params] per class (e.g. P1 rules
+    for one attack type only). Classes without any training weight are
+    skipped and can never be predicted. *)
+val train :
+  ?params:Params.t -> ?params_for:(int -> Params.t option) -> Pn_data.Dataset.t -> t
+
+(** [predict t ds i] is the class index with the highest score. *)
+val predict : t -> Pn_data.Dataset.t -> int -> int
+
+(** [scores t ds i] is the per-class score vector (0 for skipped
+    classes). *)
+val scores : t -> Pn_data.Dataset.t -> int -> float array
+
+(** [accuracy t ds] is the weighted multi-class accuracy. *)
+val accuracy : t -> Pn_data.Dataset.t -> float
+
+(** [confusion t ds ~target] is the binary confusion of the multi-class
+    prediction collapsed onto one class. *)
+val confusion : t -> Pn_data.Dataset.t -> target:int -> Pn_metrics.Confusion.t

@@ -1,0 +1,115 @@
+module RM = Pn_metrics.Rule_metric
+
+type t = {
+  phases : Pn_rules.Rule_list.t list;
+  target : int;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+}
+
+(* Grow one rule on [pool] with the phase's polarity; refinements must
+   improve the metric and keep the support floor. *)
+let grow ~params ~target ~negate ~min_support pool =
+  let pos, neg = Pn_data.View.binary_weights pool ~target in
+  let counts0 = if negate then { RM.pos = neg; neg = pos } else { RM.pos = pos; neg } in
+  let ctx = { RM.pos_total = counts0.RM.pos; neg_total = counts0.RM.neg } in
+  let metric = params.Params.metric in
+  let rec refine rule covered current_score current_counts =
+    match
+      Pn_induct.Grower.best_condition ~allow_ranges:params.Params.allow_ranges
+        ~min_support ~negate ~current:rule ~metric ~ctx ~target covered
+    with
+    | Some cand when cand.Pn_induct.Grower.score > current_score +. 1e-12 ->
+      let rule = Pn_rules.Rule.add rule cand.Pn_induct.Grower.condition in
+      let covered =
+        Pn_data.View.filter covered (fun i ->
+            Pn_rules.Condition.matches covered.Pn_data.View.data
+              cand.Pn_induct.Grower.condition i)
+      in
+      refine rule covered cand.Pn_induct.Grower.score cand.Pn_induct.Grower.counts
+    | Some _ | None -> (rule, current_counts)
+  in
+  refine Pn_rules.Rule.empty pool (RM.eval metric ctx counts0) counts0
+
+(* One phase of sequential covering over [pool]; positives are the
+   target class when [negate] is false, its complement otherwise. *)
+let cover_phase ~params ~target ~negate pool =
+  let phase_pos =
+    let pos, neg = Pn_data.View.binary_weights pool ~target in
+    if negate then neg else pos
+  in
+  let min_support = params.Params.min_support_fraction *. phase_pos in
+  let rec loop pool acc covered_pos =
+    if List.length acc >= params.Params.max_p_rules then List.rev acc
+    else if covered_pos /. Float.max phase_pos 1e-9 >= params.Params.min_coverage
+    then List.rev acc
+    else begin
+      let rule, counts = grow ~params ~target ~negate ~min_support pool in
+      if Pn_rules.Rule.is_empty rule || counts.RM.pos <= 0.0 then List.rev acc
+      else
+        loop
+          (Pn_rules.Rule.uncovered_of pool rule)
+          (rule :: acc)
+          (covered_pos +. counts.RM.pos)
+    end
+  in
+  loop pool [] 0.0
+
+let train ?(params = Params.default) ?(max_phases = 4) ds ~target =
+  if Pn_data.Dataset.class_weight ds target <= 0.0 then
+    invalid_arg "Pnrule.Multiphase.train: no target-class weight";
+  let rec phases pool k acc =
+    if k > max_phases || Pn_data.View.size pool < 2 then List.rev acc
+    else begin
+      let negate = k mod 2 = 0 in
+      let rules = cover_phase ~params ~target ~negate pool in
+      match rules with
+      | [] -> List.rev acc
+      | _ ->
+        let rl = Pn_rules.Rule_list.of_list rules in
+        let covered =
+          Pn_data.View.filter pool (fun i ->
+              Pn_rules.Rule_list.any_match pool.Pn_data.View.data rl i)
+        in
+        phases covered (k + 1) (rl :: acc)
+    end
+  in
+  {
+    phases = phases (Pn_data.View.all ds) 1 [];
+    target;
+    classes = ds.Pn_data.Dataset.classes;
+    attrs = ds.Pn_data.Dataset.attrs;
+  }
+
+let predict t ds i =
+  let rec walk matched = function
+    | [] -> matched mod 2 = 1
+    | rl :: rest ->
+      if Pn_rules.Rule_list.any_match ds rl i then walk (matched + 1) rest
+      else matched mod 2 = 1
+  in
+  walk 0 t.phases
+
+let evaluate t ds =
+  let acc = ref Pn_metrics.Confusion.zero in
+  for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+    acc :=
+      Pn_metrics.Confusion.add !acc
+        ~actual:(Pn_data.Dataset.label ds i = t.target)
+        ~predicted:(predict t ds i)
+        ~weight:(Pn_data.Dataset.weight ds i)
+  done;
+  !acc
+
+let phase_sizes t = List.map Pn_rules.Rule_list.length t.phases
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>Multi-phase model for %S (%d phases)@,"
+    t.classes.(t.target) (List.length t.phases);
+  List.iteri
+    (fun k rl ->
+      Format.fprintf ppf "phase %d (%s):@,%a" (k + 1)
+        (if k mod 2 = 0 then "presence" else "absence")
+        (Pn_rules.Rule_list.pp t.attrs) rl)
+    t.phases;
+  Format.fprintf ppf "@]"

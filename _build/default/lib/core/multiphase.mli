@@ -1,0 +1,39 @@
+(** Multi-phase rule induction — the paper's final future-work item
+    ("extending the two-phase approach to a multi-phase approach").
+
+    Phase 1 learns presence rules for the target class (as PNrule's
+    P-phase). Phase 2 pools everything phase 1 covers and learns absence
+    rules (as the N-phase). Phase 3 pools everything phase 2 *removed*
+    and learns presence rules that recapture the true positives lost
+    there; phase 4 cleans phase 3's pool again, and so on, alternating
+    polarity. Phases stop when a phase learns nothing, its pool runs dry,
+    or [max_phases] is reached.
+
+    Classification walks the phases: a record that fails to match phase
+    k stops there, and the prediction is positive exactly when the record
+    matched an odd number of phases (matched presence, never rescued by
+    an absence match, or rescued again, …). *)
+
+type t = {
+  phases : Pn_rules.Rule_list.t list;  (** phase 1 first *)
+  target : int;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+}
+
+(** [train ?params ?max_phases ds ~target] learns up to [max_phases]
+    (default 4; 2 reproduces plain PNrule's rule structure) phases.
+    [params] supplies the metric, support floor, coverage target and rule
+    caps. Raises [Invalid_argument] when the dataset has no target
+    weight. *)
+val train : ?params:Params.t -> ?max_phases:int -> Pn_data.Dataset.t -> target:int -> t
+
+val predict : t -> Pn_data.Dataset.t -> int -> bool
+
+val evaluate : t -> Pn_data.Dataset.t -> Pn_metrics.Confusion.t
+
+(** [phase_sizes t] is the number of rules per phase, first phase
+    first. *)
+val phase_sizes : t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type t = {
+  metric : Pn_metrics.Rule_metric.kind;
+  min_coverage : float;
+  min_accuracy : float;
+  min_support_fraction : float;
+  recall_floor : float;
+  max_p_rule_length : int option;
+  max_n_rule_length : int option;
+  allow_ranges : bool;
+  mdl_slack : float;
+  max_p_rules : int;
+  max_n_rules : int;
+  score_threshold : float;
+  score_min_cell_support : float;
+  score_z_threshold : float;
+  use_scoring : bool;
+  enable_n_phase : bool;
+  n_prune : bool;
+  seed : int;
+}
+
+let default =
+  {
+    metric = Pn_metrics.Rule_metric.Z_number;
+    min_coverage = 0.95;
+    min_accuracy = 0.9;
+    min_support_fraction = 0.05;
+    recall_floor = 0.7;
+    max_p_rule_length = None;
+    max_n_rule_length = None;
+    allow_ranges = true;
+    mdl_slack = Pn_metrics.Mdl.default_slack;
+    max_p_rules = 64;
+    max_n_rules = 128;
+    score_threshold = 0.5;
+    score_min_cell_support = 3.0;
+    score_z_threshold = 1.0;
+    use_scoring = true;
+    enable_n_phase = true;
+    n_prune = false;
+    seed = 1;
+  }
+
+let legacy = { default with min_coverage = 0.95; recall_floor = 0.95 }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>metric=%s rp=%.3f rn=%.3f min_acc=%.2f min_supp=%.3f p_len=%s \
+     n_len=%s ranges=%b scoring=%b n_phase=%b@]"
+    (Pn_metrics.Rule_metric.kind_name t.metric)
+    t.min_coverage t.recall_floor t.min_accuracy t.min_support_fraction
+    (match t.max_p_rule_length with
+    | None -> "unbounded"
+    | Some k -> string_of_int k)
+    (match t.max_n_rule_length with
+    | None -> "unbounded"
+    | Some k -> string_of_int k)
+    t.allow_ranges t.use_scoring t.enable_n_phase

@@ -1,0 +1,60 @@
+(** PNrule hyper-parameters.
+
+    The two controls the paper studies in Section 4 are [min_coverage]
+    (written rp there: the fraction of the target class the P-phase must
+    cover, acting as an upper limit on recall) and [recall_floor] (rn: the
+    lower limit on recall that guides N-rule refinement). *)
+
+type t = {
+  metric : Pn_metrics.Rule_metric.kind;
+      (** rule evaluation metric; Z-number by default, Section 4 uses
+          information gain *)
+  min_coverage : float;
+      (** rp ∈ (0,1]: P-rules are added until this fraction of the target
+          class weight is covered *)
+  min_accuracy : float;
+      (** once rp is reached, a further P-rule is only accepted if its
+          accuracy meets this threshold *)
+  min_support_fraction : float;
+      (** every accepted refinement must keep the rule's support above
+          this fraction of the target-class weight *)
+  recall_floor : float;
+      (** rn ∈ (0,1]: an N-rule whose acceptance would push recall below
+          this floor is refined further even without metric improvement *)
+  max_p_rule_length : int option;
+      (** cap on P-rule conjuncts; [Some 1] gives the paper's "P1" very
+          general P-rules *)
+  max_n_rule_length : int option;
+  allow_ranges : bool;  (** enable the explicit range-condition search *)
+  mdl_slack : float;  (** N-phase stops when DL exceeds min DL + slack *)
+  max_p_rules : int;  (** safety cap *)
+  max_n_rules : int;
+  score_threshold : float;  (** decision threshold on the score, 0.5 *)
+  score_min_cell_support : float;
+      (** ScoreMatrix cells with less weighted support than this fall back
+          to the P-rule's base score *)
+  score_z_threshold : float;
+      (** an N-rule must shift a P-rule's accuracy by at least this many
+          standard errors to be honoured for that P-rule *)
+  use_scoring : bool;
+      (** when false, classify with the plain DNF semantics (some P-rule
+          applies and no N-rule applies) — ablation A1 *)
+  enable_n_phase : bool;  (** when false, stop after the P-phase — A1 *)
+  n_prune : bool;
+      (** the paper's §5 "pruning mechanisms to further protect the
+          N-stage from over-fitting": grow each N-rule on 2/3 of the
+          pooled records and delete trailing conditions that do not help
+          on the held-out 1/3 (never past the recall floor). Off by
+          default — the paper's evaluation runs without it. *)
+  seed : int;  (** RNG seed for the N-stage pruning split *)
+}
+
+(** Defaults: Z-number, rp = 0.95, rn = 0.7, 5% minimum support, ranges
+    on, scoring on. *)
+val default : t
+
+(** The previous PNrule version of [1] as a preset: fixed rp = rn = 0.95,
+    no P-rule length cap. *)
+val legacy : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,224 @@
+exception Corrupt of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* Names (class names, attribute names, categorical values) are written
+   as OCaml string literals so embedded spaces and quotes survive. *)
+let quote s = Printf.sprintf "%S" s
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_condition buf c =
+  match c with
+  | Pn_rules.Condition.Cat_eq { col; value } ->
+    Buffer.add_string buf (Printf.sprintf "    cat %d %d\n" col value)
+  | Pn_rules.Condition.Num_le { col; threshold } ->
+    Buffer.add_string buf (Printf.sprintf "    le %d %h\n" col threshold)
+  | Pn_rules.Condition.Num_ge { col; threshold } ->
+    Buffer.add_string buf (Printf.sprintf "    ge %d %h\n" col threshold)
+  | Pn_rules.Condition.Num_range { col; lo; hi } ->
+    Buffer.add_string buf (Printf.sprintf "    range %d %h %h\n" col lo hi)
+
+let write_rules buf label rules =
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" label (Pn_rules.Rule_list.length rules));
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  rule %d\n" (Pn_rules.Rule.n_conditions r));
+      List.iter (write_condition buf) r.Pn_rules.Rule.conditions)
+    (Pn_rules.Rule_list.to_list rules)
+
+let to_string (m : Model.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "pnrule-model v1\n";
+  Buffer.add_string buf (Printf.sprintf "target %d\n" m.Model.target);
+  Buffer.add_string buf (Printf.sprintf "classes %d\n" (Array.length m.Model.classes));
+  Array.iter (fun c -> Buffer.add_string buf ("  " ^ quote c ^ "\n")) m.Model.classes;
+  Buffer.add_string buf (Printf.sprintf "attrs %d\n" (Array.length m.Model.attrs));
+  Array.iter
+    (fun (a : Pn_data.Attribute.t) ->
+      match a.kind with
+      | Pn_data.Attribute.Numeric ->
+        Buffer.add_string buf ("  num " ^ quote a.name ^ "\n")
+      | Pn_data.Attribute.Categorical values ->
+        Buffer.add_string buf
+          (Printf.sprintf "  cat %s %d%s\n" (quote a.name) (Array.length values)
+             (Array.fold_left (fun acc v -> acc ^ " " ^ quote v) "" values)))
+    m.Model.attrs;
+  let p = m.Model.params in
+  Buffer.add_string buf
+    (Printf.sprintf "decision %h %b\n" p.Params.score_threshold p.Params.use_scoring);
+  write_rules buf "p_rules" m.Model.p_rules;
+  write_rules buf "n_rules" m.Model.n_rules;
+  let rows = Array.length m.Model.scores in
+  let cols = if rows = 0 then 0 else Array.length m.Model.scores.(0) in
+  Buffer.add_string buf (Printf.sprintf "scores %d %d\n" rows cols);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf " ";
+      Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf " %h" s)) row;
+      Buffer.add_char buf '\n')
+    m.Model.scores;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny token stream over whitespace-separated words, where quoted
+   OCaml string literals count as single tokens. *)
+type stream = { mutable tokens : string list }
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '"' then begin
+      (* Scan to the closing unescaped quote. *)
+      let j = ref (!i + 1) in
+      while
+        !j < n && not (s.[!j] = '"' && s.[!j - 1] <> '\\')
+      do
+        incr j
+      done;
+      if !j >= n then fail "unterminated string literal";
+      let literal = String.sub s !i (!j - !i + 1) in
+      let value = Scanf.sscanf literal "%S" Fun.id in
+      tokens := value :: !tokens;
+      i := !j + 1
+    end
+    else begin
+      let j = ref !i in
+      while !j < n && s.[!j] <> ' ' && s.[!j] <> '\n' && s.[!j] <> '\t' && s.[!j] <> '\r' do
+        incr j
+      done;
+      tokens := String.sub s !i (!j - !i) :: !tokens;
+      i := !j
+    end
+  done;
+  { tokens = List.rev !tokens }
+
+let next st =
+  match st.tokens with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+    st.tokens <- rest;
+    t
+
+let expect st word =
+  let t = next st in
+  if not (String.equal t word) then fail "expected %S, found %S" word t
+
+let int_tok st =
+  let t = next st in
+  match int_of_string_opt t with
+  | Some v -> v
+  | None -> fail "expected integer, found %S" t
+
+let float_tok st =
+  let t = next st in
+  match float_of_string_opt t with
+  | Some v -> v
+  | None -> fail "expected float, found %S" t
+
+let bool_tok st =
+  let t = next st in
+  match bool_of_string_opt t with
+  | Some v -> v
+  | None -> fail "expected bool, found %S" t
+
+let read_condition st =
+  match next st with
+  | "cat" ->
+    let col = int_tok st in
+    let value = int_tok st in
+    Pn_rules.Condition.Cat_eq { col; value }
+  | "le" ->
+    let col = int_tok st in
+    let threshold = float_tok st in
+    Pn_rules.Condition.Num_le { col; threshold }
+  | "ge" ->
+    let col = int_tok st in
+    let threshold = float_tok st in
+    Pn_rules.Condition.Num_ge { col; threshold }
+  | "range" ->
+    let col = int_tok st in
+    let lo = float_tok st in
+    let hi = float_tok st in
+    Pn_rules.Condition.Num_range { col; lo; hi }
+  | other -> fail "unknown condition kind %S" other
+
+let read_rules st label =
+  expect st label;
+  let count = int_tok st in
+  let rules =
+    List.init count (fun _ ->
+        expect st "rule";
+        let k = int_tok st in
+        Pn_rules.Rule.of_conditions (List.init k (fun _ -> read_condition st)))
+  in
+  Pn_rules.Rule_list.of_list rules
+
+let of_string s =
+  let st = tokenize s in
+  expect st "pnrule-model";
+  expect st "v1";
+  expect st "target";
+  let target = int_tok st in
+  expect st "classes";
+  let n_classes = int_tok st in
+  let classes = Array.init n_classes (fun _ -> next st) in
+  expect st "attrs";
+  let n_attrs = int_tok st in
+  let attrs =
+    Array.init n_attrs (fun _ ->
+        match next st with
+        | "num" -> Pn_data.Attribute.numeric (next st)
+        | "cat" ->
+          let name = next st in
+          let arity = int_tok st in
+          Pn_data.Attribute.categorical name (Array.init arity (fun _ -> next st))
+        | other -> fail "unknown attribute kind %S" other)
+  in
+  expect st "decision";
+  let score_threshold = float_tok st in
+  let use_scoring = bool_tok st in
+  let p_rules = read_rules st "p_rules" in
+  let n_rules = read_rules st "n_rules" in
+  expect st "scores";
+  let rows = int_tok st in
+  let cols = int_tok st in
+  let scores = Array.init rows (fun _ -> Array.init cols (fun _ -> float_tok st)) in
+  if rows > 0 && cols <> Pn_rules.Rule_list.length n_rules + 1 then
+    fail "score matrix width %d does not match %d N-rules" cols
+      (Pn_rules.Rule_list.length n_rules);
+  if rows <> Pn_rules.Rule_list.length p_rules then
+    fail "score matrix height %d does not match %d P-rules" rows
+      (Pn_rules.Rule_list.length p_rules);
+  if target < 0 || target >= n_classes then fail "target class out of range";
+  {
+    Model.target;
+    classes;
+    attrs;
+    p_rules;
+    n_rules;
+    scores;
+    params = { Params.default with score_threshold; use_scoring };
+  }
+
+let save m path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string m))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

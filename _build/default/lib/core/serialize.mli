@@ -1,0 +1,21 @@
+(** Plain-text persistence for PNrule models.
+
+    The format is line-oriented and self-contained: it carries the class
+    table, the attribute schema (with categorical value names), both rule
+    lists, the ScoreMatrix, and the parameters needed to reproduce the
+    model's decision behaviour. Written models round-trip exactly. *)
+
+exception Corrupt of string
+(** Raised by the readers on malformed input, with a description. *)
+
+(** [to_string model] serializes a model. *)
+val to_string : Model.t -> string
+
+(** [of_string s] parses a serialized model. Raises [Corrupt]. *)
+val of_string : string -> Model.t
+
+(** [save model path] / [load path] — file-based wrappers. [load] raises
+    [Corrupt] or [Sys_error]. *)
+val save : Model.t -> string -> unit
+
+val load : string -> Model.t

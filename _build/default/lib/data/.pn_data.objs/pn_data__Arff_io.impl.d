@@ -1,0 +1,1 @@
+lib/data/arff_io.ml: Array Attribute Dataset Fun In_channel List Pn_util Printf String

@@ -1,0 +1,1 @@
+lib/data/arff_io.mli: Dataset

@@ -1,0 +1,1 @@
+lib/data/builder.ml: Array Attribute Dataset List

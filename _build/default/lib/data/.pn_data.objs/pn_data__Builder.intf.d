@@ -1,0 +1,1 @@
+lib/data/builder.mli: Attribute Dataset

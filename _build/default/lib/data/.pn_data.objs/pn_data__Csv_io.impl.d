@@ -1,0 +1,1 @@
+lib/data/csv_io.ml: Array Attribute Buffer Dataset Fun Hashtbl List Pn_util Printf String

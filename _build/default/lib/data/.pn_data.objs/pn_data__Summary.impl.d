@@ -1,0 +1,1 @@
+lib/data/summary.ml: Array Attribute Dataset Float Format List Pn_util Printf String

@@ -1,0 +1,1 @@
+lib/data/summary.mli: Dataset Format

@@ -1,0 +1,1 @@
+lib/data/view.ml: Array Dataset Float Pn_util Seq

@@ -1,0 +1,1 @@
+lib/data/view.mli: Dataset Pn_util

@@ -1,0 +1,189 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type decl =
+  | Dnumeric of string
+  | Dnominal of string * string array
+
+let strip_comment line =
+  match String.index_opt line '%' with
+  | Some i when i = 0 -> ""
+  | _ -> line
+
+(* Attribute names and nominal values may be single-quoted. *)
+let unquote s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then String.sub s 1 (n - 2) else s
+
+let parse_attribute_decl rest =
+  (* rest = "name numeric" or "name {a,b,c}" — the name may be quoted and
+     contain spaces. *)
+  let rest = String.trim rest in
+  let name, spec =
+    if String.length rest > 0 && rest.[0] = '\'' then begin
+      match String.index_from_opt rest 1 '\'' with
+      | None -> fail "unterminated attribute name quote"
+      | Some close ->
+        ( String.sub rest 1 (close - 1),
+          String.trim (String.sub rest (close + 1) (String.length rest - close - 1)) )
+    end
+    else begin
+      match String.index_opt rest ' ' with
+      | None -> (
+        match String.index_opt rest '\t' with
+        | None -> fail "attribute declaration needs a type: %S" rest
+        | Some i ->
+          ( String.sub rest 0 i,
+            String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) ))
+      | Some i ->
+        ( String.sub rest 0 i,
+          String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    end
+  in
+  if String.length spec = 0 then fail "attribute %S has no type" name;
+  if spec.[0] = '{' then begin
+    if spec.[String.length spec - 1] <> '}' then fail "unterminated nominal set for %S" name;
+    let inner = String.sub spec 1 (String.length spec - 2) in
+    let values =
+      List.map unquote (String.split_on_char ',' inner) |> Array.of_list
+    in
+    if Array.length values = 0 then fail "empty nominal set for %S" name;
+    Dnominal (name, values)
+  end
+  else begin
+    match String.lowercase_ascii spec with
+    | "numeric" | "real" | "integer" -> Dnumeric name
+    | other -> fail "unsupported attribute type %S for %S" other name
+  end
+
+let parse_string ?class_attribute text =
+  let lines = String.split_on_char '\n' text in
+  let decls = ref [] in
+  let data = ref [] in
+  let in_data = ref false in
+  List.iter
+    (fun raw ->
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then begin
+        let lower = String.lowercase_ascii line in
+        if String.length lower >= 9 && String.sub lower 0 9 = "@relation" then ()
+        else if String.length lower >= 10 && String.sub lower 0 10 = "@attribute" then
+          decls := parse_attribute_decl (String.sub line 10 (String.length line - 10)) :: !decls
+        else if lower = "@data" then in_data := true
+        else if String.length lower >= 1 && lower.[0] = '@' then
+          fail "unsupported directive: %S" line
+        else if !in_data then data := line :: !data
+        else fail "data before @data: %S" line
+      end)
+    lines;
+  let decls = Array.of_list (List.rev !decls) in
+  let rows = Array.of_list (List.rev !data) in
+  if Array.length decls < 2 then fail "need at least one attribute and a class";
+  if Array.length rows = 0 then fail "no data rows";
+  let decl_name = function
+    | Dnumeric n | Dnominal (n, _) -> n
+  in
+  let class_col =
+    match class_attribute with
+    | None -> Array.length decls - 1
+    | Some name -> (
+      match Array.find_index (fun d -> String.equal (decl_name d) name) decls with
+      | Some i -> i
+      | None -> fail "class attribute %S not declared" name)
+  in
+  let classes =
+    match decls.(class_col) with
+    | Dnominal (_, values) -> values
+    | Dnumeric n -> fail "class attribute %S must be nominal" n
+  in
+  let nominal_code values cell name =
+    match Array.find_index (String.equal cell) values with
+    | Some i -> i
+    | None -> fail "value %S not in the nominal set of %S" cell name
+  in
+  let n = Array.length rows in
+  let parsed =
+    Array.map
+      (fun row ->
+        let cells = Array.of_list (List.map unquote (String.split_on_char ',' row)) in
+        if Array.length cells <> Array.length decls then
+          fail "row has %d fields, expected %d: %S" (Array.length cells)
+            (Array.length decls) row;
+        Array.iter (fun c -> if c = "?" then fail "missing values (?) unsupported") cells;
+        cells)
+      rows
+  in
+  let labels =
+    Array.map (fun cells -> nominal_code classes cells.(class_col) "class") parsed
+  in
+  let data_cols =
+    Array.of_list
+      (List.filter (fun j -> j <> class_col) (Array.to_list (Pn_util.Arr.range (Array.length decls))))
+  in
+  let attrs_and_columns =
+    Array.map
+      (fun j ->
+        match decls.(j) with
+        | Dnumeric name ->
+          let col =
+            Array.init n (fun i ->
+                match float_of_string_opt parsed.(i).(j) with
+                | Some v -> v
+                | None -> fail "non-numeric cell %S in %S" parsed.(i).(j) name)
+          in
+          (Attribute.numeric name, Dataset.Num col)
+        | Dnominal (name, values) ->
+          let col = Array.init n (fun i -> nominal_code values parsed.(i).(j) name) in
+          (Attribute.categorical name values, Dataset.Cat col))
+      data_cols
+  in
+  Dataset.create
+    ~attrs:(Array.map fst attrs_and_columns)
+    ~columns:(Array.map snd attrs_and_columns)
+    ~labels ~classes ()
+
+let load ?class_attribute path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_string ?class_attribute (In_channel.input_all ic))
+
+let quote_if_needed s =
+  if String.exists (fun c -> c = ' ' || c = ',' || c = '\'') s then
+    "'" ^ String.concat "\\'" (String.split_on_char '\'' s) ^ "'"
+  else s
+
+let save (ds : Dataset.t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "@relation pnrule\n\n";
+      Array.iter
+        (fun (a : Attribute.t) ->
+          match a.kind with
+          | Attribute.Numeric ->
+            Printf.fprintf oc "@attribute %s numeric\n" (quote_if_needed a.name)
+          | Attribute.Categorical values ->
+            Printf.fprintf oc "@attribute %s {%s}\n" (quote_if_needed a.name)
+              (String.concat "," (Array.to_list (Array.map quote_if_needed values))))
+        ds.attrs;
+      Printf.fprintf oc "@attribute class {%s}\n\n@data\n"
+        (String.concat "," (Array.to_list (Array.map quote_if_needed ds.classes)));
+      for i = 0 to Dataset.n_records ds - 1 do
+        let cells =
+          Array.to_list
+            (Array.mapi
+               (fun j (a : Attribute.t) ->
+                 match a.kind with
+                 | Attribute.Numeric -> Printf.sprintf "%.9g" (Dataset.num_value ds ~col:j i)
+                 | Attribute.Categorical values ->
+                   quote_if_needed values.(Dataset.cat_value ds ~col:j i))
+               ds.attrs)
+          @ [ quote_if_needed ds.classes.(Dataset.label ds i) ]
+        in
+        output_string oc (String.concat "," cells);
+        output_char oc '\n'
+      done)

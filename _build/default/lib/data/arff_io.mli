@@ -1,0 +1,24 @@
+(** ARFF (Attribute-Relation File Format) import — the native format of
+    the Weka lineage RIPPER and C4.5 belong to.
+
+    Supported subset: [@relation], [@attribute name numeric|real|integer]
+    and [@attribute name {v1,v2,…}] declarations, and a comma-separated
+    [@data] section with optional single-quoted values. The class
+    attribute defaults to the last declared one. Sparse rows, strings,
+    dates and missing values ([?]) are not supported and raise
+    [Parse_error] — rare-class data with missing values should be imputed
+    upstream. *)
+
+exception Parse_error of string
+
+(** [parse_string ?class_attribute s] parses ARFF text. The class
+    attribute must be nominal. *)
+val parse_string : ?class_attribute:string -> string -> Dataset.t
+
+(** [load ?class_attribute path] reads an ARFF file. Raises [Parse_error]
+    or [Sys_error]. *)
+val load : ?class_attribute:string -> string -> Dataset.t
+
+(** [save ds path] writes the dataset as ARFF (relation "pnrule",
+    class attribute last, named "class"). *)
+val save : Dataset.t -> string -> unit

@@ -1,0 +1,30 @@
+type kind = Numeric | Categorical of string array
+
+type t = { name : string; kind : kind }
+
+let numeric name = { name; kind = Numeric }
+
+let categorical name values = { name; kind = Categorical values }
+
+let arity t =
+  match t.kind with
+  | Categorical values -> Array.length values
+  | Numeric -> invalid_arg "Attribute.arity: numeric attribute"
+
+let is_numeric t =
+  match t.kind with
+  | Numeric -> true
+  | Categorical _ -> false
+
+let value_name t v =
+  match t.kind with
+  | Categorical values ->
+    if v >= 0 && v < Array.length values then values.(v)
+    else Printf.sprintf "<value %d>" v
+  | Numeric -> string_of_int v
+
+let pp ppf t =
+  match t.kind with
+  | Numeric -> Format.fprintf ppf "%s: numeric" t.name
+  | Categorical values ->
+    Format.fprintf ppf "%s: categorical(%d)" t.name (Array.length values)

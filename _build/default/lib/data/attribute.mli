@@ -1,0 +1,25 @@
+(** Attribute descriptors for the columnar dataset engine. *)
+
+type kind =
+  | Numeric
+      (** continuous-valued; stored as a float column *)
+  | Categorical of string array
+      (** finite-valued; stored as value indices into the name table *)
+
+type t = { name : string; kind : kind }
+
+val numeric : string -> t
+
+val categorical : string -> string array -> t
+
+(** [arity a] is the number of distinct values of a categorical attribute;
+    raises [Invalid_argument] on a numeric one. *)
+val arity : t -> int
+
+val is_numeric : t -> bool
+
+(** [value_name a v] is the display name of categorical value index [v];
+    for numeric attributes it formats the float. *)
+val value_name : t -> int -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type cell = Fnum of float | Fcat of int
+
+type t = {
+  attrs : Attribute.t array;
+  classes : string array;
+  mutable rows : cell array list;
+  mutable labels : int list;
+  mutable weights : float list;
+  mutable count : int;
+}
+
+let create ~attrs ~classes = { attrs; classes; rows = []; labels = []; weights = []; count = 0 }
+
+let add_row ?(weight = 1.0) t cells ~label =
+  if Array.length cells <> Array.length t.attrs then
+    invalid_arg "Builder.add_row: arity mismatch";
+  Array.iteri
+    (fun j cell ->
+      match (t.attrs.(j).Attribute.kind, cell) with
+      | Attribute.Numeric, Fnum _ -> ()
+      | Attribute.Categorical values, Fcat v ->
+        if v < 0 || v >= Array.length values then
+          invalid_arg "Builder.add_row: categorical code out of range"
+      | Attribute.Numeric, Fcat _ | Attribute.Categorical _, Fnum _ ->
+        invalid_arg "Builder.add_row: cell kind mismatch")
+    cells;
+  if label < 0 || label >= Array.length t.classes then
+    invalid_arg "Builder.add_row: label out of range";
+  t.rows <- cells :: t.rows;
+  t.labels <- label :: t.labels;
+  t.weights <- weight :: t.weights;
+  t.count <- t.count + 1
+
+let length t = t.count
+
+let to_dataset t =
+  let n = t.count in
+  let rows = Array.of_list (List.rev t.rows) in
+  let columns =
+    Array.mapi
+      (fun j (attr : Attribute.t) ->
+        match attr.kind with
+        | Attribute.Numeric ->
+          Dataset.Num
+            (Array.init n (fun i ->
+                 match rows.(i).(j) with
+                 | Fnum x -> x
+                 | Fcat _ -> assert false))
+        | Attribute.Categorical _ ->
+          Dataset.Cat
+            (Array.init n (fun i ->
+                 match rows.(i).(j) with
+                 | Fcat v -> v
+                 | Fnum _ -> assert false)))
+      t.attrs
+  in
+  Dataset.create
+    ~weights:(Array.of_list (List.rev t.weights))
+    ~attrs:t.attrs ~columns
+    ~labels:(Array.of_list (List.rev t.labels))
+    ~classes:t.classes ()

@@ -1,0 +1,21 @@
+(** Row-by-row dataset construction, used by the synthetic generators and
+    the CSV loader. *)
+
+type t
+
+type cell =
+  | Fnum of float
+  | Fcat of int
+
+(** [create ~attrs ~classes] starts an empty builder for the schema. *)
+val create : attrs:Attribute.t array -> classes:string array -> t
+
+(** [add_row t cells ~label] appends a record; [cells] must match the
+    schema in length and kinds (checked), [label] must index the class
+    table. Optional [weight] defaults to 1. *)
+val add_row : ?weight:float -> t -> cell array -> label:int -> unit
+
+val length : t -> int
+
+(** [to_dataset t] freezes the rows into a columnar dataset. *)
+val to_dataset : t -> Dataset.t

@@ -1,0 +1,181 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Minimal CSV field splitting with double-quote escaping. *)
+let split_line line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let rec plain i =
+    if i >= n then finish ()
+    else
+      match line.[i] with
+      | ',' ->
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then fail "unterminated quoted field"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  and finish () =
+    fields := Buffer.contents buf :: !fields;
+    List.rev !fields
+  in
+  plain 0
+
+let is_float s =
+  match float_of_string_opt (String.trim s) with
+  | Some _ -> true
+  | None -> false
+
+let parse_rows lines =
+  match lines with
+  | [] -> fail "empty input"
+  | header :: rows ->
+    let names = Array.of_list (split_line header) in
+    let rows =
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else begin
+            let cells = Array.of_list (split_line line) in
+            if Array.length cells <> Array.length names then
+              fail "row has %d fields, header has %d" (Array.length cells)
+                (Array.length names);
+            Some cells
+          end)
+        rows
+    in
+    (names, Array.of_list rows)
+
+let build ?class_column names rows =
+  let n_cols = Array.length names in
+  if n_cols = 0 then fail "no columns";
+  if Array.length rows = 0 then fail "no data rows";
+  let class_col =
+    match class_column with
+    | None -> n_cols - 1
+    | Some name -> (
+      match Array.find_index (String.equal name) names with
+      | Some i -> i
+      | None -> fail "class column %S not found" name)
+  in
+  let data_cols =
+    Array.of_list (List.filter (fun j -> j <> class_col) (Array.to_list (Pn_util.Arr.range n_cols)))
+  in
+  let n = Array.length rows in
+  (* Class table in first-seen order. *)
+  let class_table = Hashtbl.create 8 in
+  let class_names = ref [] in
+  let intern_class s =
+    match Hashtbl.find_opt class_table s with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length class_table in
+      Hashtbl.add class_table s i;
+      class_names := s :: !class_names;
+      i
+  in
+  let labels = Array.map (fun row -> intern_class (String.trim row.(class_col))) rows in
+  let attrs_and_columns =
+    Array.map
+      (fun j ->
+        let name = names.(j) in
+        let numeric =
+          Array.for_all (fun row -> String.trim row.(j) = "" || is_float row.(j)) rows
+          && Array.exists (fun row -> String.trim row.(j) <> "") rows
+        in
+        if numeric then begin
+          let col =
+            Array.map
+              (fun row ->
+                let cell = String.trim row.(j) in
+                if cell = "" then 0.0 else float_of_string cell)
+              rows
+          in
+          (Attribute.numeric name, Dataset.Num col)
+        end
+        else begin
+          let table = Hashtbl.create 16 in
+          let values = ref [] in
+          let intern s =
+            match Hashtbl.find_opt table s with
+            | Some i -> i
+            | None ->
+              let i = Hashtbl.length table in
+              Hashtbl.add table s i;
+              values := s :: !values;
+              i
+          in
+          let col = Array.map (fun row -> intern (String.trim row.(j))) rows in
+          (Attribute.categorical name (Array.of_list (List.rev !values)), Dataset.Cat col)
+        end)
+      data_cols
+  in
+  ignore n;
+  Dataset.create
+    ~attrs:(Array.map fst attrs_and_columns)
+    ~columns:(Array.map snd attrs_and_columns)
+    ~labels
+    ~classes:(Array.of_list (List.rev !class_names))
+    ()
+
+let parse_string ?class_column s =
+  let names, rows = parse_rows (String.split_on_char '\n' s) in
+  build ?class_column names rows
+
+let load ?class_column path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let names, rows = parse_rows (List.rev !lines) in
+  build ?class_column names rows
+
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let save (ds : Dataset.t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let headers =
+        Array.to_list (Array.map (fun (a : Attribute.t) -> escape a.name) ds.attrs)
+        @ [ "class" ]
+      in
+      output_string oc (String.concat "," headers);
+      output_char oc '\n';
+      for i = 0 to Dataset.n_records ds - 1 do
+        let cells =
+          Array.to_list
+            (Array.mapi
+               (fun j (a : Attribute.t) ->
+                 match a.kind with
+                 | Attribute.Numeric -> Printf.sprintf "%.9g" (Dataset.num_value ds ~col:j i)
+                 | Attribute.Categorical values ->
+                   escape values.(Dataset.cat_value ds ~col:j i))
+               ds.attrs)
+          @ [ escape ds.classes.(Dataset.label ds i) ]
+        in
+        output_string oc (String.concat "," cells);
+        output_char oc '\n'
+      done)

@@ -1,0 +1,20 @@
+(** CSV import/export.
+
+    The format is plain comma-separated values with a header row. The
+    class column is named by [~class_column] (default: the last column).
+    A column is inferred numeric when every non-empty cell parses as a
+    float; otherwise it is categorical with values in first-seen order. *)
+
+exception Parse_error of string
+
+(** [load ?class_column path] reads a CSV file into a dataset with unit
+    weights. Raises [Parse_error] on malformed input and [Sys_error] on IO
+    failure. *)
+val load : ?class_column:string -> string -> Dataset.t
+
+(** [save ds path] writes the dataset (class column last, named "class").
+    Weights are not persisted. *)
+val save : Dataset.t -> string -> unit
+
+(** [parse_string ?class_column s] parses CSV text directly (for tests). *)
+val parse_string : ?class_column:string -> string -> Dataset.t

@@ -1,0 +1,76 @@
+type numeric_stats = { min : float; max : float; mean : float; stddev : float }
+
+type attribute_summary =
+  | Numeric_summary of numeric_stats
+  | Categorical_summary of (string * float) list
+
+let numeric_over ds ~col keep =
+  let n = Dataset.n_records ds in
+  let count = ref 0.0
+  and sum = ref 0.0
+  and sum2 = ref 0.0
+  and mn = ref infinity
+  and mx = ref neg_infinity in
+  for i = 0 to n - 1 do
+    if keep i then begin
+      let v = Dataset.num_value ds ~col i in
+      let w = Dataset.weight ds i in
+      count := !count +. w;
+      sum := !sum +. (w *. v);
+      sum2 := !sum2 +. (w *. v *. v);
+      if v < !mn then mn := v;
+      if v > !mx then mx := v
+    end
+  done;
+  if !count <= 0.0 then Numeric_summary { min = 0.0; max = 0.0; mean = 0.0; stddev = 0.0 }
+  else begin
+    let mean = !sum /. !count in
+    let var = Float.max 0.0 ((!sum2 /. !count) -. (mean *. mean)) in
+    Numeric_summary { min = !mn; max = !mx; mean; stddev = sqrt var }
+  end
+
+let categorical_over ds ~col keep =
+  let attr = ds.Dataset.attrs.(col) in
+  let arity = Attribute.arity attr in
+  let weights = Array.make arity 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to Dataset.n_records ds - 1 do
+    if keep i then begin
+      let w = Dataset.weight ds i in
+      weights.(Dataset.cat_value ds ~col i) <- weights.(Dataset.cat_value ds ~col i) +. w;
+      total := !total +. w
+    end
+  done;
+  let ranked =
+    List.sort
+      (fun (_, a) (_, b) -> Float.compare b a)
+      (List.filteri
+         (fun _ (_, w) -> w > 0.0)
+         (Array.to_list (Array.mapi (fun v w -> (Attribute.value_name attr v, w)) weights)))
+  in
+  let share (name, w) = (name, if !total > 0.0 then w /. !total else 0.0) in
+  Categorical_summary (List.map share (Pn_util.Arr.take 8 ranked))
+
+let over ds ~col keep =
+  match ds.Dataset.attrs.(col).Attribute.kind with
+  | Attribute.Numeric -> numeric_over ds ~col keep
+  | Attribute.Categorical _ -> categorical_over ds ~col keep
+
+let attribute ds ~col = over ds ~col (fun _ -> true)
+
+let attribute_for_class ds ~col ~cls = over ds ~col (fun i -> Dataset.label ds i = cls)
+
+let pp ppf ds =
+  Format.fprintf ppf "@[<v>%a@," Dataset.pp_summary ds;
+  Array.iteri
+    (fun col (a : Attribute.t) ->
+      match attribute ds ~col with
+      | Numeric_summary s ->
+        Format.fprintf ppf "  %-20s min=%.4g max=%.4g mean=%.4g sd=%.4g@," a.name
+          s.min s.max s.mean s.stddev
+      | Categorical_summary top ->
+        Format.fprintf ppf "  %-20s %s@," a.name
+          (String.concat ", "
+             (List.map (fun (v, share) -> Printf.sprintf "%s:%.1f%%" v (100.0 *. share)) top)))
+    ds.Dataset.attrs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,25 @@
+(** Per-attribute descriptive statistics, including per-class breakdowns
+    — the first thing to look at when hunting a rare class's signature. *)
+
+type numeric_stats = {
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+}
+
+type attribute_summary =
+  | Numeric_summary of numeric_stats
+  | Categorical_summary of (string * float) list
+      (** values with their weighted share, most frequent first (top 8) *)
+
+(** [attribute ds ~col] summarizes one column over the whole dataset. *)
+val attribute : Dataset.t -> col:int -> attribute_summary
+
+(** [attribute_for_class ds ~col ~cls] summarizes one column over the
+    records of one class (weighted). *)
+val attribute_for_class : Dataset.t -> col:int -> cls:int -> attribute_summary
+
+(** [pp ds] prints the schema with class balance and per-attribute
+    statistics. *)
+val pp : Format.formatter -> Dataset.t -> unit

@@ -1,0 +1,84 @@
+type t = { data : Dataset.t; idx : int array }
+
+let all data = { data; idx = Pn_util.Arr.range (Dataset.n_records data) }
+
+let of_indices data idx = { data; idx }
+
+let size t = Array.length t.idx
+
+let is_empty t = size t = 0
+
+let record t k = t.idx.(k)
+
+let filter t keep = { t with idx = Array.of_seq (Seq.filter keep (Array.to_seq t.idx)) }
+
+let partition t pred =
+  let yes = ref [] and no = ref [] in
+  for k = Array.length t.idx - 1 downto 0 do
+    let i = t.idx.(k) in
+    if pred i then yes := i :: !yes else no := i :: !no
+  done;
+  ({ t with idx = Array.of_list !yes }, { t with idx = Array.of_list !no })
+
+let total_weight t =
+  Array.fold_left (fun acc i -> acc +. Dataset.weight t.data i) 0.0 t.idx
+
+let class_weight t c =
+  Array.fold_left
+    (fun acc i -> if Dataset.label t.data i = c then acc +. Dataset.weight t.data i else acc)
+    0.0 t.idx
+
+let binary_weights t ~target =
+  let pos = ref 0.0 and neg = ref 0.0 in
+  Array.iter
+    (fun i ->
+      let w = Dataset.weight t.data i in
+      if Dataset.label t.data i = target then pos := !pos +. w else neg := !neg +. w)
+    t.idx;
+  (!pos, !neg)
+
+let count_class t c =
+  Array.fold_left (fun acc i -> if Dataset.label t.data i = c then acc + 1 else acc) 0 t.idx
+
+let iter t f = Array.iter f t.idx
+
+let fold t init f = Array.fold_left f init t.idx
+
+let sorted_by_num t ~col =
+  let values = Array.map (fun i -> Dataset.num_value t.data ~col i) t.idx in
+  let order = Pn_util.Arr.argsort_floats values in
+  Array.map (fun k -> t.idx.(k)) order
+
+let split t rng ~left_fraction =
+  let n_classes = Dataset.n_classes t.data in
+  let by_class = Array.make n_classes [] in
+  (* Build per-class buckets in reverse so the final lists keep order. *)
+  for k = Array.length t.idx - 1 downto 0 do
+    let i = t.idx.(k) in
+    let c = Dataset.label t.data i in
+    by_class.(c) <- i :: by_class.(c)
+  done;
+  let left = ref [] and right = ref [] in
+  Array.iter
+    (fun bucket ->
+      let a = Array.of_list bucket in
+      Pn_util.Rng.shuffle rng a;
+      let n = Array.length a in
+      let k =
+        if n >= 2 then
+          (* Keep at least one record on each side of the split. *)
+          max 1 (min (n - 1) (int_of_float (Float.round (left_fraction *. float_of_int n))))
+        else int_of_float (Float.round (left_fraction *. float_of_int n))
+      in
+      for j = 0 to n - 1 do
+        if j < k then left := a.(j) :: !left else right := a.(j) :: !right
+      done)
+    by_class;
+  let finish l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    { t with idx = a }
+  in
+  (finish !left, finish !right)
+
+let materialize t = Dataset.subset t.data t.idx

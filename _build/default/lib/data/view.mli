@@ -1,0 +1,59 @@
+(** Lightweight record subsets.
+
+    A view is an index array over a dataset. Sequential covering removes
+    covered records over and over; views make that O(kept) without copying
+    columns. All aggregate functions are weight-based. *)
+
+type t = { data : Dataset.t; idx : int array }
+
+(** [all d] views every record. *)
+val all : Dataset.t -> t
+
+(** [of_indices d idx] views the given record indices (not copied). *)
+val of_indices : Dataset.t -> int array -> t
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+(** [record t k] is the dataset index of the view's [k]-th record. *)
+val record : t -> int -> int
+
+(** [filter t keep] keeps the records whose dataset index satisfies
+    [keep]. *)
+val filter : t -> (int -> bool) -> t
+
+(** [partition t pred] splits into (satisfying, rest), preserving order. *)
+val partition : t -> (int -> bool) -> t * t
+
+(** [total_weight t] is Σ weights of the viewed records. *)
+val total_weight : t -> float
+
+(** [class_weight t c] is the viewed weight of class [c]. *)
+val class_weight : t -> int -> float
+
+(** [binary_weights t ~target] is [(positive, negative)] viewed weight. *)
+val binary_weights : t -> target:int -> float * float
+
+(** [count_class t c] is the number (not weight) of viewed records of
+    class [c]. *)
+val count_class : t -> int -> int
+
+(** [iter t f] applies [f] to each viewed dataset index. *)
+val iter : t -> (int -> unit) -> unit
+
+(** [fold t init f] folds over viewed dataset indices. *)
+val fold : t -> 'a -> ('a -> int -> 'a) -> 'a
+
+(** [sorted_by_num t ~col] is the view's dataset indices sorted ascending
+    by the numeric column [col]. *)
+val sorted_by_num : t -> col:int -> int array
+
+(** [split t rng ~left_fraction] randomly splits the view into two parts,
+    the first receiving about [left_fraction] of the records; the split is
+    stratified per class so rare classes appear on both sides whenever
+    they have ≥ 2 records. *)
+val split : t -> Pn_util.Rng.t -> left_fraction:float -> t * t
+
+(** [materialize t] copies the viewed records into a standalone dataset. *)
+val materialize : t -> Dataset.t

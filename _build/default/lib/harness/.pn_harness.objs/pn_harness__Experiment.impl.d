@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: List Logs Methods Pn_metrics Unix

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Methods Pn_data Pn_metrics

@@ -1,0 +1,1 @@
+lib/harness/methods.mli: Pn_c45 Pn_data Pn_metrics Pn_ripper Pnrule

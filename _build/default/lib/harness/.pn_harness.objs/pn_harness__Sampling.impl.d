@@ -1,0 +1,1 @@
+lib/harness/sampling.ml: Array Pn_data Pn_util

@@ -1,0 +1,1 @@
+lib/harness/sampling.mli: Pn_data

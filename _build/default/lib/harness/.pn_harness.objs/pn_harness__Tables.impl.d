@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Experiment Hashtbl List Methods Pn_metrics Pn_synth Pnrule Printf Sampling String Tablefmt Unix

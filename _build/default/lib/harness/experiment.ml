@@ -1,0 +1,48 @@
+type result = {
+  method_name : string;
+  confusion : Pn_metrics.Confusion.t;
+  recall : float;
+  precision : float;
+  f_measure : float;
+  train_seconds : float;
+}
+
+let src = Logs.Src.create "harness" ~doc:"experiment harness"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let run (spec : Methods.t) ~train ~test ~target =
+  let t0 = Unix.gettimeofday () in
+  let model = spec.Methods.train train ~target in
+  let train_seconds = Unix.gettimeofday () -. t0 in
+  let confusion = Methods.evaluate model test ~target in
+  let result =
+    {
+      method_name = spec.Methods.name;
+      confusion;
+      recall = Pn_metrics.Confusion.recall confusion;
+      precision = Pn_metrics.Confusion.precision confusion;
+      f_measure = Pn_metrics.Confusion.f_measure confusion;
+      train_seconds;
+    }
+  in
+  Log.info (fun m ->
+      m "%-24s R=%.4f P=%.4f F=%.4f (%.1fs)" result.method_name result.recall
+        result.precision result.f_measure train_seconds);
+  result
+
+let run_all specs ~train ~test ~target =
+  List.map (fun spec -> run spec ~train ~test ~target) specs
+
+let best_of ?name results =
+  match results with
+  | [] -> invalid_arg "Experiment.best_of: empty result list"
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun acc r -> if r.f_measure > acc.f_measure then r else acc)
+        first rest
+    in
+    (match name with
+    | Some n -> { best with method_name = n }
+    | None -> best)

@@ -1,0 +1,32 @@
+(** Train-and-evaluate plumbing shared by every benchmark, plus the
+    paper's §3.1 comparison protocol (evaluate on a test set drawn from
+    the identical model; when a method has several variations, report the
+    variation that scores best on the test set). *)
+
+type result = {
+  method_name : string;
+  confusion : Pn_metrics.Confusion.t;
+  recall : float;
+  precision : float;
+  f_measure : float;
+  train_seconds : float;
+}
+
+(** [run spec ~train ~test ~target] trains one method and scores it on the
+    test set. The weighted evaluation always uses the *test* set's own
+    (unit) weights — stratification only affects training. *)
+val run :
+  Methods.t -> train:Pn_data.Dataset.t -> test:Pn_data.Dataset.t -> target:int -> result
+
+(** [run_all specs ~train ~test ~target] runs each method. *)
+val run_all :
+  Methods.t list ->
+  train:Pn_data.Dataset.t ->
+  test:Pn_data.Dataset.t ->
+  target:int ->
+  result list
+
+(** [best_of ?name results] keeps the result with the highest F-measure
+    and renames it (the paper's best-of-variations column). Raises
+    [Invalid_argument] on an empty list. *)
+val best_of : ?name:string -> result list -> result

@@ -1,0 +1,70 @@
+type model =
+  | Pnrule_model of Pnrule.Model.t
+  | Ripper_model of Pn_ripper.Model.t
+  | C45rules_model of Pn_c45.Rules.t
+  | C45tree_model of Pn_c45.Tree.t
+
+type t = {
+  name : string;
+  train : Pn_data.Dataset.t -> target:int -> model;
+}
+
+let evaluate model ds ~target =
+  match model with
+  | Pnrule_model m -> Pnrule.Model.evaluate m ds
+  | Ripper_model m -> Pn_ripper.Model.evaluate m ds
+  | C45rules_model m -> Pn_c45.Rules.evaluate_binary m ds ~target
+  | C45tree_model m -> Pn_c45.Tree.evaluate_binary m ds ~target
+
+let pnrule ?name ?(params = Pnrule.Params.default) () =
+  let name = Option.value name ~default:"PNrule" in
+  { name; train = (fun ds ~target -> Pnrule_model (Pnrule.Learner.train ~params ds ~target)) }
+
+let pnrule_grid ?(metric = Pn_metrics.Rule_metric.Z_number) () =
+  List.concat_map
+    (fun rp ->
+      List.map
+        (fun rn ->
+          let params =
+            { Pnrule.Params.default with metric; min_coverage = rp; recall_floor = rn }
+          in
+          pnrule ~name:(Printf.sprintf "PNrule[rp=%.2f,rn=%.2f]" rp rn) ~params ())
+        [ 0.7; 0.95 ])
+    [ 0.95; 0.99 ]
+
+let ripper ?name ?(stratified = false) () =
+  let name = Option.value name ~default:(if stratified then "RIPPER-we" else "RIPPER") in
+  {
+    name;
+    train =
+      (fun ds ~target ->
+        let ds = if stratified then Pn_data.Dataset.stratify ds ~target else ds in
+        Ripper_model (Pn_ripper.Learner.train ds ~target));
+  }
+
+let c45rules ?name ?(stratified = false) () =
+  let name =
+    Option.value name ~default:(if stratified then "C4.5rules-we" else "C4.5rules")
+  in
+  {
+    name;
+    train =
+      (fun ds ~target ->
+        if stratified then begin
+          (* Overfitted tree from the stratified set, rules generalized on
+             the unit-weight set (paper footnote 4). *)
+          let tree = Pn_c45.Tree.train_unpruned (Pn_data.Dataset.stratify ds ~target) in
+          C45rules_model (Pn_c45.Rules.of_tree tree ds)
+        end
+        else C45rules_model (Pn_c45.Rules.train ds));
+  }
+
+let c45tree ?name ?(stratified = false) () =
+  let name = Option.value name ~default:(if stratified then "C4.5-we" else "C4.5") in
+  {
+    name;
+    train =
+      (fun ds ~target ->
+        let ds = if stratified then Pn_data.Dataset.stratify ds ~target else ds in
+        C45tree_model (Pn_c45.Tree.train ds));
+  }

@@ -1,0 +1,40 @@
+(** Uniform interface over the four classifier families, including the
+    paper's stratified "-we" training variants and best-of-variations
+    selection. *)
+
+type model =
+  | Pnrule_model of Pnrule.Model.t
+  | Ripper_model of Pn_ripper.Model.t
+  | C45rules_model of Pn_c45.Rules.t
+  | C45tree_model of Pn_c45.Tree.t
+
+type t = {
+  name : string;
+  train : Pn_data.Dataset.t -> target:int -> model;
+}
+
+(** [evaluate model ds ~target] is the weighted binary confusion matrix of
+    any model on [ds]. *)
+val evaluate : model -> Pn_data.Dataset.t -> target:int -> Pn_metrics.Confusion.t
+
+(** [pnrule ?name ?params ()] — PNrule with the given parameters. *)
+val pnrule : ?name:string -> ?params:Pnrule.Params.t -> unit -> t
+
+(** [pnrule_grid ()] — the paper's §3.1 protocol: rp ∈ {0.95, 0.99} ×
+    rn ∈ {0.7, 0.95}, every other parameter conservative; the reported
+    PNrule is the best of the four on the test set (chosen later by
+    [Experiment.best_of]). *)
+val pnrule_grid : ?metric:Pn_metrics.Rule_metric.kind -> unit -> t list
+
+(** [ripper ?stratified ()] — RIPPER with default settings; [stratified]
+    trains on the "-we" re-weighted set. *)
+val ripper : ?name:string -> ?stratified:bool -> unit -> t
+
+(** [c45rules ?stratified ()] — C4.5rules. Per the paper's footnote, the
+    stratified variant builds the overfitted tree from the stratified set
+    but generalizes rules against the unit-weight set. *)
+val c45rules : ?name:string -> ?stratified:bool -> unit -> t
+
+(** [c45tree ?stratified ()] — the pruned C4.5 tree itself (the paper's
+    C4.5-we rows report the tree model). *)
+val c45tree : ?name:string -> ?stratified:bool -> unit -> t

@@ -1,0 +1,19 @@
+let subsample_non_target ds ~target ~fraction ~seed =
+  let rng = Pn_util.Rng.create seed in
+  let keep = ref [] in
+  for i = Pn_data.Dataset.n_records ds - 1 downto 0 do
+    if Pn_data.Dataset.label ds i = target || Pn_util.Rng.bernoulli rng fraction then
+      keep := i :: !keep
+  done;
+  Pn_data.Dataset.subset ds (Array.of_list !keep)
+
+let target_percentage ds ~target =
+  let n = Pn_data.Dataset.n_records ds in
+  if n = 0 then 0.0
+  else begin
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if Pn_data.Dataset.label ds i = target then incr count
+    done;
+    100.0 *. float_of_int !count /. float_of_int n
+  end

@@ -1,0 +1,9 @@
+(** Target-proportion manipulation for Table 5: keep every target-class
+    record, keep a random fraction of the non-target records. *)
+
+val subsample_non_target :
+  Pn_data.Dataset.t -> target:int -> fraction:float -> seed:int -> Pn_data.Dataset.t
+
+(** [target_percentage ds ~target] is the target share of records, in
+    percent. *)
+val target_percentage : Pn_data.Dataset.t -> target:int -> float

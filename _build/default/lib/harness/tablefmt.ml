@@ -1,0 +1,32 @@
+let pct x = Printf.sprintf "%.2f" (100.0 *. x)
+
+let f4 x =
+  let s = Printf.sprintf "%.4f" x in
+  if String.length s > 1 && s.[0] = '0' then String.sub s 1 (String.length s - 1)
+  else s
+
+let result_cells (r : Experiment.result) = [ pct r.recall; pct r.precision; f4 r.f_measure ]
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let n_cols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> n_cols then
+        invalid_arg "Tablefmt.print: ragged row")
+    rows;
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (List.iteri (fun j cell -> widths.(j) <- max widths.(j) (String.length cell)))
+    all;
+  let render row =
+    String.concat "  "
+      (List.mapi (fun j cell -> Printf.sprintf "%*s" widths.(j) cell) row)
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Printf.printf "\n== %s ==\n%s\n%s\n" title (render header) rule;
+  List.iter (fun row -> print_endline (render row)) rows;
+  print_newline ()

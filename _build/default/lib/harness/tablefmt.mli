@@ -1,0 +1,15 @@
+(** Fixed-width text tables in the paper's layout. *)
+
+(** [print ~title ~header rows] renders a table; every row must have the
+    header's arity. Column widths adapt to content. *)
+val print : title:string -> header:string list -> string list list -> unit
+
+(** [pct x] formats a ratio as the paper's percentage, e.g. 0.9707 →
+    "97.07". *)
+val pct : float -> string
+
+(** [f4 x] formats an F-measure as ".9792". *)
+val f4 : float -> string
+
+(** [result_cells r] is the [Rec; Prec; F] cell triple of a result. *)
+val result_cells : Experiment.result -> string list

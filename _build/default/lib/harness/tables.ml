@@ -1,0 +1,417 @@
+let seed_of name k = (Hashtbl.hash (name, k) land 0xFFFFFF) + 1
+
+let train_n ~scale base = max 2000 (int_of_float (float_of_int base *. scale))
+
+(* ------------------------------------------------------------------ *)
+(* Method batteries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's full five-classifier line-up (Figure 1's C / Cte / R / Re /
+   P columns). PNrule is reported as the best of its four-parameter grid
+   (§3.1), matching the best-result-on-test protocol used for all
+   methods. *)
+let battery ~train ~test ~target =
+  let open Experiment in
+  let one spec = run spec ~train ~test ~target in
+  let pn =
+    best_of ~name:"PNrule"
+      (run_all (Methods.pnrule_grid ()) ~train ~test ~target)
+  in
+  [
+    one (Methods.c45rules ());
+    one (Methods.c45tree ~stratified:true ());
+    one (Methods.ripper ());
+    one (Methods.ripper ~stratified:true ());
+    pn;
+  ]
+
+let trio ~train ~test ~target =
+  let open Experiment in
+  [
+    run (Methods.c45rules ()) ~train ~test ~target;
+    run (Methods.ripper ()) ~train ~test ~target;
+    best_of ~name:"PNrule" (run_all (Methods.pnrule_grid ()) ~train ~test ~target);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let numeric_sets ~scale ~name spec =
+  let n_train = train_n ~scale 500_000 and n_test = train_n ~scale 250_000 in
+  ( Pn_synth.Numerical.generate spec ~seed:(seed_of name 1) ~n:n_train,
+    Pn_synth.Numerical.generate spec ~seed:(seed_of name 2) ~n:n_test )
+
+let table1 ~scale =
+  let target = Pn_synth.Numerical.target_class in
+  let rows =
+    List.concat_map
+      (fun k ->
+        let name = Printf.sprintf "nsyn%d" k in
+        let train, test = numeric_sets ~scale ~name (Pn_synth.Numerical.nsyn k) in
+        let results = battery ~train ~test ~target in
+        List.map
+          (fun (r : Experiment.result) ->
+            (name ^ "/" ^ r.method_name, Tablefmt.result_cells r))
+          results)
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Tablefmt.print ~title:"Table 1: numerical-only datasets (nsyn1..nsyn6)"
+    ~header:[ "dataset/method"; "Rec"; "Prec"; "F" ]
+    (List.map (fun (k, cells) -> k :: cells) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figure1 ~scale =
+  let target = Pn_synth.Numerical.target_class in
+  let widths = [ 0.2; 2.0; 4.0 ] in
+  List.iter
+    (fun tr ->
+      let rows =
+        List.concat_map
+          (fun nr ->
+            let spec = Pn_synth.Numerical.with_widths (Pn_synth.Numerical.nsyn 3) ~tr ~nr in
+            let name = Printf.sprintf "nsyn3[tr=%.1f,nr=%.1f]" tr nr in
+            let train, test = numeric_sets ~scale ~name spec in
+            let results = battery ~train ~test ~target in
+            List.map
+              (fun (r : Experiment.result) ->
+                Printf.sprintf "nr=%.1f/%s" nr r.method_name :: Tablefmt.result_cells r)
+              results)
+          widths
+      in
+      Tablefmt.print
+        ~title:(Printf.sprintf "Figure 1: nsyn3, tr = %.1f (varying nr)" tr)
+        ~header:[ "nr/method"; "Rec"; "Prec"; "F" ]
+        rows)
+    widths
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ~scale =
+  let target = Pn_synth.Numerical.target_class in
+  let rows =
+    List.concat_map
+      (fun (tr, nr) ->
+        let spec = Pn_synth.Numerical.with_widths (Pn_synth.Numerical.nsyn 5) ~tr ~nr in
+        let name = Printf.sprintf "nsyn5[tr=%.1f,nr=%.1f]" tr nr in
+        let train, test = numeric_sets ~scale ~name spec in
+        let results =
+          let open Experiment in
+          [
+            run (Methods.c45tree ~stratified:true ()) ~train ~test ~target;
+            run (Methods.ripper ~stratified:true ()) ~train ~test ~target;
+            best_of ~name:"PNrule" (run_all (Methods.pnrule_grid ()) ~train ~test ~target);
+          ]
+        in
+        List.map
+          (fun (r : Experiment.result) ->
+            Printf.sprintf "tr=%.1f,nr=%.1f/%s" tr nr r.method_name
+            :: Tablefmt.result_cells r)
+          results)
+      [ (0.2, 0.2); (0.2, 4.0); (4.0, 0.2); (4.0, 4.0) ]
+  in
+  Tablefmt.print ~title:"Table 2: nsyn5 under width sweeps"
+    ~header:[ "widths/method"; "Rec"; "Prec"; "F" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table3 ~scale =
+  let target = Pn_synth.Categorical.target_class in
+  let n_train = train_n ~scale 500_000 and n_test = train_n ~scale 250_000 in
+  let datasets =
+    List.map (fun k -> (Printf.sprintf "coa%d" k, Pn_synth.Categorical.coa k)) [ 1; 2; 3; 4; 5; 6 ]
+    @ List.map (fun k -> (Printf.sprintf "coad%d" k, Pn_synth.Categorical.coad k)) [ 1; 2; 3; 4 ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, spec) ->
+        let train = Pn_synth.Categorical.generate spec ~seed:(seed_of name 1) ~n:n_train in
+        let test = Pn_synth.Categorical.generate spec ~seed:(seed_of name 2) ~n:n_test in
+        let results = trio ~train ~test ~target in
+        List.map
+          (fun (r : Experiment.result) ->
+            (name ^ "/" ^ r.method_name) :: Tablefmt.result_cells r)
+          results)
+      datasets
+  in
+  Tablefmt.print ~title:"Table 3: categorical-only datasets (coa, coad)"
+    ~header:[ "dataset/method"; "Rec"; "Prec"; "F" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 4 (syngen; Figure 3's model)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let syngen_sets ~scale ~name spec =
+  let n_train = train_n ~scale 500_000 and n_test = train_n ~scale 250_000 in
+  ( Pn_synth.General.generate spec ~seed:(seed_of name 1) ~n:n_train,
+    Pn_synth.General.generate spec ~seed:(seed_of name 2) ~n:n_test )
+
+let table4 ~scale =
+  let target = Pn_synth.General.target_class in
+  let rows =
+    List.concat_map
+      (fun (tr, nr) ->
+        let spec = Pn_synth.General.with_widths Pn_synth.General.default ~tr ~nr in
+        let name = Printf.sprintf "syngen[tr=%.1f,nr=%.1f]" tr nr in
+        let train, test = syngen_sets ~scale ~name spec in
+        let results =
+          let open Experiment in
+          [
+            run (Methods.c45rules ()) ~train ~test ~target;
+            run (Methods.ripper ~stratified:true ()) ~train ~test ~target;
+            best_of ~name:"PNrule" (run_all (Methods.pnrule_grid ()) ~train ~test ~target);
+          ]
+        in
+        List.map
+          (fun (r : Experiment.result) ->
+            Printf.sprintf "tr=%.1f,nr=%.1f/%s" tr nr r.method_name
+            :: Tablefmt.result_cells r)
+          results)
+      [ (0.2, 0.2); (0.2, 4.0); (4.0, 0.2); (4.0, 4.0) ]
+  in
+  Tablefmt.print ~title:"Table 4: syngen (general mixed model)"
+    ~header:[ "widths/method"; "Rec"; "Prec"; "F" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 5                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table5 ~scale =
+  let target = Pn_synth.General.target_class in
+  let sweep ~tr ~nr fracs =
+    let spec = Pn_synth.General.with_widths Pn_synth.General.default ~tr ~nr in
+    let name = Printf.sprintf "syngen-t5[tr=%.1f,nr=%.1f]" tr nr in
+    let train0, test0 = syngen_sets ~scale ~name spec in
+    let rows =
+      List.map
+        (fun frac ->
+          let train =
+            Sampling.subsample_non_target train0 ~target ~fraction:frac
+              ~seed:(seed_of name 3)
+          in
+          let test =
+            Sampling.subsample_non_target test0 ~target ~fraction:frac
+              ~seed:(seed_of name 4)
+          in
+          let tc_pct = Sampling.target_percentage train ~target in
+          let results = trio ~train ~test ~target in
+          let f_of name =
+            match
+              List.find_opt
+                (fun (r : Experiment.result) -> String.equal r.method_name name)
+                results
+            with
+            | Some r -> Tablefmt.f4 r.f_measure
+            | None -> "-"
+          in
+          [
+            Printf.sprintf "%.3f" frac;
+            Printf.sprintf "%.1f%%" tc_pct;
+            f_of "C4.5rules";
+            f_of "RIPPER";
+            f_of "PNrule";
+          ])
+        fracs
+    in
+    Tablefmt.print
+      ~title:
+        (Printf.sprintf "Table 5: target-proportion sweep, syngen (tr=%.1f, nr=%.1f)" tr nr)
+      ~header:[ "ntc-frac"; "tc %"; "C4.5rules"; "RIPPER"; "PNrule" ]
+      rows
+  in
+  sweep ~tr:0.2 ~nr:0.2 [ 1.0; 0.5; 0.1; 0.05; 0.02; 0.01; 0.003 ];
+  sweep ~tr:4.0 ~nr:4.0 [ 1.0; 0.1; 0.05; 0.02; 0.01 ]
+
+(* ------------------------------------------------------------------ *)
+(* KDD experiments                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let kdd_sets ~scale =
+  let n_train = train_n ~scale 494_021 and n_test = train_n ~scale 311_029 in
+  ( Pn_synth.Kddcup.train ~seed:(seed_of "kdd" 1) ~n:n_train,
+    Pn_synth.Kddcup.test ~seed:(seed_of "kdd" 2) ~n:n_test )
+
+let table6 ~scale =
+  let train, test = kdd_sets ~scale in
+  let rows =
+    List.concat_map
+      (fun (cls_name, target) ->
+        let open Experiment in
+        let results =
+          [
+            best_of ~name:"C4.5rules"
+              [
+                run (Methods.c45rules ()) ~train ~test ~target;
+                run (Methods.c45tree ~stratified:true ()) ~train ~test ~target;
+              ];
+            best_of ~name:"RIPPER"
+              [
+                run (Methods.ripper ()) ~train ~test ~target;
+                run (Methods.ripper ~stratified:true ()) ~train ~test ~target;
+              ];
+            run
+              (Methods.pnrule ~name:"PNrule[legacy]" ~params:Pnrule.Params.legacy ())
+              ~train ~test ~target;
+          ]
+        in
+        List.map
+          (fun (r : Experiment.result) ->
+            (cls_name ^ "/" ^ r.method_name) :: Tablefmt.result_cells r)
+          results)
+      [ ("probe", Pn_synth.Kddcup.probe); ("r2l", Pn_synth.Kddcup.r2l) ]
+  in
+  Tablefmt.print
+    ~title:"Table 6: KDDCUP'99 (simulated), probe & r2l, baseline methods"
+    ~header:[ "class/method"; "Rec"; "Prec"; "F" ]
+    rows
+
+let section4_grid ~scale ~cls_name ~target ~p1 ~rps ~rns ~title =
+  let train, test = kdd_sets ~scale in
+  let rows =
+    List.concat_map
+      (fun rp ->
+        List.map
+          (fun rn ->
+            let params =
+              {
+                Pnrule.Params.default with
+                metric = Pn_metrics.Rule_metric.Info_gain;
+                min_coverage = rp;
+                recall_floor = rn;
+                max_p_rule_length = (if p1 then Some 1 else None);
+              }
+            in
+            let r =
+              Experiment.run
+                (Methods.pnrule ~name:(Printf.sprintf "rp=%.3f rn=%.3f" rp rn) ~params ())
+                ~train ~test ~target
+            in
+            r.Experiment.method_name :: Tablefmt.result_cells r)
+          rns)
+      rps
+  in
+  ignore cls_name;
+  Tablefmt.print ~title ~header:[ "params"; "Rec"; "Prec"; "F" ] rows
+
+let section4_r2l ~scale =
+  section4_grid ~scale ~cls_name:"r2l" ~target:Pn_synth.Kddcup.r2l ~p1:false
+    ~rps:[ 0.95; 0.995 ] ~rns:[ 0.95; 0.995 ]
+    ~title:"Section 4: improved PNrule on r2l (unrestricted P-rules)"
+
+let section4_r2l_p1 ~scale =
+  section4_grid ~scale ~cls_name:"r2l" ~target:Pn_synth.Kddcup.r2l ~p1:true
+    ~rps:[ 0.95; 0.995 ] ~rns:[ 0.8; 0.9; 0.95; 0.995 ]
+    ~title:"Section 4: PNrule on r2l with P-rule length 1 (r2l.P1)"
+
+let section4_probe ~scale =
+  section4_grid ~scale ~cls_name:"probe" ~target:Pn_synth.Kddcup.probe ~p1:false
+    ~rps:[ 0.95; 0.995 ] ~rns:[ 0.8; 0.95; 0.995 ]
+    ~title:"Section 4: improved PNrule on probe (unrestricted P-rules)"
+
+let section4_probe_p1 ~scale =
+  section4_grid ~scale ~cls_name:"probe" ~target:Pn_synth.Kddcup.probe ~p1:true
+    ~rps:[ 0.95; 0.995 ] ~rns:[ 0.9; 0.995 ]
+    ~title:"Section 4: PNrule on probe with P-rule length 1 (probe.P1)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ablation ~scale =
+  let variants =
+    [
+      ("PNrule (full)", Pnrule.Params.default);
+      ("no range conditions", { Pnrule.Params.default with allow_ranges = false });
+      ("no ScoreMatrix (DNF)", { Pnrule.Params.default with use_scoring = false });
+      ("no N-phase", { Pnrule.Params.default with enable_n_phase = false });
+    ]
+  in
+  let run_on ~name ~train ~test ~target =
+    let rows =
+      List.map
+        (fun (label, params) ->
+          let r =
+            Experiment.run (Methods.pnrule ~name:label ~params ()) ~train ~test ~target
+          in
+          label :: Tablefmt.result_cells r)
+        variants
+    in
+    Tablefmt.print ~title:(Printf.sprintf "Ablation A1 on %s" name)
+      ~header:[ "variant"; "Rec"; "Prec"; "F" ]
+      rows
+  in
+  let train, test = numeric_sets ~scale ~name:"nsyn3-ablation" (Pn_synth.Numerical.nsyn 3) in
+  run_on ~name:"nsyn3" ~train ~test ~target:Pn_synth.Numerical.target_class;
+  let train, test = syngen_sets ~scale ~name:"syngen-ablation" Pn_synth.General.default in
+  run_on ~name:"syngen" ~train ~test ~target:Pn_synth.General.target_class
+
+(* A2: multi-phase extension vs two-phase PNrule on nsyn3. *)
+let ablation_multiphase ~scale =
+  let train, test = numeric_sets ~scale ~name:"nsyn3-multiphase" (Pn_synth.Numerical.nsyn 3) in
+  let target = Pn_synth.Numerical.target_class in
+  let rows =
+    List.map
+      (fun k ->
+        let t0 = Unix.gettimeofday () in
+        let m = Pnrule.Multiphase.train ~max_phases:k train ~target in
+        let cm = Pnrule.Multiphase.evaluate m test in
+        ignore (Unix.gettimeofday () -. t0);
+        let sizes =
+          String.concat "+" (List.map string_of_int (Pnrule.Multiphase.phase_sizes m))
+        in
+        [
+          Printf.sprintf "%d phases (%s rules)" k sizes;
+          Tablefmt.pct (Pn_metrics.Confusion.recall cm);
+          Tablefmt.pct (Pn_metrics.Confusion.precision cm);
+          Tablefmt.f4 (Pn_metrics.Confusion.f_measure cm);
+        ])
+      [ 1; 2; 3; 4; 6 ]
+  in
+  let pn =
+    Experiment.run (Methods.pnrule ()) ~train ~test ~target
+  in
+  let rows =
+    rows
+    @ [
+        [
+          "PNrule (2-phase + ScoreMatrix)";
+          Tablefmt.pct pn.Experiment.recall;
+          Tablefmt.pct pn.Experiment.precision;
+          Tablefmt.f4 pn.Experiment.f_measure;
+        ];
+      ]
+  in
+  Tablefmt.print ~title:"Ablation A2: multi-phase extension on nsyn3"
+    ~header:[ "variant"; "Rec"; "Prec"; "F" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("t1", "Table 1: numerical-only nsyn1..6", table1);
+    ("f1", "Figure 1: nsyn3 width sweep", figure1);
+    ("t2", "Table 2: nsyn5 width sweep", table2);
+    ("t3", "Table 3: categorical-only coa/coad", table3);
+    ("t4", "Table 4: syngen general model", table4);
+    ("t5", "Table 5: target-proportion sweep", table5);
+    ("t6", "Table 6: KDD probe & r2l baselines", table6);
+    ("s4a", "Section 4: r2l rp/rn grid", section4_r2l);
+    ("s4b", "Section 4: r2l.P1 grid", section4_r2l_p1);
+    ("s4c", "Section 4: probe rp/rn grid", section4_probe);
+    ("s4d", "Section 4: probe.P1 grid", section4_probe_p1);
+    ("a1", "Ablation: PNrule component knockouts", ablation);
+    ("a2", "Ablation: multi-phase extension", ablation_multiphase);
+  ]

@@ -1,0 +1,48 @@
+(** One entry point per table/figure of the paper's evaluation, plus the
+    ablation study. Each prints a paper-layout table to stdout.
+
+    [scale] rescales the paper's dataset sizes (500 k train / 250 k test
+    for the synthetic families; 494 k / 311 k for KDD). The default used
+    by the bench harness is 0.2; EXPERIMENTS.md records what each run
+    used. *)
+
+val table1 : scale:float -> unit
+(** Table 1: nsyn1..6, methods C4.5rules / C4.5-we / RIPPER / RIPPER-we /
+    PNrule. *)
+
+val figure1 : scale:float -> unit
+(** Figure 1 (bottom): nsyn3 under tr ∈ {0.2, 2, 4} × nr ∈ {0.2, 2, 4}. *)
+
+val table2 : scale:float -> unit
+(** Table 2: nsyn5 under (tr, nr) ∈ {0.2, 4}². *)
+
+val table3 : scale:float -> unit
+(** Table 3: categorical-only coa1..6, coad1..4. *)
+
+val table4 : scale:float -> unit
+(** Table 4 (with Figure 3's model): syngen under (tr, nr) ∈ {0.2, 4}². *)
+
+val table5 : scale:float -> unit
+(** Table 5: target-class proportion sweep on syngen. *)
+
+val table6 : scale:float -> unit
+(** Table 6: KDD probe and r2l — C4.5rules, RIPPER, legacy PNrule. *)
+
+val section4_r2l : scale:float -> unit
+
+val section4_r2l_p1 : scale:float -> unit
+
+val section4_probe : scale:float -> unit
+
+val section4_probe_p1 : scale:float -> unit
+
+val ablation : scale:float -> unit
+(** A1: PNrule minus range conditions / scoring / N-phase, on nsyn3 and
+    syngen. *)
+
+val ablation_multiphase : scale:float -> unit
+(** A2: the multi-phase future-work extension (1..6 phases) against
+    two-phase PNrule on nsyn3. *)
+
+(** The benchmark registry: (id, description, runner). *)
+val all : (string * string * (scale:float -> unit)) list

@@ -1,0 +1,1 @@
+lib/induct/grower.ml: Array Hashtbl List Pn_data Pn_metrics Pn_rules

@@ -1,0 +1,1 @@
+lib/induct/grower.mli: Pn_data Pn_metrics Pn_rules

@@ -1,0 +1,52 @@
+(** Shared rule-growing engine.
+
+    Finds the best single condition to conjoin to a rule, given the
+    records the current rule covers and an evaluation context. Categorical
+    attributes contribute one [A = v] candidate per value; numeric
+    attributes contribute the best [A ≤ v], the best [A ≥ v], and — per
+    the paper §2.2 — the best range [vl ≤ A ≤ vr] found by fixing the
+    better one-sided threshold and scanning the opposite end of the sorted
+    column. *)
+
+type candidate = {
+  condition : Pn_rules.Condition.t;
+  counts : Pn_metrics.Rule_metric.counts;
+      (** weighted coverage of [current rule ∧ condition] over the view *)
+  score : float;
+}
+
+(** [best_condition ?allow_ranges ?negate ?current ~metric ~ctx ~target
+    view] scores every candidate refinement over [view] (the records the
+    current rule covers, within the set the metric context describes) and
+    returns the best, or [None] when no candidate strictly reduces
+    coverage. [current] filters out conditions subsumed by the rule being
+    grown. [allow_ranges] defaults to [true]. When [negate] is true
+    (default false), records *not* of class [target] count as positive —
+    PNrule's N-phase learns signatures of the target class's absence.
+
+    [min_support] (default 0) excludes candidates whose weighted coverage
+    falls below it *from the search itself*, so the best qualifying
+    candidate is returned rather than none when an unqualifying one
+    scores higher — this is how the paper's P-phase support constraint
+    keeps tiny overfit ranges from stalling rule growth.
+
+    Besides the paper's anchored two-scan range search, the numeric
+    search proposes the maximum-enrichment window (a Kadane scan over
+    per-value [positive − prior·support] scores), which finds interior
+    signature peaks even when both one-sided optima land elsewhere. *)
+val best_condition :
+  ?allow_ranges:bool ->
+  ?negate:bool ->
+  ?min_support:float ->
+  ?current:Pn_rules.Rule.t ->
+  metric:Pn_metrics.Rule_metric.kind ->
+  ctx:Pn_metrics.Rule_metric.context ->
+  target:int ->
+  Pn_data.View.t ->
+  candidate option
+
+(** [candidate_space_size ds] estimates the number of distinct candidate
+    conditions the dataset offers (Σ categorical arities + 2 × distinct
+    numeric values, ranges not double-counted). Used as the MDL theory
+    alphabet size. *)
+val candidate_space_size : Pn_data.Dataset.t -> int

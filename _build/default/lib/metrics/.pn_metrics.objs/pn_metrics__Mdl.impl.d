@@ -1,0 +1,1 @@
+lib/metrics/mdl.ml: Float List Pn_util

@@ -1,0 +1,1 @@
+lib/metrics/pr_curve.ml: Array List Pn_util

@@ -1,0 +1,1 @@
+lib/metrics/pr_curve.mli:

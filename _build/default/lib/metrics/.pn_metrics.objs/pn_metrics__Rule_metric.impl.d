@@ -1,0 +1,1 @@
+lib/metrics/rule_metric.ml: Array List Pn_util String

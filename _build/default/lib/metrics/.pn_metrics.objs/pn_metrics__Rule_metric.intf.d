@@ -1,0 +1,1 @@
+lib/metrics/rule_metric.mli:

@@ -1,0 +1,49 @@
+type t = { tp : float; fp : float; fn : float; tn : float }
+
+let zero = { tp = 0.0; fp = 0.0; fn = 0.0; tn = 0.0 }
+
+let add t ~actual ~predicted ~weight =
+  match (actual, predicted) with
+  | true, true -> { t with tp = t.tp +. weight }
+  | false, true -> { t with fp = t.fp +. weight }
+  | true, false -> { t with fn = t.fn +. weight }
+  | false, false -> { t with tn = t.tn +. weight }
+
+let of_predictions ?weights ~actual ~predicted () =
+  let n = Array.length actual in
+  if Array.length predicted <> n then
+    invalid_arg "Confusion.of_predictions: length mismatch";
+  (match weights with
+  | Some w when Array.length w <> n ->
+    invalid_arg "Confusion.of_predictions: weights length mismatch"
+  | _ -> ());
+  let weight i =
+    match weights with
+    | Some w -> w.(i)
+    | None -> 1.0
+  in
+  let acc = ref zero in
+  for i = 0 to n - 1 do
+    acc := add !acc ~actual:actual.(i) ~predicted:predicted.(i) ~weight:(weight i)
+  done;
+  !acc
+
+let recall t = if t.tp +. t.fn <= 0.0 then 0.0 else t.tp /. (t.tp +. t.fn)
+
+let precision t = if t.tp +. t.fp <= 0.0 then 0.0 else t.tp /. (t.tp +. t.fp)
+
+let f_measure ?(beta = 1.0) t =
+  let r = recall t and p = precision t in
+  let b2 = beta *. beta in
+  let denom = (b2 *. p) +. r in
+  if denom <= 0.0 then 0.0 else (1.0 +. b2) *. p *. r /. denom
+
+let total t = t.tp +. t.fp +. t.fn +. t.tn
+
+let accuracy t =
+  let n = total t in
+  if n <= 0.0 then 0.0 else (t.tp +. t.tn) /. n
+
+let pp ppf t =
+  Format.fprintf ppf "tp=%.1f fp=%.1f fn=%.1f tn=%.1f R=%.4f P=%.4f F=%.4f" t.tp
+    t.fp t.fn t.tn (recall t) (precision t) (f_measure t)

@@ -1,0 +1,37 @@
+(** Binary confusion counts and the recall / precision / F-measure family
+    the paper evaluates with (van Rijsbergen's F with equal weights). All
+    counts are weighted. *)
+
+type t = {
+  tp : float;  (** target predicted target *)
+  fp : float;  (** non-target predicted target *)
+  fn : float;  (** target predicted non-target *)
+  tn : float;  (** non-target predicted non-target *)
+}
+
+val zero : t
+
+(** [add t ~actual ~predicted ~weight] accumulates one decision. *)
+val add : t -> actual:bool -> predicted:bool -> weight:float -> t
+
+(** [of_predictions ?weights ~actual ~predicted ()] tallies two equal
+    length arrays; weights default to 1. *)
+val of_predictions :
+  ?weights:float array -> actual:bool array -> predicted:bool array -> unit -> t
+
+(** [recall t] is tp / (tp + fn); 0 when no positives exist. *)
+val recall : t -> float
+
+(** [precision t] is tp / (tp + fp); 0 when nothing was predicted. *)
+val precision : t -> float
+
+(** [f_measure ?beta t] is the weighted harmonic mean
+    (1+β²)·R·P / (β²·P + R); [beta] defaults to 1 (the paper's 2RP/(R+P)).
+    0 when both recall and precision are 0. *)
+val f_measure : ?beta:float -> t -> float
+
+val accuracy : t -> float
+
+val total : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+let default_slack = 64.0
+
+let theory_bits ~n_candidate_conditions ~rule_conditions =
+  if rule_conditions <= 0 then 0.0
+  else begin
+    let k = float_of_int rule_conditions in
+    let n = float_of_int (max n_candidate_conditions rule_conditions) in
+    (* Send k (log₂ k, plus the customary correction for k itself needing
+       a length prefix), then identify which k of the n candidate
+       conditions appear. Scaled by 0.5: conditions sets are redundant, so
+       attribute-ordering information is not charged in full. *)
+    let send_k =
+      let bits = Pn_util.Stats.log2 k in
+      if rule_conditions > 1 && bits > 1.0 then bits +. (2.0 *. Pn_util.Stats.log2 bits)
+      else bits
+    in
+    0.5 *. (send_k +. Pn_util.Stats.log_comb n k)
+  end
+
+let exception_bits ~covered ~uncovered ~fp ~fn =
+  let covered = Float.max covered 0.0 and uncovered = Float.max uncovered 0.0 in
+  let fp = Float.max 0.0 (Float.min fp covered) in
+  let fn = Float.max 0.0 (Float.min fn uncovered) in
+  let total = covered +. uncovered in
+  let send_count n k =
+    (* log₂(n+1) to transmit the error count, then the subset. *)
+    if n <= 0.0 then 0.0
+    else Pn_util.Stats.log2 (n +. 1.0) +. Pn_util.Stats.log_comb n k
+  in
+  if total <= 0.0 then 0.0 else send_count covered fp +. send_count uncovered fn
+
+let ruleset_bits ~n_candidate_conditions ~rule_sizes ~covered ~uncovered ~fp ~fn =
+  let theory =
+    List.fold_left
+      (fun acc k -> acc +. theory_bits ~n_candidate_conditions ~rule_conditions:k)
+      0.0 rule_sizes
+  in
+  theory +. exception_bits ~covered ~uncovered ~fp ~fn

@@ -1,0 +1,31 @@
+(** Minimum-description-length accounting for rule sets, in the style of
+    RIPPER (Cohen '95) / C4.5rules (Quinlan '93). Both the N-phase of
+    PNrule and RIPPER's stopping criterion compare description lengths and
+    stop once the DL exceeds the best seen so far by a slack (64 bits). *)
+
+(** [theory_bits ~n_candidate_conditions ~rule_conditions] is the cost in
+    bits of transmitting one rule with [rule_conditions] conjuncts chosen
+    among [n_candidate_conditions] possible conjuncts, scaled by the
+    customary 0.5 redundancy factor. 0 for the empty rule. *)
+val theory_bits : n_candidate_conditions:int -> rule_conditions:int -> float
+
+(** [exception_bits ~covered ~uncovered ~fp ~fn] is the cost of
+    transmitting the classifier's errors: which of the [covered] weighted
+    examples are false positives and which of the [uncovered] are false
+    negatives, using the log₂ C(n, k) subset coding. *)
+val exception_bits : covered:float -> uncovered:float -> fp:float -> fn:float -> float
+
+(** [ruleset_bits ~n_candidate_conditions ~rule_sizes ~covered ~uncovered
+    ~fp ~fn] is theory + exception bits for a whole rule set. *)
+val ruleset_bits :
+  n_candidate_conditions:int ->
+  rule_sizes:int list ->
+  covered:float ->
+  uncovered:float ->
+  fp:float ->
+  fn:float ->
+  float
+
+(** The slack, in bits, that RIPPER and PNrule's N-phase allow the DL to
+    grow above its minimum before stopping (Cohen's 64). *)
+val default_slack : float

@@ -1,0 +1,82 @@
+type point = {
+  threshold : float;
+  recall : float;
+  precision : float;
+  f_measure : float;
+}
+
+let compute ?weights ~scores ~actual () =
+  let n = Array.length scores in
+  if Array.length actual <> n then invalid_arg "Pr_curve.compute: length mismatch";
+  (match weights with
+  | Some w when Array.length w <> n -> invalid_arg "Pr_curve.compute: weights length"
+  | _ -> ());
+  let weight i =
+    match weights with
+    | Some w -> w.(i)
+    | None -> 1.0
+  in
+  let order = Pn_util.Arr.argsort_floats scores in
+  let total_pos = ref 0.0 in
+  for i = 0 to n - 1 do
+    if actual.(i) then total_pos := !total_pos +. weight i
+  done;
+  if !total_pos <= 0.0 then []
+  else begin
+    (* Sweep thresholds from the highest score down; at threshold t the
+       positive predictions are exactly the records with score > t, so
+       each distinct score value contributes one curve point. *)
+    let tp = ref 0.0 and fp = ref 0.0 in
+    let points = ref [] in
+    let k = ref (n - 1) in
+    while !k >= 0 do
+      let t = scores.(order.(!k)) in
+      (* Absorb the whole tie group at t, then emit the point for
+         "predict positive when score ≥ t". *)
+      let tie_start = ref !k in
+      while !tie_start >= 0 && scores.(order.(!tie_start)) = t do
+        let i = order.(!tie_start) in
+        if actual.(i) then tp := !tp +. weight i else fp := !fp +. weight i;
+        decr tie_start
+      done;
+      let recall = !tp /. !total_pos in
+      let precision = if !tp +. !fp <= 0.0 then 1.0 else !tp /. (!tp +. !fp) in
+      let f =
+        if recall +. precision <= 0.0 then 0.0
+        else 2.0 *. recall *. precision /. (recall +. precision)
+      in
+      points := { threshold = t; recall; precision; f_measure = f } :: !points;
+      k := !tie_start
+    done;
+    (* Highest threshold first. *)
+    List.rev !points
+  end
+
+let best_f = function
+  | [] -> invalid_arg "Pr_curve.best_f: empty curve"
+  | first :: rest ->
+    List.fold_left (fun acc p -> if p.f_measure > acc.f_measure then p else acc) first rest
+
+let auc_pr curve =
+  (* Integrate precision over recall; the curve arrives with recall
+     ascending as thresholds descend. *)
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      let dr = b.recall -. a.recall in
+      go (acc +. (dr *. (a.precision +. b.precision) /. 2.0)) rest
+    | [ _ ] | [] -> acc
+  in
+  match curve with
+  | [] | [ _ ] -> 0.0
+  | first :: _ ->
+    (* Extend to recall 0 at the first point's precision. *)
+    go (first.recall *. first.precision) curve
+
+let at_threshold curve t =
+  (* Points are ordered by descending threshold; the operating point for
+     threshold t is the last point whose threshold is still ≥ t. *)
+  let rec go best = function
+    | [] -> best
+    | p :: rest -> if p.threshold >= t then go (Some p) rest else best
+  in
+  go None curve

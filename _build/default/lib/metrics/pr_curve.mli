@@ -1,0 +1,32 @@
+(** Precision-recall analysis for score-producing classifiers.
+
+    PNrule assigns each record a probability-like score and thresholds it
+    (the paper uses 50 %); this module computes the full precision-recall
+    trade-off so a deployment can pick its own operating point. *)
+
+type point = {
+  threshold : float;  (** predict positive when score ≥ threshold *)
+  recall : float;
+  precision : float;
+  f_measure : float;
+}
+
+(** [compute ?weights ~scores ~actual ()] evaluates every distinct score
+    as a threshold, descending, and returns the resulting curve (highest
+    threshold first). Weighted when [weights] is given. Raises
+    [Invalid_argument] on length mismatches. *)
+val compute :
+  ?weights:float array -> scores:float array -> actual:bool array -> unit -> point list
+
+(** [best_f curve] is the point with the highest F-measure; raises
+    [Invalid_argument] on an empty curve. *)
+val best_f : point list -> point
+
+(** [auc_pr curve] is the area under the precision-recall curve
+    (trapezoidal over recall). 0 for fewer than two points. *)
+val auc_pr : point list -> float
+
+(** [at_threshold curve t] is the curve point whose threshold is the
+    smallest one ≥ [t] (i.e. the operating point obtained by predicting
+    positive above [t]); [None] if every threshold is below [t]. *)
+val at_threshold : point list -> float -> point option

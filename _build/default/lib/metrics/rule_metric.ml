@@ -1,0 +1,99 @@
+type context = { pos_total : float; neg_total : float }
+
+type counts = { pos : float; neg : float }
+
+type kind = Z_number | Info_gain | Gini | Chi_squared | Laplace
+
+let all_kinds = [ Z_number; Info_gain; Gini; Chi_squared; Laplace ]
+
+let kind_name = function
+  | Z_number -> "z-number"
+  | Info_gain -> "info-gain"
+  | Gini -> "gini"
+  | Chi_squared -> "chi-squared"
+  | Laplace -> "laplace"
+
+let kind_of_string s =
+  List.find_opt (fun k -> String.equal (kind_name k) s) all_kinds
+
+let support c = c.pos +. c.neg
+
+let accuracy c =
+  let s = support c in
+  if s <= 0.0 then 0.0 else c.pos /. s
+
+let prior ctx =
+  let t = ctx.pos_total +. ctx.neg_total in
+  if t <= 0.0 then 0.0 else ctx.pos_total /. t
+
+let z_number ctx c =
+  let s = support c in
+  if s <= 0.0 then 0.0
+  else begin
+    let p0 = prior ctx in
+    let denom = p0 *. (1.0 -. p0) in
+    if denom <= 0.0 then 0.0 else sqrt s *. (accuracy c -. p0) /. sqrt denom
+  end
+
+let info_gain ctx c =
+  if c.pos <= 0.0 then 0.0
+  else begin
+    let p0 = prior ctx in
+    if p0 <= 0.0 then 0.0
+    else c.pos *. (Pn_util.Stats.log2 (accuracy c) -. Pn_util.Stats.log2 p0)
+  end
+
+let gini ctx c =
+  (* Impurity decrease of splitting the remaining set into covered /
+     uncovered, weighted by the branch sizes. *)
+  let total = ctx.pos_total +. ctx.neg_total in
+  if total <= 0.0 then 0.0
+  else begin
+    let gini_of pos neg =
+      let s = pos +. neg in
+      if s <= 0.0 then 0.0
+      else begin
+        let p = pos /. s in
+        2.0 *. p *. (1.0 -. p)
+      end
+    in
+    let covered = support c in
+    let rest_pos = ctx.pos_total -. c.pos and rest_neg = ctx.neg_total -. c.neg in
+    let rest = rest_pos +. rest_neg in
+    gini_of ctx.pos_total ctx.neg_total
+    -. ((covered /. total) *. gini_of c.pos c.neg)
+    -. ((rest /. total) *. gini_of rest_pos rest_neg)
+  end
+
+let chi_squared ctx c =
+  let total = ctx.pos_total +. ctx.neg_total in
+  let covered = support c in
+  if total <= 0.0 || covered <= 0.0 || covered >= total then 0.0
+  else begin
+    let cells =
+      [|
+        (c.pos, ctx.pos_total *. covered /. total);
+        (c.neg, ctx.neg_total *. covered /. total);
+        (ctx.pos_total -. c.pos, ctx.pos_total *. (total -. covered) /. total);
+        (ctx.neg_total -. c.neg, ctx.neg_total *. (total -. covered) /. total);
+      |]
+    in
+    let stat =
+      Array.fold_left
+        (fun acc (obs, exp) ->
+          if exp <= 0.0 then acc else acc +. ((obs -. exp) ** 2.0 /. exp))
+        0.0 cells
+    in
+    (* Sign the statistic so enrichment and depletion are distinguished. *)
+    if accuracy c >= prior ctx then stat else -.stat
+  end
+
+let laplace c = (c.pos +. 1.0) /. (support c +. 2.0)
+
+let eval kind ctx c =
+  match kind with
+  | Z_number -> z_number ctx c
+  | Info_gain -> info_gain ctx c
+  | Gini -> gini ctx c
+  | Chi_squared -> chi_squared ctx c
+  | Laplace -> laplace c

@@ -1,0 +1,49 @@
+(** Evaluation metrics for candidate rules.
+
+    A candidate is summarized by the weighted positives/negatives it
+    covers, judged against the class distribution of the data it was
+    learned from (the "remaining" set in sequential covering). Section 2.2
+    of the paper uses the Z-number by default and mentions information
+    gain, gini, and chi-squared as alternatives; Section 4 switches to
+    information gain for the KDD experiments. *)
+
+type context = {
+  pos_total : float;  (** weighted target examples in the remaining set *)
+  neg_total : float;  (** weighted non-target examples in the remaining set *)
+}
+
+type counts = {
+  pos : float;  (** weighted target examples the rule covers *)
+  neg : float;  (** weighted non-target examples the rule covers *)
+}
+
+type kind =
+  | Z_number
+      (** √s·(a−p)/√(p(1−p)): significance of accuracy above the prior *)
+  | Info_gain  (** FOIL-style: p·(log₂ a − log₂ prior) *)
+  | Gini  (** weighted gini impurity reduction of the rule's split *)
+  | Chi_squared  (** Pearson χ² of the 2×2 coverage table, signed *)
+  | Laplace  (** (p+1)/(p+n+2) *)
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+
+val kind_of_string : string -> kind option
+
+(** [support c] is the rule's total covered weight. *)
+val support : counts -> float
+
+(** [accuracy c] is pos / (pos + neg); 0 on empty coverage. *)
+val accuracy : counts -> float
+
+(** [prior ctx] is the target fraction of the remaining set. *)
+val prior : context -> float
+
+(** [eval kind ctx counts] scores a candidate; higher is better. All
+    metrics are signed so that rules *worse* than the prior score
+    negatively (Laplace excepted, which is a plain accuracy estimate). *)
+val eval : kind -> context -> counts -> float
+
+(** [z_number ctx counts] is the paper's Z-number. *)
+val z_number : context -> counts -> float

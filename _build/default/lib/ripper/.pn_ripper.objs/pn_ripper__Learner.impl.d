@@ -1,0 +1,1 @@
+lib/ripper/learner.ml: Float Fun List Logs Model Params Pn_data Pn_induct Pn_metrics Pn_rules Pn_util

@@ -1,0 +1,1 @@
+lib/ripper/learner.mli: Model Params Pn_data

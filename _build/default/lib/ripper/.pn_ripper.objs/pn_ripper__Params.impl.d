@@ -1,0 +1,1 @@
+lib/ripper/params.ml: Format Pn_metrics

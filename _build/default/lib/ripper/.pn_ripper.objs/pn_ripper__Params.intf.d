@@ -1,0 +1,1 @@
+lib/ripper/params.mli: Format

@@ -1,0 +1,269 @@
+module RM = Pn_metrics.Rule_metric
+
+let src = Logs.Src.create "ripper" ~doc:"RIPPER rule induction"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Growing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Grow [rule] to purity on [grow_view] by FOIL information gain. The
+   gain of a refinement is measured against the current rule's own
+   coverage, so the metric context tracks the shrinking covered set. *)
+let grow_from ~target rule grow_view =
+  let covered0 = Pn_rules.Rule.covered_of grow_view rule in
+  let rec loop rule covered =
+    let pos, neg = Pn_data.View.binary_weights covered ~target in
+    if pos <= 0.0 || neg <= 0.0 then rule
+    else begin
+      let ctx = { RM.pos_total = pos; neg_total = neg } in
+      match
+        Pn_induct.Grower.best_condition ~allow_ranges:false ~current:rule
+          ~metric:RM.Info_gain ~ctx ~target covered
+      with
+      | None -> rule
+      | Some cand ->
+        if cand.Pn_induct.Grower.score <= 1e-12 then rule
+        else begin
+          let rule = Pn_rules.Rule.add rule cand.Pn_induct.Grower.condition in
+          let covered =
+            Pn_data.View.filter covered (fun i ->
+                Pn_rules.Condition.matches covered.Pn_data.View.data
+                  cand.Pn_induct.Grower.condition i)
+          in
+          loop rule covered
+        end
+    end
+  in
+  loop rule covered0
+
+let grow ~target grow_view = grow_from ~target Pn_rules.Rule.empty grow_view
+
+(* ------------------------------------------------------------------ *)
+(* Pruning                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* IREP*'s pruning value (p − n)/(p + n) of a rule on the prune set. *)
+let prune_value ~target prune_view rule =
+  let c = Pn_rules.Rule.coverage prune_view rule ~target in
+  let s = RM.support c in
+  if s <= 0.0 then -1.0 else (c.RM.pos -. c.RM.neg) /. s
+
+(* Delete a final sequence of conditions: evaluate every prefix, keep the
+   best value; ties prefer the shorter rule (more general). *)
+let prune_rule ~target prune_view rule =
+  let len = Pn_rules.Rule.n_conditions rule in
+  if len = 0 || Pn_data.View.is_empty prune_view then rule
+  else begin
+    let best = ref rule and best_v = ref (prune_value ~target prune_view rule) in
+    for keep = len - 1 downto 0 do
+      let candidate = Pn_rules.Rule.truncate rule keep in
+      let v = prune_value ~target prune_view candidate in
+      if v >= !best_v then begin
+        best := candidate;
+        best_v := v
+      end
+    done;
+    !best
+  end
+
+(* Generic pruning used by the optimization phase: choose the prefix of
+   [rule] maximizing [value]. *)
+let prune_by ~value rule =
+  let len = Pn_rules.Rule.n_conditions rule in
+  let best = ref rule and best_v = ref (value rule) in
+  for keep = len - 1 downto 1 do
+    let candidate = Pn_rules.Rule.truncate rule keep in
+    let v = value candidate in
+    if v >= !best_v then begin
+      best := candidate;
+      best_v := v
+    end
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Description length of a rule list on the full training data          *)
+(* ------------------------------------------------------------------ *)
+
+let ruleset_dl ~n_candidates ds ~target rules =
+  let rl = Pn_rules.Rule_list.of_list rules in
+  let covered_pos = ref 0.0
+  and covered_neg = ref 0.0
+  and unc_pos = ref 0.0
+  and unc_neg = ref 0.0 in
+  for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+    let w = Pn_data.Dataset.weight ds i in
+    let is_target = Pn_data.Dataset.label ds i = target in
+    if Pn_rules.Rule_list.any_match ds rl i then
+      if is_target then covered_pos := !covered_pos +. w
+      else covered_neg := !covered_neg +. w
+    else if is_target then unc_pos := !unc_pos +. w
+    else unc_neg := !unc_neg +. w
+  done;
+  Pn_metrics.Mdl.ruleset_bits ~n_candidate_conditions:n_candidates
+    ~rule_sizes:(List.map Pn_rules.Rule.n_conditions rules)
+    ~covered:(!covered_pos +. !covered_neg)
+    ~uncovered:(!unc_pos +. !unc_neg)
+    ~fp:!covered_neg ~fn:!unc_pos
+
+(* ------------------------------------------------------------------ *)
+(* IREP* covering loop                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Learn rules covering the positives still present in [remaining],
+   appending to [rules0]. DL bookkeeping always spans the full rule list
+   on the full training set. *)
+let irep_loop ~params ~n_candidates ~rng ds ~target remaining rules0 =
+  let rec loop remaining rules dl_min =
+    if List.length rules >= params.Params.max_rules then List.rev rules
+    else if fst (Pn_data.View.binary_weights remaining ~target) <= 0.0 then
+      List.rev rules
+    else begin
+      let grow_view, prune_view =
+        Pn_data.View.split remaining rng ~left_fraction:params.Params.grow_fraction
+      in
+      let rule = grow ~target grow_view in
+      let rule =
+        if params.Params.prune then prune_rule ~target prune_view rule else rule
+      in
+      let counts = Pn_rules.Rule.coverage remaining rule ~target in
+      if Pn_rules.Rule.is_empty rule || counts.RM.pos <= 0.0 then List.rev rules
+      else begin
+        let rules' = rule :: rules in
+        let dl = ruleset_dl ~n_candidates ds ~target (List.rev rules') in
+        if dl > dl_min +. params.Params.mdl_slack then List.rev rules
+        else begin
+          Log.debug (fun m ->
+              m "rule %d: %s (pos=%.1f neg=%.1f dl=%.1f)" (List.length rules)
+                (Pn_rules.Rule.to_string ds.Pn_data.Dataset.attrs rule)
+                counts.RM.pos counts.RM.neg dl);
+          loop
+            (Pn_rules.Rule.uncovered_of remaining rule)
+            rules' (Float.min dl dl_min)
+        end
+      end
+    end
+  in
+  let dl0 = ruleset_dl ~n_candidates ds ~target (List.rev rules0) in
+  loop remaining (List.rev rules0) dl0
+
+(* Deletion post-pass: drop rules (last first) whose removal does not
+   increase the DL. *)
+let simplify ~params ~n_candidates ds ~target rules =
+  ignore params;
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | rule :: rest ->
+      let with_rule = List.rev_append kept (rule :: rest) in
+      let without_rule = List.rev_append kept rest in
+      let dl_with = ruleset_dl ~n_candidates ds ~target with_rule in
+      let dl_without = ruleset_dl ~n_candidates ds ~target without_rule in
+      if dl_without <= dl_with then loop kept rest else loop (rule :: kept) rest
+  in
+  (* Examine from the last rule backwards, as Cohen does. *)
+  List.rev (loop [] (List.rev rules))
+
+(* ------------------------------------------------------------------ *)
+(* Optimization phase                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Weighted error of the full rule list on a view (used to prune
+   replacement/revision against the whole rule set). Lower is better, so
+   the prune objective returns its negation. *)
+let ruleset_error view ~target rules =
+  let rl = Pn_rules.Rule_list.of_list rules in
+  Pn_data.View.fold view 0.0 (fun acc i ->
+      let predicted = Pn_rules.Rule_list.any_match view.Pn_data.View.data rl i in
+      let actual = Pn_data.Dataset.label view.Pn_data.View.data i = target in
+      if predicted <> actual then acc +. Pn_data.Dataset.weight view.Pn_data.View.data i
+      else acc)
+
+let substitute rules i replacement =
+  List.mapi (fun j r -> if j = i then replacement else r) rules
+
+let remove_at rules i = List.filteri (fun j _ -> j <> i) rules
+
+let optimize_pass ~params ~n_candidates ~rng ds ~target rules =
+  let all = Pn_data.View.all ds in
+  let rules = ref rules in
+  let len = List.length !rules in
+  for i = 0 to len - 1 do
+    if i < List.length !rules then begin
+      let current = List.nth !rules i in
+      let others = remove_at !rules i in
+      let others_rl = Pn_rules.Rule_list.of_list others in
+      let grow_view, prune_view =
+        Pn_data.View.split all rng ~left_fraction:params.Params.grow_fraction
+      in
+      (* Grow on what the other rules leave uncovered, so the variant
+         focuses on this rule's share of the positives. *)
+      let residual_grow =
+        Pn_data.View.filter grow_view (fun r ->
+            not (Pn_rules.Rule_list.any_match ds others_rl r))
+      in
+      let prune_objective variant_rule =
+        let variant = substitute !rules i variant_rule in
+        -.ruleset_error prune_view ~target variant
+      in
+      let replacement =
+        let grown = grow ~target residual_grow in
+        if Pn_rules.Rule.is_empty grown then None
+        else Some (prune_by ~value:prune_objective grown)
+      in
+      let revision =
+        let grown = grow_from ~target current residual_grow in
+        if Pn_rules.Rule.is_empty grown then None
+        else Some (prune_by ~value:prune_objective grown)
+      in
+      let candidates =
+        current :: List.filter_map Fun.id [ replacement; revision ]
+      in
+      let scored =
+        List.map
+          (fun r ->
+            let variant = simplify ~params ~n_candidates ds ~target (substitute !rules i r) in
+            (ruleset_dl ~n_candidates ds ~target variant, variant))
+          candidates
+      in
+      let best =
+        List.fold_left
+          (fun (bd, bv) (d, v) -> if d < bd then (d, v) else (bd, bv))
+          (List.hd scored) (List.tl scored)
+      in
+      rules := snd best
+    end
+  done;
+  !rules
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let train ?(params = Params.default) ds ~target =
+  let n_candidates = Pn_induct.Grower.candidate_space_size ds in
+  let rng = Pn_util.Rng.create params.Params.seed in
+  let all = Pn_data.View.all ds in
+  let rules = irep_loop ~params ~n_candidates ~rng ds ~target all [] in
+  let rules = simplify ~params ~n_candidates ds ~target rules in
+  let rules = ref rules in
+  for pass = 1 to params.Params.optimization_passes do
+    rules := optimize_pass ~params ~n_candidates ~rng ds ~target !rules;
+    (* Re-cover positives the optimized rules lost. *)
+    let rl = Pn_rules.Rule_list.of_list !rules in
+    let uncovered =
+      Pn_data.View.filter all (fun i -> not (Pn_rules.Rule_list.any_match ds rl i))
+    in
+    if fst (Pn_data.View.binary_weights uncovered ~target) > 0.0 then
+      rules := irep_loop ~params ~n_candidates ~rng ds ~target uncovered !rules;
+    rules := simplify ~params ~n_candidates ds ~target !rules;
+    Log.debug (fun m -> m "after optimization pass %d: %d rules" pass (List.length !rules))
+  done;
+  {
+    Model.target;
+    classes = ds.Pn_data.Dataset.classes;
+    attrs = ds.Pn_data.Dataset.attrs;
+    rules = Pn_rules.Rule_list.of_list !rules;
+    params;
+  }

@@ -1,0 +1,14 @@
+(** RIPPER training (Cohen '95), for the binary task the paper evaluates:
+    rules for the target class, non-target as default.
+
+    The IREP* loop alternates growing a rule to purity on a random 2/3
+    split (maximizing FOIL information gain) and pruning it on the
+    remaining 1/3 (maximizing (p−n)/(p+n)); rule-set growth stops when the
+    total description length exceeds the minimum seen by 64 bits. A
+    deletion post-pass then drops rules that increase the DL, and k
+    optimization passes rebuild each rule as a grown-from-scratch
+    replacement or a grown-further revision, keeping the variant whose
+    rule set has the smallest DL. Uncovered positives are re-covered with
+    a final IREP* round after each optimization pass. *)
+
+val train : ?params:Params.t -> Pn_data.Dataset.t -> target:int -> Model.t

@@ -1,0 +1,30 @@
+type t = {
+  target : int;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+  rules : Pn_rules.Rule_list.t;
+  params : Params.t;
+}
+
+let predict t ds i = Pn_rules.Rule_list.any_match ds t.rules i
+
+let predict_all t ds = Array.init (Pn_data.Dataset.n_records ds) (predict t ds)
+
+let evaluate t ds =
+  let acc = ref Pn_metrics.Confusion.zero in
+  for i = 0 to Pn_data.Dataset.n_records ds - 1 do
+    acc :=
+      Pn_metrics.Confusion.add !acc
+        ~actual:(Pn_data.Dataset.label ds i = t.target)
+        ~predicted:(predict t ds i)
+        ~weight:(Pn_data.Dataset.weight ds i)
+  done;
+  !acc
+
+let n_rules t = Pn_rules.Rule_list.length t.rules
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>RIPPER model for class %S (%d rules)@,%a@]"
+    t.classes.(t.target) (n_rules t)
+    (Pn_rules.Rule_list.pp t.attrs)
+    t.rules

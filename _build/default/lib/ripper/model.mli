@@ -1,0 +1,21 @@
+(** Trained RIPPER models: an ordered rule list for the target class with
+    the non-target class as default. *)
+
+type t = {
+  target : int;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+  rules : Pn_rules.Rule_list.t;
+  params : Params.t;
+}
+
+(** [predict t ds i] is true when some rule matches record [i]. *)
+val predict : t -> Pn_data.Dataset.t -> int -> bool
+
+val predict_all : t -> Pn_data.Dataset.t -> bool array
+
+val evaluate : t -> Pn_data.Dataset.t -> Pn_metrics.Confusion.t
+
+val n_rules : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type t = {
+  optimization_passes : int;
+  grow_fraction : float;
+  mdl_slack : float;
+  seed : int;
+  prune : bool;
+  max_rules : int;
+}
+
+let default =
+  {
+    optimization_passes = 2;
+    grow_fraction = 2.0 /. 3.0;
+    mdl_slack = Pn_metrics.Mdl.default_slack;
+    seed = 1;
+    prune = true;
+    max_rules = 256;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "k=%d grow=%.2f slack=%.0f prune=%b seed=%d"
+    t.optimization_passes t.grow_fraction t.mdl_slack t.prune t.seed

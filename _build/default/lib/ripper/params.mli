@@ -1,0 +1,16 @@
+(** RIPPER hyper-parameters (defaults follow Cohen '95 / RIPPER v2.5 as
+    used in the paper: 2 optimization passes, 2/3 grow split, 64-bit MDL
+    slack, one-sided numeric conditions only). *)
+
+type t = {
+  optimization_passes : int;  (** k in RIPPERk; the paper's default is 2 *)
+  grow_fraction : float;  (** fraction of data used to grow (rest prunes) *)
+  mdl_slack : float;  (** stop once DL exceeds the minimum by this *)
+  seed : int;  (** RNG seed for the grow/prune splits *)
+  prune : bool;  (** disable to get plain (overfitting) grow-only rules *)
+  max_rules : int;  (** safety cap *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

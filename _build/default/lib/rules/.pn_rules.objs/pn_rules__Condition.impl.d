@@ -1,0 +1,1 @@
+lib/rules/condition.ml: Array Float Format Pn_data

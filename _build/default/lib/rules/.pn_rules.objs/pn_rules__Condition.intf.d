@@ -1,0 +1,1 @@
+lib/rules/condition.mli: Format Pn_data

@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Condition Format List Pn_data Pn_metrics Pn_util

@@ -1,0 +1,1 @@
+lib/rules/rule.mli: Condition Format Pn_data Pn_metrics

@@ -1,0 +1,1 @@
+lib/rules/rule_list.ml: Array Format Option Pn_data Rule

@@ -1,0 +1,1 @@
+lib/rules/rule_list.mli: Format Pn_data Rule

@@ -1,0 +1,59 @@
+type t =
+  | Cat_eq of { col : int; value : int }
+  | Num_le of { col : int; threshold : float }
+  | Num_ge of { col : int; threshold : float }
+  | Num_range of { col : int; lo : float; hi : float }
+
+let col = function
+  | Cat_eq { col; _ } | Num_le { col; _ } | Num_ge { col; _ } | Num_range { col; _ } ->
+    col
+
+let matches ds t i =
+  match t with
+  | Cat_eq { col; value } -> Pn_data.Dataset.cat_value ds ~col i = value
+  | Num_le { col; threshold } -> Pn_data.Dataset.num_value ds ~col i <= threshold
+  | Num_ge { col; threshold } -> Pn_data.Dataset.num_value ds ~col i >= threshold
+  | Num_range { col; lo; hi } ->
+    let v = Pn_data.Dataset.num_value ds ~col i in
+    lo <= v && v <= hi
+
+let subsumes a b =
+  col a = col b
+  &&
+  match (a, b) with
+  | Cat_eq { value = va; _ }, Cat_eq { value = vb; _ } -> va = vb
+  | Num_le { threshold = ta; _ }, Num_le { threshold = tb; _ } -> ta >= tb
+  | Num_ge { threshold = ta; _ }, Num_ge { threshold = tb; _ } -> ta <= tb
+  | Num_le { threshold = ta; _ }, Num_range { hi; _ } -> ta >= hi
+  | Num_ge { threshold = ta; _ }, Num_range { lo; _ } -> ta <= lo
+  | Num_range { lo; hi; _ }, Num_range { lo = lb; hi = hb; _ } -> lo <= lb && hi >= hb
+  | Num_range { lo; hi; _ }, Num_le { threshold; _ } ->
+    lo = Float.neg_infinity && hi >= threshold
+  | Num_range { lo; hi; _ }, Num_ge { threshold; _ } ->
+    hi = Float.infinity && lo <= threshold
+  | Cat_eq _, (Num_le _ | Num_ge _ | Num_range _)
+  | (Num_le _ | Num_ge _ | Num_range _), Cat_eq _
+  | Num_le _, Num_ge _
+  | Num_ge _, Num_le _ ->
+    false
+
+let equal a b =
+  match (a, b) with
+  | Cat_eq x, Cat_eq y -> x.col = y.col && x.value = y.value
+  | Num_le x, Num_le y -> x.col = y.col && x.threshold = y.threshold
+  | Num_ge x, Num_ge y -> x.col = y.col && x.threshold = y.threshold
+  | Num_range x, Num_range y -> x.col = y.col && x.lo = y.lo && x.hi = y.hi
+  | (Cat_eq _ | Num_le _ | Num_ge _ | Num_range _), _ -> false
+
+let pp attrs ppf t =
+  let name c = attrs.(c).Pn_data.Attribute.name in
+  match t with
+  | Cat_eq { col; value } ->
+    Format.fprintf ppf "%s = %s" (name col)
+      (Pn_data.Attribute.value_name attrs.(col) value)
+  | Num_le { col; threshold } -> Format.fprintf ppf "%s <= %.4g" (name col) threshold
+  | Num_ge { col; threshold } -> Format.fprintf ppf "%s >= %.4g" (name col) threshold
+  | Num_range { col; lo; hi } ->
+    Format.fprintf ppf "%.4g <= %s <= %.4g" lo (name col) hi
+
+let to_string attrs t = Format.asprintf "%a" (pp attrs) t

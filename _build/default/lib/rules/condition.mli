@@ -1,0 +1,28 @@
+(** Atomic conditions of conjunctive rules.
+
+    Besides the usual categorical equality and one-sided numeric
+    thresholds, the paper's rule builder explicitly searches *range*
+    conditions [lo ≤ A ≤ hi] (§2.2), so ranges are first-class here. *)
+
+type t =
+  | Cat_eq of { col : int; value : int }  (** A = v *)
+  | Num_le of { col : int; threshold : float }  (** A ≤ v *)
+  | Num_ge of { col : int; threshold : float }  (** A ≥ v *)
+  | Num_range of { col : int; lo : float; hi : float }  (** lo ≤ A ≤ hi *)
+
+(** [col t] is the attribute index the condition tests. *)
+val col : t -> int
+
+(** [matches ds t i] evaluates the condition on record [i]. *)
+val matches : Pn_data.Dataset.t -> t -> int -> bool
+
+(** [subsumes a b] is true when [a] and [b] test the same attribute and
+    every record satisfying [b] satisfies [a] (used to avoid re-adding
+    weaker duplicates while growing). *)
+val subsumes : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Pn_data.Attribute.t array -> Format.formatter -> t -> unit
+
+val to_string : Pn_data.Attribute.t array -> t -> string

@@ -1,0 +1,50 @@
+type t = { conditions : Condition.t list }
+
+let empty = { conditions = [] }
+
+let of_conditions conditions = { conditions }
+
+let n_conditions t = List.length t.conditions
+
+let is_empty t = t.conditions = []
+
+let add t c = { conditions = t.conditions @ [ c ] }
+
+let remove_nth t k =
+  if k < 0 || k >= n_conditions t then invalid_arg "Rule.remove_nth";
+  { conditions = List.filteri (fun i _ -> i <> k) t.conditions }
+
+let truncate t k = { conditions = Pn_util.Arr.take k t.conditions }
+
+let matches ds t i = List.for_all (fun c -> Condition.matches ds c i) t.conditions
+
+let coverage view t ~target =
+  let pos = ref 0.0 and neg = ref 0.0 in
+  Pn_data.View.iter view (fun i ->
+      if matches view.Pn_data.View.data t i then begin
+        let w = Pn_data.Dataset.weight view.Pn_data.View.data i in
+        if Pn_data.Dataset.label view.Pn_data.View.data i = target then
+          pos := !pos +. w
+        else neg := !neg +. w
+      end);
+  { Pn_metrics.Rule_metric.pos = !pos; neg = !neg }
+
+let covered_of view t =
+  Pn_data.View.filter view (fun i -> matches view.Pn_data.View.data t i)
+
+let uncovered_of view t =
+  Pn_data.View.filter view (fun i -> not (matches view.Pn_data.View.data t i))
+
+let redundant_with t c =
+  List.exists (fun existing -> Condition.subsumes existing c || Condition.subsumes c existing)
+    t.conditions
+
+let pp attrs ppf t =
+  match t.conditions with
+  | [] -> Format.pp_print_string ppf "<true>"
+  | conds ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " AND ")
+      (Condition.pp attrs) ppf conds
+
+let to_string attrs t = Format.asprintf "%a" (pp attrs) t

@@ -1,0 +1,47 @@
+(** Conjunctive rules: an ordered list of conditions, all of which must
+    hold. The empty rule matches everything (the "most general rule" the
+    paper's general-to-specific search starts from). *)
+
+type t = { conditions : Condition.t list }
+
+val empty : t
+
+val of_conditions : Condition.t list -> t
+
+val n_conditions : t -> int
+
+val is_empty : t -> bool
+
+(** [add t c] appends a condition (specializes the rule). *)
+val add : t -> Condition.t -> t
+
+(** [remove_nth t k] drops the k-th condition (0-based); used by pruning.
+    Raises [Invalid_argument] when out of range. *)
+val remove_nth : t -> int -> t
+
+(** [truncate t k] keeps only the first [k] conditions; RIPPER's pruning
+    deletes a final sequence of conditions. *)
+val truncate : t -> int -> t
+
+(** [matches ds t i] is true when record [i] satisfies every condition. *)
+val matches : Pn_data.Dataset.t -> t -> int -> bool
+
+(** [coverage view t ~target] is the weighted positive/negative coverage
+    of the rule over [view]. *)
+val coverage :
+  Pn_data.View.t -> t -> target:int -> Pn_metrics.Rule_metric.counts
+
+(** [covered_of view t] filters [view] down to the matching records. *)
+val covered_of : Pn_data.View.t -> t -> Pn_data.View.t
+
+(** [uncovered_of view t] filters [view] down to the non-matching
+    records. *)
+val uncovered_of : Pn_data.View.t -> t -> Pn_data.View.t
+
+(** [redundant_with t c] is true when [c] is subsumed by a condition
+    already in [t]. *)
+val redundant_with : t -> Condition.t -> bool
+
+val pp : Pn_data.Attribute.t array -> Format.formatter -> t -> unit
+
+val to_string : Pn_data.Attribute.t array -> t -> string

@@ -1,0 +1,37 @@
+type t = { rules : Rule.t array }
+
+let of_list rules = { rules = Array.of_list rules }
+
+let of_array rules = { rules }
+
+let length t = Array.length t.rules
+
+let get t i = t.rules.(i)
+
+let to_list t = Array.to_list t.rules
+
+let first_match ds t i =
+  let n = Array.length t.rules in
+  let rec loop k =
+    if k >= n then None else if Rule.matches ds t.rules.(k) i then Some k else loop (k + 1)
+  in
+  loop 0
+
+let any_match ds t i = Option.is_some (first_match ds t i)
+
+let covered ds t =
+  let hits = ref [] in
+  for i = Pn_data.Dataset.n_records ds - 1 downto 0 do
+    if any_match ds t i then hits := i :: !hits
+  done;
+  Pn_data.View.of_indices ds (Array.of_list !hits)
+
+let total_conditions t =
+  Array.fold_left (fun acc r -> acc + Rule.n_conditions r) 0 t.rules
+
+let pp attrs ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun k r -> Format.fprintf ppf "%2d. %a@," k (Rule.pp attrs) r)
+    t.rules;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** Ordered rule lists with first-match semantics.
+
+    Both PNrule phases and RIPPER produce rules "in decreasing order of
+    significance, which is the same as their order of discovery"; at
+    prediction time the first applicable rule wins. *)
+
+type t = { rules : Rule.t array }
+
+val of_list : Rule.t list -> t
+
+val of_array : Rule.t array -> t
+
+val length : t -> int
+
+val get : t -> int -> Rule.t
+
+val to_list : t -> Rule.t list
+
+(** [first_match ds t i] is the index of the first rule matching record
+    [i], or [None]. *)
+val first_match : Pn_data.Dataset.t -> t -> int -> int option
+
+(** [any_match ds t i] is true when some rule matches. *)
+val any_match : Pn_data.Dataset.t -> t -> int -> bool
+
+(** [covered ds t] is the set of record indices matched by at least one
+    rule, as a view. *)
+val covered : Pn_data.Dataset.t -> t -> Pn_data.View.t
+
+(** [total_conditions t] is Σ per-rule condition counts (MDL input). *)
+val total_conditions : t -> int
+
+val pp : Pn_data.Attribute.t array -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/synth/categorical.ml: Array Format Pn_data Pn_util Printf

@@ -1,0 +1,1 @@
+lib/synth/categorical.mli: Format Pn_data

@@ -1,0 +1,1 @@
+lib/synth/general.mli: Format Pn_data Signature

@@ -1,0 +1,1 @@
+lib/synth/kddcup.ml: Array Float List Pn_data Pn_util String

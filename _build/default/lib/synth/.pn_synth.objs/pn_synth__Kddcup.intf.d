@@ -1,0 +1,1 @@
+lib/synth/kddcup.mli: Pn_data

@@ -1,0 +1,1 @@
+lib/synth/numerical.ml: Array Format Pn_data Pn_util Printf Signature

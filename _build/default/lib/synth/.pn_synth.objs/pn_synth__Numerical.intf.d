@@ -1,0 +1,1 @@
+lib/synth/numerical.mli: Format Pn_data Signature

@@ -1,0 +1,1 @@
+lib/synth/signature.ml: Array Float List Pn_util

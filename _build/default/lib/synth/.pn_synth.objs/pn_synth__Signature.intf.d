@@ -1,0 +1,1 @@
+lib/synth/signature.mli: Pn_util

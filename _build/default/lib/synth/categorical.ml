@@ -1,0 +1,102 @@
+type class_spec = { na : int; nspa : int; words : int; vocab : int }
+
+type spec = {
+  target : class_spec;
+  non_target : class_spec;
+  target_fraction : float;
+}
+
+let classes = [| "NC"; "C" |]
+
+let target_class = 1
+
+let coa k =
+  let target na nspa = { na; nspa; words = 2; vocab = 400 } in
+  let non_target na nspa = { na; nspa; words = 2; vocab = 100 } in
+  match k with
+  | 1 -> { target = target 1 3; non_target = non_target 2 3; target_fraction = 0.003 }
+  | 2 -> { target = target 1 3; non_target = non_target 3 3; target_fraction = 0.003 }
+  | 3 -> { target = target 1 3; non_target = non_target 4 3; target_fraction = 0.003 }
+  | 4 -> { target = target 1 4; non_target = non_target 2 4; target_fraction = 0.003 }
+  | 5 -> { target = target 1 4; non_target = non_target 3 4; target_fraction = 0.003 }
+  | 6 -> { target = target 1 4; non_target = non_target 4 4; target_fraction = 0.003 }
+  | _ -> invalid_arg (Printf.sprintf "Categorical.coa: no preset coa%d" k)
+
+let coad k =
+  let cls na nspa vocab = { na; nspa; words = 2; vocab } in
+  match k with
+  | 1 -> { target = cls 2 4 400; non_target = cls 4 4 400; target_fraction = 0.003 }
+  | 2 -> { target = cls 2 4 400; non_target = cls 4 4 100; target_fraction = 0.003 }
+  | 3 -> { target = cls 2 4 100; non_target = cls 4 4 400; target_fraction = 0.003 }
+  | 4 -> { target = cls 2 4 100; non_target = cls 4 4 100; target_fraction = 0.003 }
+  | _ -> invalid_arg (Printf.sprintf "Categorical.coad: no preset coad%d" k)
+
+(* A subclass's model: for each of its two attributes, [nspa] disjoint
+   word sets of [words] values. Word codes are assigned deterministically
+   from the low end of the vocabulary with a per-subclass stride so that
+   distinct subclasses (which own distinct attributes anyway) and
+   distinct signatures never share words. *)
+type subclass_sig = { attr_lo : int; attr_hi : int; word_sets : (int array * int array) array }
+
+let build_signatures spec =
+  let make_class ~cls_spec ~first_attr ~n_sub =
+    Array.init n_sub (fun s ->
+        let attr_lo = first_attr + (2 * s) in
+        let attr_hi = attr_lo + 1 in
+        let word_sets =
+          Array.init cls_spec.nspa (fun g ->
+              let base = g * cls_spec.words in
+              ( Array.init cls_spec.words (fun w -> base + w),
+                Array.init cls_spec.words (fun w -> base + w) ))
+        in
+        { attr_lo; attr_hi; word_sets })
+  in
+  let target = make_class ~cls_spec:spec.target ~first_attr:0 ~n_sub:spec.target.na in
+  let non_target =
+    make_class ~cls_spec:spec.non_target
+      ~first_attr:(2 * spec.target.na)
+      ~n_sub:spec.non_target.na
+  in
+  (target, non_target)
+
+let generate spec ~seed ~n =
+  let rng = Pn_util.Rng.create seed in
+  let n_target_attrs = 2 * spec.target.na in
+  let n_attrs = n_target_attrs + (2 * spec.non_target.na) in
+  let vocab_of j = if j < n_target_attrs then spec.target.vocab else spec.non_target.vocab in
+  let attrs =
+    Array.init n_attrs (fun j ->
+        Pn_data.Attribute.categorical
+          (Printf.sprintf "w%d" j)
+          (Array.init (vocab_of j) (fun v -> Printf.sprintf "v%d" v)))
+  in
+  let target_sigs, non_target_sigs = build_signatures spec in
+  let columns = Array.init n_attrs (fun _ -> Array.make n 0) in
+  let labels = Array.make n 0 in
+  let emit i sigs subclass_count rng =
+    let s = Pn_util.Rng.int rng subclass_count in
+    let sc = sigs.(s) in
+    let lo_words, hi_words = sc.word_sets.(Pn_util.Rng.int rng (Array.length sc.word_sets)) in
+    columns.(sc.attr_lo).(i) <- Pn_util.Rng.choose rng lo_words;
+    columns.(sc.attr_hi).(i) <- Pn_util.Rng.choose rng hi_words
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n_attrs - 1 do
+      columns.(j).(i) <- Pn_util.Rng.int rng (vocab_of j)
+    done;
+    if Pn_util.Rng.bernoulli rng spec.target_fraction then begin
+      labels.(i) <- target_class;
+      emit i target_sigs spec.target.na rng
+    end
+    else emit i non_target_sigs spec.non_target.na rng
+  done;
+  Pn_data.Dataset.create ~attrs
+    ~columns:(Array.map (fun c -> Pn_data.Dataset.Cat c) columns)
+    ~labels ~classes ()
+
+let pp_spec ppf spec =
+  Format.fprintf ppf "C: na=%d nspa=%d %d/%d; NC: na=%d nspa=%d %d/%d; %.2f%%"
+    spec.target.na spec.target.nspa spec.target.words spec.target.vocab
+    spec.non_target.na spec.non_target.nspa spec.non_target.words
+    spec.non_target.vocab
+    (100.0 *. spec.target_fraction)

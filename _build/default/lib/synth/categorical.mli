@@ -1,0 +1,36 @@
+(** The categorical-only synthetic model of §3.2.2 (Figure 2, Table 3).
+
+    Each class splits into [na] subclasses; each subclass is distinguished
+    by [nspa] disjoint signatures over its own dedicated *pair* of
+    attributes. A signature is a set of word combinations: [words] values
+    per attribute, giving words² conjunctions per signature (the paper's
+    nwps). Attribute vocabularies have [vocab] values ("2/400" in the
+    paper reads: 2 words per signature out of a 400-word vocabulary).
+    Records are uniform on all attributes that are not their subclass's
+    pair. *)
+
+type class_spec = {
+  na : int;  (** subclasses *)
+  nspa : int;  (** signatures per subclass *)
+  words : int;  (** signature words per attribute (2 in all paper runs) *)
+  vocab : int;  (** vocabulary size of this class's attributes *)
+}
+
+type spec = {
+  target : class_spec;
+  non_target : class_spec;
+  target_fraction : float;
+}
+
+val classes : string array
+
+val target_class : int
+
+(** Presets for Table 3: [coa k] for k = 1..6 and [coad k] for k = 1..4. *)
+val coa : int -> spec
+
+val coad : int -> spec
+
+val generate : spec -> seed:int -> n:int -> Pn_data.Dataset.t
+
+val pp_spec : Format.formatter -> spec -> unit

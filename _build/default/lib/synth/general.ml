@@ -1,0 +1,121 @@
+type spec = {
+  tr : float;
+  nr : float;
+  shape : Signature.shape;
+  target_fraction : float;
+  vocab : int;
+}
+
+let default =
+  {
+    tr = 0.2;
+    nr = 0.2;
+    shape = Signature.Triangular;
+    target_fraction = 0.003;
+    vocab = 100;
+  }
+
+let classes = [| "NC"; "C" |]
+
+let target_class = 1
+
+let with_widths spec ~tr ~nr = { spec with tr; nr }
+
+let domain = 100.0
+
+(* Deterministic signature layout shared by train and test. *)
+type layout = {
+  c1_pairs : (Signature.peaks * Signature.peaks) array;  (* two conjunctions *)
+  nc1_pairs : (Signature.peaks * Signature.peaks) array;
+  c2 : Signature.peaks array;  (* peaks on n2 and n3 *)
+  nc2 : Signature.peaks array;
+  c3_words : (int array * int array) array;  (* word sets on (c0, c1) *)
+  nc3_words : (int array * int array) array;  (* word sets on (c2, c3) *)
+}
+
+let build spec =
+  ignore domain;
+  (* Explicit centers: C1 and NC1 share n0/n1, C2 and NC2 share n2/n3, so
+     the peaks of the two classes are interleaved at fixed positions well
+     apart (widths in the paper's sweeps reach 4.0). *)
+  let peak ~w c = Signature.at_centers ~centers:[| c |] ~width:w ~shape:spec.shape in
+  let pair ~w c1 c2 = (peak ~w c1, peak ~w c2) in
+  let word_sets nspa =
+    Array.init nspa (fun g ->
+        (Array.init 2 (fun w -> (2 * g) + w), Array.init 2 (fun w -> (2 * g) + w)))
+  in
+  {
+    c1_pairs = [| pair ~w:spec.tr 12.0 30.0; pair ~w:spec.tr 62.0 80.0 |];
+    nc1_pairs = [| pair ~w:spec.nr 37.0 55.0; pair ~w:spec.nr 87.0 8.0 |];
+    c2 = [| peak ~w:spec.tr 22.0; peak ~w:spec.tr 47.0 |];
+    nc2 = [| peak ~w:spec.nr 72.0; peak ~w:spec.nr 92.0 |];
+    c3_words = word_sets 2;
+    nc3_words = word_sets 4;
+  }
+
+let generate spec ~seed ~n =
+  let rng = Pn_util.Rng.create seed in
+  let layout = build spec in
+  let n_num = 4 and n_cat = 4 in
+  let attrs =
+    Array.append
+      (Array.init n_num (fun j -> Pn_data.Attribute.numeric (Printf.sprintf "n%d" j)))
+      (Array.init n_cat (fun j ->
+           Pn_data.Attribute.categorical
+             (Printf.sprintf "c%d" j)
+             (Array.init spec.vocab (fun v -> Printf.sprintf "v%d" v))))
+  in
+  let num_cols = Array.init n_num (fun _ -> Array.make n 0.0) in
+  let cat_cols = Array.init n_cat (fun _ -> Array.make n 0) in
+  let labels = Array.make n 0 in
+  let uniform_record i =
+    for j = 0 to n_num - 1 do
+      num_cols.(j).(i) <- Pn_util.Rng.float rng domain
+    done;
+    for j = 0 to n_cat - 1 do
+      cat_cols.(j).(i) <- Pn_util.Rng.int rng spec.vocab
+    done
+  in
+  let conjunctive i pairs =
+    let pa, pb = pairs.(Pn_util.Rng.int rng (Array.length pairs)) in
+    num_cols.(0).(i) <- Signature.sample pa rng;
+    num_cols.(1).(i) <- Signature.sample pb rng
+  in
+  let disjunctive i peaks =
+    let which = Pn_util.Rng.int rng (Array.length peaks) in
+    num_cols.(2 + which).(i) <- Signature.sample peaks.(which) rng
+  in
+  let categorical i word_sets ~lo ~hi =
+    let a, b = word_sets.(Pn_util.Rng.int rng (Array.length word_sets)) in
+    cat_cols.(lo).(i) <- Pn_util.Rng.choose rng a;
+    cat_cols.(hi).(i) <- Pn_util.Rng.choose rng b
+  in
+  for i = 0 to n - 1 do
+    uniform_record i;
+    let subclass = Pn_util.Rng.int rng 3 in
+    if Pn_util.Rng.bernoulli rng spec.target_fraction then begin
+      labels.(i) <- target_class;
+      match subclass with
+      | 0 -> conjunctive i layout.c1_pairs
+      | 1 -> disjunctive i layout.c2
+      | _ -> categorical i layout.c3_words ~lo:0 ~hi:1
+    end
+    else begin
+      match subclass with
+      | 0 -> conjunctive i layout.nc1_pairs
+      | 1 -> disjunctive i layout.nc2
+      | _ -> categorical i layout.nc3_words ~lo:2 ~hi:3
+    end
+  done;
+  let columns =
+    Array.append
+      (Array.map (fun c -> Pn_data.Dataset.Num c) num_cols)
+      (Array.map (fun c -> Pn_data.Dataset.Cat c) cat_cols)
+  in
+  Pn_data.Dataset.create ~attrs ~columns ~labels ~classes ()
+
+let pp_spec ppf spec =
+  Format.fprintf ppf "tr=%.1f nr=%.1f %s %.2f%% vocab=%d" spec.tr spec.nr
+    (Signature.shape_name spec.shape)
+    (100.0 *. spec.target_fraction)
+    spec.vocab

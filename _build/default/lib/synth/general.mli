@@ -1,0 +1,34 @@
+(** The general mixed model "syngen" of §3.2.3 (Figure 3, Tables 4-5).
+
+    Eight attributes: four numeric (n0..n3) and four categorical
+    (c0..c3). Three target and three non-target subclasses:
+
+    - C1 / NC1: *conjunctive* numeric signatures — a disjunction of two
+      conjunctions of peaks spanning attributes n0 AND n1;
+    - C2 / NC2: *disjunctive* numeric signatures — a peak on n2 OR a peak
+      on n3;
+    - C3 / NC3: categorical word-pair signatures — C3 on (c0, c1) with
+      nspa = 2, NC3 on (c2, c3) with nspa = 4, both 2 words per attribute.
+
+    A record is uniform on every attribute its subclass does not
+    distinguish. [tr] and [nr] control the numeric signature widths. *)
+
+type spec = {
+  tr : float;
+  nr : float;
+  shape : Signature.shape;
+  target_fraction : float;
+  vocab : int;  (** categorical vocabulary size (paper-scale: 100) *)
+}
+
+val default : spec
+
+val classes : string array
+
+val target_class : int
+
+val with_widths : spec -> tr:float -> nr:float -> spec
+
+val generate : spec -> seed:int -> n:int -> Pn_data.Dataset.t
+
+val pp_spec : Format.formatter -> spec -> unit

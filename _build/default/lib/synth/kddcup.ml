@@ -1,0 +1,522 @@
+let classes = [| "normal"; "dos"; "probe"; "r2l"; "u2r" |]
+
+let normal = 0
+
+let dos = 1
+
+let probe = 2
+
+let r2l = 3
+
+let u2r = 4
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let protocols = [| "tcp"; "udp"; "icmp" |]
+
+let services =
+  [|
+    "http"; "smtp"; "ftp"; "ftp_data"; "telnet"; "pop3"; "domain_u"; "private";
+    "eco_i"; "ecr_i"; "finger"; "other";
+  |]
+
+let flags = [| "SF"; "S0"; "REJ"; "RSTR"; "RSTO"; "SH"; "OTH" |]
+
+let bools = [| "0"; "1" |]
+
+(* Numeric feature indices. *)
+let f_duration = 0
+
+let f_src_bytes = 1
+
+let f_dst_bytes = 2
+
+let f_wrong_fragment = 3
+
+let f_hot = 4
+
+let f_num_failed_logins = 5
+
+let f_num_compromised = 6
+
+let f_count = 7
+
+let f_srv_count = 8
+
+let f_serror_rate = 9
+
+let f_rerror_rate = 10
+
+let f_same_srv_rate = 11
+
+let f_diff_srv_rate = 12
+
+let f_dst_host_count = 13
+
+let f_dst_host_srv_count = 14
+
+let f_dst_host_same_srv_rate = 15
+
+let n_numeric = 16
+
+let numeric_names =
+  [|
+    "duration"; "src_bytes"; "dst_bytes"; "wrong_fragment"; "hot";
+    "num_failed_logins"; "num_compromised"; "count"; "srv_count";
+    "serror_rate"; "rerror_rate"; "same_srv_rate"; "diff_srv_rate";
+    "dst_host_count"; "dst_host_srv_count"; "dst_host_same_srv_rate";
+  |]
+
+(* Categorical feature indices. *)
+let c_protocol = 0
+
+let c_service = 1
+
+let c_flag = 2
+
+let c_land = 3
+
+let c_logged_in = 4
+
+let c_root_shell = 5
+
+let n_categorical = 6
+
+let categorical_values =
+  [| protocols; services; flags; bools; bools; bools |]
+
+let categorical_names =
+  [| "protocol_type"; "service"; "flag"; "land"; "logged_in"; "root_shell" |]
+
+let service_code name =
+  match Array.find_index (String.equal name) services with
+  | Some i -> i
+  | None -> invalid_arg ("Kddcup: unknown service " ^ name)
+
+let protocol_code name =
+  match Array.find_index (String.equal name) protocols with
+  | Some i -> i
+  | None -> invalid_arg ("Kddcup: unknown protocol " ^ name)
+
+let flag_code name =
+  match Array.find_index (String.equal name) flags with
+  | Some i -> i
+  | None -> invalid_arg ("Kddcup: unknown flag " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Record construction helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+type rec_buf = { nf : float array; cf : int array }
+
+let positive rng mean spread =
+  Float.max 0.0 (mean +. (spread *. Pn_util.Rng.gaussian rng))
+
+let rate rng mean spread =
+  Float.max 0.0 (Float.min 1.0 (mean +. (spread *. Pn_util.Rng.gaussian rng)))
+
+let bytes rng typical =
+  (* Log-normal-ish traffic volume around the typical size. *)
+  Float.max 0.0 (typical *. exp (0.4 *. Pn_util.Rng.gaussian rng))
+
+(* Background values a generic benign-ish connection would have; each
+   subclass setter overrides the fields that carry its signature. *)
+let background rng b =
+  b.nf.(f_duration) <- positive rng 2.0 3.0;
+  b.nf.(f_src_bytes) <- bytes rng 300.0;
+  b.nf.(f_dst_bytes) <- bytes rng 2000.0;
+  b.nf.(f_wrong_fragment) <- 0.0;
+  b.nf.(f_hot) <- 0.0;
+  b.nf.(f_num_failed_logins) <- 0.0;
+  b.nf.(f_num_compromised) <- 0.0;
+  b.nf.(f_count) <- positive rng 8.0 6.0;
+  b.nf.(f_srv_count) <- positive rng 6.0 5.0;
+  b.nf.(f_serror_rate) <- rate rng 0.02 0.03;
+  b.nf.(f_rerror_rate) <- rate rng 0.02 0.03;
+  b.nf.(f_same_srv_rate) <- rate rng 0.9 0.1;
+  b.nf.(f_diff_srv_rate) <- rate rng 0.05 0.05;
+  b.nf.(f_dst_host_count) <- positive rng 30.0 25.0;
+  b.nf.(f_dst_host_srv_count) <- positive rng 25.0 20.0;
+  b.nf.(f_dst_host_same_srv_rate) <- rate rng 0.85 0.15;
+  b.cf.(c_protocol) <- protocol_code "tcp";
+  b.cf.(c_service) <- service_code "http";
+  b.cf.(c_flag) <- flag_code "SF";
+  b.cf.(c_land) <- 0;
+  b.cf.(c_logged_in) <- 0;
+  b.cf.(c_root_shell) <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Subclass generators                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type subclass = { name : string; cls : int; test_only : bool; fill : Pn_util.Rng.t -> rec_buf -> unit }
+
+let sub ?(test_only = false) name cls fill = { name; cls; test_only; fill }
+
+let normal_subclasses =
+  [
+    ( 0.55,
+      sub "normal.http" normal (fun rng b ->
+          b.cf.(c_logged_in) <- 1;
+          b.nf.(f_src_bytes) <- bytes rng 250.0;
+          b.nf.(f_dst_bytes) <- bytes rng 4000.0) );
+    ( 0.15,
+      sub "normal.smtp" normal (fun rng b ->
+          b.cf.(c_service) <- service_code "smtp";
+          b.cf.(c_logged_in) <- 1;
+          b.nf.(f_src_bytes) <- bytes rng 900.0;
+          b.nf.(f_dst_bytes) <- bytes rng 330.0) );
+    ( 0.12,
+      sub "normal.ftp" normal (fun rng b ->
+          (* Benign ftp shares r2l's presence signature. *)
+          b.cf.(c_service) <-
+            (if Pn_util.Rng.bool rng then service_code "ftp" else service_code "ftp_data");
+          b.cf.(c_logged_in) <- 1;
+          b.nf.(f_duration) <- positive rng 120.0 180.0;
+          (* Some benign transfers trip the same "hot" indicators and
+             volumes as warez downloads. *)
+          if Pn_util.Rng.bernoulli rng 0.2 then
+            b.nf.(f_hot) <- 1.0 +. Float.of_int (Pn_util.Rng.int rng 2);
+          b.nf.(f_src_bytes) <- bytes rng 2000.0;
+          b.nf.(f_dst_bytes) <-
+            (if Pn_util.Rng.bernoulli rng 0.3 then bytes rng 200000.0
+             else bytes rng 8000.0)) );
+    ( 0.08,
+      sub "normal.domain_u" normal (fun rng b ->
+          b.cf.(c_protocol) <- protocol_code "udp";
+          b.cf.(c_service) <- service_code "domain_u";
+          b.nf.(f_duration) <- 0.0;
+          b.nf.(f_src_bytes) <- positive rng 45.0 10.0;
+          b.nf.(f_dst_bytes) <- positive rng 90.0 30.0) );
+    ( 0.06,
+      sub "normal.telnet" normal (fun rng b ->
+          b.cf.(c_service) <- service_code "telnet";
+          b.cf.(c_logged_in) <- 1;
+          b.nf.(f_duration) <- positive rng 120.0 100.0;
+          (* Fat-fingered passwords: benign telnet overlaps the
+             guess_passwd signature. *)
+          if Pn_util.Rng.bernoulli rng 0.25 then
+            b.nf.(f_num_failed_logins) <- 1.0 +. Float.of_int (Pn_util.Rng.int rng 2);
+          b.nf.(f_src_bytes) <- bytes rng 1500.0;
+          b.nf.(f_dst_bytes) <- bytes rng 3000.0) );
+    ( 0.02,
+      sub "normal.other" normal (fun rng b ->
+          b.cf.(c_service) <- service_code "other";
+          b.nf.(f_same_srv_rate) <- rate rng 0.6 0.2) );
+    ( 0.02,
+      sub "normal.ping" normal (fun rng b ->
+          (* Benign icmp echo traffic sits inside ipsweep's presence
+             signature; only the fan-out statistics separate them. *)
+          b.cf.(c_protocol) <- protocol_code "icmp";
+          b.cf.(c_service) <- service_code "eco_i";
+          b.nf.(f_duration) <- 0.0;
+          b.nf.(f_src_bytes) <- 8.0 +. Float.of_int (Pn_util.Rng.int rng 12);
+          b.nf.(f_dst_bytes) <- 0.0;
+          b.nf.(f_count) <- positive rng 2.0 1.5;
+          b.nf.(f_dst_host_count) <- positive rng 60.0 45.0;
+          b.nf.(f_dst_host_same_srv_rate) <- rate rng 0.3 0.2) );
+  ]
+
+let dos_subclasses =
+  [
+    ( 0.55,
+      sub "dos.smurf" dos (fun rng b ->
+          b.cf.(c_protocol) <- protocol_code "icmp";
+          b.cf.(c_service) <- service_code "ecr_i";
+          b.nf.(f_duration) <- 0.0;
+          b.nf.(f_src_bytes) <- 1032.0 +. Float.of_int (Pn_util.Rng.int rng 3);
+          b.nf.(f_dst_bytes) <- 0.0;
+          b.nf.(f_count) <- positive rng 480.0 60.0;
+          b.nf.(f_srv_count) <- positive rng 480.0 60.0;
+          b.nf.(f_same_srv_rate) <- 1.0;
+          b.nf.(f_dst_host_count) <- positive rng 255.0 10.0;
+          b.nf.(f_dst_host_srv_count) <- positive rng 255.0 10.0) );
+    ( 0.38,
+      sub "dos.neptune" dos (fun rng b ->
+          b.cf.(c_service) <-
+            (if Pn_util.Rng.bool rng then service_code "private" else service_code "other");
+          b.cf.(c_flag) <- flag_code "S0";
+          b.nf.(f_duration) <- 0.0;
+          b.nf.(f_src_bytes) <- 0.0;
+          b.nf.(f_dst_bytes) <- 0.0;
+          b.nf.(f_count) <- positive rng 200.0 50.0;
+          b.nf.(f_srv_count) <- positive rng 10.0 5.0;
+          b.nf.(f_serror_rate) <- rate rng 0.98 0.03;
+          b.nf.(f_same_srv_rate) <- rate rng 0.05 0.05;
+          b.nf.(f_diff_srv_rate) <- rate rng 0.07 0.05) );
+    ( 0.04,
+      sub "dos.back" dos (fun rng b ->
+          b.cf.(c_logged_in) <- 1;
+          b.nf.(f_src_bytes) <- bytes rng 54000.0;
+          b.nf.(f_dst_bytes) <- bytes rng 8000.0;
+          b.nf.(f_count) <- positive rng 5.0 3.0) );
+    ( 0.03,
+      sub "dos.ftp_flood" dos (fun rng b ->
+          (* Flooding over ftp: the impurity in r2l's service signature
+             (the paper's §1 example). *)
+          b.cf.(c_service) <- service_code "ftp";
+          b.cf.(c_flag) <-
+            (if Pn_util.Rng.bernoulli rng 0.7 then flag_code "S0" else flag_code "SF");
+          b.nf.(f_duration) <- 0.0;
+          b.nf.(f_src_bytes) <- positive rng 10.0 10.0;
+          b.nf.(f_dst_bytes) <- 0.0;
+          b.nf.(f_count) <- positive rng 300.0 80.0;
+          b.nf.(f_srv_count) <- positive rng 300.0 80.0;
+          b.nf.(f_serror_rate) <- rate rng 0.7 0.2;
+          b.nf.(f_same_srv_rate) <- rate rng 0.95 0.05) );
+  ]
+
+let probe_subclasses ~with_novel =
+  let base =
+    [
+      ( 0.35,
+        sub "probe.ipsweep" probe (fun rng b ->
+            b.cf.(c_protocol) <- protocol_code "icmp";
+            b.cf.(c_service) <- service_code "eco_i";
+            b.nf.(f_duration) <- 0.0;
+            b.nf.(f_src_bytes) <- 8.0 +. Float.of_int (Pn_util.Rng.int rng 12);
+            b.nf.(f_dst_bytes) <- 0.0;
+            b.nf.(f_count) <- positive rng 2.0 1.5;
+            b.nf.(f_dst_host_count) <- positive rng 170.0 70.0;
+            b.nf.(f_dst_host_same_srv_rate) <- rate rng 0.12 0.1) );
+      ( 0.28,
+        sub "probe.portsweep" probe (fun rng b ->
+            b.cf.(c_flag) <-
+              (let r = Pn_util.Rng.float rng 1.0 in
+               if r < 0.45 then flag_code "REJ"
+               else if r < 0.85 then flag_code "RSTR"
+               else flag_code "SF");
+            b.cf.(c_service) <- service_code "private";
+            b.nf.(f_duration) <- 0.0;
+            b.nf.(f_src_bytes) <- positive rng 4.0 4.0;
+            b.nf.(f_dst_bytes) <- 0.0;
+            b.nf.(f_rerror_rate) <- rate rng 0.9 0.1;
+            b.nf.(f_diff_srv_rate) <- rate rng 0.85 0.1;
+            b.nf.(f_same_srv_rate) <- rate rng 0.05 0.05) );
+      ( 0.25,
+        sub "probe.satan" probe (fun rng b ->
+            b.cf.(c_service) <-
+              (if Pn_util.Rng.bool rng then service_code "private" else service_code "other");
+            b.nf.(f_duration) <- 0.0;
+            b.nf.(f_src_bytes) <- positive rng 6.0 5.0;
+            b.nf.(f_dst_bytes) <- positive rng 10.0 10.0;
+            b.nf.(f_diff_srv_rate) <- rate rng 0.7 0.15;
+            b.nf.(f_rerror_rate) <- rate rng 0.5 0.2;
+            b.nf.(f_count) <- positive rng 80.0 40.0) );
+      ( 0.12,
+        sub "probe.nmap" probe (fun rng b ->
+            b.cf.(c_protocol) <-
+              (if Pn_util.Rng.bool rng then protocol_code "icmp" else protocol_code "udp");
+            b.cf.(c_service) <-
+              (if Pn_util.Rng.bool rng then service_code "eco_i" else service_code "private");
+            b.nf.(f_duration) <- 0.0;
+            b.nf.(f_src_bytes) <- positive rng 20.0 15.0;
+            b.nf.(f_dst_bytes) <- 0.0;
+            b.nf.(f_dst_host_count) <- positive rng 150.0 60.0) );
+    ]
+  in
+  if not with_novel then base
+  else
+    [
+      ( 0.22,
+        sub ~test_only:true "probe.saint" probe (fun rng b ->
+            b.cf.(c_service) <- service_code "other";
+            b.cf.(c_flag) <- flag_code "RSTO";
+            b.nf.(f_duration) <- 0.0;
+            b.nf.(f_src_bytes) <- positive rng 10.0 6.0;
+            b.nf.(f_diff_srv_rate) <- rate rng 0.6 0.2;
+            b.nf.(f_rerror_rate) <- rate rng 0.6 0.2;
+            b.nf.(f_dst_host_count) <- positive rng 200.0 50.0) );
+      ( 0.10,
+        sub ~test_only:true "probe.mscan" probe (fun rng b ->
+            b.cf.(c_flag) <- flag_code "REJ";
+            b.nf.(f_duration) <- 0.0;
+            b.nf.(f_src_bytes) <- 0.0;
+            b.nf.(f_dst_bytes) <- 0.0;
+            b.nf.(f_rerror_rate) <- rate rng 0.95 0.05;
+            b.nf.(f_diff_srv_rate) <- rate rng 0.9 0.08;
+            b.nf.(f_dst_host_count) <- positive rng 250.0 10.0) );
+    ]
+    @ List.map (fun (w, s) -> (w *. 0.68, s)) base
+
+let r2l_subclasses ~with_novel =
+  let base =
+    [
+      ( 0.40,
+        sub "r2l.guess_passwd" r2l (fun rng b ->
+            b.cf.(c_service) <-
+              (if Pn_util.Rng.bernoulli rng 0.6 then service_code "telnet"
+               else service_code "pop3");
+            b.nf.(f_duration) <- positive rng 2.0 2.0;
+            (* A quarter of attempts are stealthy and leave no failed
+               login count, keeping the subclass impure. *)
+            b.nf.(f_num_failed_logins) <-
+              (if Pn_util.Rng.bernoulli rng 0.75 then
+                 1.0 +. Float.of_int (Pn_util.Rng.int rng 5)
+               else 0.0);
+            b.nf.(f_src_bytes) <- positive rng 120.0 40.0;
+            b.nf.(f_dst_bytes) <- positive rng 300.0 100.0;
+            b.nf.(f_count) <- positive rng 2.0 1.5) );
+      ( 0.40,
+        sub "r2l.warezclient" r2l (fun rng b ->
+            b.cf.(c_service) <-
+              (if Pn_util.Rng.bool rng then service_code "ftp" else service_code "ftp_data");
+            b.cf.(c_logged_in) <- 1;
+            b.nf.(f_duration) <- positive rng 300.0 200.0;
+            b.nf.(f_hot) <- 1.0 +. Float.of_int (Pn_util.Rng.int rng 3);
+            b.nf.(f_src_bytes) <- bytes rng 400.0;
+            b.nf.(f_dst_bytes) <- bytes rng 300000.0;
+            b.nf.(f_count) <- positive rng 2.0 1.5) );
+      ( 0.12,
+        sub "r2l.ftp_write" r2l (fun rng b ->
+            b.cf.(c_service) <- service_code "ftp";
+            b.cf.(c_logged_in) <- 1;
+            b.nf.(f_duration) <- positive rng 60.0 40.0;
+            b.nf.(f_hot) <- 2.0 +. Float.of_int (Pn_util.Rng.int rng 3);
+            b.nf.(f_num_compromised) <- 1.0;
+            b.nf.(f_src_bytes) <- positive rng 200.0 80.0) );
+      ( 0.08,
+        sub "r2l.imap" r2l (fun rng b ->
+            b.cf.(c_service) <- service_code "other";
+            b.nf.(f_duration) <- positive rng 1.0 1.0;
+            b.nf.(f_src_bytes) <- positive rng 1000.0 300.0;
+            b.nf.(f_dst_bytes) <- positive rng 300.0 150.0;
+            b.nf.(f_serror_rate) <- rate rng 0.3 0.2) );
+    ]
+  in
+  if not with_novel then base
+  else
+    (* The contest's test r2l mass is dominated by attacks unseen in
+       training; snmpguess-style udp probing of community strings and
+       http tunnelling that mimics normal browsing. *)
+    [
+      ( 0.58,
+        sub ~test_only:true "r2l.snmpguess" r2l (fun rng b ->
+            b.cf.(c_protocol) <- protocol_code "udp";
+            b.cf.(c_service) <- service_code "private";
+            b.nf.(f_duration) <- 0.0;
+            b.nf.(f_src_bytes) <- positive rng 60.0 15.0;
+            b.nf.(f_dst_bytes) <- positive rng 60.0 15.0;
+            b.nf.(f_count) <- positive rng 6.0 4.0) );
+      ( 0.14,
+        sub ~test_only:true "r2l.httptunnel" r2l (fun rng b ->
+            b.cf.(c_logged_in) <- 1;
+            b.nf.(f_duration) <- positive rng 15.0 10.0;
+            b.nf.(f_src_bytes) <- bytes rng 800.0;
+            b.nf.(f_dst_bytes) <- bytes rng 5000.0) );
+    ]
+    @ List.map (fun (w, s) -> (w *. 0.28, s)) base
+
+let u2r_subclasses =
+  [
+    ( 0.7,
+      sub "u2r.buffer_overflow" u2r (fun rng b ->
+          b.cf.(c_service) <- service_code "telnet";
+          b.cf.(c_logged_in) <- 1;
+          b.cf.(c_root_shell) <- 1;
+          b.nf.(f_duration) <- positive rng 180.0 120.0;
+          b.nf.(f_hot) <- 10.0 +. Float.of_int (Pn_util.Rng.int rng 20);
+          b.nf.(f_num_compromised) <- 1.0 +. Float.of_int (Pn_util.Rng.int rng 3);
+          b.nf.(f_src_bytes) <- bytes rng 1500.0) );
+    ( 0.3,
+      sub "u2r.rootkit" u2r (fun rng b ->
+          b.cf.(c_logged_in) <- 1;
+          b.cf.(c_root_shell) <- 1;
+          b.nf.(f_duration) <- positive rng 60.0 60.0;
+          b.nf.(f_num_compromised) <- 2.0 +. Float.of_int (Pn_util.Rng.int rng 5);
+          b.nf.(f_hot) <- 3.0 +. Float.of_int (Pn_util.Rng.int rng 5)) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Mixtures and generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* (class weight, submixture) for the training distribution (the 10 %
+   contest sample) and for the shifted test distribution. *)
+let train_mixture =
+  [
+    (0.197, normal_subclasses);
+    (0.7924, dos_subclasses);
+    (0.0083, probe_subclasses ~with_novel:false);
+    (0.0023, r2l_subclasses ~with_novel:false);
+    (0.0001, u2r_subclasses);
+  ]
+
+let test_mixture =
+  [
+    (0.195, normal_subclasses);
+    (0.739, dos_subclasses);
+    (0.0134, probe_subclasses ~with_novel:true);
+    (0.052, r2l_subclasses ~with_novel:true);
+    (0.0006, u2r_subclasses);
+  ]
+
+let normalize weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  List.map (fun (w, s) -> (w /. total, s)) weighted
+
+let pick rng weighted =
+  let weighted = normalize weighted in
+  let u = Pn_util.Rng.float rng 1.0 in
+  let rec go acc = function
+    | [] -> snd (List.hd weighted)
+    | (w, s) :: rest -> if u < acc +. w then s else go (acc +. w) rest
+  in
+  go 0.0 weighted
+
+let generate mixture ~seed ~n =
+  let rng = Pn_util.Rng.create seed in
+  let num_cols = Array.init n_numeric (fun _ -> Array.make n 0.0) in
+  let cat_cols = Array.init n_categorical (fun _ -> Array.make n 0) in
+  let labels = Array.make n 0 in
+  let buf = { nf = Array.make n_numeric 0.0; cf = Array.make n_categorical 0 } in
+  for i = 0 to n - 1 do
+    let submix = pick rng mixture in
+    let subclass = pick rng (List.map (fun (w, s) -> (w, s)) submix) in
+    background rng buf;
+    subclass.fill rng buf;
+    labels.(i) <- subclass.cls;
+    for j = 0 to n_numeric - 1 do
+      num_cols.(j).(i) <- buf.nf.(j)
+    done;
+    for j = 0 to n_categorical - 1 do
+      cat_cols.(j).(i) <- buf.cf.(j)
+    done
+  done;
+  let attrs =
+    Array.append
+      (Array.map Pn_data.Attribute.numeric numeric_names)
+      (Array.init n_categorical (fun j ->
+           Pn_data.Attribute.categorical categorical_names.(j) categorical_values.(j)))
+  in
+  let columns =
+    Array.append
+      (Array.map (fun c -> Pn_data.Dataset.Num c) num_cols)
+      (Array.map (fun c -> Pn_data.Dataset.Cat c) cat_cols)
+  in
+  Pn_data.Dataset.create ~attrs ~columns ~labels ~classes ()
+
+(* [pick] on the outer mixture must choose a submixture, then a subclass
+   within it; wrap the outer layer so both levels use the same machinery. *)
+let generate_from class_mixture ~seed ~n =
+  let mixture =
+    List.map (fun (w, subs) -> (w, subs)) class_mixture
+  in
+  generate mixture ~seed ~n
+
+let train ~seed ~n = generate_from train_mixture ~seed ~n
+
+let test ~seed ~n = generate_from test_mixture ~seed ~n
+
+let subclass_names ~test_only =
+  let all =
+    List.concat_map snd (train_mixture @ if test_only then test_mixture else [])
+  in
+  let names =
+    List.filter_map
+      (fun (_, s) -> if s.test_only = test_only then Some s.name else None)
+      all
+  in
+  List.sort_uniq compare names

@@ -1,0 +1,47 @@
+(** Synthetic stand-in for the KDDCUP'99 network-intrusion dataset (§4).
+
+    The real contest data is unavailable offline; this simulator generates
+    connection records with the same *structural* properties the paper's
+    Section 4 exploits:
+
+    - five classes (normal, dos, probe, r2l, u2r) at the contest's skew:
+      r2l is 0.23 % and probe 0.83 % of the training data;
+    - *impure presence signatures*: r2l attacks live on ftp/telnet/pop3
+      services that dos floods and normal traffic also use, so precision
+      requires learning the absence of dos/normal (the paper's motivating
+      example);
+    - a shifted test distribution (r2l 5.2 %, probe 1.34 %) whose r2l
+      mass is dominated by *novel subclasses* absent from training
+      (snmpguess, httptunnel), like the real contest test set;
+    - 22 features mixing numeric traffic statistics and categorical
+      protocol fields, named after their KDD counterparts.
+
+    Subclass mixtures and feature distributions are documented inline and
+    in DESIGN.md. *)
+
+val classes : string array
+
+(** Class indices: [normal = 0], [dos = 1], [probe = 2], [r2l = 3],
+    [u2r = 4]. *)
+val normal : int
+
+val dos : int
+
+val probe : int
+
+val r2l : int
+
+val u2r : int
+
+(** [train ~seed ~n] draws a training set with the 10 %-sample class
+    proportions (dos 79.2 %, normal 19.7 %, probe 0.83 %, r2l 0.23 %,
+    u2r 0.01 %). *)
+val train : seed:int -> n:int -> Pn_data.Dataset.t
+
+(** [test ~seed ~n] draws a test set from the shifted distribution with
+    novel attack subclasses. *)
+val test : seed:int -> n:int -> Pn_data.Dataset.t
+
+(** [subclass_names ~test_only] lists the attack subclasses generated
+    (with [test_only] novel ones included or not), for documentation. *)
+val subclass_names : test_only:bool -> string list

@@ -1,0 +1,90 @@
+type spec = {
+  tc : int;
+  nsptc : int;
+  tr : float;
+  ntc : int;
+  nspntc : int;
+  nr : float;
+  shape : Signature.shape;
+  target_fraction : float;
+}
+
+let domain = 100.0
+
+let classes = [| "NC"; "C" |]
+
+let target_class = 1
+
+let base =
+  {
+    tc = 1;
+    nsptc = 4;
+    tr = 0.2;
+    ntc = 2;
+    nspntc = 3;
+    nr = 0.2;
+    shape = Signature.Triangular;
+    target_fraction = 0.003;
+  }
+
+let nsyn = function
+  | 1 -> { base with nsptc = 1 }
+  | 2 -> base
+  | 3 -> { base with nspntc = 4 }
+  | 4 -> { base with nspntc = 5 }
+  | 5 -> { base with ntc = 3; nspntc = 4 }
+  | 6 -> { base with ntc = 3; nspntc = 5 }
+  | k -> invalid_arg (Printf.sprintf "Numerical.nsyn: no preset nsyn%d" k)
+
+let with_widths spec ~tr ~nr = { spec with tr; nr }
+
+(* The signature combs of all subclasses, derived deterministically from
+   the spec so train and test share the exact model. *)
+let build_peaks spec =
+  let target =
+    Array.init spec.tc (fun k ->
+        Signature.make ~n_peaks:spec.nsptc ~total_width:spec.tr ~domain
+          ~shape:spec.shape
+          ~phase:(float_of_int k /. float_of_int (max 1 spec.tc)))
+  in
+  let non_target =
+    Array.init spec.ntc (fun j ->
+        Signature.make ~n_peaks:spec.nspntc ~total_width:spec.nr ~domain
+          ~shape:spec.shape
+          ~phase:(0.37 +. (float_of_int j /. float_of_int (max 1 spec.ntc))))
+  in
+  (target, non_target)
+
+let generate spec ~seed ~n =
+  let rng = Pn_util.Rng.create seed in
+  let n_attrs = spec.tc + spec.ntc in
+  let target_peaks, non_target_peaks = build_peaks spec in
+  let attrs =
+    Array.init n_attrs (fun j ->
+        Pn_data.Attribute.numeric (Printf.sprintf "a%d" j))
+  in
+  let columns = Array.init n_attrs (fun _ -> Array.make n 0.0) in
+  let labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n_attrs - 1 do
+      columns.(j).(i) <- Pn_util.Rng.float rng domain
+    done;
+    if Pn_util.Rng.bernoulli rng spec.target_fraction then begin
+      labels.(i) <- target_class;
+      let s = Pn_util.Rng.int rng spec.tc in
+      columns.(s).(i) <- Signature.sample target_peaks.(s) rng
+    end
+    else begin
+      let s = Pn_util.Rng.int rng spec.ntc in
+      columns.(spec.tc + s).(i) <- Signature.sample non_target_peaks.(s) rng
+    end
+  done;
+  Pn_data.Dataset.create ~attrs
+    ~columns:(Array.map (fun c -> Pn_data.Dataset.Num c) columns)
+    ~labels ~classes ()
+
+let pp_spec ppf spec =
+  Format.fprintf ppf "tc=%d nsptc=%d tr=%.1f ntc=%d nspntc=%d nr=%.1f %s %.2f%%"
+    spec.tc spec.nsptc spec.tr spec.ntc spec.nspntc spec.nr
+    (Signature.shape_name spec.shape)
+    (100.0 *. spec.target_fraction)

@@ -1,0 +1,41 @@
+(** The numeric-only synthetic model of §3.2.1 and Table 1.
+
+    Both the target class C and the non-target class NC are unions of
+    subclasses. Each subclass is distinguished by disjoint signature peaks
+    on its own dedicated attribute; every record is uniform on all
+    attributes that do not distinguish its own subclass. The dataset has
+    [tc + ntc] numeric attributes over the domain [0, 100): attribute k
+    (< tc) distinguishes target subclass k, attribute tc + j distinguishes
+    non-target subclass j. *)
+
+type spec = {
+  tc : int;  (** number of target subclasses *)
+  nsptc : int;  (** disjoint signatures per target subclass *)
+  tr : float;  (** total peak width per target subclass *)
+  ntc : int;  (** number of non-target subclasses *)
+  nspntc : int;  (** disjoint signatures per non-target subclass *)
+  nr : float;  (** total peak width per non-target subclass *)
+  shape : Signature.shape;
+  target_fraction : float;  (** proportion of class C, 0.003 in the paper *)
+}
+
+val domain : float
+
+(** [classes] is [| "NC"; "C" |]; the target class index is 1. *)
+val classes : string array
+
+val target_class : int
+
+(** The paper's Table 1 presets, in order nsyn1 … nsyn6. *)
+val nsyn : int -> spec
+
+(** [with_widths spec ~tr ~nr] overrides the width parameters (Figure 1 /
+    Table 2 sweeps). *)
+val with_widths : spec -> tr:float -> nr:float -> spec
+
+(** [generate spec ~seed ~n] draws [n] records. Generation is
+    deterministic in [seed]; train/test sets come from different seeds of
+    the identical model, as in the paper. *)
+val generate : spec -> seed:int -> n:int -> Pn_data.Dataset.t
+
+val pp_spec : Format.formatter -> spec -> unit

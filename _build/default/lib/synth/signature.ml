@@ -1,0 +1,54 @@
+type shape = Rectangular | Triangular | Gaussian
+
+let shape_name = function
+  | Rectangular -> "rectangular"
+  | Triangular -> "triangular"
+  | Gaussian -> "gaussian"
+
+type peaks = { centers : float array; width : float; shape : shape }
+
+let make ~n_peaks ~total_width ~domain ~shape ~phase =
+  if n_peaks <= 0 then invalid_arg "Signature.make: n_peaks must be positive";
+  let width = total_width /. float_of_int n_peaks in
+  let centers =
+    Array.init n_peaks (fun i ->
+        (* Even spacing with a phase offset, kept away from the domain
+           edges so the full peak fits inside. *)
+        let slot = (float_of_int i +. 0.5 +. (0.8 *. phase)) /. float_of_int n_peaks in
+        let c = slot *. domain in
+        Float.max (width /. 2.0) (Float.min (domain -. (width /. 2.0)) c))
+    |> Array.map (fun c -> c)
+  in
+  { centers; width; shape }
+
+let at_centers ~centers ~width ~shape = { centers; width; shape }
+
+let unit_sample shape rng =
+  match shape with
+  | Rectangular -> Pn_util.Rng.float rng 1.0
+  | Triangular -> Pn_util.Rng.triangular rng
+  | Gaussian ->
+    (* Clamp a N(0.5, 0.18) draw into [0,1) so the peak stays disjoint. *)
+    let v = 0.5 +. (0.18 *. Pn_util.Rng.gaussian rng) in
+    Float.max 0.0 (Float.min 0.999999 v)
+
+let sample_peak t rng k =
+  let u = unit_sample t.shape rng in
+  t.centers.(k) +. ((u -. 0.5) *. t.width)
+
+let sample t rng =
+  let k = Pn_util.Rng.int rng (Array.length t.centers) in
+  sample_peak t rng k
+
+let contains t v =
+  (* The half-width comparison needs an ulp of slack: samples at a peak's
+     exact edge can round a hair past width/2. *)
+  let slack = 1e-9 *. (1.0 +. Float.abs v) in
+  Array.exists (fun c -> Float.abs (v -. c) <= (t.width /. 2.0) +. slack) t.centers
+
+let intervals t =
+  let list =
+    Array.to_list
+      (Array.map (fun c -> (c -. (t.width /. 2.0), c +. (t.width /. 2.0))) t.centers)
+  in
+  List.sort compare list

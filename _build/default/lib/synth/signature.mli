@@ -1,0 +1,35 @@
+(** Peak-shaped signature sampling for the synthetic models (§3.2).
+
+    A subclass's signature on a numeric attribute is a set of disjoint,
+    uniformly spaced peaks of a given total width and distribution shape
+    (the paper's d-shape parameter: rectangular, triangular or
+    Gaussian). *)
+
+type shape = Rectangular | Triangular | Gaussian
+
+val shape_name : shape -> string
+
+type peaks = { centers : float array; width : float; shape : shape }
+
+(** [make ~n_peaks ~total_width ~domain ~shape ~phase] places [n_peaks]
+    disjoint peaks of combined width [total_width] evenly across
+    [0, domain). [phase] ∈ [0,1) shifts the comb so different subclasses
+    get different (still disjoint) peak positions. *)
+val make : n_peaks:int -> total_width:float -> domain:float -> shape:shape -> phase:float -> peaks
+
+(** [at_centers ~centers ~width ~shape] places peaks of width [width] at
+    explicit centers (used when several subclasses share an attribute and
+    disjointness must be guaranteed by construction). *)
+val at_centers : centers:float array -> width:float -> shape:shape -> peaks
+
+(** [sample t rng] draws a value from a uniformly chosen peak. *)
+val sample : peaks -> Pn_util.Rng.t -> float
+
+(** [sample_peak t rng k] draws from peak [k]. *)
+val sample_peak : peaks -> Pn_util.Rng.t -> int -> float
+
+(** [contains t v] is true when [v] lies inside some peak. *)
+val contains : peaks -> float -> bool
+
+(** [intervals t] is the list of (lo, hi) peak intervals, ascending. *)
+val intervals : peaks -> (float * float) list

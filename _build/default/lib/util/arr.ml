@@ -1,0 +1,48 @@
+let argsort cmp a =
+  let idx = Array.init (Array.length a) (fun i -> i) in
+  (* Compare values first, indices second: stability without relying on
+     the sorting algorithm. *)
+  Array.sort
+    (fun i j ->
+      let c = cmp a.(i) a.(j) in
+      if c <> 0 then c else compare i j)
+    idx;
+  idx
+
+let argsort_floats a = argsort Float.compare a
+
+let sum_floats = Array.fold_left ( +. ) 0.0
+
+let filteri p a =
+  let out = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    if p i a.(i) then out := a.(i) :: !out
+  done;
+  Array.of_list !out
+
+let max_by f a =
+  if Array.length a = 0 then invalid_arg "Arr.max_by: empty array";
+  let best = ref a.(0) in
+  let best_v = ref (f a.(0)) in
+  for i = 1 to Array.length a - 1 do
+    let v = f a.(i) in
+    if v > !best_v then begin
+      best := a.(i);
+      best_v := v
+    end
+  done;
+  !best
+
+let rec take n l =
+  if n <= 0 then []
+  else
+    match l with
+    | [] -> []
+    | x :: rest -> x :: take (n - 1) rest
+
+let range n = Array.init n (fun i -> i)
+
+let mean_of f a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else Array.fold_left (fun acc x -> acc +. f x) 0.0 a /. float_of_int n

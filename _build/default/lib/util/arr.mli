@@ -1,0 +1,28 @@
+(** Array helpers shared by the dataset engine and the learners. *)
+
+(** [argsort_floats a] is the permutation of indices of [a] that sorts the
+    values ascending; ties keep index order (stable). *)
+val argsort_floats : float array -> int array
+
+(** [argsort cmp a] is the index permutation sorting [a] by [cmp],
+    stable. *)
+val argsort : ('a -> 'a -> int) -> 'a array -> int array
+
+(** [sum_floats a] is Σ a.(i). *)
+val sum_floats : float array -> float
+
+(** [filteri p a] keeps the elements whose (index, value) satisfies [p]. *)
+val filteri : (int -> 'a -> bool) -> 'a array -> 'a array
+
+(** [max_by f a] is the element maximizing [f] (first on ties). Raises
+    [Invalid_argument] on an empty array. *)
+val max_by : ('a -> float) -> 'a array -> 'a
+
+(** [take n l] is the first [n] elements of [l] (all of [l] if shorter). *)
+val take : int -> 'a list -> 'a list
+
+(** [range n] is [| 0; 1; ...; n-1 |]. *)
+val range : int -> int array
+
+(** [mean_of f a] averages [f] over the array, 0 on empty. *)
+val mean_of : ('a -> float) -> 'a array -> float

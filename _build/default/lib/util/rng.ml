@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  (* splitmix64 finalizer: full-avalanche mixing of the raw counter. *)
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = mix64 (bits64 t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Reject to avoid modulo bias; the loop terminates quickly because the
+     acceptance region covers more than half of the 62-bit range. *)
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let rec loop () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then loop () else v
+  in
+  loop ()
+
+let float t bound =
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  (* 53 uniform bits mapped onto [0,1). *)
+  Int64.to_float r *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let bernoulli t p = float t 1.0 < p
+
+let gaussian t =
+  let rec loop () =
+    let u = float t 1.0 in
+    if u <= 0.0 then loop () else u
+  in
+  let u1 = loop () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let triangular t =
+  let u = float t 1.0 in
+  if u < 0.5 then sqrt (u /. 2.0) else 1.0 -. sqrt ((1.0 -. u) /. 2.0)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t ~n ~k =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: k iterations, O(k) space. *)
+  let seen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem seen r then Hashtbl.replace seen j ()
+    else Hashtbl.replace seen r ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter (fun idx () -> out.(!i) <- idx; incr i) seen;
+  Array.sort compare out;
+  out

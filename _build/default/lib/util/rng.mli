@@ -1,0 +1,56 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    The implementation is splitmix64: a tiny, fast, well-distributed
+    generator whose state is a single [int64]. Determinism across runs
+    matters more than cryptographic quality here — every experiment in the
+    reproduction is seeded so that tables can be regenerated exactly. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. Use it to
+    hand sub-tasks their own streams so that adding draws to one task does
+    not perturb another. *)
+val split : t -> t
+
+(** [bits64 t] is the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform on [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform on [0, bound). *)
+val float : t -> float -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is true with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** [gaussian t] is a standard normal draw (Box–Muller). *)
+val gaussian : t -> float
+
+(** [triangular t] is a draw from the symmetric triangular distribution on
+    [0, 1) with mode 0.5. *)
+val triangular : t -> float
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t a] is a uniformly random element of [a]. Raises
+    [Invalid_argument] on an empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [sample_without_replacement t ~n ~k] is a sorted array of [k] distinct
+    indices drawn uniformly from [0, n). Raises [Invalid_argument] if
+    [k < 0] or [k > n]. *)
+val sample_without_replacement : t -> n:int -> k:int -> int array

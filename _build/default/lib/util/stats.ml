@@ -1,0 +1,187 @@
+let log2_e = 1.4426950408889634
+
+let log2 x = log x *. log2_e
+
+let xlog2x p = if p <= 0.0 then 0.0 else p *. log2 p
+
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Stats.log_gamma: nonpositive argument";
+  if x < 0.5 then
+    (* Reflection keeps the Lanczos series in its accurate region. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref lanczos.(0) in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+  end
+
+let log_comb n k =
+  if k <= 0.0 || k >= n then 0.0
+  else
+    (log_gamma (n +. 1.0) -. log_gamma (k +. 1.0) -. log_gamma (n -. k +. 1.0))
+    *. log2_e
+
+let entropy cases =
+  let total = Array.fold_left ( +. ) 0.0 cases in
+  if total <= 0.0 then 0.0
+  else
+    Array.fold_left
+      (fun acc w -> if w <= 0.0 then acc else acc -. xlog2x (w /. total))
+      0.0 cases
+
+(* Regularized incomplete beta function I_x(a, b), continued-fraction
+   evaluation (Numerical Recipes "betacf" with the standard symmetry
+   transform for convergence). *)
+let betacf a b x =
+  let max_iter = 200 and eps = 3e-12 and fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  (try
+     for m = 1 to max_iter do
+       let mf = float_of_int m in
+       let m2 = 2.0 *. mf in
+       let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+       d := 1.0 +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1.0 +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1.0 /. !d;
+       h := !h *. !d *. !c;
+       let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+       d := 1.0 +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1.0 +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1.0 /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.0) < eps then raise Exit
+     done
+   with Exit -> ());
+  !h
+
+let incomplete_beta a b x =
+  if x <= 0.0 then 0.0
+  else if x >= 1.0 then 1.0
+  else begin
+    let front a b x =
+      exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b
+        +. (a *. log x)
+        +. (b *. log (1.0 -. x)))
+    in
+    (* Evaluate the continued fraction on whichever side converges; the
+       transform is applied once and literally — a recursive flip can
+       loop forever when x sits on the threshold under rounding. *)
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then front a b x *. betacf a b x /. a
+    else 1.0 -. (front b a (1.0 -. x) *. betacf b a (1.0 -. x) /. b)
+  end
+
+let binomial_upper ~cf ~n ~e =
+  if n <= 0.0 then 1.0
+  else begin
+    let e = Float.max 0.0 (Float.min e n) in
+    if e >= n then 1.0
+    else if e <= 0.0 then 1.0 -. (cf ** (1.0 /. n))
+    else begin
+      (* Solve P(X <= e | n, p) = cf for p, where the (continuous)
+         cumulative is I_{1-p}(n - e, e + 1). Monotone decreasing in p, so
+         bisection on [e/n, 1] converges unconditionally. *)
+      let cdf p = incomplete_beta (n -. e) (e +. 1.0) (1.0 -. p) in
+      let lo = ref (e /. n) and hi = ref 1.0 in
+      for _ = 1 to 80 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if cdf mid > cf then lo := mid else hi := mid
+      done;
+      0.5 *. (!lo +. !hi)
+    end
+  end
+
+let normal_cdf z =
+  (* Abramowitz & Stegun 26.2.17 on |z|, reflected for negative z. *)
+  let t = 1.0 /. (1.0 +. (0.2316419 *. Float.abs z)) in
+  let poly =
+    t
+    *. (0.319381530
+       +. (t
+          *. (-0.356563782
+             +. (t *. (1.781477937 +. (t *. (-1.821255978 +. (t *. 1.330274429))))))))
+  in
+  let pdf = exp (-0.5 *. z *. z) /. sqrt (2.0 *. Float.pi) in
+  let upper = pdf *. poly in
+  if z >= 0.0 then 1.0 -. upper else upper
+
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Stats.normal_quantile";
+  (* Acklam's rational approximation, refined by one Halley step. *)
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let x =
+    if p < p_low then begin
+      let q = sqrt (-2.0 *. log p) in
+      (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+      /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+    end
+    else if p <= 1.0 -. p_low then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+      *. q
+      /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+    end
+    else begin
+      let q = sqrt (-2.0 *. log (1.0 -. p)) in
+      -.((((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+         /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0))
+    end
+  in
+  let e = normal_cdf x -. p in
+  let u = e *. sqrt (2.0 *. Float.pi) *. exp (x *. x /. 2.0) in
+  x -. (u /. (1.0 +. (x *. u /. 2.0)))
+
+let two_proportion_z ~p1 ~n1 ~p2 ~n2 =
+  if n1 <= 0.0 || n2 <= 0.0 then 0.0
+  else begin
+    let pooled = ((p1 *. n1) +. (p2 *. n2)) /. (n1 +. n2) in
+    let v = pooled *. (1.0 -. pooled) *. ((1.0 /. n1) +. (1.0 /. n2)) in
+    if v <= 0.0 then 0.0 else (p1 -. p2) /. sqrt v
+  end
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (acc /. float_of_int n)
+  end

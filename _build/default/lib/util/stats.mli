@@ -1,0 +1,49 @@
+(** Special functions and small-sample statistics used by the rule
+    learners: log-gamma based combinatorics for MDL coding costs, binomial
+    confidence limits for C4.5's pessimistic error estimate, and
+    two-proportion tests for PNrule's scoring matrix. *)
+
+(** [log_gamma x] is ln Γ(x) for [x > 0] (Lanczos approximation,
+    |relative error| < 1e-10 over the range used here). *)
+val log_gamma : float -> float
+
+(** [log_comb n k] is log₂ of the binomial coefficient C(n, k), defined
+    for real [n >= k >= 0] via the gamma function. Returns [0.] when
+    [k <= 0.] or [k >= n]. *)
+val log_comb : float -> float -> float
+
+(** [log2 x] is log base 2. *)
+val log2 : float -> float
+
+(** [xlog2x p] is [p *. log2 p], with the continuous extension 0 at 0. *)
+val xlog2x : float -> float
+
+(** [entropy cases] is the Shannon entropy (bits) of the weight vector
+    [cases]; zero weights are skipped, and the result is 0 for an empty or
+    all-zero vector. *)
+val entropy : float array -> float
+
+(** [binomial_upper ~cf ~n ~e] is C4.5's pessimistic error rate: the upper
+    [1-cf] confidence limit U_CF(e, n) for the true error probability when
+    [e] errors were observed among [n] (possibly fractional, weighted)
+    cases. [cf] defaults in callers to 0.25. Monotone increasing in [e],
+    decreasing in [n]. *)
+val binomial_upper : cf:float -> n:float -> e:float -> float
+
+(** [normal_cdf z] is Φ(z), the standard normal CDF (Hart/Abramowitz–Stegun
+    rational approximation, |error| < 7.5e-8). *)
+val normal_cdf : float -> float
+
+(** [normal_quantile p] is Φ⁻¹(p) for p ∈ (0, 1) (Acklam's algorithm). *)
+val normal_quantile : float -> float
+
+(** [two_proportion_z ~p1 ~n1 ~p2 ~n2] is the z statistic for the
+    difference between two observed proportions with the pooled-variance
+    estimate; 0 when the pooled variance vanishes. *)
+val two_proportion_z : p1:float -> n1:float -> p2:float -> n2:float -> float
+
+(** [mean a] and [stddev a] are the sample mean and (population) standard
+    deviation; both are 0 on an empty array. *)
+val mean : float array -> float
+
+val stddev : float array -> float

@@ -1,0 +1,1 @@
+test/test_c45.ml: Alcotest Array List Pn_c45 Pn_data Pn_metrics Pn_rules Pn_util Printf

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array List Pn_data Pn_harness Pn_metrics Pn_util

@@ -1,0 +1,1 @@
+test/test_induct.ml: Alcotest Array List Pn_data Pn_induct Pn_metrics Pn_rules Pn_util Printf QCheck QCheck_alcotest

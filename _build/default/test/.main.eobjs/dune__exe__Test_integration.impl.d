@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Pn_data Pn_harness Pn_metrics Pn_synth Pnrule Printf

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Float List Pn_metrics Pn_util QCheck QCheck_alcotest

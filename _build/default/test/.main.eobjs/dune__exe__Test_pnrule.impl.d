@@ -1,0 +1,1 @@
+test/test_pnrule.ml: Alcotest Array Float List Pn_data Pn_metrics Pn_rules Pn_util Pnrule Printf QCheck QCheck_alcotest

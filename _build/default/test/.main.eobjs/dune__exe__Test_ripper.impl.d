@@ -1,0 +1,1 @@
+test/test_ripper.ml: Alcotest Array List Pn_data Pn_metrics Pn_ripper Pn_rules Pn_util Printf

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Float Lazy List Pn_data Pn_metrics Pn_rules QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Filename Float Fun List Pn_data Pn_metrics Pn_rules Pn_util Pnrule Printf Sys

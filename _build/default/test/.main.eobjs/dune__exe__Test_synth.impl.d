@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array List Pn_data Pn_synth Pn_util Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen List Pn_util QCheck QCheck_alcotest

@@ -1,0 +1,19 @@
+(* Aggregated test runner: `dune runtest` executes every suite. *)
+
+let () =
+  Alcotest.run "pnrule-repro"
+    [
+      ("util", Test_util.suite);
+      ("data", Test_data.suite);
+      ("metrics", Test_metrics.suite);
+      ("rules", Test_rules.suite);
+      ("induct", Test_induct.suite);
+      ("pnrule", Test_pnrule.suite);
+      ("serialize", Test_serialize.suite);
+      ("extensions", Test_extensions.suite);
+      ("ripper", Test_ripper.suite);
+      ("c45", Test_c45.suite);
+      ("synth", Test_synth.suite);
+      ("harness", Test_harness.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,182 @@
+(* Tests for the C4.5 tree and C4.5rules baselines. *)
+
+module A = Pn_data.Attribute
+module D = Pn_data.Dataset
+module P = Pn_c45.Params
+module T = Pn_c45.Tree
+module R = Pn_c45.Rules
+module C = Pn_metrics.Confusion
+
+(* Three-class problem with one numeric and one categorical attribute:
+   class 0 iff x < 30; otherwise class depends on color. *)
+let mixed ~seed ~n =
+  let rng = Pn_util.Rng.create seed in
+  let xs = Array.make n 0.0 and cs = Array.make n 0 and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    xs.(i) <- Pn_util.Rng.float rng 100.0;
+    cs.(i) <- Pn_util.Rng.int rng 3;
+    labels.(i) <- (if xs.(i) < 30.0 then 0 else if cs.(i) = 2 then 2 else 1)
+  done;
+  D.create
+    ~attrs:[| A.numeric "x"; A.categorical "color" [| "r"; "g"; "b" |] |]
+    ~columns:[| D.Num xs; D.Cat cs |]
+    ~labels
+    ~classes:[| "low"; "mid"; "high" |]
+    ()
+
+let accuracy tree ds =
+  let hits = ref 0 in
+  for i = 0 to D.n_records ds - 1 do
+    if T.predict tree ds i = D.label ds i then incr hits
+  done;
+  float_of_int !hits /. float_of_int (D.n_records ds)
+
+(* ------------------------------------------------------------------ *)
+(* Tree                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_learns_structure () =
+  let ds = mixed ~seed:1 ~n:4000 in
+  let tree = T.train ds in
+  Alcotest.(check bool) "train accuracy" true (accuracy tree ds > 0.99);
+  let test = mixed ~seed:2 ~n:4000 in
+  Alcotest.(check bool) "test accuracy" true (accuracy tree test > 0.99);
+  Alcotest.(check bool) "multiple leaves" true (T.n_leaves tree >= 3)
+
+let test_pruning_shrinks () =
+  (* On noisy labels the unpruned tree overfits; pruning must not grow
+     the tree. *)
+  let rng = Pn_util.Rng.create 3 in
+  let n = 2000 in
+  let xs = Array.init n (fun _ -> Pn_util.Rng.float rng 1.0) in
+  let labels = Array.init n (fun _ -> if Pn_util.Rng.bernoulli rng 0.3 then 1 else 0) in
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num xs |] ~labels
+      ~classes:[| "a"; "b" |] ()
+  in
+  let unpruned = T.train_unpruned ds in
+  let pruned = T.prune unpruned in
+  Alcotest.(check bool) "fewer or equal leaves" true
+    (T.n_leaves pruned <= T.n_leaves unpruned);
+  (* Pure noise should collapse to (nearly) a single leaf. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "noise collapses (%d leaves)" (T.n_leaves pruned))
+    true
+    (T.n_leaves pruned <= 3)
+
+let test_max_depth () =
+  let ds = mixed ~seed:4 ~n:2000 in
+  let params = { P.default with max_depth = 1 } in
+  let tree = T.train_unpruned ~params ds in
+  Alcotest.(check bool) "depth capped" true (T.depth tree <= 1)
+
+let test_min_objects () =
+  let ds = mixed ~seed:5 ~n:200 in
+  let params = { P.default with min_objects = 50.0 } in
+  let tree = T.train_unpruned ~params ds in
+  (* With 200 records and 50 minimum per branch the tree stays tiny. *)
+  Alcotest.(check bool) "few leaves" true (T.n_leaves tree <= 4)
+
+let test_paths_consistent_with_predictions () =
+  let ds = mixed ~seed:6 ~n:1500 in
+  let tree = T.train ds in
+  let paths = T.paths tree in
+  Alcotest.(check int) "one path per leaf" (T.n_leaves tree) (List.length paths);
+  (* Each record must satisfy exactly one path, and that path's class
+     must equal the tree's prediction. *)
+  for i = 0 to 300 do
+    let matching =
+      List.filter
+        (fun (conds, _, _) ->
+          List.for_all (fun c -> Pn_rules.Condition.matches ds c i) conds)
+        paths
+    in
+    match matching with
+    | [ (_, cls, _) ] ->
+      Alcotest.(check int) "path class = prediction" (T.predict tree ds i) cls
+    | other -> Alcotest.failf "record %d matches %d paths" i (List.length other)
+  done
+
+let test_binary_evaluation () =
+  let ds = mixed ~seed:7 ~n:2000 in
+  let tree = T.train ds in
+  let cm = T.evaluate_binary tree ds ~target:2 in
+  Alcotest.(check (float 1e-6)) "totals" (D.total_weight ds) (C.total cm);
+  Alcotest.(check bool) "recall high" true (C.recall cm > 0.95)
+
+let test_weighted_tree () =
+  let ds = mixed ~seed:8 ~n:2000 in
+  let st = D.stratify ds ~target:2 in
+  let tree = T.train st in
+  Alcotest.(check bool) "stratified tree trains" true (T.n_leaves tree >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* C4.5rules                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_rules_match_tree_quality () =
+  let ds = mixed ~seed:9 ~n:3000 in
+  let rules = R.train ds in
+  Alcotest.(check bool) "has rules" true (R.n_rules rules >= 2);
+  let test = mixed ~seed:10 ~n:3000 in
+  let hits = ref 0 in
+  for i = 0 to D.n_records test - 1 do
+    if R.predict rules test i = D.label test i then incr hits
+  done;
+  let acc = float_of_int !hits /. float_of_int (D.n_records test) in
+  Alcotest.(check bool) (Printf.sprintf "rule accuracy %.3f" acc) true (acc > 0.97)
+
+let test_rules_are_generalizations () =
+  (* Generalized rules never have more conditions than the deepest
+     tree path. *)
+  let ds = mixed ~seed:11 ~n:2000 in
+  let tree = T.train_unpruned ds in
+  let max_path =
+    List.fold_left
+      (fun acc (conds, _, _) -> max acc (List.length conds))
+      0 (T.paths tree)
+  in
+  let rules = R.of_tree tree ds in
+  List.iter
+    (fun (_, rl) ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "not longer than any path" true
+            (Pn_rules.Rule.n_conditions r <= max_path))
+        (Pn_rules.Rule_list.to_list rl))
+    rules.R.groups
+
+let test_default_class_used () =
+  (* A trivial dataset where one class never gets rules: the default
+     must pick it up. *)
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |]
+      ~columns:[| D.Num [| 1.0; 2.0; 3.0; 4.0; 10.0; 11.0; 12.0; 13.0 |] |]
+      ~labels:[| 0; 0; 0; 0; 1; 1; 1; 1 |]
+      ~classes:[| "a"; "b" |] ()
+  in
+  let rules = R.train ds in
+  for i = 0 to 7 do
+    Alcotest.(check int) "correct" (D.label ds i) (R.predict rules ds i)
+  done
+
+let test_binary_eval_rules () =
+  let ds = mixed ~seed:12 ~n:2000 in
+  let rules = R.train ds in
+  let cm = R.evaluate_binary rules ds ~target:1 in
+  Alcotest.(check (float 1e-6)) "totals" (D.total_weight ds) (C.total cm)
+
+let suite =
+  [
+    Alcotest.test_case "tree learns structure" `Quick test_tree_learns_structure;
+    Alcotest.test_case "pruning shrinks noise trees" `Quick test_pruning_shrinks;
+    Alcotest.test_case "max depth" `Quick test_max_depth;
+    Alcotest.test_case "min objects" `Quick test_min_objects;
+    Alcotest.test_case "paths consistent with predictions" `Quick test_paths_consistent_with_predictions;
+    Alcotest.test_case "binary evaluation" `Quick test_binary_evaluation;
+    Alcotest.test_case "weighted (stratified) tree" `Quick test_weighted_tree;
+    Alcotest.test_case "c45rules quality" `Quick test_rules_match_tree_quality;
+    Alcotest.test_case "rules are generalizations" `Quick test_rules_are_generalizations;
+    Alcotest.test_case "default class" `Quick test_default_class_used;
+    Alcotest.test_case "rules binary evaluation" `Quick test_binary_eval_rules;
+  ]

@@ -1,0 +1,411 @@
+(* Tests for pn_data: dataset engine, views, builder, CSV. *)
+
+module A = Pn_data.Attribute
+module D = Pn_data.Dataset
+module V = Pn_data.View
+module B = Pn_data.Builder
+module Csv = Pn_data.Csv_io
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let tiny () =
+  (* 6 records, 1 numeric + 1 categorical attribute, classes neg/pos. *)
+  D.create
+    ~attrs:[| A.numeric "x"; A.categorical "color" [| "red"; "blue" |] |]
+    ~columns:
+      [|
+        D.Num [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |];
+        D.Cat [| 0; 1; 0; 1; 0; 1 |];
+      |]
+    ~labels:[| 0; 0; 1; 1; 0; 1 |]
+    ~classes:[| "neg"; "pos" |]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Attribute                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_attribute () =
+  let num = A.numeric "x" and cat = A.categorical "c" [| "a"; "b"; "c" |] in
+  Alcotest.(check bool) "numeric" true (A.is_numeric num);
+  Alcotest.(check bool) "categorical" false (A.is_numeric cat);
+  Alcotest.(check int) "arity" 3 (A.arity cat);
+  Alcotest.(check string) "value name" "b" (A.value_name cat 1);
+  Alcotest.check_raises "arity of numeric"
+    (Invalid_argument "Attribute.arity: numeric attribute") (fun () ->
+      ignore (A.arity num))
+
+(* ------------------------------------------------------------------ *)
+(* Dataset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_dataset_accessors () =
+  let ds = tiny () in
+  Alcotest.(check int) "n" 6 (D.n_records ds);
+  Alcotest.(check int) "attrs" 2 (D.n_attrs ds);
+  Alcotest.(check int) "classes" 2 (D.n_classes ds);
+  check_float "num" 3.0 (D.num_value ds ~col:0 2);
+  Alcotest.(check int) "cat" 1 (D.cat_value ds ~col:1 3);
+  Alcotest.(check int) "label" 1 (D.label ds 2);
+  check_float "weight default" 1.0 (D.weight ds 0);
+  Alcotest.(check int) "class_index" 1 (D.class_index ds "pos");
+  Alcotest.check_raises "missing class" Not_found (fun () ->
+      ignore (D.class_index ds "nope"))
+
+let test_dataset_validation () =
+  let attrs = [| A.numeric "x" |] in
+  let raises f = try f (); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> () in
+  raises (fun () ->
+      ignore (D.create ~attrs ~columns:[| D.Num [| 1.0 |] |] ~labels:[| 0; 0 |] ~classes:[| "a" |] ()));
+  raises (fun () ->
+      ignore (D.create ~attrs ~columns:[| D.Cat [| 0 |] |] ~labels:[| 0 |] ~classes:[| "a" |] ()));
+  raises (fun () ->
+      ignore (D.create ~attrs ~columns:[| D.Num [| 1.0 |] |] ~labels:[| 5 |] ~classes:[| "a" |] ()));
+  raises (fun () ->
+      ignore
+        (D.create
+           ~attrs:[| A.categorical "c" [| "v" |] |]
+           ~columns:[| D.Cat [| 3 |] |] ~labels:[| 0 |] ~classes:[| "a" |] ()));
+  raises (fun () ->
+      ignore
+        (D.create ~weights:[| -1.0 |] ~attrs ~columns:[| D.Num [| 1.0 |] |]
+           ~labels:[| 0 |] ~classes:[| "a" |] ()))
+
+let test_class_counts () =
+  let ds = tiny () in
+  Alcotest.(check (array (float 1e-9))) "counts" [| 3.0; 3.0 |] (D.class_counts ds);
+  check_float "class weight" 3.0 (D.class_weight ds 1);
+  check_float "total" 6.0 (D.total_weight ds)
+
+let test_stratify () =
+  let ds = tiny () in
+  let st = D.stratify ds ~target:1 in
+  (* Target aggregate weight equals non-target aggregate weight. *)
+  let counts = D.class_counts st in
+  check_float "balanced" counts.(0) counts.(1);
+  (* Non-target weights untouched; original dataset unchanged. *)
+  check_float "non-target unit" 1.0 (D.weight st 0);
+  check_float "original intact" 1.0 (D.weight ds 2)
+
+let test_subset_append () =
+  let ds = tiny () in
+  let sub = D.subset ds [| 2; 0 |] in
+  Alcotest.(check int) "subset size" 2 (D.n_records sub);
+  check_float "subset order" 3.0 (D.num_value sub ~col:0 0);
+  Alcotest.(check int) "subset label" 1 (D.label sub 0);
+  let joined = D.append sub sub in
+  Alcotest.(check int) "append size" 4 (D.n_records joined);
+  check_float "append content" 3.0 (D.num_value joined ~col:0 2)
+
+let test_binary_labels () =
+  let ds = tiny () in
+  Alcotest.(check (array bool)) "binary"
+    [| false; false; true; true; false; true |]
+    (D.binary_labels ds ~target:1)
+
+let test_with_weights () =
+  let ds = tiny () in
+  let w = [| 2.0; 2.0; 2.0; 2.0; 2.0; 2.0 |] in
+  check_float "reweighted" 12.0 (D.total_weight (D.with_weights ds w));
+  Alcotest.check_raises "bad length" (Invalid_argument "Dataset.with_weights: length")
+    (fun () -> ignore (D.with_weights ds [| 1.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* View                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_view_basics () =
+  let ds = tiny () in
+  let v = V.all ds in
+  Alcotest.(check int) "all size" 6 (V.size v);
+  let evens = V.filter v (fun i -> i mod 2 = 0) in
+  Alcotest.(check int) "filter" 3 (V.size evens);
+  Alcotest.(check int) "record" 2 (V.record evens 1);
+  let pos, neg = V.partition v (fun i -> D.label ds i = 1) in
+  Alcotest.(check int) "partition pos" 3 (V.size pos);
+  Alcotest.(check int) "partition neg" 3 (V.size neg);
+  check_float "total weight" 6.0 (V.total_weight v);
+  check_float "class weight" 3.0 (V.class_weight v 1);
+  let p, n = V.binary_weights v ~target:1 in
+  check_float "binary pos" 3.0 p;
+  check_float "binary neg" 3.0 n;
+  Alcotest.(check int) "count_class" 3 (V.count_class v 0)
+
+let test_view_sorted () =
+  let ds =
+    D.create
+      ~attrs:[| A.numeric "x" |]
+      ~columns:[| D.Num [| 3.0; 1.0; 2.0 |] |]
+      ~labels:[| 0; 0; 0 |] ~classes:[| "a" |] ()
+  in
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 0 |]
+    (V.sorted_by_num (V.all ds) ~col:0)
+
+let test_view_split () =
+  let n = 200 in
+  let labels = Array.init n (fun i -> if i mod 100 = 0 then 1 else 0) in
+  let ds =
+    D.create
+      ~attrs:[| A.numeric "x" |]
+      ~columns:[| D.Num (Array.init n float_of_int) |]
+      ~labels ~classes:[| "a"; "b" |] ()
+  in
+  let rng = Pn_util.Rng.create 17 in
+  let left, right = V.split (V.all ds) rng ~left_fraction:(2.0 /. 3.0) in
+  Alcotest.(check int) "sizes sum" n (V.size left + V.size right);
+  (* Rare class (2 records) must appear on both sides. *)
+  Alcotest.(check int) "rare left" 1 (V.count_class left 1);
+  Alcotest.(check int) "rare right" 1 (V.count_class right 1);
+  (* No index on both sides. *)
+  let seen = Hashtbl.create n in
+  V.iter left (fun i -> Hashtbl.add seen i ());
+  V.iter right (fun i ->
+      if Hashtbl.mem seen i then Alcotest.failf "record %d on both sides" i)
+
+let test_view_materialize () =
+  let ds = tiny () in
+  let v = V.filter (V.all ds) (fun i -> D.label ds i = 1) in
+  let m = V.materialize v in
+  Alcotest.(check int) "materialized" 3 (D.n_records m);
+  Alcotest.(check (array (float 1e-9))) "counts" [| 0.0; 3.0 |] (D.class_counts m)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder () =
+  let attrs = [| A.numeric "x"; A.categorical "c" [| "a"; "b" |] |] in
+  let b = B.create ~attrs ~classes:[| "no"; "yes" |] in
+  B.add_row b [| B.Fnum 1.5; B.Fcat 1 |] ~label:0;
+  B.add_row b ~weight:2.0 [| B.Fnum 2.5; B.Fcat 0 |] ~label:1;
+  Alcotest.(check int) "length" 2 (B.length b);
+  let ds = B.to_dataset b in
+  Alcotest.(check int) "rows" 2 (D.n_records ds);
+  check_float "cell" 2.5 (D.num_value ds ~col:0 1);
+  Alcotest.(check int) "cat cell" 1 (D.cat_value ds ~col:1 0);
+  check_float "weight kept" 2.0 (D.weight ds 1);
+  Alcotest.(check int) "label" 1 (D.label ds 1)
+
+let test_builder_validation () =
+  let attrs = [| A.numeric "x" |] in
+  let b = B.create ~attrs ~classes:[| "a" |] in
+  let raises f = try f (); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> () in
+  raises (fun () -> B.add_row b [| B.Fcat 0 |] ~label:0);
+  raises (fun () -> B.add_row b [| B.Fnum 1.0; B.Fnum 2.0 |] ~label:0);
+  raises (fun () -> B.add_row b [| B.Fnum 1.0 |] ~label:9)
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_parse () =
+  let ds =
+    Csv.parse_string "x,color,class\n1.5,red,yes\n2.5,blue,no\n3.5,red,yes\n"
+  in
+  Alcotest.(check int) "rows" 3 (D.n_records ds);
+  Alcotest.(check bool) "x numeric" true (A.is_numeric ds.D.attrs.(0));
+  Alcotest.(check bool) "color categorical" false (A.is_numeric ds.D.attrs.(1));
+  check_float "value" 2.5 (D.num_value ds ~col:0 1);
+  Alcotest.(check string) "classes in first-seen order" "yes" ds.D.classes.(0);
+  Alcotest.(check int) "label" 1 (D.label ds 1)
+
+let test_csv_class_column () =
+  let ds =
+    Csv.parse_string ~class_column:"label" "label,x\nyes,1\nno,2\n"
+  in
+  Alcotest.(check int) "attrs" 1 (D.n_attrs ds);
+  Alcotest.(check string) "attr name" "x" ds.D.attrs.(0).A.name;
+  Alcotest.(check int) "label" 1 (D.label ds 1)
+
+let test_csv_quoting () =
+  let ds = Csv.parse_string "name,class\n\"a,b\",x\n\"say \"\"hi\"\"\",y\n" in
+  (match ds.D.attrs.(0).A.kind with
+  | A.Categorical values ->
+    Alcotest.(check string) "comma kept" "a,b" values.(0);
+    Alcotest.(check string) "escaped quote" "say \"hi\"" values.(1)
+  | A.Numeric -> Alcotest.fail "expected categorical");
+  Alcotest.(check int) "rows" 2 (D.n_records ds)
+
+let test_csv_errors () =
+  let raises s = try ignore (Csv.parse_string s); Alcotest.fail "expected Parse_error" with Csv.Parse_error _ -> () in
+  raises "a,b\n1\n";
+  raises "";
+  (try ignore (Csv.parse_string ~class_column:"nope" "a,b\n1,2\n");
+       Alcotest.fail "expected Parse_error"
+   with Csv.Parse_error _ -> ())
+
+let test_csv_roundtrip () =
+  let ds = tiny () in
+  let path = Filename.temp_file "pnrule_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save ds path;
+      let back = Csv.load path in
+      Alcotest.(check int) "rows" (D.n_records ds) (D.n_records back);
+      for i = 0 to D.n_records ds - 1 do
+        check_float "numeric cell" (D.num_value ds ~col:0 i) (D.num_value back ~col:0 i);
+        Alcotest.(check string) "cat cell"
+          (A.value_name ds.D.attrs.(1) (D.cat_value ds ~col:1 i))
+          (A.value_name back.D.attrs.(1) (D.cat_value back ~col:1 i));
+        Alcotest.(check string) "label"
+          ds.D.classes.(D.label ds i)
+          back.D.classes.(D.label back i)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* ARFF                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Arff = Pn_data.Arff_io
+
+let test_arff_parse () =
+  let ds =
+    Arff.parse_string
+      "% comment\n@relation demo\n@attribute x numeric\n@attribute 'my \
+       color' {red,blue}\n@attribute class {yes,no}\n@data\n1.5,red,yes\n\
+       2.5,blue,no\n"
+  in
+  Alcotest.(check int) "rows" 2 (D.n_records ds);
+  Alcotest.(check int) "attrs" 2 (D.n_attrs ds);
+  Alcotest.(check string) "quoted name" "my color" ds.D.attrs.(1).A.name;
+  check_float "numeric" 2.5 (D.num_value ds ~col:0 1);
+  Alcotest.(check int) "nominal code" 1 (D.cat_value ds ~col:1 1);
+  Alcotest.(check string) "class order as declared" "yes" ds.D.classes.(0);
+  Alcotest.(check int) "label" 1 (D.label ds 1)
+
+let test_arff_class_attribute () =
+  let ds =
+    Arff.parse_string ~class_attribute:"lbl"
+      "@relation t\n@attribute lbl {a,b}\n@attribute x numeric\n@data\na,1\nb,2\n"
+  in
+  Alcotest.(check int) "attrs" 1 (D.n_attrs ds);
+  Alcotest.(check int) "label" 1 (D.label ds 1)
+
+let test_arff_errors () =
+  let raises s =
+    try
+      ignore (Arff.parse_string s);
+      Alcotest.failf "expected Parse_error for %S" s
+    with Arff.Parse_error _ -> ()
+  in
+  raises "@relation t\n@attribute x numeric\n@data\n1\n";
+  raises "@relation t\n@attribute x numeric\n@attribute class {a}\n@data\n1\n";
+  raises "@relation t\n@attribute x numeric\n@attribute class {a,b}\n@data\n?,a\n";
+  raises "@relation t\n@attribute x numeric\n@attribute class numeric\n@data\n1,2\n";
+  raises "@relation t\n@attribute x numeric\n@attribute class {a,b}\n@data\n1,zzz\n"
+
+let test_arff_roundtrip () =
+  let ds = tiny () in
+  let path = Filename.temp_file "pnrule_test" ".arff" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Arff.save ds path;
+      let back = Arff.load path in
+      Alcotest.(check int) "rows" (D.n_records ds) (D.n_records back);
+      for i = 0 to D.n_records ds - 1 do
+        check_float "numeric cell" (D.num_value ds ~col:0 i) (D.num_value back ~col:0 i);
+        Alcotest.(check int) "cat cell" (D.cat_value ds ~col:1 i) (D.cat_value back ~col:1 i);
+        Alcotest.(check int) "label" (D.label ds i) (D.label back i)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Summary = Pn_data.Summary
+
+let test_summary_numeric () =
+  let ds = tiny () in
+  match Summary.attribute ds ~col:0 with
+  | Summary.Numeric_summary s ->
+    check_float "min" 1.0 s.Summary.min;
+    check_float "max" 6.0 s.Summary.max;
+    check_float "mean" 3.5 s.Summary.mean;
+    Alcotest.(check bool) "sd positive" true (s.Summary.stddev > 1.0)
+  | Summary.Categorical_summary _ -> Alcotest.fail "expected numeric"
+
+let test_summary_categorical () =
+  let ds = tiny () in
+  match Summary.attribute ds ~col:1 with
+  | Summary.Categorical_summary top ->
+    Alcotest.(check int) "two values" 2 (List.length top);
+    List.iter (fun (_, share) -> check_float "uniform" 0.5 share) top
+  | Summary.Numeric_summary _ -> Alcotest.fail "expected categorical"
+
+let test_summary_per_class () =
+  let ds = tiny () in
+  (* Class 1 has x ∈ {3, 4, 6}. *)
+  match Summary.attribute_for_class ds ~col:0 ~cls:1 with
+  | Summary.Numeric_summary s ->
+    check_float "class min" 3.0 s.Summary.min;
+    check_float "class mean" (13.0 /. 3.0) s.Summary.mean
+  | Summary.Categorical_summary _ -> Alcotest.fail "expected numeric"
+
+(* ------------------------------------------------------------------ *)
+(* QCheck                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~count:100 ~name:"stratify balances classes"
+      QCheck.(list_of_size Gen.(int_range 2 60) (int_range 0 1))
+      (fun labels ->
+        let labels = Array.of_list labels in
+        QCheck.assume (Array.exists (fun l -> l = 1) labels);
+        QCheck.assume (Array.exists (fun l -> l = 0) labels);
+        let n = Array.length labels in
+        let ds =
+          D.create
+            ~attrs:[| A.numeric "x" |]
+            ~columns:[| D.Num (Array.make n 0.0) |]
+            ~labels ~classes:[| "a"; "b" |] ()
+        in
+        let counts = D.class_counts (D.stratify ds ~target:1) in
+        Float.abs (counts.(0) -. counts.(1)) < 1e-6);
+    QCheck.Test.make ~count:100 ~name:"view split partitions indices"
+      QCheck.(pair small_int (int_range 2 100))
+      (fun (seed, n) ->
+        let ds =
+          D.create
+            ~attrs:[| A.numeric "x" |]
+            ~columns:[| D.Num (Array.init n float_of_int) |]
+            ~labels:(Array.init n (fun i -> i mod 2))
+            ~classes:[| "a"; "b" |] ()
+        in
+        let rng = Pn_util.Rng.create seed in
+        let l, r = V.split (V.all ds) rng ~left_fraction:0.5 in
+        V.size l + V.size r = n);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "attribute basics" `Quick test_attribute;
+    Alcotest.test_case "dataset accessors" `Quick test_dataset_accessors;
+    Alcotest.test_case "dataset validation" `Quick test_dataset_validation;
+    Alcotest.test_case "class counts" `Quick test_class_counts;
+    Alcotest.test_case "stratify" `Quick test_stratify;
+    Alcotest.test_case "subset/append" `Quick test_subset_append;
+    Alcotest.test_case "binary labels" `Quick test_binary_labels;
+    Alcotest.test_case "with_weights" `Quick test_with_weights;
+    Alcotest.test_case "view basics" `Quick test_view_basics;
+    Alcotest.test_case "view sorted" `Quick test_view_sorted;
+    Alcotest.test_case "view stratified split" `Quick test_view_split;
+    Alcotest.test_case "view materialize" `Quick test_view_materialize;
+    Alcotest.test_case "builder" `Quick test_builder;
+    Alcotest.test_case "builder validation" `Quick test_builder_validation;
+    Alcotest.test_case "csv parse" `Quick test_csv_parse;
+    Alcotest.test_case "csv class column" `Quick test_csv_class_column;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "csv errors" `Quick test_csv_errors;
+    Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "arff parse" `Quick test_arff_parse;
+    Alcotest.test_case "arff class attribute" `Quick test_arff_class_attribute;
+    Alcotest.test_case "arff errors" `Quick test_arff_errors;
+    Alcotest.test_case "arff roundtrip" `Quick test_arff_roundtrip;
+    Alcotest.test_case "summary numeric" `Quick test_summary_numeric;
+    Alcotest.test_case "summary categorical" `Quick test_summary_categorical;
+    Alcotest.test_case "summary per class" `Quick test_summary_per_class;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props

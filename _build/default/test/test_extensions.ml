@@ -1,0 +1,180 @@
+(* Tests for the paper's future-work extensions: automatic recall-limit
+   selection (Auto) and multi-phase induction (Multiphase). *)
+
+module A = Pn_data.Attribute
+module D = Pn_data.Dataset
+module C = Pn_metrics.Confusion
+
+(* Rare target inside an impure band (decoy interior on y) — the setup
+   where rp/rn actually matter. *)
+let problem ~seed ~n =
+  let rng = Pn_util.Rng.create seed in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = Pn_util.Rng.float rng 1.0 in
+    if r < 0.01 then begin
+      labels.(i) <- 1;
+      xs.(i) <- 40.0 +. Pn_util.Rng.float rng 2.0;
+      ys.(i) <- Pn_util.Rng.float rng 100.0
+    end
+    else if r < 0.05 then begin
+      xs.(i) <- 40.0 +. Pn_util.Rng.float rng 2.0;
+      ys.(i) <- 40.0 +. Pn_util.Rng.float rng 20.0
+    end
+    else begin
+      let rec draw () =
+        let v = Pn_util.Rng.float rng 100.0 in
+        if v >= 39.9 && v <= 42.1 then draw () else v
+      in
+      xs.(i) <- draw ();
+      ys.(i) <- Pn_util.Rng.float rng 100.0
+    end
+  done;
+  D.create
+    ~attrs:[| A.numeric "x"; A.numeric "y" |]
+    ~columns:[| D.Num xs; D.Num ys |]
+    ~labels ~classes:[| "neg"; "pos" |] ()
+
+let base = { Pnrule.Params.default with min_support_fraction = 0.7 }
+
+(* ------------------------------------------------------------------ *)
+(* Auto                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_auto_trains_and_reports () =
+  let train = problem ~seed:1 ~n:15_000 in
+  let test = problem ~seed:2 ~n:10_000 in
+  let model, choice = Pnrule.Auto.train ~base ~seed:5 train ~target:1 in
+  Alcotest.(check bool) "validation F recorded" true
+    (choice.Pnrule.Auto.validation_f > 0.5);
+  let f = C.f_measure (Pnrule.Model.evaluate model test) in
+  Alcotest.(check bool) (Printf.sprintf "test F %.3f decent" f) true (f > 0.8);
+  (* The winner comes from the requested grid. *)
+  Alcotest.(check bool) "rp from grid" true
+    (List.mem choice.Pnrule.Auto.params.Pnrule.Params.min_coverage [ 0.95; 0.99 ])
+
+let test_auto_respects_custom_grid () =
+  let train = problem ~seed:3 ~n:10_000 in
+  let _, choice =
+    Pnrule.Auto.train ~base ~rps:[ 0.9 ] ~rns:[ 0.8 ] ~try_p1:false train ~target:1
+  in
+  Alcotest.(check (float 1e-9)) "rp" 0.9 choice.Pnrule.Auto.params.Pnrule.Params.min_coverage;
+  Alcotest.(check (float 1e-9)) "rn" 0.8 choice.Pnrule.Auto.params.Pnrule.Params.recall_floor;
+  Alcotest.(check bool) "no p1" true
+    (choice.Pnrule.Auto.params.Pnrule.Params.max_p_rule_length = None)
+
+let test_auto_deterministic () =
+  let train = problem ~seed:4 ~n:8_000 in
+  let _, c1 = Pnrule.Auto.train ~base ~seed:9 train ~target:1 in
+  let _, c2 = Pnrule.Auto.train ~base ~seed:9 train ~target:1 in
+  Alcotest.(check (float 1e-12)) "same validation F" c1.Pnrule.Auto.validation_f
+    c2.Pnrule.Auto.validation_f
+
+(* ------------------------------------------------------------------ *)
+(* Multiphase                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiphase_structure () =
+  let train = problem ~seed:6 ~n:15_000 in
+  let m = Pnrule.Multiphase.train ~params:base ~max_phases:4 train ~target:1 in
+  let sizes = Pnrule.Multiphase.phase_sizes m in
+  Alcotest.(check bool) "at least two phases" true (List.length sizes >= 2);
+  List.iter (fun s -> Alcotest.(check bool) "non-empty phases" true (s > 0)) sizes
+
+let test_multiphase_quality () =
+  let train = problem ~seed:7 ~n:15_000 in
+  let test = problem ~seed:8 ~n:10_000 in
+  let m = Pnrule.Multiphase.train ~params:base train ~target:1 in
+  (* The parity decision has no ScoreMatrix softening, so the bar is a
+     little lower than PNrule proper's. *)
+  let f = C.f_measure (Pnrule.Multiphase.evaluate m test) in
+  Alcotest.(check bool) (Printf.sprintf "test F %.3f" f) true (f > 0.6)
+
+let test_multiphase_two_phases_matches_dnf_idea () =
+  (* With max_phases = 1 the model is presence-only: recall high,
+     precision poor on the impure problem; adding the absence phase must
+     improve precision. *)
+  let train = problem ~seed:9 ~n:15_000 in
+  let test = problem ~seed:10 ~n:10_000 in
+  let eval k =
+    let m = Pnrule.Multiphase.train ~params:base ~max_phases:k train ~target:1 in
+    Pnrule.Multiphase.evaluate m test
+  in
+  let one = eval 1 and two = eval 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "phase-2 precision %.3f > phase-1 %.3f" (C.precision two)
+       (C.precision one))
+    true
+    (C.precision two > C.precision one)
+
+let test_multiphase_no_target_raises () =
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num [| 1.0 |] |]
+      ~labels:[| 0 |] ~classes:[| "neg"; "pos" |] ()
+  in
+  try
+    ignore (Pnrule.Multiphase.train ds ~target:1);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_multiphase_predict_parity () =
+  (* A record matching no phase-1 rule is negative regardless of later
+     phases. *)
+  let train = problem ~seed:11 ~n:10_000 in
+  let m = Pnrule.Multiphase.train ~params:base train ~target:1 in
+  let probe =
+    D.create
+      ~attrs:train.D.attrs
+      ~columns:[| D.Num [| 5.0 |]; D.Num [| 5.0 |] |]
+      ~labels:[| 0 |] ~classes:train.D.classes ()
+  in
+  Alcotest.(check bool) "far-away record negative" false
+    (Pnrule.Multiphase.predict m probe 0)
+
+(* ------------------------------------------------------------------ *)
+(* N-stage pruning                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_n_prune_trains_comparably () =
+  let train = problem ~seed:12 ~n:15_000 in
+  let test = problem ~seed:13 ~n:10_000 in
+  let f n_prune =
+    let params = { base with Pnrule.Params.n_prune } in
+    C.f_measure
+      (Pnrule.Model.evaluate (Pnrule.Learner.train ~params train ~target:1) test)
+  in
+  let off = f false and on = f true in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned N-stage F %.3f within 0.1 of unpruned %.3f" on off)
+    true
+    (on >= off -. 0.1)
+
+let test_n_prune_never_lengthens () =
+  let train = problem ~seed:14 ~n:15_000 in
+  let conds n_prune =
+    let params = { base with Pnrule.Params.n_prune } in
+    let model = Pnrule.Learner.train ~params train ~target:1 in
+    Pn_rules.Rule_list.total_conditions model.Pnrule.Model.n_rules
+    |> float_of_int
+    |> fun total ->
+    total /. Float.max 1.0 (float_of_int (Pn_rules.Rule_list.length model.Pnrule.Model.n_rules))
+  in
+  (* Average N-rule length with pruning must not exceed the unpruned
+     average by more than rounding noise. *)
+  Alcotest.(check bool) "pruning does not lengthen rules" true
+    (conds true <= conds false +. 0.51)
+
+let suite =
+  [
+    Alcotest.test_case "n-prune: comparable quality" `Quick test_n_prune_trains_comparably;
+    Alcotest.test_case "n-prune: rules not longer" `Quick test_n_prune_never_lengthens;
+    Alcotest.test_case "auto: trains and reports" `Quick test_auto_trains_and_reports;
+    Alcotest.test_case "auto: custom grid" `Quick test_auto_respects_custom_grid;
+    Alcotest.test_case "auto: deterministic" `Quick test_auto_deterministic;
+    Alcotest.test_case "multiphase: structure" `Quick test_multiphase_structure;
+    Alcotest.test_case "multiphase: quality" `Quick test_multiphase_quality;
+    Alcotest.test_case "multiphase: absence phase buys precision" `Quick
+      test_multiphase_two_phases_matches_dnf_idea;
+    Alcotest.test_case "multiphase: no target raises" `Quick test_multiphase_no_target_raises;
+    Alcotest.test_case "multiphase: parity prediction" `Quick test_multiphase_predict_parity;
+  ]

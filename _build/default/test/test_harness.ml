@@ -1,0 +1,132 @@
+(* Tests for the experiment harness: method registry, evaluation
+   protocol, sampling, table formatting. *)
+
+module D = Pn_data.Dataset
+module E = Pn_harness.Experiment
+module M = Pn_harness.Methods
+module S = Pn_harness.Sampling
+
+let small_problem ~seed ~n =
+  let rng = Pn_util.Rng.create seed in
+  let xs = Array.make n 0.0 and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if Pn_util.Rng.bernoulli rng 0.05 then begin
+      labels.(i) <- 1;
+      xs.(i) <- 50.0 +. Pn_util.Rng.float rng 3.0
+    end
+    else begin
+      let rec draw () =
+        let v = Pn_util.Rng.float rng 100.0 in
+        if v >= 49.5 && v <= 53.5 then draw () else v
+      in
+      xs.(i) <- draw ()
+    end
+  done;
+  D.create
+    ~attrs:[| Pn_data.Attribute.numeric "x" |]
+    ~columns:[| D.Num xs |] ~labels
+    ~classes:[| "neg"; "pos" |]
+    ()
+
+let test_all_methods_run () =
+  let train = small_problem ~seed:1 ~n:4000 in
+  let test = small_problem ~seed:2 ~n:4000 in
+  List.iter
+    (fun spec ->
+      let r = E.run spec ~train ~test ~target:1 in
+      if r.E.f_measure < 0.8 then
+        Alcotest.failf "%s failed the trivial problem: F=%.3f" r.E.method_name
+          r.E.f_measure)
+    [
+      M.pnrule ();
+      M.ripper ();
+      M.ripper ~stratified:true ();
+      M.c45rules ();
+      M.c45rules ~stratified:true ();
+      M.c45tree ();
+      M.c45tree ~stratified:true ();
+    ]
+
+let test_best_of () =
+  let train = small_problem ~seed:3 ~n:3000 in
+  let test = small_problem ~seed:4 ~n:3000 in
+  let results = E.run_all (M.pnrule_grid ()) ~train ~test ~target:1 in
+  Alcotest.(check int) "grid size" 4 (List.length results);
+  let best = E.best_of ~name:"PN" results in
+  Alcotest.(check string) "renamed" "PN" best.E.method_name;
+  List.iter
+    (fun r ->
+      if r.E.f_measure > best.E.f_measure then Alcotest.fail "best_of not maximal")
+    results;
+  (try
+     ignore (E.best_of []);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_result_fields_consistent () =
+  let train = small_problem ~seed:5 ~n:3000 in
+  let test = small_problem ~seed:6 ~n:3000 in
+  let r = E.run (M.pnrule ()) ~train ~test ~target:1 in
+  Alcotest.(check (float 1e-9)) "recall matches confusion"
+    (Pn_metrics.Confusion.recall r.E.confusion)
+    r.E.recall;
+  Alcotest.(check (float 1e-9)) "f matches confusion"
+    (Pn_metrics.Confusion.f_measure r.E.confusion)
+    r.E.f_measure;
+  Alcotest.(check bool) "time nonnegative" true (r.E.train_seconds >= 0.0)
+
+let test_subsample_keeps_targets () =
+  let ds = small_problem ~seed:7 ~n:5000 in
+  let before = ref 0 in
+  for i = 0 to D.n_records ds - 1 do
+    if D.label ds i = 1 then incr before
+  done;
+  let sub = S.subsample_non_target ds ~target:1 ~fraction:0.1 ~seed:8 in
+  let after = ref 0 in
+  for i = 0 to D.n_records sub - 1 do
+    if D.label sub i = 1 then incr after
+  done;
+  Alcotest.(check int) "all targets kept" !before !after;
+  Alcotest.(check bool) "non-targets reduced" true
+    (D.n_records sub < D.n_records ds / 2);
+  let pct = S.target_percentage sub ~target:1 in
+  Alcotest.(check bool) "target share rose" true
+    (pct > S.target_percentage ds ~target:1)
+
+let test_subsample_extremes () =
+  let ds = small_problem ~seed:9 ~n:1000 in
+  let all = S.subsample_non_target ds ~target:1 ~fraction:1.0 ~seed:1 in
+  Alcotest.(check int) "fraction 1 keeps everything" (D.n_records ds) (D.n_records all);
+  let none = S.subsample_non_target ds ~target:1 ~fraction:0.0 ~seed:1 in
+  Alcotest.(check (float 1e-6)) "fraction 0 keeps only targets" 100.0
+    (S.target_percentage none ~target:1)
+
+let test_tablefmt () =
+  Alcotest.(check string) "pct" "97.07" (Pn_harness.Tablefmt.pct 0.9707);
+  Alcotest.(check string) "f4" ".9792" (Pn_harness.Tablefmt.f4 0.9792);
+  Alcotest.(check string) "f4 one" "1.0000" (Pn_harness.Tablefmt.f4 1.0);
+  (try
+     Pn_harness.Tablefmt.print ~title:"t" ~header:[ "a"; "b" ] [ [ "1" ] ];
+     Alcotest.fail "expected ragged-row failure"
+   with Invalid_argument _ -> ())
+
+let test_stratified_only_affects_training () =
+  (* Evaluation must use test-set unit weights even when the method
+     trains stratified. *)
+  let train = small_problem ~seed:10 ~n:3000 in
+  let test = small_problem ~seed:11 ~n:3000 in
+  let r = E.run (M.ripper ~stratified:true ()) ~train ~test ~target:1 in
+  Alcotest.(check (float 1e-6)) "test totals are unit-weighted"
+    (D.total_weight test)
+    (Pn_metrics.Confusion.total r.E.confusion)
+
+let suite =
+  [
+    Alcotest.test_case "all methods solve a trivial problem" `Slow test_all_methods_run;
+    Alcotest.test_case "best_of picks the max" `Quick test_best_of;
+    Alcotest.test_case "result fields consistent" `Quick test_result_fields_consistent;
+    Alcotest.test_case "subsample keeps all targets" `Quick test_subsample_keeps_targets;
+    Alcotest.test_case "subsample extremes" `Quick test_subsample_extremes;
+    Alcotest.test_case "table formatting" `Quick test_tablefmt;
+    Alcotest.test_case "stratification only affects training" `Quick test_stratified_only_affects_training;
+  ]

@@ -1,0 +1,280 @@
+(* Tests for pn_induct: the candidate-search engine. *)
+
+module A = Pn_data.Attribute
+module D = Pn_data.Dataset
+module V = Pn_data.View
+module Cond = Pn_rules.Condition
+module Rule = Pn_rules.Rule
+module RM = Pn_metrics.Rule_metric
+module G = Pn_induct.Grower
+
+let ctx_of view ~target =
+  let pos, neg = V.binary_weights view ~target in
+  { RM.pos_total = pos; neg_total = neg }
+
+let best ?negate ?current ?allow_ranges view ~target =
+  G.best_condition ?allow_ranges ?negate ?current ~metric:RM.Z_number
+    ~ctx:(ctx_of view ~target) ~target view
+
+(* ------------------------------------------------------------------ *)
+
+let test_finds_categorical_signature () =
+  (* Positives all have c = b; negatives uniform. *)
+  let n = 300 in
+  let labels = Array.init n (fun i -> if i mod 10 = 0 then 1 else 0) in
+  let codes = Array.init n (fun i -> if labels.(i) = 1 then 1 else i mod 3) in
+  let ds =
+    D.create
+      ~attrs:[| A.categorical "c" [| "a"; "b"; "z" |] |]
+      ~columns:[| D.Cat codes |] ~labels ~classes:[| "n"; "p" |] ()
+  in
+  match best (V.all ds) ~target:1 with
+  | Some { G.condition = Cond.Cat_eq { col = 0; value = 1 }; counts; _ } ->
+    Alcotest.(check (float 1e-9)) "all positives covered" 30.0 counts.RM.pos
+  | Some { G.condition; _ } ->
+    Alcotest.failf "wrong condition: %s"
+      (Cond.to_string ds.D.attrs condition)
+  | None -> Alcotest.fail "no candidate found"
+
+let test_finds_numeric_threshold () =
+  (* Positives have x >= 50; negatives x < 50. *)
+  let n = 200 in
+  let xs = Array.init n (fun i -> float_of_int i) in
+  let labels = Array.init n (fun i -> if i >= 100 then 1 else 0) in
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num xs |] ~labels
+      ~classes:[| "n"; "p" |] ()
+  in
+  match best ~allow_ranges:false (V.all ds) ~target:1 with
+  | Some { G.condition = Cond.Num_ge { col = 0; threshold }; counts; _ } ->
+    Alcotest.(check (float 1e-9)) "threshold at boundary" 100.0 threshold;
+    Alcotest.(check (float 1e-9)) "pure" 0.0 counts.RM.neg
+  | Some { G.condition; _ } ->
+    Alcotest.failf "wrong condition: %s" (Cond.to_string ds.D.attrs condition)
+  | None -> Alcotest.fail "no candidate found"
+
+let test_finds_range () =
+  (* Positives form an interior band: one-sided cuts are impure, the
+     range isolates it exactly (the paper's §2.2 motivation). *)
+  let n = 300 in
+  let xs = Array.init n (fun i -> float_of_int i) in
+  let labels = Array.init n (fun i -> if i >= 140 && i < 160 then 1 else 0) in
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num xs |] ~labels
+      ~classes:[| "n"; "p" |] ()
+  in
+  match best (V.all ds) ~target:1 with
+  | Some { G.condition = Cond.Num_range { col = 0; lo; hi }; counts; _ } ->
+    Alcotest.(check (float 1e-9)) "lo" 140.0 lo;
+    Alcotest.(check (float 1e-9)) "hi" 159.0 hi;
+    Alcotest.(check (float 1e-9)) "pure" 0.0 counts.RM.neg;
+    Alcotest.(check (float 1e-9)) "complete" 20.0 counts.RM.pos
+  | Some { G.condition; _ } ->
+    Alcotest.failf "expected range, got %s" (Cond.to_string ds.D.attrs condition)
+  | None -> Alcotest.fail "no candidate found"
+
+let test_range_disabled () =
+  let n = 300 in
+  let xs = Array.init n (fun i -> float_of_int i) in
+  let labels = Array.init n (fun i -> if i >= 140 && i < 160 then 1 else 0) in
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num xs |] ~labels
+      ~classes:[| "n"; "p" |] ()
+  in
+  match best ~allow_ranges:false (V.all ds) ~target:1 with
+  | Some { G.condition = Cond.Num_range _; _ } ->
+    Alcotest.fail "ranges must be disabled"
+  | Some _ -> ()
+  | None -> Alcotest.fail "no candidate found"
+
+let test_negate () =
+  (* With negate, the grower hunts the *majority* complement class. *)
+  let n = 100 in
+  let xs = Array.init n (fun i -> float_of_int i) in
+  let labels = Array.init n (fun i -> if i < 50 then 1 else 0) in
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num xs |] ~labels
+      ~classes:[| "n"; "p" |] ()
+  in
+  let v = V.all ds in
+  let pos, neg = V.binary_weights v ~target:1 in
+  let ctx = { RM.pos_total = neg; neg_total = pos } in
+  match G.best_condition ~negate:true ~metric:RM.Z_number ~ctx ~target:1 v with
+  | Some { G.counts; condition; _ } ->
+    (* Candidate coverage must be pure in non-target records. *)
+    Alcotest.(check (float 1e-9)) "no target covered" 0.0 counts.RM.neg;
+    (match condition with
+    | Cond.Num_ge { threshold; _ } when threshold >= 50.0 -> ()
+    | Cond.Num_range { lo; _ } when lo >= 50.0 -> ()
+    | other -> Alcotest.failf "unexpected: %s" (Cond.to_string ds.D.attrs other))
+  | None -> Alcotest.fail "no candidate found"
+
+let test_respects_current_rule () =
+  let n = 100 in
+  let codes = Array.init n (fun i -> i mod 2) in
+  let labels = Array.init n (fun i -> if i mod 2 = 0 then 1 else 0) in
+  let ds =
+    D.create
+      ~attrs:[| A.categorical "c" [| "a"; "b" |] |]
+      ~columns:[| D.Cat codes |] ~labels ~classes:[| "n"; "p" |] ()
+  in
+  let v = V.all ds in
+  (* Current rule already tests c = a; the view covers only those. *)
+  let current = Rule.of_conditions [ Cond.Cat_eq { col = 0; value = 0 } ] in
+  let covered = Rule.covered_of v current in
+  Alcotest.(check bool) "nothing left to test" true
+    (best ~current covered ~target:1 = None)
+
+let test_counts_consistency () =
+  (* Whatever the grower returns, its counts must equal the actual
+     coverage of the condition over the view. *)
+  let rng = Pn_util.Rng.create 99 in
+  let n = 500 in
+  let xs = Array.init n (fun _ -> Pn_util.Rng.float rng 10.0) in
+  let cs = Array.init n (fun _ -> Pn_util.Rng.int rng 4) in
+  let labels = Array.init n (fun _ -> if Pn_util.Rng.bernoulli rng 0.2 then 1 else 0) in
+  let ds =
+    D.create
+      ~attrs:[| A.numeric "x"; A.categorical "c" [| "a"; "b"; "c"; "d" |] |]
+      ~columns:[| D.Num xs; D.Cat cs |] ~labels ~classes:[| "n"; "p" |] ()
+  in
+  let v = V.all ds in
+  match best v ~target:1 with
+  | None -> () (* nothing learnable in noise is acceptable *)
+  | Some { G.condition; counts; _ } ->
+    let actual =
+      Rule.coverage v (Rule.of_conditions [ condition ]) ~target:1
+    in
+    Alcotest.(check (float 1e-6)) "pos consistent" actual.RM.pos counts.RM.pos;
+    Alcotest.(check (float 1e-6)) "neg consistent" actual.RM.neg counts.RM.neg
+
+let test_interior_peak_with_uniform_positives () =
+  (* Regression: a cluster of positives at x ≈ 47 while other positives
+     are uniform on x. Both one-sided optima land away from the peak, so
+     the paper's anchored scans alone miss it; the maximum-enrichment
+     window must recover it. *)
+  let rng = Pn_util.Rng.create 12345 in
+  let n = 20_000 in
+  let xs = Array.make n 0.0 and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = Pn_util.Rng.float rng 1.0 in
+    if r < 0.002 then begin
+      labels.(i) <- 1;
+      xs.(i) <- 46.9 +. Pn_util.Rng.float rng 0.2
+    end
+    else if r < 0.004 then begin
+      labels.(i) <- 1;
+      xs.(i) <- Pn_util.Rng.float rng 100.0
+    end
+    else xs.(i) <- Pn_util.Rng.float rng 100.0
+  done;
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num xs |] ~labels
+      ~classes:[| "n"; "p" |] ()
+  in
+  let v = V.all ds in
+  let pos, neg = V.binary_weights v ~target:1 in
+  let ctx = { RM.pos_total = pos; neg_total = neg } in
+  match
+    G.best_condition ~min_support:10.0 ~metric:RM.Z_number ~ctx ~target:1 v
+  with
+  | Some { G.condition = Cond.Num_range { lo; hi; _ }; counts; _ } ->
+    Alcotest.(check bool)
+      (Printf.sprintf "window [%g, %g] sits on the peak" lo hi)
+      true
+      (lo >= 45.0 && hi <= 49.0);
+    Alcotest.(check bool) "captures the cluster" true (counts.RM.pos >= 25.0)
+  | Some { G.condition; _ } ->
+    Alcotest.failf "expected a range on the peak, got %s"
+      (Cond.to_string ds.D.attrs condition)
+  | None -> Alcotest.fail "no candidate found"
+
+let test_min_support_excludes_tiny_candidates () =
+  (* With a floor, the grower must return the best *qualifying* candidate
+     rather than None when a tiny pure range scores higher. *)
+  let rng = Pn_util.Rng.create 777 in
+  let n = 5_000 in
+  let xs = Array.make n 0.0 and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = Pn_util.Rng.float rng 1.0 in
+    if r < 0.0006 then begin
+      (* ~3 positives isolated in a micro-window: irresistible to Z. *)
+      labels.(i) <- 1;
+      xs.(i) <- 10.0 +. Pn_util.Rng.float rng 0.01
+    end
+    else if r < 0.01 then begin
+      labels.(i) <- 1;
+      xs.(i) <- 60.0 +. Pn_util.Rng.float rng 5.0
+    end
+    else xs.(i) <- 20.0 +. Pn_util.Rng.float rng 30.0
+  done;
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num xs |] ~labels
+      ~classes:[| "n"; "p" |] ()
+  in
+  let v = V.all ds in
+  let pos, neg = V.binary_weights v ~target:1 in
+  let ctx = { RM.pos_total = pos; neg_total = neg } in
+  match G.best_condition ~min_support:20.0 ~metric:RM.Z_number ~ctx ~target:1 v with
+  | Some { G.counts; _ } ->
+    Alcotest.(check bool) "floor respected" true (RM.support counts >= 20.0);
+    Alcotest.(check bool) "found the big cluster" true (counts.RM.pos >= 20.0)
+  | None -> Alcotest.fail "must return a qualifying candidate"
+
+let test_no_candidates_on_constant_data () =
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |]
+      ~columns:[| D.Num [| 1.0; 1.0; 1.0; 1.0 |] |]
+      ~labels:[| 1; 0; 1; 0 |] ~classes:[| "n"; "p" |] ()
+  in
+  Alcotest.(check bool) "constant column yields nothing" true
+    (best (V.all ds) ~target:1 = None)
+
+let test_candidate_space_size () =
+  let ds =
+    D.create
+      ~attrs:[| A.numeric "x"; A.categorical "c" [| "a"; "b"; "z" |] |]
+      ~columns:[| D.Num [| 1.0; 2.0; 2.0; 3.0 |]; D.Cat [| 0; 1; 2; 0 |] |]
+      ~labels:[| 0; 0; 0; 0 |] ~classes:[| "n" |] ()
+  in
+  (* 3 distinct numeric values × 2 sides + 3 categorical values. *)
+  Alcotest.(check int) "space" 9 (G.candidate_space_size ds)
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~count:60 ~name:"best candidate strictly shrinks coverage"
+      QCheck.small_int
+      (fun seed ->
+        let rng = Pn_util.Rng.create seed in
+        let n = 120 in
+        let xs = Array.init n (fun _ -> Pn_util.Rng.float rng 5.0) in
+        let labels =
+          Array.init n (fun _ -> if Pn_util.Rng.bernoulli rng 0.3 then 1 else 0)
+        in
+        let ds =
+          D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num xs |] ~labels
+            ~classes:[| "n"; "p" |] ()
+        in
+        let v = V.all ds in
+        match best v ~target:1 with
+        | None -> true
+        | Some { G.counts; _ } -> RM.support counts < float_of_int n);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "finds categorical signature" `Quick test_finds_categorical_signature;
+    Alcotest.test_case "finds numeric threshold" `Quick test_finds_numeric_threshold;
+    Alcotest.test_case "finds interior range" `Quick test_finds_range;
+    Alcotest.test_case "range search can be disabled" `Quick test_range_disabled;
+    Alcotest.test_case "negate hunts the complement class" `Quick test_negate;
+    Alcotest.test_case "respects the current rule" `Quick test_respects_current_rule;
+    Alcotest.test_case "interior peak found (Kadane window)" `Quick
+      test_interior_peak_with_uniform_positives;
+    Alcotest.test_case "min support filters inside the search" `Quick
+      test_min_support_excludes_tiny_candidates;
+    Alcotest.test_case "counts consistent with coverage" `Quick test_counts_consistency;
+    Alcotest.test_case "constant data has no candidates" `Quick test_no_candidates_on_constant_data;
+    Alcotest.test_case "candidate space size" `Quick test_candidate_space_size;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props

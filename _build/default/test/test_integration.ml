@@ -1,0 +1,152 @@
+(* Integration tests: the paper's qualitative claims on scaled-down
+   versions of its synthetic models. These are the end-to-end checks that
+   the reproduction actually reproduces. *)
+
+module D = Pn_data.Dataset
+module E = Pn_harness.Experiment
+module M = Pn_harness.Methods
+module C = Pn_metrics.Confusion
+
+(* A scaled-down nsyn3-style dataset large enough for the effects to be
+   stable: ~0.75 % target so the per-peak counts stay healthy at n=40k. *)
+let nsyn3_small ~seed ~n =
+  let spec = { (Pn_synth.Numerical.nsyn 3) with Pn_synth.Numerical.target_fraction = 0.0075 } in
+  Pn_synth.Numerical.generate spec ~seed ~n
+
+let test_pnrule_beats_ripper_on_splintered_data () =
+  (* The paper's central claim (Tables 1-2): on peaked rare-class data
+     with multiple non-target subclasses, PNrule clearly beats RIPPER. *)
+  let train = nsyn3_small ~seed:21 ~n:40_000 in
+  let test = nsyn3_small ~seed:22 ~n:20_000 in
+  let target = Pn_synth.Numerical.target_class in
+  let pn =
+    E.best_of (E.run_all (M.pnrule_grid ()) ~train ~test ~target)
+  in
+  let ripper = E.run (M.ripper ()) ~train ~test ~target in
+  Alcotest.(check bool)
+    (Printf.sprintf "PNrule F=%.3f > RIPPER F=%.3f" pn.E.f_measure ripper.E.f_measure)
+    true
+    (pn.E.f_measure > ripper.E.f_measure);
+  Alcotest.(check bool)
+    (Printf.sprintf "PNrule F=%.3f is strong" pn.E.f_measure)
+    true (pn.E.f_measure > 0.8)
+
+let test_stratified_trades_precision_for_recall () =
+  (* Figure 1's "-we" effect: stratification pushes recall up and lets
+     precision collapse. *)
+  let train = nsyn3_small ~seed:23 ~n:40_000 in
+  let test = nsyn3_small ~seed:24 ~n:20_000 in
+  let target = Pn_synth.Numerical.target_class in
+  let unit = E.run (M.ripper ()) ~train ~test ~target in
+  let we = E.run (M.ripper ~stratified:true ()) ~train ~test ~target in
+  Alcotest.(check bool)
+    (Printf.sprintf "recall-we %.3f >= recall %.3f - 0.05" we.E.recall unit.E.recall)
+    true
+    (we.E.recall >= unit.E.recall -. 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "precision-we %.3f <= precision %.3f + 0.05" we.E.precision
+       unit.E.precision)
+    true
+    (we.E.precision <= unit.E.precision +. 0.05)
+
+let test_gap_narrows_as_class_grows () =
+  (* Table 5's trend: PNrule's edge over RIPPER shrinks (or disappears)
+     when the target class stops being rare. *)
+  (* A 1 % target keeps per-subclass counts healthy at this size; the
+     rare-vs-common contrast comes from the subsampling fractions. *)
+  let spec = { Pn_synth.General.default with Pn_synth.General.target_fraction = 0.01 } in
+  let target = Pn_synth.General.target_class in
+  let train0 = Pn_synth.General.generate spec ~seed:31 ~n:80_000 in
+  let test0 = Pn_synth.General.generate spec ~seed:32 ~n:40_000 in
+  let gap frac =
+    let train =
+      Pn_harness.Sampling.subsample_non_target train0 ~target ~fraction:frac ~seed:33
+    in
+    let test =
+      Pn_harness.Sampling.subsample_non_target test0 ~target ~fraction:frac ~seed:34
+    in
+    let pn = E.best_of (E.run_all (M.pnrule_grid ()) ~train ~test ~target) in
+    let rip = E.run (M.ripper ()) ~train ~test ~target in
+    pn.E.f_measure -. rip.E.f_measure
+  in
+  let rare_gap = gap 1.0 in
+  let common_gap = gap 0.01 in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap rare %.3f > gap common %.3f - 0.05" rare_gap common_gap)
+    true
+    (rare_gap > common_gap -. 0.05);
+  Alcotest.(check bool) "PNrule ahead when rare" true (rare_gap > 0.0)
+
+let test_kdd_pipeline_end_to_end () =
+  (* Section 4 wiring: train on the simulator's training distribution,
+     evaluate on the shifted test distribution, for both rare classes. *)
+  let train = Pn_synth.Kddcup.train ~seed:41 ~n:40_000 in
+  let test = Pn_synth.Kddcup.test ~seed:42 ~n:25_000 in
+  List.iter
+    (fun (name, target) ->
+      let params =
+        {
+          Pnrule.Params.default with
+          metric = Pn_metrics.Rule_metric.Info_gain;
+          max_p_rule_length = Some 1;
+          recall_floor = 0.95;
+        }
+      in
+      let r = E.run (M.pnrule ~params ()) ~train ~test ~target in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: F=%.3f > 0" name r.E.f_measure)
+        true (r.E.f_measure > 0.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: precision %.3f sane" name r.E.precision)
+        true
+        (r.E.precision > 0.1))
+    [ ("probe", Pn_synth.Kddcup.probe); ("r2l", Pn_synth.Kddcup.r2l) ]
+
+let test_p1_boosts_probe_like_classes () =
+  (* Section 4's probe.P1 observation: very general P-rules + N-phase
+     beat heavily refined P-rules when the test distribution shifts. *)
+  let train = Pn_synth.Kddcup.train ~seed:43 ~n:40_000 in
+  let test = Pn_synth.Kddcup.test ~seed:44 ~n:25_000 in
+  let target = Pn_synth.Kddcup.probe in
+  let f p1 =
+    let params =
+      {
+        Pnrule.Params.default with
+        metric = Pn_metrics.Rule_metric.Info_gain;
+        max_p_rule_length = (if p1 then Some 1 else None);
+      }
+    in
+    (E.run (M.pnrule ~params ()) ~train ~test ~target).E.f_measure
+  in
+  let with_p1 = f true and without = f false in
+  (* We don't require a strict win (sampling noise), but P1 must stay
+     competitive — within 0.1 — as the paper argues. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "P1 %.3f vs unrestricted %.3f" with_p1 without)
+    true
+    (with_p1 >= without -. 0.1)
+
+let test_ablation_components_matter () =
+  let train = nsyn3_small ~seed:51 ~n:40_000 in
+  let test = nsyn3_small ~seed:52 ~n:20_000 in
+  let target = Pn_synth.Numerical.target_class in
+  let f params = (E.run (M.pnrule ~params ()) ~train ~test ~target).E.f_measure in
+  let full = f Pnrule.Params.default in
+  let no_n = f { Pnrule.Params.default with enable_n_phase = false } in
+  Alcotest.(check bool)
+    (Printf.sprintf "N-phase matters: full %.3f > no-N %.3f" full no_n)
+    true (full > no_n)
+
+let suite =
+  [
+    Alcotest.test_case "PNrule beats RIPPER on splintered data" `Slow
+      test_pnrule_beats_ripper_on_splintered_data;
+    Alcotest.test_case "stratification trades precision for recall" `Slow
+      test_stratified_trades_precision_for_recall;
+    Alcotest.test_case "gap narrows as target class grows" `Slow
+      test_gap_narrows_as_class_grows;
+    Alcotest.test_case "KDD pipeline end to end" `Slow test_kdd_pipeline_end_to_end;
+    Alcotest.test_case "P1 competitive on probe-like classes" `Slow
+      test_p1_boosts_probe_like_classes;
+    Alcotest.test_case "ablation: N-phase matters" `Slow test_ablation_components_matter;
+  ]

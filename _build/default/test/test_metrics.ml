@@ -1,0 +1,257 @@
+(* Tests for pn_metrics: confusion matrices, rule metrics, MDL. *)
+
+module C = Pn_metrics.Confusion
+module RM = Pn_metrics.Rule_metric
+module Mdl = Pn_metrics.Mdl
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Confusion                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_confusion_add () =
+  let c =
+    C.zero
+    |> fun c ->
+    C.add c ~actual:true ~predicted:true ~weight:2.0
+    |> fun c ->
+    C.add c ~actual:true ~predicted:false ~weight:1.0
+    |> fun c ->
+    C.add c ~actual:false ~predicted:true ~weight:3.0
+    |> fun c -> C.add c ~actual:false ~predicted:false ~weight:4.0
+  in
+  check_float "tp" 2.0 c.C.tp;
+  check_float "fn" 1.0 c.C.fn;
+  check_float "fp" 3.0 c.C.fp;
+  check_float "tn" 4.0 c.C.tn;
+  check_float "recall" (2.0 /. 3.0) (C.recall c);
+  check_float "precision" (2.0 /. 5.0) (C.precision c);
+  check_float "accuracy" 0.6 (C.accuracy c);
+  check_float "total" 10.0 (C.total c)
+
+let test_f_measure () =
+  let c = { C.tp = 50.0; fp = 50.0; fn = 0.0; tn = 0.0 } in
+  (* R = 1, P = 0.5 → F = 2RP/(R+P) = 2/3. *)
+  check_float "f1" (2.0 /. 3.0) (C.f_measure c);
+  (* β = 2 weighs recall higher. *)
+  check_float "f2" (5.0 *. 0.5 /. (4.0 *. 0.5 +. 1.0)) (C.f_measure ~beta:2.0 c);
+  check_float "degenerate" 0.0 (C.f_measure { C.tp = 0.0; fp = 0.0; fn = 0.0; tn = 1.0 })
+
+let test_of_predictions () =
+  let actual = [| true; false; true |] and predicted = [| true; true; false |] in
+  let c = C.of_predictions ~actual ~predicted () in
+  check_float "tp" 1.0 c.C.tp;
+  check_float "fp" 1.0 c.C.fp;
+  check_float "fn" 1.0 c.C.fn;
+  let cw = C.of_predictions ~weights:[| 2.0; 3.0; 4.0 |] ~actual ~predicted () in
+  check_float "weighted tp" 2.0 cw.C.tp;
+  check_float "weighted fp" 3.0 cw.C.fp;
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Confusion.of_predictions: length mismatch") (fun () ->
+      ignore (C.of_predictions ~actual ~predicted:[| true |] ()))
+
+(* ------------------------------------------------------------------ *)
+(* Rule metrics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ctx = { RM.pos_total = 10.0; neg_total = 990.0 }
+
+let test_support_accuracy_prior () =
+  check_float "support" 30.0 (RM.support { RM.pos = 10.0; neg = 20.0 });
+  check_float "accuracy" (1.0 /. 3.0) (RM.accuracy { RM.pos = 10.0; neg = 20.0 });
+  check_float "accuracy empty" 0.0 (RM.accuracy { RM.pos = 0.0; neg = 0.0 });
+  check_float "prior" 0.01 (RM.prior ctx)
+
+let test_z_number () =
+  (* A rule at exactly the prior accuracy has Z = 0. *)
+  check_close 1e-9 "at prior" 0.0 (RM.z_number ctx { RM.pos = 1.0; neg = 99.0 });
+  let enriched = RM.z_number ctx { RM.pos = 8.0; neg = 2.0 } in
+  if enriched <= 0.0 then Alcotest.fail "enriched rule must score positive";
+  let depleted = RM.z_number ctx { RM.pos = 0.0; neg = 100.0 } in
+  if depleted >= 0.0 then Alcotest.fail "depleted rule must score negative";
+  (* Same accuracy, more support → higher Z (the paper's statistical
+     support argument). *)
+  let small = RM.z_number ctx { RM.pos = 2.0; neg = 2.0 } in
+  let large = RM.z_number ctx { RM.pos = 8.0; neg = 8.0 } in
+  if large <= small then Alcotest.fail "Z must grow with support at fixed accuracy"
+
+let test_info_gain () =
+  check_float "no positives" 0.0 (RM.eval RM.Info_gain ctx { RM.pos = 0.0; neg = 50.0 });
+  let g = RM.eval RM.Info_gain ctx { RM.pos = 8.0; neg = 2.0 } in
+  check_close 1e-9 "foil formula"
+    (8.0 *. (Pn_util.Stats.log2 0.8 -. Pn_util.Stats.log2 0.01))
+    g
+
+let test_gini () =
+  (* A perfect separator on a balanced context removes all impurity. *)
+  let balanced = { RM.pos_total = 50.0; neg_total = 50.0 } in
+  check_close 1e-9 "perfect split" 0.5
+    (RM.eval RM.Gini balanced { RM.pos = 50.0; neg = 0.0 });
+  check_close 1e-9 "useless split" 0.0
+    (RM.eval RM.Gini balanced { RM.pos = 25.0; neg = 25.0 })
+
+let test_chi_squared () =
+  let enriched = RM.eval RM.Chi_squared ctx { RM.pos = 8.0; neg = 2.0 } in
+  if enriched <= 0.0 then Alcotest.fail "enrichment must be positive";
+  let depleted = RM.eval RM.Chi_squared ctx { RM.pos = 0.0; neg = 500.0 } in
+  if depleted >= 0.0 then Alcotest.fail "depletion must be negative";
+  check_float "degenerate full coverage" 0.0
+    (RM.eval RM.Chi_squared ctx { RM.pos = 10.0; neg = 990.0 })
+
+let test_laplace () =
+  check_float "laplace" (9.0 /. 12.0) (RM.eval RM.Laplace ctx { RM.pos = 8.0; neg = 2.0 });
+  check_float "laplace empty" 0.5 (RM.eval RM.Laplace ctx { RM.pos = 0.0; neg = 0.0 })
+
+let test_kind_names () =
+  List.iter
+    (fun k ->
+      match RM.kind_of_string (RM.kind_name k) with
+      | Some k' when k' = k -> ()
+      | _ -> Alcotest.failf "name roundtrip failed for %s" (RM.kind_name k))
+    RM.all_kinds;
+  Alcotest.(check bool) "unknown name" true (RM.kind_of_string "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* MDL                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_theory_bits () =
+  check_float "empty rule" 0.0 (Mdl.theory_bits ~n_candidate_conditions:100 ~rule_conditions:0);
+  let one = Mdl.theory_bits ~n_candidate_conditions:100 ~rule_conditions:1 in
+  let three = Mdl.theory_bits ~n_candidate_conditions:100 ~rule_conditions:3 in
+  if one <= 0.0 then Alcotest.fail "one condition costs bits";
+  if three <= one then Alcotest.fail "more conditions cost more";
+  (* Larger candidate alphabets cost more per condition. *)
+  let wide = Mdl.theory_bits ~n_candidate_conditions:10_000 ~rule_conditions:3 in
+  if wide <= three then Alcotest.fail "alphabet size must matter"
+
+let test_exception_bits () =
+  let perfect = Mdl.exception_bits ~covered:100.0 ~uncovered:900.0 ~fp:0.0 ~fn:0.0 in
+  let noisy = Mdl.exception_bits ~covered:100.0 ~uncovered:900.0 ~fp:10.0 ~fn:20.0 in
+  if noisy <= perfect then Alcotest.fail "errors must cost bits";
+  check_float "empty data" 0.0 (Mdl.exception_bits ~covered:0.0 ~uncovered:0.0 ~fp:0.0 ~fn:0.0);
+  (* Clamping keeps nonsense inputs finite. *)
+  let clamped = Mdl.exception_bits ~covered:10.0 ~uncovered:10.0 ~fp:99.0 ~fn:99.0 in
+  if not (Float.is_finite clamped) then Alcotest.fail "must clamp to finite"
+
+let test_ruleset_bits () =
+  let dl_empty =
+    Mdl.ruleset_bits ~n_candidate_conditions:50 ~rule_sizes:[] ~covered:0.0
+      ~uncovered:1000.0 ~fp:0.0 ~fn:10.0
+  in
+  let dl_good_rule =
+    Mdl.ruleset_bits ~n_candidate_conditions:50 ~rule_sizes:[ 2 ] ~covered:10.0
+      ~uncovered:990.0 ~fp:0.0 ~fn:0.0
+  in
+  (* A 2-condition rule explaining all 10 positives should beat paying
+     for 10 exceptions. *)
+  if dl_good_rule >= dl_empty then Alcotest.fail "useful rule should shrink DL"
+
+(* ------------------------------------------------------------------ *)
+(* PR curve                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module PR = Pn_metrics.Pr_curve
+
+let test_pr_curve_basic () =
+  (* Scores perfectly separate: a threshold between the groups yields
+     recall = precision = 1. *)
+  let scores = [| 0.9; 0.8; 0.2; 0.1 |] in
+  let actual = [| true; true; false; false |] in
+  let curve = PR.compute ~scores ~actual () in
+  Alcotest.(check int) "one point per distinct score" 4 (List.length curve);
+  let best = PR.best_f curve in
+  check_float "perfect F" 1.0 best.PR.f_measure;
+  check_float "best threshold" 0.8 best.PR.threshold;
+  (* The lowest threshold covers everything: recall 1, precision 1/2. *)
+  let last = List.nth curve 3 in
+  check_float "full recall" 1.0 last.PR.recall;
+  check_float "half precision" 0.5 last.PR.precision
+
+let test_pr_curve_monotone_recall () =
+  let scores = [| 0.1; 0.5; 0.5; 0.9; 0.3; 0.7 |] in
+  let actual = [| false; true; false; true; true; false |] in
+  let curve = PR.compute ~scores ~actual () in
+  let rec check prev = function
+    | [] -> ()
+    | p :: rest ->
+      if p.PR.recall < prev -. 1e-12 then Alcotest.fail "recall must not decrease";
+      check p.PR.recall rest
+  in
+  check 0.0 curve
+
+let test_pr_curve_weighted () =
+  let scores = [| 0.9; 0.1 |] and actual = [| true; true |] in
+  let curve = PR.compute ~weights:[| 3.0; 1.0 |] ~scores ~actual () in
+  (match curve with
+  | [ first; _ ] -> check_float "weighted recall" 0.75 first.PR.recall
+  | _ -> Alcotest.fail "expected two points");
+  Alcotest.(check bool) "no positives -> empty" true
+    (PR.compute ~scores ~actual:[| false; false |] () = [])
+
+let test_pr_curve_auc () =
+  (* A perfect classifier's PR curve has area 1. *)
+  let scores = [| 1.0; 1.0; 0.0; 0.0 |] in
+  let actual = [| true; true; false; false |] in
+  let auc = PR.auc_pr (PR.compute ~scores ~actual ()) in
+  check_close 1e-9 "perfect auc" 1.0 auc
+
+let test_pr_curve_at_threshold () =
+  let scores = [| 0.9; 0.5; 0.1 |] in
+  let actual = [| true; false; true |] in
+  let curve = PR.compute ~scores ~actual () in
+  (match PR.at_threshold curve 0.4 with
+  | Some p -> check_float "point at 0.5" 0.5 p.PR.threshold
+  | None -> Alcotest.fail "expected a point");
+  Alcotest.(check bool) "above max threshold" true (PR.at_threshold curve 0.95 = None)
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~count:200 ~name:"f-measure between min and max of R,P"
+      QCheck.(quad (float_range 0. 50.) (float_range 0. 50.) (float_range 0. 50.) (float_range 0. 50.))
+      (fun (tp, fp, fn, tn) ->
+        let c = { C.tp; fp; fn; tn } in
+        let r = C.recall c and p = C.precision c and f = C.f_measure c in
+        f >= Float.min r p -. 1e-9 && f <= Float.max r p +. 1e-9);
+    QCheck.Test.make ~count:200 ~name:"z-number sign matches accuracy vs prior"
+      QCheck.(pair (float_range 0. 100.) (float_range 0. 100.))
+      (fun (pos, neg) ->
+        QCheck.assume (pos +. neg > 0.0);
+        let z = RM.z_number ctx { RM.pos = pos; neg } in
+        let a = pos /. (pos +. neg) in
+        let p = RM.prior ctx in
+        if a > p then z > 0.0 else if a < p then z < 0.0 else Float.abs z < 1e-9);
+    QCheck.Test.make ~count:100 ~name:"theory bits nonnegative, monotone below n/2"
+      QCheck.(pair (int_range 1 15) (int_range 40 1000))
+      (fun (k, n) ->
+        (* Subset coding C(n, k) only grows while k stays below n/2, so
+           the monotonicity claim is restricted to that regime. *)
+        let b k = Mdl.theory_bits ~n_candidate_conditions:n ~rule_conditions:k in
+        b k >= 0.0 && b (k + 1) >= b k -. 1e-6);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "confusion: add/ratios" `Quick test_confusion_add;
+    Alcotest.test_case "confusion: f-measure" `Quick test_f_measure;
+    Alcotest.test_case "confusion: of_predictions" `Quick test_of_predictions;
+    Alcotest.test_case "rule metric: support/accuracy/prior" `Quick test_support_accuracy_prior;
+    Alcotest.test_case "rule metric: z-number" `Quick test_z_number;
+    Alcotest.test_case "rule metric: info gain" `Quick test_info_gain;
+    Alcotest.test_case "rule metric: gini" `Quick test_gini;
+    Alcotest.test_case "rule metric: chi-squared" `Quick test_chi_squared;
+    Alcotest.test_case "rule metric: laplace" `Quick test_laplace;
+    Alcotest.test_case "rule metric: kind names" `Quick test_kind_names;
+    Alcotest.test_case "mdl: theory bits" `Quick test_theory_bits;
+    Alcotest.test_case "mdl: exception bits" `Quick test_exception_bits;
+    Alcotest.test_case "mdl: ruleset bits" `Quick test_ruleset_bits;
+    Alcotest.test_case "pr curve: basics" `Quick test_pr_curve_basic;
+    Alcotest.test_case "pr curve: recall monotone" `Quick test_pr_curve_monotone_recall;
+    Alcotest.test_case "pr curve: weighted and degenerate" `Quick test_pr_curve_weighted;
+    Alcotest.test_case "pr curve: auc" `Quick test_pr_curve_auc;
+    Alcotest.test_case "pr curve: at_threshold" `Quick test_pr_curve_at_threshold;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props

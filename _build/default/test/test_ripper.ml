@@ -1,0 +1,150 @@
+(* Tests for the RIPPER baseline. *)
+
+module A = Pn_data.Attribute
+module D = Pn_data.Dataset
+module P = Pn_ripper.Params
+module L = Pn_ripper.Learner
+module M = Pn_ripper.Model
+module C = Pn_metrics.Confusion
+
+let separable ~seed ~n =
+  let rng = Pn_util.Rng.create seed in
+  let xs = Array.make n 0.0 and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if Pn_util.Rng.bernoulli rng 0.05 then begin
+      labels.(i) <- 1;
+      xs.(i) <- 70.0 +. Pn_util.Rng.float rng 5.0
+    end
+    else begin
+      let rec draw () =
+        let v = Pn_util.Rng.float rng 100.0 in
+        if v >= 69.5 && v <= 75.5 then draw () else v
+      in
+      xs.(i) <- draw ()
+    end
+  done;
+  D.create ~attrs:[| A.numeric "x" |] ~columns:[| D.Num xs |] ~labels
+    ~classes:[| "neg"; "pos" |] ()
+
+let categorical_problem ~seed ~n =
+  (* Target iff c = b AND d = q; both conditions needed. *)
+  let rng = Pn_util.Rng.create seed in
+  let cs = Array.make n 0 and ds_col = Array.make n 0 and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if Pn_util.Rng.bernoulli rng 0.1 then begin
+      labels.(i) <- 1;
+      cs.(i) <- 1;
+      ds_col.(i) <- 1
+    end
+    else begin
+      cs.(i) <- Pn_util.Rng.int rng 3;
+      ds_col.(i) <- Pn_util.Rng.int rng 3;
+      if cs.(i) = 1 && ds_col.(i) = 1 then cs.(i) <- 0
+    end
+  done;
+  D.create
+    ~attrs:[| A.categorical "c" [| "a"; "b"; "z" |]; A.categorical "d" [| "p"; "q"; "r" |] |]
+    ~columns:[| D.Cat cs; D.Cat ds_col |]
+    ~labels ~classes:[| "neg"; "pos" |] ()
+
+(* ------------------------------------------------------------------ *)
+
+let test_separable () =
+  let train = separable ~seed:1 ~n:8000 in
+  let model = L.train train ~target:1 in
+  Alcotest.(check bool) "has rules" true (M.n_rules model >= 1);
+  let cm = M.evaluate model (separable ~seed:2 ~n:8000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "test F %.3f > 0.95" (C.f_measure cm))
+    true
+    (C.f_measure cm > 0.95)
+
+let test_categorical_conjunction () =
+  let train = categorical_problem ~seed:3 ~n:6000 in
+  let model = L.train train ~target:1 in
+  let cm = M.evaluate model (categorical_problem ~seed:4 ~n:6000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "test F %.3f > 0.95" (C.f_measure cm))
+    true
+    (C.f_measure cm > 0.95)
+
+let test_no_positives_gives_empty_model () =
+  let ds =
+    D.create ~attrs:[| A.numeric "x" |]
+      ~columns:[| D.Num [| 1.0; 2.0; 3.0 |] |]
+      ~labels:[| 0; 0; 0 |] ~classes:[| "neg"; "pos" |] ()
+  in
+  let model = L.train ds ~target:1 in
+  Alcotest.(check int) "no rules" 0 (M.n_rules model);
+  Alcotest.(check bool) "predicts negative" false (M.predict model ds 0)
+
+let test_rules_only_use_one_sided_conditions () =
+  let train = separable ~seed:5 ~n:6000 in
+  let model = L.train train ~target:1 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          match c with
+          | Pn_rules.Condition.Num_range _ ->
+            Alcotest.fail "RIPPER must not emit range conditions"
+          | Pn_rules.Condition.Num_le _ | Pn_rules.Condition.Num_ge _
+          | Pn_rules.Condition.Cat_eq _ ->
+            ())
+        r.Pn_rules.Rule.conditions)
+    (Pn_rules.Rule_list.to_list model.M.rules)
+
+let test_optimization_not_harmful () =
+  let train = separable ~seed:6 ~n:6000 in
+  let test = separable ~seed:7 ~n:6000 in
+  let f k =
+    let params = { P.default with optimization_passes = k } in
+    C.f_measure (M.evaluate (L.train ~params train ~target:1) test)
+  in
+  let f0 = f 0 and f2 = f 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "k=2 (%.3f) within 0.1 of k=0 (%.3f)" f2 f0)
+    true
+    (f2 >= f0 -. 0.1)
+
+let test_prune_disabled_overfits_more () =
+  let train = separable ~seed:8 ~n:6000 in
+  let no_prune =
+    L.train ~params:{ P.default with prune = false; optimization_passes = 0 } train
+      ~target:1
+  in
+  let with_prune =
+    L.train ~params:{ P.default with optimization_passes = 0 } train ~target:1
+  in
+  let conds m = Pn_rules.Rule_list.total_conditions m.M.rules in
+  Alcotest.(check bool) "pruning does not add conditions" true
+    (conds with_prune <= conds no_prune)
+
+let test_stratified_changes_model () =
+  let train = separable ~seed:9 ~n:6000 in
+  let st = D.stratify train ~target:1 in
+  let model = L.train st ~target:1 in
+  (* Stratified training must still produce a usable classifier. *)
+  let cm = M.evaluate model (separable ~seed:10 ~n:6000) in
+  Alcotest.(check bool) "recall decent" true (C.recall cm > 0.8)
+
+let test_deterministic_given_seed () =
+  let train = separable ~seed:11 ~n:5000 in
+  let m1 = L.train train ~target:1 and m2 = L.train train ~target:1 in
+  Alcotest.(check bool) "same predictions" true
+    (M.predict_all m1 train = M.predict_all m2 train);
+  let m3 = L.train ~params:{ P.default with seed = 99 } train ~target:1 in
+  (* A different seed may give a different model, but must stay valid. *)
+  Alcotest.(check bool) "other seed trains" true (M.n_rules m3 >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "separable problem" `Quick test_separable;
+    Alcotest.test_case "categorical conjunction" `Quick test_categorical_conjunction;
+    Alcotest.test_case "no positives" `Quick test_no_positives_gives_empty_model;
+    Alcotest.test_case "one-sided conditions only" `Quick test_rules_only_use_one_sided_conditions;
+    Alcotest.test_case "optimization not harmful" `Quick test_optimization_not_harmful;
+    Alcotest.test_case "pruning shortens rules" `Quick test_prune_disabled_overfits_more;
+    Alcotest.test_case "stratified training" `Quick test_stratified_changes_model;
+    Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
+  ]

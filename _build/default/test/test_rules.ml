@@ -1,0 +1,194 @@
+(* Tests for pn_rules: conditions, rules, ordered rule lists. *)
+
+module A = Pn_data.Attribute
+module D = Pn_data.Dataset
+module V = Pn_data.View
+module Cond = Pn_rules.Condition
+module Rule = Pn_rules.Rule
+module RL = Pn_rules.Rule_list
+
+let attrs = [| A.numeric "x"; A.categorical "c" [| "a"; "b"; "z" |] |]
+
+let ds =
+  lazy
+    (D.create ~attrs
+       ~columns:[| D.Num [| 1.0; 2.0; 3.0; 4.0 |]; D.Cat [| 0; 1; 0; 2 |] |]
+       ~labels:[| 0; 1; 1; 0 |]
+       ~classes:[| "neg"; "pos" |]
+       ())
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_condition_matching () =
+  let ds = Lazy.force ds in
+  let le = Cond.Num_le { col = 0; threshold = 2.0 } in
+  let ge = Cond.Num_ge { col = 0; threshold = 3.0 } in
+  let range = Cond.Num_range { col = 0; lo = 2.0; hi = 3.0 } in
+  let eq = Cond.Cat_eq { col = 1; value = 0 } in
+  Alcotest.(check (list bool)) "le" [ true; true; false; false ]
+    (List.init 4 (Cond.matches ds le));
+  Alcotest.(check (list bool)) "ge" [ false; false; true; true ]
+    (List.init 4 (Cond.matches ds ge));
+  Alcotest.(check (list bool)) "range inclusive" [ false; true; true; false ]
+    (List.init 4 (Cond.matches ds range));
+  Alcotest.(check (list bool)) "cat" [ true; false; true; false ]
+    (List.init 4 (Cond.matches ds eq))
+
+let test_condition_col () =
+  Alcotest.(check int) "col" 1 (Cond.col (Cond.Cat_eq { col = 1; value = 0 }));
+  Alcotest.(check int) "col range" 0 (Cond.col (Cond.Num_range { col = 0; lo = 1.0; hi = 2.0 }))
+
+let test_condition_subsumes () =
+  let le5 = Cond.Num_le { col = 0; threshold = 5.0 } in
+  let le3 = Cond.Num_le { col = 0; threshold = 3.0 } in
+  let ge2 = Cond.Num_ge { col = 0; threshold = 2.0 } in
+  let r23 = Cond.Num_range { col = 0; lo = 2.0; hi = 3.0 } in
+  let r14 = Cond.Num_range { col = 0; lo = 1.0; hi = 4.0 } in
+  Alcotest.(check bool) "wider le subsumes" true (Cond.subsumes le5 le3);
+  Alcotest.(check bool) "narrower le does not" false (Cond.subsumes le3 le5);
+  Alcotest.(check bool) "le subsumes range" true (Cond.subsumes le5 r23);
+  Alcotest.(check bool) "ge subsumes range" true (Cond.subsumes ge2 r23);
+  Alcotest.(check bool) "wide range subsumes narrow" true (Cond.subsumes r14 r23);
+  Alcotest.(check bool) "narrow range does not" false (Cond.subsumes r23 r14);
+  Alcotest.(check bool) "le vs ge unrelated" false (Cond.subsumes le5 ge2);
+  Alcotest.(check bool) "different columns" false
+    (Cond.subsumes le5 (Cond.Num_le { col = 1; threshold = 3.0 }));
+  Alcotest.(check bool) "same cat value" true
+    (Cond.subsumes (Cond.Cat_eq { col = 1; value = 0 }) (Cond.Cat_eq { col = 1; value = 0 }));
+  Alcotest.(check bool) "different cat value" false
+    (Cond.subsumes (Cond.Cat_eq { col = 1; value = 0 }) (Cond.Cat_eq { col = 1; value = 1 }))
+
+let test_condition_print () =
+  Alcotest.(check string) "le" "x <= 2.5" (Cond.to_string attrs (Cond.Num_le { col = 0; threshold = 2.5 }));
+  Alcotest.(check string) "cat" "c = b" (Cond.to_string attrs (Cond.Cat_eq { col = 1; value = 1 }));
+  Alcotest.(check string) "range" "1 <= x <= 2"
+    (Cond.to_string attrs (Cond.Num_range { col = 0; lo = 1.0; hi = 2.0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_matching () =
+  let ds = Lazy.force ds in
+  Alcotest.(check bool) "empty matches everything" true (Rule.matches ds Rule.empty 0);
+  let rule =
+    Rule.of_conditions
+      [ Cond.Num_ge { col = 0; threshold = 2.0 }; Cond.Cat_eq { col = 1; value = 0 } ]
+  in
+  Alcotest.(check (list bool)) "conjunction" [ false; false; true; false ]
+    (List.init 4 (Rule.matches ds rule))
+
+let test_rule_editing () =
+  let c1 = Cond.Num_le { col = 0; threshold = 3.0 } in
+  let c2 = Cond.Cat_eq { col = 1; value = 1 } in
+  let rule = Rule.add (Rule.add Rule.empty c1) c2 in
+  Alcotest.(check int) "grown" 2 (Rule.n_conditions rule);
+  Alcotest.(check int) "truncate" 1 (Rule.n_conditions (Rule.truncate rule 1));
+  Alcotest.(check bool) "truncate keeps prefix" true
+    (Cond.equal c1 (List.hd (Rule.truncate rule 1).Rule.conditions));
+  let removed = Rule.remove_nth rule 0 in
+  Alcotest.(check bool) "remove_nth" true (Cond.equal c2 (List.hd removed.Rule.conditions));
+  Alcotest.check_raises "remove out of range" (Invalid_argument "Rule.remove_nth")
+    (fun () -> ignore (Rule.remove_nth rule 5))
+
+let test_rule_coverage () =
+  let ds = Lazy.force ds in
+  let v = V.all ds in
+  let rule = Rule.of_conditions [ Cond.Num_ge { col = 0; threshold = 2.0 } ] in
+  let c = Rule.coverage v rule ~target:1 in
+  Alcotest.(check (float 1e-9)) "pos" 2.0 c.Pn_metrics.Rule_metric.pos;
+  Alcotest.(check (float 1e-9)) "neg" 1.0 c.Pn_metrics.Rule_metric.neg;
+  Alcotest.(check int) "covered view" 3 (V.size (Rule.covered_of v rule));
+  Alcotest.(check int) "uncovered view" 1 (V.size (Rule.uncovered_of v rule))
+
+let test_rule_redundancy () =
+  let rule = Rule.of_conditions [ Cond.Num_le { col = 0; threshold = 3.0 } ] in
+  Alcotest.(check bool) "weaker duplicate is redundant" true
+    (Rule.redundant_with rule (Cond.Num_le { col = 0; threshold = 5.0 }));
+  Alcotest.(check bool) "other attribute fine" false
+    (Rule.redundant_with rule (Cond.Cat_eq { col = 1; value = 0 }))
+
+let test_rule_print () =
+  Alcotest.(check string) "empty" "<true>" (Rule.to_string attrs Rule.empty);
+  let rule =
+    Rule.of_conditions
+      [ Cond.Num_le { col = 0; threshold = 1.0 }; Cond.Cat_eq { col = 1; value = 2 } ]
+  in
+  Alcotest.(check string) "and" "x <= 1 AND c = z" (Rule.to_string attrs rule)
+
+(* ------------------------------------------------------------------ *)
+(* Rule lists                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_list_first_match () =
+  let ds = Lazy.force ds in
+  let r1 = Rule.of_conditions [ Cond.Cat_eq { col = 1; value = 1 } ] in
+  let r2 = Rule.of_conditions [ Cond.Num_ge { col = 0; threshold = 2.0 } ] in
+  let rl = RL.of_list [ r1; r2 ] in
+  Alcotest.(check int) "length" 2 (RL.length rl);
+  (* Record 1 matches both: discovery order wins. *)
+  Alcotest.(check (option int)) "first wins" (Some 0) (RL.first_match ds rl 1);
+  Alcotest.(check (option int)) "second rule" (Some 1) (RL.first_match ds rl 2);
+  Alcotest.(check (option int)) "no match" None (RL.first_match ds rl 0);
+  Alcotest.(check bool) "any_match" true (RL.any_match ds rl 3);
+  Alcotest.(check int) "covered" 3 (V.size (RL.covered ds rl));
+  Alcotest.(check int) "total conditions" 2 (RL.total_conditions rl)
+
+let test_rule_list_empty () =
+  let ds = Lazy.force ds in
+  let rl = RL.of_list [] in
+  Alcotest.(check (option int)) "none" None (RL.first_match ds rl 0);
+  Alcotest.(check int) "covered empty" 0 (V.size (RL.covered ds rl))
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~count:200 ~name:"range matches iff both sides match"
+      QCheck.(triple (float_range 0. 10.) (float_range 0. 10.) (float_range 0. 10.))
+      (fun (lo, hi, v) ->
+        let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+        let ds =
+          D.create
+            ~attrs:[| A.numeric "x" |]
+            ~columns:[| D.Num [| v |] |]
+            ~labels:[| 0 |] ~classes:[| "c" |] ()
+        in
+        let range = Cond.matches ds (Cond.Num_range { col = 0; lo; hi }) 0 in
+        let both =
+          Cond.matches ds (Cond.Num_ge { col = 0; threshold = lo }) 0
+          && Cond.matches ds (Cond.Num_le { col = 0; threshold = hi }) 0
+        in
+        range = both);
+    QCheck.Test.make ~count:200 ~name:"subsumption implies match implication"
+      QCheck.(
+        quad (float_range 0. 10.) (float_range 0. 10.) (float_range 0. 10.)
+          (float_range 0. 10.))
+      (fun (a, b, c, v) ->
+        let mk lo hi = Cond.Num_range { col = 0; lo = Float.min lo hi; hi = Float.max lo hi } in
+        let c1 = mk a b and c2 = mk b c in
+        QCheck.assume (Cond.subsumes c1 c2);
+        let ds =
+          D.create
+            ~attrs:[| A.numeric "x" |]
+            ~columns:[| D.Num [| v |] |]
+            ~labels:[| 0 |] ~classes:[| "c" |] ()
+        in
+        (not (Cond.matches ds c2 0)) || Cond.matches ds c1 0);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "condition matching" `Quick test_condition_matching;
+    Alcotest.test_case "condition col" `Quick test_condition_col;
+    Alcotest.test_case "condition subsumption" `Quick test_condition_subsumes;
+    Alcotest.test_case "condition printing" `Quick test_condition_print;
+    Alcotest.test_case "rule matching" `Quick test_rule_matching;
+    Alcotest.test_case "rule editing" `Quick test_rule_editing;
+    Alcotest.test_case "rule coverage" `Quick test_rule_coverage;
+    Alcotest.test_case "rule redundancy" `Quick test_rule_redundancy;
+    Alcotest.test_case "rule printing" `Quick test_rule_print;
+    Alcotest.test_case "rule list first match" `Quick test_rule_list_first_match;
+    Alcotest.test_case "rule list empty" `Quick test_rule_list_empty;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props

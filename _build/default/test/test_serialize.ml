@@ -1,0 +1,149 @@
+(* Tests for model persistence and the multi-class wrapper. *)
+
+module A = Pn_data.Attribute
+module D = Pn_data.Dataset
+module M = Pnrule.Model
+module S = Pnrule.Serialize
+module MC = Pnrule.Multiclass
+
+let mixed_problem ~seed ~n =
+  let rng = Pn_util.Rng.create seed in
+  let xs = Array.make n 0.0 and cs = Array.make n 0 and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    xs.(i) <- Pn_util.Rng.float rng 100.0;
+    cs.(i) <- Pn_util.Rng.int rng 3;
+    let r = Pn_util.Rng.float rng 1.0 in
+    if r < 0.03 then begin
+      labels.(i) <- 1;
+      xs.(i) <- 20.0 +. Pn_util.Rng.float rng 3.0
+    end
+    else if r < 0.06 then begin
+      labels.(i) <- 2;
+      cs.(i) <- 2;
+      xs.(i) <- 70.0 +. Pn_util.Rng.float rng 3.0
+    end
+  done;
+  D.create
+    ~attrs:[| A.numeric "x"; A.categorical "c with space" [| "a a"; "b\"q"; "z" |] |]
+    ~columns:[| D.Num xs; D.Cat cs |]
+    ~labels
+    ~classes:[| "normal"; "attack one"; "attack two" |]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_predictions () =
+  let ds = mixed_problem ~seed:1 ~n:12_000 in
+  let model = Pnrule.Learner.train ds ~target:1 in
+  let back = S.of_string (S.to_string model) in
+  Alcotest.(check int) "target" model.M.target back.M.target;
+  Alcotest.(check bool) "classes" true (model.M.classes = back.M.classes);
+  Alcotest.(check bool) "attrs survive quoting" true (model.M.attrs = back.M.attrs);
+  for i = 0 to D.n_records ds - 1 do
+    if M.predict model ds i <> M.predict back ds i then
+      Alcotest.failf "prediction differs at %d" i;
+    let s1 = M.score model ds i and s2 = M.score back ds i in
+    if Float.abs (s1 -. s2) > 1e-12 then Alcotest.failf "score differs at %d" i
+  done
+
+let test_roundtrip_stable () =
+  let ds = mixed_problem ~seed:2 ~n:8_000 in
+  let model = Pnrule.Learner.train ds ~target:2 in
+  let s1 = S.to_string model in
+  let s2 = S.to_string (S.of_string s1) in
+  Alcotest.(check string) "fixed point" s1 s2
+
+let test_file_roundtrip () =
+  let ds = mixed_problem ~seed:3 ~n:8_000 in
+  let model = Pnrule.Learner.train ds ~target:1 in
+  let path = Filename.temp_file "pnrule_model" ".pn" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.save model path;
+      let back = S.load path in
+      Alcotest.(check bool) "same predictions" true
+        (M.predict_all model ds = M.predict_all back ds))
+
+let test_corrupt_inputs () =
+  let raises s =
+    try
+      ignore (S.of_string s);
+      Alcotest.failf "expected Corrupt for %S" s
+    with S.Corrupt _ -> ()
+  in
+  raises "";
+  raises "pnrule-model v2\n";
+  raises "pnrule-model v1\ntarget x\n";
+  raises "pnrule-model v1\ntarget 0\nclasses 1\n\"a\"\nattrs 0\ndecision 0x1p-1 true\np_rules 1\nrule notanint\n";
+  (* Score matrix height mismatch. *)
+  raises
+    "pnrule-model v1\ntarget 0\nclasses 1\n \"a\"\nattrs 0\ndecision 0x1p-1 true\n\
+     p_rules 1\n  rule 1\n    le 0 0x1p0\nn_rules 0\nscores 0 0\n"
+
+(* ------------------------------------------------------------------ *)
+(* Multi-class                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiclass_accuracy () =
+  let train = mixed_problem ~seed:4 ~n:15_000 in
+  let test = mixed_problem ~seed:5 ~n:10_000 in
+  let mc = MC.train train in
+  let acc = MC.accuracy mc test in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.3f > 0.95" acc) true (acc > 0.95);
+  (* Rare classes specifically must be found, not drowned by accuracy. *)
+  let cm1 = MC.confusion mc test ~target:1 in
+  Alcotest.(check bool) "attack one recalled" true
+    (Pn_metrics.Confusion.recall cm1 > 0.8)
+
+let test_multiclass_scores_shape () =
+  let train = mixed_problem ~seed:6 ~n:10_000 in
+  let mc = MC.train train in
+  let s = MC.scores mc train 0 in
+  Alcotest.(check int) "one score per class" 3 (Array.length s);
+  Array.iter (fun v -> if v < 0.0 || v > 1.0 then Alcotest.failf "score %f" v) s
+
+let test_multiclass_fallback () =
+  let train = mixed_problem ~seed:7 ~n:10_000 in
+  let mc = MC.train train in
+  Alcotest.(check int) "fallback is majority" 0 mc.MC.fallback;
+  (* A record no model claims gets the majority class. *)
+  let probe =
+    D.create
+      ~attrs:train.D.attrs
+      ~columns:[| D.Num [| 99.9 |]; D.Cat [| 0 |] |]
+      ~labels:[| 0 |] ~classes:train.D.classes ()
+  in
+  Alcotest.(check int) "fallback used" 0 (MC.predict mc probe 0)
+
+let test_multiclass_params_for () =
+  let train = mixed_problem ~seed:8 ~n:10_000 in
+  let params_for cls =
+    if cls = 1 then
+      Some { Pnrule.Params.default with max_p_rule_length = Some 1 }
+    else None
+  in
+  let mc = MC.train ~params_for train in
+  Array.iter
+    (fun (cls, model) ->
+      if cls = 1 then
+        List.iter
+          (fun r ->
+            Alcotest.(check bool) "P1 for class 1" true
+              (Pn_rules.Rule.n_conditions r <= 1))
+          (Pn_rules.Rule_list.to_list model.M.p_rules))
+    mc.MC.models
+
+let suite =
+  [
+    Alcotest.test_case "serialize: prediction roundtrip" `Quick test_roundtrip_predictions;
+    Alcotest.test_case "serialize: fixed point" `Quick test_roundtrip_stable;
+    Alcotest.test_case "serialize: file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "serialize: corrupt inputs raise" `Quick test_corrupt_inputs;
+    Alcotest.test_case "multiclass: accuracy and rare recall" `Quick test_multiclass_accuracy;
+    Alcotest.test_case "multiclass: score vector" `Quick test_multiclass_scores_shape;
+    Alcotest.test_case "multiclass: fallback class" `Quick test_multiclass_fallback;
+    Alcotest.test_case "multiclass: per-class params" `Quick test_multiclass_params_for;
+  ]

@@ -1,0 +1,259 @@
+(* Tests for the synthetic data generators and the KDD simulator. *)
+
+module D = Pn_data.Dataset
+module Sig = Pn_synth.Signature
+module Num = Pn_synth.Numerical
+module Cat = Pn_synth.Categorical
+module Gen = Pn_synth.General
+module Kdd = Pn_synth.Kddcup
+
+let class_fraction ds ~target =
+  let c = ref 0 in
+  for i = 0 to D.n_records ds - 1 do
+    if D.label ds i = target then incr c
+  done;
+  float_of_int !c /. float_of_int (D.n_records ds)
+
+(* ------------------------------------------------------------------ *)
+(* Signature peaks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_signature_disjoint () =
+  List.iter
+    (fun shape ->
+      let peaks =
+        Sig.make ~n_peaks:4 ~total_width:4.0 ~domain:100.0 ~shape ~phase:0.3
+      in
+      let intervals = Sig.intervals peaks in
+      Alcotest.(check int) "4 intervals" 4 (List.length intervals);
+      let rec check = function
+        | (_, hi) :: ((lo, _) :: _ as rest) ->
+          if hi >= lo then Alcotest.fail "peaks overlap";
+          check rest
+        | _ -> ()
+      in
+      check intervals)
+    [ Sig.Rectangular; Sig.Triangular; Sig.Gaussian ]
+
+let test_signature_samples_inside () =
+  let rng = Pn_util.Rng.create 5 in
+  List.iter
+    (fun shape ->
+      let peaks =
+        Sig.make ~n_peaks:3 ~total_width:1.0 ~domain:100.0 ~shape ~phase:0.1
+      in
+      for _ = 1 to 2000 do
+        let v = Sig.sample peaks rng in
+        if not (Sig.contains peaks v) then
+          Alcotest.failf "%s sample %f outside peaks" (Sig.shape_name shape) v
+      done)
+    [ Sig.Rectangular; Sig.Triangular; Sig.Gaussian ]
+
+let test_signature_at_centers () =
+  let peaks = Sig.at_centers ~centers:[| 10.0; 20.0 |] ~width:2.0 ~shape:Sig.Rectangular in
+  Alcotest.(check bool) "contains" true (Sig.contains peaks 10.9);
+  Alcotest.(check bool) "not contains" false (Sig.contains peaks 15.0)
+
+(* ------------------------------------------------------------------ *)
+(* Numerical model                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_numerical_basics () =
+  let spec = Num.nsyn 3 in
+  let ds = Num.generate spec ~seed:1 ~n:30_000 in
+  Alcotest.(check int) "attrs = tc + ntc" (spec.Num.tc + spec.Num.ntc) (D.n_attrs ds);
+  let frac = class_fraction ds ~target:Num.target_class in
+  Alcotest.(check bool)
+    (Printf.sprintf "target fraction %.4f near 0.003" frac)
+    true
+    (frac > 0.001 && frac < 0.006)
+
+let test_numerical_deterministic () =
+  let spec = Num.nsyn 2 in
+  let a = Num.generate spec ~seed:7 ~n:1000 and b = Num.generate spec ~seed:7 ~n:1000 in
+  for i = 0 to 999 do
+    if D.label a i <> D.label b i then Alcotest.fail "labels differ";
+    for j = 0 to D.n_attrs a - 1 do
+      if D.num_value a ~col:j i <> D.num_value b ~col:j i then
+        Alcotest.fail "values differ"
+    done
+  done
+
+let test_numerical_signatures_hold () =
+  (* Every target record must carry a peak value on its distinguishing
+     attribute: nsyn3 has tc = 1, so attribute 0 with 4 peaks of total
+     width 0.2. Check via a reference comb built with the same params. *)
+  let spec = Num.nsyn 3 in
+  let ds = Num.generate spec ~seed:3 ~n:60_000 in
+  let inside = ref 0 and total = ref 0 in
+  (* Reconstruct: target subclass 0 peaks on attribute 0. *)
+  let reference =
+    Sig.make ~n_peaks:spec.Num.nsptc ~total_width:(spec.Num.tr +. 1e-6) ~domain:100.0
+      ~shape:spec.Num.shape ~phase:0.0
+  in
+  for i = 0 to D.n_records ds - 1 do
+    if D.label ds i = Num.target_class then begin
+      incr total;
+      if Sig.contains reference (D.num_value ds ~col:0 i) then incr inside
+    end
+  done;
+  Alcotest.(check bool) "some targets exist" true (!total > 50);
+  Alcotest.(check int) "all targets inside their peaks" !total !inside
+
+let test_numerical_presets () =
+  List.iter
+    (fun k ->
+      let spec = Num.nsyn k in
+      Alcotest.(check bool) "valid" true (spec.Num.tc >= 1 && spec.Num.ntc >= 2))
+    [ 1; 2; 3; 4; 5; 6 ];
+  (try
+     ignore (Num.nsyn 7);
+     Alcotest.fail "expected failure"
+   with Invalid_argument _ -> ())
+
+let test_numerical_width_override () =
+  let spec = Num.with_widths (Num.nsyn 3) ~tr:4.0 ~nr:2.0 in
+  Alcotest.(check (float 1e-9)) "tr" 4.0 spec.Num.tr;
+  Alcotest.(check (float 1e-9)) "nr" 2.0 spec.Num.nr
+
+(* ------------------------------------------------------------------ *)
+(* Categorical model                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_categorical_basics () =
+  let spec = Cat.coa 1 in
+  let ds = Cat.generate spec ~seed:1 ~n:30_000 in
+  (* 2 attrs per subclass: target 1 subclass, non-target 2. *)
+  Alcotest.(check int) "attrs" 6 (D.n_attrs ds);
+  let frac = class_fraction ds ~target:Cat.target_class in
+  Alcotest.(check bool) "rare" true (frac > 0.001 && frac < 0.006);
+  (* Target attributes have the target vocabulary. *)
+  Alcotest.(check int) "vocab 400" 400 (Pn_data.Attribute.arity ds.D.attrs.(0));
+  Alcotest.(check int) "vocab 100" 100 (Pn_data.Attribute.arity ds.D.attrs.(2))
+
+let test_categorical_signature_words () =
+  (* Target records use only signature words (codes < nspa * words) on
+     their distinguishing pair. *)
+  let spec = Cat.coa 4 in
+  let ds = Cat.generate spec ~seed:2 ~n:60_000 in
+  let limit = spec.Cat.target.Cat.nspa * spec.Cat.target.Cat.words in
+  for i = 0 to D.n_records ds - 1 do
+    if D.label ds i = Cat.target_class then begin
+      if D.cat_value ds ~col:0 i >= limit then Alcotest.fail "non-signature word on attr 0";
+      if D.cat_value ds ~col:1 i >= limit then Alcotest.fail "non-signature word on attr 1"
+    end
+  done
+
+let test_categorical_presets () =
+  List.iter (fun k -> ignore (Cat.coa k)) [ 1; 2; 3; 4; 5; 6 ];
+  List.iter (fun k -> ignore (Cat.coad k)) [ 1; 2; 3; 4 ];
+  (try
+     ignore (Cat.coa 9);
+     Alcotest.fail "expected failure"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* General model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_general_basics () =
+  let ds = Gen.generate Gen.default ~seed:1 ~n:40_000 in
+  Alcotest.(check int) "8 attributes" 8 (D.n_attrs ds);
+  let frac = class_fraction ds ~target:Gen.target_class in
+  Alcotest.(check bool) "rare" true (frac > 0.001 && frac < 0.006);
+  (* First four numeric, last four categorical. *)
+  for j = 0 to 3 do
+    Alcotest.(check bool) "numeric" true (Pn_data.Attribute.is_numeric ds.D.attrs.(j))
+  done;
+  for j = 4 to 7 do
+    Alcotest.(check bool) "categorical" false (Pn_data.Attribute.is_numeric ds.D.attrs.(j))
+  done
+
+let test_general_deterministic () =
+  let a = Gen.generate Gen.default ~seed:9 ~n:500 in
+  let b = Gen.generate Gen.default ~seed:9 ~n:500 in
+  for i = 0 to 499 do
+    if D.label a i <> D.label b i then Alcotest.fail "labels differ"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* KDD simulator                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_kdd_train_proportions () =
+  let ds = Kdd.train ~seed:1 ~n:60_000 in
+  Alcotest.(check int) "5 classes" 5 (D.n_classes ds);
+  let frac c = class_fraction ds ~target:c in
+  let check name lo hi v =
+    if v < lo || v > hi then Alcotest.failf "%s fraction %.4f outside [%.4f, %.4f]" name v lo hi
+  in
+  check "dos" 0.76 0.82 (frac Kdd.dos);
+  check "normal" 0.17 0.23 (frac Kdd.normal);
+  check "probe" 0.005 0.012 (frac Kdd.probe);
+  check "r2l" 0.001 0.005 (frac Kdd.r2l)
+
+let test_kdd_test_shift () =
+  let ds = Kdd.test ~seed:2 ~n:60_000 in
+  let frac c = class_fraction ds ~target:c in
+  (* r2l jumps to ~5.2 % in the test distribution. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "r2l %.4f > 0.03" (frac Kdd.r2l))
+    true
+    (frac Kdd.r2l > 0.03);
+  Alcotest.(check bool) "probe > train share" true (frac Kdd.probe > 0.008)
+
+let test_kdd_schema () =
+  let train = Kdd.train ~seed:3 ~n:1000 in
+  let test = Kdd.test ~seed:4 ~n:1000 in
+  Alcotest.(check int) "22 features" 22 (D.n_attrs train);
+  (* Train and test share the schema so models transfer. *)
+  Alcotest.(check bool) "same schema" true (train.D.attrs = test.D.attrs);
+  Alcotest.(check bool) "same classes" true (train.D.classes = test.D.classes)
+
+let test_kdd_novel_subclasses () =
+  let only_test = Kdd.subclass_names ~test_only:true in
+  Alcotest.(check bool) "snmpguess is novel" true
+    (List.mem "r2l.snmpguess" only_test);
+  let train_subs = Kdd.subclass_names ~test_only:false in
+  Alcotest.(check bool) "guess_passwd trains" true
+    (List.mem "r2l.guess_passwd" train_subs);
+  Alcotest.(check bool) "disjoint" true
+    (List.for_all (fun s -> not (List.mem s train_subs)) only_test)
+
+let test_kdd_r2l_impure_service () =
+  (* The r2l presence signature must be impure: dos and normal traffic
+     also use ftp — the paper's motivating example. *)
+  let ds = Kdd.train ~seed:5 ~n:200_000 in
+  let ftp = ref [] in
+  for i = 0 to D.n_records ds - 1 do
+    let service =
+      Pn_data.Attribute.value_name ds.D.attrs.(16 + 1) (D.cat_value ds ~col:17 i)
+    in
+    if service = "ftp" then ftp := D.label ds i :: !ftp
+  done;
+  let has c = List.mem c !ftp in
+  Alcotest.(check bool) "r2l uses ftp" true (has Kdd.r2l);
+  Alcotest.(check bool) "dos uses ftp too" true (has Kdd.dos);
+  Alcotest.(check bool) "normal uses ftp too" true (has Kdd.normal)
+
+let suite =
+  [
+    Alcotest.test_case "signature peaks disjoint" `Quick test_signature_disjoint;
+    Alcotest.test_case "signature samples inside peaks" `Quick test_signature_samples_inside;
+    Alcotest.test_case "signature at explicit centers" `Quick test_signature_at_centers;
+    Alcotest.test_case "numerical: basics" `Quick test_numerical_basics;
+    Alcotest.test_case "numerical: deterministic" `Quick test_numerical_deterministic;
+    Alcotest.test_case "numerical: target signatures hold" `Quick test_numerical_signatures_hold;
+    Alcotest.test_case "numerical: presets" `Quick test_numerical_presets;
+    Alcotest.test_case "numerical: width override" `Quick test_numerical_width_override;
+    Alcotest.test_case "categorical: basics" `Quick test_categorical_basics;
+    Alcotest.test_case "categorical: signature words" `Quick test_categorical_signature_words;
+    Alcotest.test_case "categorical: presets" `Quick test_categorical_presets;
+    Alcotest.test_case "general: basics" `Quick test_general_basics;
+    Alcotest.test_case "general: deterministic" `Quick test_general_deterministic;
+    Alcotest.test_case "kdd: train proportions" `Quick test_kdd_train_proportions;
+    Alcotest.test_case "kdd: test distribution shift" `Quick test_kdd_test_shift;
+    Alcotest.test_case "kdd: schema" `Quick test_kdd_schema;
+    Alcotest.test_case "kdd: novel test subclasses" `Quick test_kdd_novel_subclasses;
+    Alcotest.test_case "kdd: r2l service impurity" `Quick test_kdd_r2l_impure_service;
+  ]
