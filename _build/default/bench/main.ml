@@ -6,7 +6,7 @@
      dune exec bench/main.exe                 -- run everything at scale 0.2
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- --only t1 --scale 0.05
-     dune exec bench/main.exe -- --only timing *)
+     dune exec bench/main.exe -- --only timing --json BENCH_grower.json *)
 
 let default_scale = 0.2
 
@@ -14,13 +14,44 @@ let default_scale = 0.2
 (* Bechamel timing benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Where --json writes the timing estimates (None = stdout only). *)
+let json_file : string option ref = ref None
+
+(* Hand-rolled writer: the repo deliberately has no JSON dependency. *)
+let write_json ~path ~scale estimates =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"pnrule-bench-v1\",\n";
+  Printf.fprintf oc "  \"scale\": %g,\n" scale;
+  Printf.fprintf oc "  \"domains\": %d,\n" (Pn_util.Pool.size (Pn_util.Pool.get_default ()));
+  Printf.fprintf oc "  \"unit\": \"ns/run\",\n";
+  Printf.fprintf oc "  \"benchmarks\": [\n";
+  let last = List.length estimates - 1 in
+  List.iteri
+    (fun k (name, estimate) ->
+      let value =
+        match estimate with
+        | Some t when Float.is_finite t -> Printf.sprintf "%.1f" t
+        | Some _ | None -> "null"
+      in
+      Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %s}%s\n" name value
+        (if k = last then "" else ","))
+    estimates;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %d timing estimate(s) to %s\n%!" (List.length estimates) path
+
 let timing_benchmarks ~scale =
-  ignore scale;
   let open Bechamel in
   let spec = Pn_synth.Numerical.nsyn 3 in
   let ds = Pn_synth.Numerical.generate spec ~seed:11 ~n:20_000 in
   let target = Pn_synth.Numerical.target_class in
   let pn_model = Pnrule.Learner.train ds ~target in
+  let bc_view = Pn_data.View.all ds in
+  let bc_ctx =
+    let pos, neg = Pn_data.View.binary_weights bc_view ~target in
+    { Pn_metrics.Rule_metric.pos_total = pos; neg_total = neg }
+  in
   let tests =
     [
       Test.make ~name:"pnrule-train-20k"
@@ -33,6 +64,14 @@ let timing_benchmarks ~scale =
         (Staged.stage (fun () -> ignore (Pn_c45.Tree.train ds)));
       Test.make ~name:"pnrule-score-20k"
         (Staged.stage (fun () -> ignore (Pnrule.Model.predict_all pn_model ds)));
+      (* The rule-growth hot path in isolation: one full candidate search
+         over every attribute of the 20k-record view. *)
+      Test.make ~name:"best-condition-20k"
+        (Staged.stage (fun () ->
+             ignore
+               (Pn_induct.Grower.best_condition
+                  ~metric:Pn_metrics.Rule_metric.Z_number ~ctx:bc_ctx ~target
+                  bc_view)));
     ]
   in
   let benchmark test =
@@ -48,16 +87,27 @@ let timing_benchmarks ~scale =
       Toolkit.Instance.monotonic_clock raw
   in
   Printf.printf "\n== Timing (Bechamel, monotonic clock) ==\n%!";
-  List.iter
-    (fun test ->
-      let results = analyze (benchmark test) in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ t ] -> Printf.printf "%-32s %14.0f ns/run\n%!" name t
-          | Some _ | None -> Printf.printf "%-32s (no estimate)\n%!" name)
-        results)
-    tests
+  let estimates =
+    List.concat_map
+      (fun test ->
+        let results = analyze (benchmark test) in
+        Hashtbl.fold
+          (fun name ols acc ->
+            let estimate =
+              match Analyze.OLS.estimates ols with
+              | Some [ t ] -> Some t
+              | Some _ | None -> None
+            in
+            (match estimate with
+            | Some t -> Printf.printf "%-32s %14.0f ns/run\n%!" name t
+            | None -> Printf.printf "%-32s (no estimate)\n%!" name);
+            (name, estimate) :: acc)
+          results [])
+      tests
+  in
+  match !json_file with
+  | Some path -> write_json ~path ~scale estimates
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -78,11 +128,23 @@ let () =
         Arg.String (fun s -> only := s :: !only),
         "ID run only this benchmark (repeatable)" );
       ("--scale", Arg.Set_float scale, "S dataset scale relative to the paper (default 0.2)");
+      ( "--json",
+        Arg.String (fun s -> json_file := Some s),
+        "FILE write the Bechamel timing estimates to FILE as JSON (timing id only)" );
       ("--list", Arg.Set list_only, " list benchmark ids");
       ("-v", Arg.Set verbose, " verbose (method-level progress on stderr)");
     ]
   in
   Arg.parse spec (fun s -> only := s :: !only) "bench/main.exe [--only ID] [--scale S]";
+  (* Fail fast on an unwritable --json target instead of discovering it
+     after the timing quota has been spent. *)
+  (match !json_file with
+  | Some path -> (
+    try close_out (open_out path)
+    with Sys_error msg ->
+      Printf.eprintf "cannot write --json file: %s\n" msg;
+      exit 1)
+  | None -> ());
   if !verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)

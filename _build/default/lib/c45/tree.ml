@@ -69,15 +69,15 @@ let numeric_candidate ~params ~n_classes view ~col ~base_entropy ~total =
           in
           let gain = base_entropy -. info in
           match !best with
-          | Some (g, _) when g >= gain -> ()
-          | Some _ | None -> best := Some (gain, v)
+          | Some (g, _, _) when g >= gain -> ()
+          | Some _ | None -> best := Some (gain, v, !left_w)
         end
       end;
       incr k
     done;
     match !best with
     | None -> None
-    | Some (gain, threshold) ->
+    | Some (gain, threshold, left_at_best) ->
       (* Release 8 charges continuous splits for choosing among the
          candidate thresholds. *)
       let gain =
@@ -87,12 +87,10 @@ let numeric_candidate ~params ~n_classes view ~col ~base_entropy ~total =
       in
       if gain <= 0.0 then None
       else begin
-        let left_w = ref 0.0 in
-        Pn_data.View.iter view (fun i ->
-            if Pn_data.Dataset.num_value ds ~col i <= threshold then
-              left_w := !left_w +. Pn_data.Dataset.weight ds i);
+        (* The boundary scan already accumulated the left-branch weight
+           when this threshold won; no second pass over the view. *)
         let split_info =
-          Pn_util.Stats.entropy [| !left_w; total -. !left_w |]
+          Pn_util.Stats.entropy [| left_at_best; total -. left_at_best |]
         in
         Some { split = Num_threshold { col; threshold }; gain; split_info }
       end

@@ -1,1 +1,1 @@
-lib/data/dataset.ml: Array Attribute Format Pn_util Printf String
+lib/data/dataset.ml: Array Attribute Format Pn_util Printf Sort_cache String

@@ -1,1 +1,1 @@
-lib/data/dataset.mli: Attribute Format
+lib/data/dataset.mli: Attribute Format Sort_cache

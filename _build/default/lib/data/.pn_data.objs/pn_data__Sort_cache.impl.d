@@ -1,0 +1,1 @@
+lib/data/sort_cache.ml: Array Float Int

@@ -1,1 +1,1 @@
-lib/data/view.ml: Array Dataset Float Pn_util Seq
+lib/data/view.ml: Array Bytes Dataset Float Int Pn_util

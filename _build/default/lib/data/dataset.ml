@@ -7,6 +7,7 @@ type t = {
   classes : string array;
   weights : float array;
   n : int;
+  sort_cache : Sort_cache.t;
 }
 
 let column_length = function
@@ -57,7 +58,8 @@ let create ?weights ~attrs ~columns ~labels ~classes () =
     | None -> Array.make n 1.0
   in
   validate ~attrs ~columns ~labels ~classes ~weights ~n;
-  { attrs; columns; labels; classes; weights; n }
+  let sort_cache = Sort_cache.create (Array.length columns) in
+  { attrs; columns; labels; classes; weights; n; sort_cache }
 
 let n_records t = t.n
 
@@ -74,6 +76,17 @@ let cat_value t ~col i =
   match t.columns.(col) with
   | Cat a -> a.(i)
   | Num _ -> invalid_arg "Dataset.cat_value: numeric column"
+
+let sort_entry t ~col =
+  match t.columns.(col) with
+  | Num a -> Sort_cache.entry t.sort_cache ~col a
+  | Cat _ -> invalid_arg "Dataset.sort_entry: categorical column"
+
+let sorted_order t ~col = (sort_entry t ~col).Sort_cache.order
+
+let sorted_rank t ~col = (sort_entry t ~col).Sort_cache.rank
+
+let n_distinct_num t ~col = (sort_entry t ~col).Sort_cache.n_distinct
 
 let label t i = t.labels.(i)
 
@@ -131,6 +144,7 @@ let subset t indices =
     classes = t.classes;
     weights = Array.map (fun i -> t.weights.(i)) indices;
     n = Array.length indices;
+    sort_cache = Sort_cache.create (Array.length t.columns);
   }
 
 let same_schema a b =
@@ -156,6 +170,7 @@ let append a b =
     classes = a.classes;
     weights = Array.append a.weights b.weights;
     n = a.n + b.n;
+    sort_cache = Sort_cache.create (Array.length a.columns);
   }
 
 let binary_labels t ~target = Array.map (fun l -> l = target) t.labels

@@ -17,6 +17,9 @@ type t = private {
   classes : string array;
   weights : float array;
   n : int;
+  sort_cache : Sort_cache.t;
+      (** lazily filled per-column sorted orders; shared by weight
+          variants ([with_weights], [stratify]), fresh for new columns *)
 }
 
 (** [create ~attrs ~columns ~labels ~classes ()] builds a dataset with
@@ -45,6 +48,24 @@ val num_value : t -> col:int -> int -> float
 
 (** [cat_value t ~col i] reads a categorical cell code. *)
 val cat_value : t -> col:int -> int -> int
+
+(** [sorted_order t ~col] is the memoized ascending order of numeric
+    column [col] over the whole dataset: record indices sorted by value,
+    ties broken by record index. The first call per column costs one
+    argsort; later calls return the same (physically shared) array,
+    which callers must not mutate. Raises [Invalid_argument] on a
+    categorical column. *)
+val sorted_order : t -> col:int -> int array
+
+(** [sorted_rank t ~col] is the inverse permutation of
+    [sorted_order t ~col]: [rank.(i)] is record [i]'s position in the
+    sorted order. Same memoization and sharing rules. *)
+val sorted_rank : t -> col:int -> int array
+
+(** [n_distinct_num t ~col] is the number of distinct values (under
+    [Float.compare]) in numeric column [col], computed from the cached
+    sorted order. *)
+val n_distinct_num : t -> col:int -> int
 
 val label : t -> int -> int
 

@@ -1,0 +1,44 @@
+(* Per-column sorted-order cache. One argsort of the full column is paid
+   on first access and reused for the dataset's lifetime; every
+   view-level sort then reduces to a linear filter of the cached order.
+
+   A concurrent fill of the same column from two domains is a benign
+   race: both compute the identical immutable entry and the slot ends up
+   holding one of them. *)
+
+type entry = {
+  order : int array;
+  rank : int array;
+  n_distinct : int;
+}
+
+type t = { slots : entry option array }
+
+let create n_cols = { slots = Array.make n_cols None }
+
+let build values =
+  let n = Array.length values in
+  let order = Array.init n (fun i -> i) in
+  (* Ties break on the record index, giving one canonical total order
+     that view-level filters inherit. *)
+  Array.sort
+    (fun i j ->
+      let c = Float.compare values.(i) values.(j) in
+      if c <> 0 then c else Int.compare i j)
+    order;
+  let rank = Array.make n 0 in
+  Array.iteri (fun k i -> rank.(i) <- k) order;
+  let n_distinct = ref (if n = 0 then 0 else 1) in
+  for k = 1 to n - 1 do
+    if Float.compare values.(order.(k)) values.(order.(k - 1)) <> 0 then
+      incr n_distinct
+  done;
+  { order; rank; n_distinct = !n_distinct }
+
+let entry t ~col values =
+  match t.slots.(col) with
+  | Some e -> e
+  | None ->
+    let e = build values in
+    t.slots.(col) <- Some e;
+    e

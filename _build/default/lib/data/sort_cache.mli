@@ -1,0 +1,26 @@
+(** Lazily memoized per-column sorted orders.
+
+    Rule growth argsorts numeric columns over and over; this cache pays
+    one O(n log n) argsort per column per dataset lifetime and serves
+    every later request in O(1). Entries are immutable once built, so a
+    concurrent first access from two domains is a benign idempotent
+    race. *)
+
+type entry = {
+  order : int array;
+      (** record indices in ascending column order; ties break on the
+          record index ([Float.compare] semantics, so [nan] sorts first
+          and [-0.] equals [0.]) *)
+  rank : int array;  (** inverse permutation: [rank.(order.(k)) = k] *)
+  n_distinct : int;  (** distinct values under [Float.compare] *)
+}
+
+type t
+
+(** [create n_cols] makes an empty cache with one slot per column. *)
+val create : int -> t
+
+(** [entry t ~col values] returns the cached entry for [col], building
+    it from [values] on first access. Callers must pass the same value
+    array for a given column every time. *)
+val entry : t -> col:int -> float array -> entry

@@ -10,7 +10,20 @@ let is_empty t = size t = 0
 
 let record t k = t.idx.(k)
 
-let filter t keep = { t with idx = Array.of_seq (Seq.filter keep (Array.to_seq t.idx)) }
+let filter t keep =
+  (* Single pass into a preallocated scratch buffer: no Seq nodes, and
+     [keep] (often a rule-match) is evaluated once per record. *)
+  let n = Array.length t.idx in
+  let scratch = Array.make n 0 in
+  let m = ref 0 in
+  for k = 0 to n - 1 do
+    let i = t.idx.(k) in
+    if keep i then begin
+      scratch.(!m) <- i;
+      incr m
+    end
+  done;
+  { t with idx = Array.sub scratch 0 !m }
 
 let partition t pred =
   let yes = ref [] and no = ref [] in
@@ -44,10 +57,43 @@ let iter t f = Array.iter f t.idx
 
 let fold t init f = Array.fold_left f init t.idx
 
+(* Sort the view's indices directly, with the cache's tie-break (value,
+   then record index), so both strategies below agree bit-for-bit. *)
+let sorted_by_num_direct t ~col =
+  let ds = t.data in
+  let idx = Array.copy t.idx in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare (Dataset.num_value ds ~col i) (Dataset.num_value ds ~col j) in
+      if c <> 0 then c else Int.compare i j)
+    idx;
+  idx
+
 let sorted_by_num t ~col =
-  let values = Array.map (fun i -> Dataset.num_value t.data ~col i) t.idx in
-  let order = Pn_util.Arr.argsort_floats values in
-  Array.map (fun k -> t.idx.(k)) order
+  let k = Array.length t.idx in
+  let n = Dataset.n_records t.data in
+  (* The cached path costs O(n) (mask + scan of the global order); the
+     direct path costs O(k log k). Small views fall back to the direct
+     sort so late covering rounds don't pay the full-dataset scan. *)
+  if k = 0 then [||]
+  else if 16 * k < n then sorted_by_num_direct t ~col
+  else begin
+    let order = Dataset.sorted_order t.data ~col in
+    let mask = Bytes.make n '\000' in
+    Array.iter (fun i -> Bytes.unsafe_set mask i '\001') t.idx;
+    let out = Array.make k 0 in
+    let m = ref 0 in
+    for p = 0 to n - 1 do
+      let i = Array.unsafe_get order p in
+      if Bytes.unsafe_get mask i = '\001' && !m < k then begin
+        Array.unsafe_set out !m i;
+        incr m
+      end
+    done;
+    (* A view with duplicate indices marks fewer mask bits than it has
+       entries; restore the exact multiset via the direct sort. *)
+    if !m < k then sorted_by_num_direct t ~col else out
+  end
 
 let split t rng ~left_fraction =
   let n_classes = Dataset.n_classes t.data in
@@ -76,7 +122,7 @@ let split t rng ~left_fraction =
     by_class;
   let finish l =
     let a = Array.of_list l in
-    Array.sort compare a;
+    Array.sort Int.compare a;
     { t with idx = a }
   in
   (finish !left, finish !right)

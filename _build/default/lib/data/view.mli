@@ -20,7 +20,7 @@ val is_empty : t -> bool
 val record : t -> int -> int
 
 (** [filter t keep] keeps the records whose dataset index satisfies
-    [keep]. *)
+    [keep], preserving order. [keep] is evaluated once per record. *)
 val filter : t -> (int -> bool) -> t
 
 (** [partition t pred] splits into (satisfying, rest), preserving order. *)
@@ -46,7 +46,11 @@ val iter : t -> (int -> unit) -> unit
 val fold : t -> 'a -> ('a -> int -> 'a) -> 'a
 
 (** [sorted_by_num t ~col] is the view's dataset indices sorted ascending
-    by the numeric column [col]. *)
+    by the numeric column [col]; ties break on the dataset index. Views
+    covering a sizeable fraction of the dataset are served in O(n) by
+    filtering the dataset's cached global order ([Dataset.sorted_order])
+    through a membership bitmask; small views argsort directly. Both
+    paths return identical arrays. *)
 val sorted_by_num : t -> col:int -> int array
 
 (** [split t rng ~left_fraction] randomly splits the view into two parts,

@@ -1,1 +1,1 @@
-lib/induct/grower.ml: Array Hashtbl List Pn_data Pn_metrics Pn_rules
+lib/induct/grower.ml: Array Float Pn_data Pn_metrics Pn_rules Pn_util

@@ -1,1 +1,1 @@
-lib/induct/grower.mli: Pn_data Pn_metrics Pn_rules
+lib/induct/grower.mli: Pn_data Pn_metrics Pn_rules Pn_util

@@ -19,30 +19,32 @@ let numeric_profile view ~col ~is_pos =
   let sorted = Pn_data.View.sorted_by_num view ~col in
   let ds = view.Pn_data.View.data in
   let n = Array.length sorted in
-  let values = ref [] and pos = ref [] and neg = ref [] in
+  (* One distinct-value group per record at worst; fill preallocated
+     arrays and shrink once, instead of consing three lists. *)
+  let values = Array.make (max n 1) 0.0 in
+  let pos = Array.make (max n 1) 0.0 in
+  let neg = Array.make (max n 1) 0.0 in
   let cum_pos = ref 0.0 and cum_neg = ref 0.0 in
-  let k = ref 0 in
-  while !k < n do
-    let v = Pn_data.Dataset.num_value ds ~col sorted.(!k) in
-    (* Absorb the whole tie group so thresholds sit between distinct
-       values only. *)
-    while
-      !k < n && Pn_data.Dataset.num_value ds ~col sorted.(!k) = v
-    do
-      let i = sorted.(!k) in
-      let w = Pn_data.Dataset.weight ds i in
-      if is_pos (Pn_data.Dataset.label ds i) then cum_pos := !cum_pos +. w
-      else cum_neg := !cum_neg +. w;
-      incr k
-    done;
-    values := v :: !values;
-    pos := !cum_pos :: !pos;
-    neg := !cum_neg :: !neg
+  let m = ref 0 in
+  for k = 0 to n - 1 do
+    let i = sorted.(k) in
+    let v = Pn_data.Dataset.num_value ds ~col i in
+    (* Group boundaries sit between distinct values only, so thresholds
+       never split a tie group. *)
+    if !m = 0 || Float.compare values.(!m - 1) v <> 0 then begin
+      values.(!m) <- v;
+      incr m
+    end;
+    let w = Pn_data.Dataset.weight ds i in
+    if is_pos (Pn_data.Dataset.label ds i) then cum_pos := !cum_pos +. w
+    else cum_neg := !cum_neg +. w;
+    pos.(!m - 1) <- !cum_pos;
+    neg.(!m - 1) <- !cum_neg
   done;
   {
-    values = Array.of_list (List.rev !values);
-    pos_prefix = Array.of_list (List.rev !pos);
-    neg_prefix = Array.of_list (List.rev !neg);
+    values = Array.sub values 0 !m;
+    pos_prefix = Array.sub pos 0 !m;
+    neg_prefix = Array.sub neg 0 !m;
   }
 
 (* Counts covered by the inclusive distinct-index window [j, k]. *)
@@ -51,149 +53,177 @@ let window_counts p j k =
   let neg_lo = if j = 0 then 0.0 else p.neg_prefix.(j - 1) in
   { RM.pos = p.pos_prefix.(k) -. pos_lo; neg = p.neg_prefix.(k) -. neg_lo }
 
+(* Below this view size the per-call pool dispatch outweighs the scan
+   itself; run in the submitting domain. *)
+let parallel_min_records = 512
+
 let best_condition ?(allow_ranges = true) ?(negate = false) ?(min_support = 0.0)
-    ?current ~metric ~ctx ~target view =
+    ?current ?pool ~metric ~ctx ~target view =
   let ds = view.Pn_data.View.data in
   let attrs = ds.Pn_data.Dataset.attrs in
   let is_pos label = if negate then label <> target else label = target in
   let raw_pos, raw_neg = Pn_data.View.binary_weights view ~target in
   let total_pos, total_neg = if negate then (raw_neg, raw_pos) else (raw_pos, raw_neg) in
   let total = { RM.pos = total_pos; neg = total_neg } in
-  let best = ref None in
   let redundant c =
     match current with
     | Some rule -> Pn_rules.Rule.redundant_with rule c
     | None -> false
   in
-  let consider condition counts =
-    (* A refinement that fails to shrink the coverage is vacuous: it can
-       only re-derive the current rule's score and would loop forever.
-       Candidates below the support floor are skipped here, inside the
-       search, so the best *qualifying* candidate surfaces. *)
-    let support = RM.support counts in
-    let shrinks = support < RM.support total -. 1e-12 in
-    if shrinks && support > 0.0 && support >= min_support && not (redundant condition)
-    then begin
-      let score = RM.eval metric ctx counts in
-      match !best with
-      | Some b when b.score >= score -> ()
-      | Some _ | None -> best := Some { condition; counts; score }
-    end
-  in
-  Array.iteri
-    (fun col (attr : Pn_data.Attribute.t) ->
-      match attr.kind with
-      | Pn_data.Attribute.Categorical values ->
-        let arity = Array.length values in
-        let pos = Array.make arity 0.0 and neg = Array.make arity 0.0 in
-        Pn_data.View.iter view (fun i ->
-            let v = Pn_data.Dataset.cat_value ds ~col i in
-            let w = Pn_data.Dataset.weight ds i in
-            if is_pos (Pn_data.Dataset.label ds i) then pos.(v) <- pos.(v) +. w
-            else neg.(v) <- neg.(v) +. w);
-        for v = 0 to arity - 1 do
-          if pos.(v) +. neg.(v) > 0.0 then
-            consider
-              (Pn_rules.Condition.Cat_eq { col; value = v })
-              { RM.pos = pos.(v); neg = neg.(v) }
-        done
-      | Pn_data.Attribute.Numeric ->
-        let p = numeric_profile view ~col ~is_pos in
-        let m = Array.length p.values in
-        if m >= 2 then begin
-          (* One scan finds the best A <= v and the best A >= v. *)
-          let best_le = ref None and best_ge = ref None in
-          let better r score = match !r with
-            | Some (s, _) when s >= score -> false
-            | Some _ | None -> true
+  (* Per-column search. Each call touches only its own column and its
+     own [best] ref, so columns can run on any domain; the caller's
+     ascending-column reduce keeps the winner identical to a sequential
+     left-to-right scan. *)
+  let scan_column col (attr : Pn_data.Attribute.t) =
+    let best = ref None in
+    let consider condition counts =
+      (* A refinement that fails to shrink the coverage is vacuous: it can
+         only re-derive the current rule's score and would loop forever.
+         Candidates below the support floor are skipped here, inside the
+         search, so the best *qualifying* candidate surfaces. *)
+      let support = RM.support counts in
+      let shrinks = support < RM.support total -. 1e-12 in
+      if shrinks && support > 0.0 && support >= min_support && not (redundant condition)
+      then begin
+        let score = RM.eval metric ctx counts in
+        match !best with
+        | Some b when b.score >= score -> ()
+        | Some _ | None -> best := Some { condition; counts; score }
+      end
+    in
+    (match attr.kind with
+    | Pn_data.Attribute.Categorical values ->
+      let arity = Array.length values in
+      let pos = Array.make arity 0.0 and neg = Array.make arity 0.0 in
+      Pn_data.View.iter view (fun i ->
+          let v = Pn_data.Dataset.cat_value ds ~col i in
+          let w = Pn_data.Dataset.weight ds i in
+          if is_pos (Pn_data.Dataset.label ds i) then pos.(v) <- pos.(v) +. w
+          else neg.(v) <- neg.(v) +. w);
+      for v = 0 to arity - 1 do
+        if pos.(v) +. neg.(v) > 0.0 then
+          consider
+            (Pn_rules.Condition.Cat_eq { col; value = v })
+            { RM.pos = pos.(v); neg = neg.(v) }
+      done
+    | Pn_data.Attribute.Numeric ->
+      let p = numeric_profile view ~col ~is_pos in
+      let m = Array.length p.values in
+      if m >= 2 then begin
+        (* One scan finds the best A <= v and the best A >= v. *)
+        let best_le = ref None and best_ge = ref None in
+        let better r score = match !r with
+          | Some (s, _) when s >= score -> false
+          | Some _ | None -> true
+        in
+        for k = 0 to m - 1 do
+          if k < m - 1 then begin
+            let c = window_counts p 0 k in
+            let s = RM.eval metric ctx c in
+            if RM.support c > 0.0 && better best_le s then best_le := Some (s, k)
+          end;
+          if k > 0 then begin
+            let c = window_counts p k (m - 1) in
+            let s = RM.eval metric ctx c in
+            if RM.support c > 0.0 && better best_ge s then best_ge := Some (s, k)
+          end
+        done;
+        (match !best_le with
+        | Some (_, k) ->
+          consider
+            (Pn_rules.Condition.Num_le { col; threshold = p.values.(k) })
+            (window_counts p 0 k)
+        | None -> ());
+        (match !best_ge with
+        | Some (_, k) ->
+          consider
+            (Pn_rules.Condition.Num_ge { col; threshold = p.values.(k) })
+            (window_counts p k (m - 1))
+        | None -> ());
+        if allow_ranges then begin
+          (* §2.2: fix the better one-sided threshold, then a second
+             scan over the sorted column finds the other end. *)
+          let scan_lo hi_idx =
+            for j = 1 to hi_idx do
+              let c = window_counts p j hi_idx in
+              if RM.support c > 0.0 then
+                consider
+                  (Pn_rules.Condition.Num_range
+                     { col; lo = p.values.(j); hi = p.values.(hi_idx) })
+                  c
+            done
           in
+          let scan_hi lo_idx =
+            for k = lo_idx to m - 2 do
+              let c = window_counts p lo_idx k in
+              if RM.support c > 0.0 then
+                consider
+                  (Pn_rules.Condition.Num_range
+                     { col; lo = p.values.(lo_idx); hi = p.values.(k) })
+                  c
+            done
+          in
+          (match (!best_le, !best_ge) with
+          | Some (sle, kle), Some (sge, kge) ->
+            if sle >= sge then scan_lo kle else scan_hi kge
+          | Some (_, kle), None -> scan_lo kle
+          | None, Some (_, kge) -> scan_hi kge
+          | None, None -> ());
+          (* Maximum-enrichment window: Kadane's scan over per-group
+             (pos − prior·support) finds an interior peak even when
+             neither one-sided optimum is anchored near it. *)
+          let prior = RM.prior ctx in
+          let group_gain k =
+            let c = window_counts p k k in
+            c.RM.pos -. (prior *. RM.support c)
+          in
+          let best_sum = ref neg_infinity
+          and best_lo = ref 0
+          and best_hi = ref 0 in
+          let cur_sum = ref 0.0 and cur_lo = ref 0 in
           for k = 0 to m - 1 do
-            if k < m - 1 then begin
-              let c = window_counts p 0 k in
-              let s = RM.eval metric ctx c in
-              if RM.support c > 0.0 && better best_le s then best_le := Some (s, k)
-            end;
-            if k > 0 then begin
-              let c = window_counts p k (m - 1) in
-              let s = RM.eval metric ctx c in
-              if RM.support c > 0.0 && better best_ge s then best_ge := Some (s, k)
+            let g = group_gain k in
+            if !cur_sum +. g < g then begin
+              cur_sum := g;
+              cur_lo := k
+            end
+            else cur_sum := !cur_sum +. g;
+            if !cur_sum > !best_sum then begin
+              best_sum := !cur_sum;
+              best_lo := !cur_lo;
+              best_hi := k
             end
           done;
-          (match !best_le with
-          | Some (_, k) ->
+          if !best_sum > 0.0 && (!best_lo > 0 || !best_hi < m - 1) then
             consider
-              (Pn_rules.Condition.Num_le { col; threshold = p.values.(k) })
-              (window_counts p 0 k)
-          | None -> ());
-          (match !best_ge with
-          | Some (_, k) ->
-            consider
-              (Pn_rules.Condition.Num_ge { col; threshold = p.values.(k) })
-              (window_counts p k (m - 1))
-          | None -> ());
-          if allow_ranges then begin
-            (* §2.2: fix the better one-sided threshold, then a second
-               scan over the sorted column finds the other end. *)
-            let scan_lo hi_idx =
-              for j = 1 to hi_idx do
-                let c = window_counts p j hi_idx in
-                if RM.support c > 0.0 then
-                  consider
-                    (Pn_rules.Condition.Num_range
-                       { col; lo = p.values.(j); hi = p.values.(hi_idx) })
-                    c
-              done
-            in
-            let scan_hi lo_idx =
-              for k = lo_idx to m - 2 do
-                let c = window_counts p lo_idx k in
-                if RM.support c > 0.0 then
-                  consider
-                    (Pn_rules.Condition.Num_range
-                       { col; lo = p.values.(lo_idx); hi = p.values.(k) })
-                    c
-              done
-            in
-            (match (!best_le, !best_ge) with
-            | Some (sle, kle), Some (sge, kge) ->
-              if sle >= sge then scan_lo kle else scan_hi kge
-            | Some (_, kle), None -> scan_lo kle
-            | None, Some (_, kge) -> scan_hi kge
-            | None, None -> ());
-            (* Maximum-enrichment window: Kadane's scan over per-group
-               (pos − prior·support) finds an interior peak even when
-               neither one-sided optimum is anchored near it. *)
-            let prior = RM.prior ctx in
-            let group_gain k =
-              let c = window_counts p k k in
-              c.RM.pos -. (prior *. RM.support c)
-            in
-            let best_sum = ref neg_infinity
-            and best_lo = ref 0
-            and best_hi = ref 0 in
-            let cur_sum = ref 0.0 and cur_lo = ref 0 in
-            for k = 0 to m - 1 do
-              let g = group_gain k in
-              if !cur_sum +. g < g then begin
-                cur_sum := g;
-                cur_lo := k
-              end
-              else cur_sum := !cur_sum +. g;
-              if !cur_sum > !best_sum then begin
-                best_sum := !cur_sum;
-                best_lo := !cur_lo;
-                best_hi := k
-              end
-            done;
-            if !best_sum > 0.0 && (!best_lo > 0 || !best_hi < m - 1) then
-              consider
-                (Pn_rules.Condition.Num_range
-                   { col; lo = p.values.(!best_lo); hi = p.values.(!best_hi) })
-                (window_counts p !best_lo !best_hi)
-          end
-        end)
-    attrs;
-  !best
+              (Pn_rules.Condition.Num_range
+                 { col; lo = p.values.(!best_lo); hi = p.values.(!best_hi) })
+              (window_counts p !best_lo !best_hi)
+        end
+      end);
+    !best
+  in
+  let n_attrs = Array.length attrs in
+  let pool =
+    match pool with Some p -> p | None -> Pn_util.Pool.get_default ()
+  in
+  let per_column =
+    if
+      Pn_util.Pool.size pool > 1 && n_attrs > 1
+      && Pn_data.View.size view >= parallel_min_records
+    then Pn_util.Pool.map_array pool n_attrs (fun col -> scan_column col attrs.(col))
+    else Array.init n_attrs (fun col -> scan_column col attrs.(col))
+  in
+  (* Deterministic reduce: ascending column index, and an earlier
+     candidate survives a tie exactly as in the sequential scan
+     ([b.score >= c.score] keeps [b], including its NaN behaviour). *)
+  Array.fold_left
+    (fun acc cand ->
+      match (acc, cand) with
+      | None, c -> c
+      | (Some _ as acc), None -> acc
+      | Some b, Some c -> if b.score >= c.score then acc else cand)
+    None per_column
 
 let candidate_space_size ds =
   let count = ref 0 in
@@ -202,10 +232,8 @@ let candidate_space_size ds =
       match attr.kind with
       | Pn_data.Attribute.Categorical values -> count := !count + Array.length values
       | Pn_data.Attribute.Numeric ->
-        let seen = Hashtbl.create 64 in
-        for i = 0 to Pn_data.Dataset.n_records ds - 1 do
-          Hashtbl.replace seen (Pn_data.Dataset.num_value ds ~col i) ()
-        done;
-        count := !count + (2 * Hashtbl.length seen))
+        (* The sort cache already knows the distinct-value count; no
+           per-call hashing of every cell. *)
+        count := !count + (2 * Pn_data.Dataset.n_distinct_num ds ~col))
     ds.Pn_data.Dataset.attrs;
   max 2 !count

@@ -33,12 +33,19 @@ type candidate = {
     Besides the paper's anchored two-scan range search, the numeric
     search proposes the maximum-enrichment window (a Kadane scan over
     per-value [positive − prior·support] scores), which finds interior
-    signature peaks even when both one-sided optima land elsewhere. *)
+    signature peaks even when both one-sided optima land elsewhere.
+
+    [pool] (default [Pn_util.Pool.get_default ()], i.e. the
+    [PNRULE_DOMAINS] knob) fans the per-attribute scans across domains
+    for views of ≥ 512 records. The reduce is deterministic — higher
+    score wins, ties keep the lowest column index — so every pool size,
+    including 1, returns the identical candidate. *)
 val best_condition :
   ?allow_ranges:bool ->
   ?negate:bool ->
   ?min_support:float ->
   ?current:Pn_rules.Rule.t ->
+  ?pool:Pn_util.Pool.t ->
   metric:Pn_metrics.Rule_metric.kind ->
   ctx:Pn_metrics.Rule_metric.context ->
   target:int ->

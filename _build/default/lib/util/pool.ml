@@ -1,0 +1,167 @@
+(* Persistent domain pool for fanning independent index-space scans
+   across cores. Workers are spawned once and parked on a condition
+   variable between jobs, so dispatch costs a lock round-trip rather
+   than a Domain.spawn. *)
+
+type job = {
+  run : int -> unit;
+  n_items : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t list;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  (* Bumped for every submitted job; parked workers wake when it moves. *)
+  mutable generation : int;
+  mutable stop : bool;
+  mutable error : exn option;
+}
+
+let size t = t.size
+
+let record_error t e =
+  Mutex.lock t.mutex;
+  if t.error = None then t.error <- Some e;
+  Mutex.unlock t.mutex
+
+(* Drain the job's index space. Each index is claimed with a
+   fetch-and-add, so the partition over domains is dynamic but every
+   index runs exactly once. The last finisher signals the submitter. *)
+let run_items t job =
+  let rec grab () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n_items then begin
+      (try job.run i with e -> record_error t e);
+      let finished = Atomic.fetch_and_add job.completed 1 + 1 in
+      if finished = job.n_items then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex
+      end;
+      grab ()
+    end
+  in
+  grab ()
+
+let rec worker t last_generation =
+  Mutex.lock t.mutex;
+  while t.generation = last_generation && not t.stop do
+    Condition.wait t.work_ready t.mutex
+  done;
+  let generation = t.generation and job = t.job and stop = t.stop in
+  Mutex.unlock t.mutex;
+  if not stop then begin
+    (match job with Some j -> run_items t j | None -> ());
+    worker t generation
+  end
+
+let sequential =
+  {
+    size = 1;
+    workers = [];
+    mutex = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    job = None;
+    generation = 0;
+    stop = false;
+    error = None;
+  }
+
+let create ~domains =
+  let domains = max 1 domains in
+  if domains = 1 then sequential
+  else begin
+    let t =
+      {
+        size = domains;
+        workers = [];
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        job = None;
+        generation = 0;
+        stop = false;
+        error = None;
+      }
+    in
+    (* The submitting domain participates, so spawn one fewer worker. *)
+    t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+    t
+  end
+
+let shutdown t =
+  if t.workers <> [] then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let map_array t n f =
+  if n <= 0 then [||]
+  else if t.size <= 1 || t.workers = [] || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let job =
+      {
+        run = (fun i -> results.(i) <- Some (f i));
+        n_items = n;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+      }
+    in
+    Mutex.lock t.mutex;
+    t.error <- None;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    run_items t job;
+    Mutex.lock t.mutex;
+    while Atomic.get job.completed < n do
+      Condition.wait t.work_done t.mutex
+    done;
+    let error = t.error in
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    (match error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Process-default pool                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let env_domains () =
+  match Sys.getenv_opt "PNRULE_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> Some (min d 64)
+    | Some _ | None -> None)
+  | None -> None
+
+let default_pool : t option ref = ref None
+
+let get_default () =
+  match !default_pool with
+  | Some pool -> pool
+  | None ->
+    let domains =
+      match env_domains () with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ()
+    in
+    let pool = create ~domains in
+    default_pool := Some pool;
+    pool
+
+let set_default pool = default_pool := Some pool

@@ -1,0 +1,44 @@
+(** Persistent domain pool for data-parallel index scans.
+
+    A pool of size [k] keeps [k - 1] worker domains parked between jobs;
+    the submitting domain participates in every job, so [k] is the total
+    parallelism. Pools exist for the whole training run — dispatching a
+    job costs a lock round-trip, not a [Domain.spawn].
+
+    Determinism: [map_array] always returns results in index order, and
+    [f i] depends only on [i], so callers that reduce the result array
+    in a fixed order get bit-identical answers at every pool size. *)
+
+type t
+
+(** A pool of size 1 that runs everything in the calling domain. *)
+val sequential : t
+
+(** [create ~domains] spawns a pool of total size [max 1 domains]
+    ([domains - 1] worker domains). [create ~domains:1] is
+    [sequential]. *)
+val create : domains:int -> t
+
+(** Total parallelism (worker domains + the submitting domain). *)
+val size : t -> int
+
+(** [map_array t n f] is [Array.init n f] with the calls distributed
+    over the pool's domains. [f] must be safe to call from any domain
+    (pure reads of shared immutable data are fine). If some call
+    raises, one of the raised exceptions is re-raised in the submitting
+    domain after the job drains. *)
+val map_array : t -> int -> (int -> 'a) -> 'a array
+
+(** Stop and join the worker domains. The pool afterwards degrades to
+    sequential execution; call it in tests or at process exit. *)
+val shutdown : t -> unit
+
+(** The process-wide default pool, created on first use. Its size comes
+    from the [PNRULE_DOMAINS] environment variable when set to a
+    positive integer (1 forces sequential execution, values are capped
+    at 64), otherwise from [Domain.recommended_domain_count ()]. *)
+val get_default : unit -> t
+
+(** Replace the process default (tests use this to pin a size). The
+    previous default, if any, is not shut down. *)
+val set_default : t -> unit

@@ -1,1 +1,1 @@
-test/test_data.ml: Alcotest Array Filename Float Fun Gen Hashtbl List Pn_data Pn_util QCheck QCheck_alcotest Sys
+test/test_data.ml: Alcotest Array Filename Float Fun Gen Hashtbl Int List Pn_data Pn_util QCheck QCheck_alcotest Sys

@@ -1,1 +1,1 @@
-test/test_induct.ml: Alcotest Array List Pn_data Pn_induct Pn_metrics Pn_rules Pn_util Printf QCheck QCheck_alcotest
+test/test_induct.ml: Alcotest Array Fun List Pn_data Pn_induct Pn_metrics Pn_rules Pn_synth Pn_util Pnrule Printf QCheck QCheck_alcotest

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Float Gen List Pn_util QCheck QCheck_alcotest
+test/test_util.ml: Alcotest Array Float Fun Gen List Pn_util Printf QCheck QCheck_alcotest

@@ -347,8 +347,101 @@ let test_summary_per_class () =
 (* QCheck                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Sort cache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference implementation: sort the dataset indices by (value, index),
+   the documented tie-break of both [Dataset.sorted_order] and
+   [View.sorted_by_num]. *)
+let naive_sorted ds idx ~col =
+  let a = Array.copy idx in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare (D.num_value ds ~col i) (D.num_value ds ~col j) in
+      if c <> 0 then c else Int.compare i j)
+    a;
+  a
+
+let test_sort_cache_memoized () =
+  let ds = tiny () in
+  let o1 = D.sorted_order ds ~col:0 in
+  let o2 = D.sorted_order ds ~col:0 in
+  Alcotest.(check bool) "second call returns the cached array" true (o1 == o2);
+  Alcotest.(check (array int)) "order" [| 0; 1; 2; 3; 4; 5 |] o1;
+  let rank = D.sorted_rank ds ~col:0 in
+  Array.iteri (fun k i -> Alcotest.(check int) "rank inverts order" k rank.(i)) o1;
+  Alcotest.(check int) "distinct" 6 (D.n_distinct_num ds ~col:0);
+  Alcotest.check_raises "categorical column"
+    (Invalid_argument "Dataset.sort_entry: categorical column") (fun () ->
+      ignore (D.sorted_order ds ~col:1))
+
+let test_sort_cache_sharing () =
+  let ds = tiny () in
+  let o = D.sorted_order ds ~col:0 in
+  (* Weight variants share columns, hence the cache. *)
+  Alcotest.(check bool) "stratify shares" true
+    (D.sorted_order (D.stratify ds ~target:1) ~col:0 == o);
+  Alcotest.(check bool) "with_weights shares" true
+    (D.sorted_order (D.with_weights ds (Array.make 6 2.0)) ~col:0 == o);
+  (* Subset materializes new columns and must not inherit the order. *)
+  let sub = D.subset ds [| 4; 1; 3 |] in
+  Alcotest.(check (array int)) "subset order fresh" [| 1; 2; 0 |]
+    (D.sorted_order sub ~col:0)
+
+let test_sorted_ties_shuffled_view () =
+  let ds =
+    D.create
+      ~attrs:[| A.numeric "x" |]
+      ~columns:[| D.Num [| 2.0; 1.0; 2.0; 1.0; 2.0; 1.0 |] |]
+      ~labels:[| 0; 0; 0; 0; 0; 0 |] ~classes:[| "a" |] ()
+  in
+  (* Ties break on the dataset index even when the view is shuffled. *)
+  let v = V.of_indices ds [| 5; 2; 0; 3; 1; 4 |] in
+  Alcotest.(check (array int)) "ties by dataset index" [| 1; 3; 5; 0; 2; 4 |]
+    (V.sorted_by_num v ~col:0);
+  (* Duplicate view indices fall back to the direct sort. *)
+  let dup = V.of_indices ds [| 2; 2; 1 |] in
+  Alcotest.(check (array int)) "duplicates kept" [| 1; 2; 2 |]
+    (V.sorted_by_num dup ~col:0);
+  (* Empty views short-circuit. *)
+  let empty = V.filter (V.all ds) (fun _ -> false) in
+  Alcotest.(check (array int)) "empty" [||] (V.sorted_by_num empty ~col:0)
+
 let qcheck_props =
   [
+    QCheck.Test.make ~count:300 ~name:"sorted_by_num matches naive argsort"
+      QCheck.(
+        pair
+          (list_of_size Gen.(int_range 0 120)
+             (triple (int_range 0 6) (int_range 1 4) bool))
+          bool)
+      (fun (rows, use_col1) ->
+        let n = List.length rows in
+        let vals =
+          Array.of_list (List.map (fun (v, _, _) -> float_of_int v /. 2.0) rows)
+        in
+        let vals2 = Array.map (fun v -> -.v) vals in
+        let weights =
+          Array.of_list (List.map (fun (_, w, _) -> float_of_int w) rows)
+        in
+        let keep = Array.of_list (List.map (fun (_, _, k) -> k) rows) in
+        let labels = Array.init n (fun i -> i mod 2) in
+        let ds =
+          D.create ~weights
+            ~attrs:[| A.numeric "x"; A.numeric "y" |]
+            ~columns:[| D.Num vals; D.Num vals2 |]
+            ~labels ~classes:[| "a"; "b" |] ()
+        in
+        let col = if use_col1 then 1 else 0 in
+        let full = V.all ds in
+        let sub = V.filter full (fun i -> keep.(i)) in
+        (* Both the cached full-view path and (for small subsets) the
+           direct-sort path must agree with the reference; a repeated
+           call exercises the memoized entry. *)
+        V.sorted_by_num full ~col = naive_sorted ds full.V.idx ~col
+        && V.sorted_by_num sub ~col = naive_sorted ds sub.V.idx ~col
+        && V.sorted_by_num sub ~col = naive_sorted ds sub.V.idx ~col);
     QCheck.Test.make ~count:100 ~name:"stratify balances classes"
       QCheck.(list_of_size Gen.(int_range 2 60) (int_range 0 1))
       (fun labels ->
@@ -391,6 +484,9 @@ let suite =
     Alcotest.test_case "with_weights" `Quick test_with_weights;
     Alcotest.test_case "view basics" `Quick test_view_basics;
     Alcotest.test_case "view sorted" `Quick test_view_sorted;
+    Alcotest.test_case "sort cache memoized" `Quick test_sort_cache_memoized;
+    Alcotest.test_case "sort cache sharing" `Quick test_sort_cache_sharing;
+    Alcotest.test_case "view sorted ties/shuffle/dup" `Quick test_sorted_ties_shuffled_view;
     Alcotest.test_case "view stratified split" `Quick test_view_split;
     Alcotest.test_case "view materialize" `Quick test_view_materialize;
     Alcotest.test_case "builder" `Quick test_builder;

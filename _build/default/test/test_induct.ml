@@ -240,6 +240,67 @@ let test_candidate_space_size () =
   (* 3 distinct numeric values × 2 sides + 3 categorical values. *)
   Alcotest.(check int) "space" 9 (G.candidate_space_size ds)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel candidate search determinism                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [best_condition] with a 4-domain pool must return the exact
+   condition, counts, and score of the sequential run — the reduce is
+   ordered (score, then lowest column), so every pool size agrees
+   bit-for-bit. Exercised on mixed-attribute synthetic data well above
+   the 512-record parallel dispatch threshold. *)
+let test_parallel_best_condition_identical () =
+  let pool = Pn_util.Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Pn_util.Pool.shutdown pool)
+    (fun () ->
+      let check_ds name ds ~target =
+        let v = V.all ds in
+        let ctx = ctx_of v ~target in
+        List.iter
+          (fun (allow_ranges, negate, min_support, metric) ->
+            let run pool =
+              G.best_condition ~allow_ranges ~negate ~min_support ~pool ~metric
+                ~ctx ~target v
+            in
+            let seq = run Pn_util.Pool.sequential in
+            let par = run pool in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s ranges=%b negate=%b minsup=%.0f" name
+                 allow_ranges negate min_support)
+              true
+              (seq = par && seq <> None))
+          [
+            (true, false, 0.0, RM.Z_number);
+            (false, false, 0.0, RM.Info_gain);
+            (true, true, 0.0, RM.Z_number);
+            (true, false, 25.0, RM.Z_number);
+          ]
+      in
+      let nsyn = Pn_synth.Numerical.generate (Pn_synth.Numerical.nsyn 3) ~seed:7 ~n:2_000 in
+      check_ds "nsyn3" nsyn ~target:Pn_synth.Numerical.target_class;
+      let coa =
+        Pn_synth.Categorical.generate (Pn_synth.Categorical.coa 2) ~seed:7 ~n:2_000
+      in
+      check_ds "coa2" coa ~target:Pn_synth.Categorical.target_class)
+
+(* End-to-end determinism: training through a multi-domain default pool
+   must produce a model structurally identical to sequential training. *)
+let test_parallel_training_identical () =
+  let ds = Pn_synth.Numerical.generate (Pn_synth.Numerical.nsyn 3) ~seed:5 ~n:1_500 in
+  let target = Pn_synth.Numerical.target_class in
+  let pool = Pn_util.Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Pn_util.Pool.set_default Pn_util.Pool.sequential;
+      Pn_util.Pool.shutdown pool)
+    (fun () ->
+      Pn_util.Pool.set_default Pn_util.Pool.sequential;
+      let seq_model = Pnrule.Learner.train ds ~target in
+      Pn_util.Pool.set_default pool;
+      let par_model = Pnrule.Learner.train ds ~target in
+      Alcotest.(check bool) "pnrule models identical" true (seq_model = par_model))
+
 let qcheck_props =
   [
     QCheck.Test.make ~count:60 ~name:"best candidate strictly shrinks coverage"
@@ -276,5 +337,9 @@ let suite =
     Alcotest.test_case "counts consistent with coverage" `Quick test_counts_consistency;
     Alcotest.test_case "constant data has no candidates" `Quick test_no_candidates_on_constant_data;
     Alcotest.test_case "candidate space size" `Quick test_candidate_space_size;
+    Alcotest.test_case "parallel search identical to sequential" `Quick
+      test_parallel_best_condition_identical;
+    Alcotest.test_case "parallel training identical to sequential" `Quick
+      test_parallel_training_identical;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_props

@@ -3,6 +3,7 @@
 module Rng = Pn_util.Rng
 module Stats = Pn_util.Stats
 module Arr = Pn_util.Arr
+module Pool = Pn_util.Pool
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -232,6 +233,59 @@ let test_sums () =
   check_float "mean_of empty" 0.0 (Arr.mean_of float_of_int [||])
 
 (* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_sequential () =
+  Alcotest.(check int) "size" 1 (Pool.size Pool.sequential);
+  Alcotest.(check int) "create 1 is sequential" 1 (Pool.size (Pool.create ~domains:1));
+  Alcotest.(check int) "create 0 clamps" 1 (Pool.size (Pool.create ~domains:0));
+  Alcotest.(check (array int)) "map"
+    [| 0; 2; 4 |]
+    (Pool.map_array Pool.sequential 3 (fun i -> 2 * i));
+  Alcotest.(check (array int)) "empty" [||] (Pool.map_array Pool.sequential 0 (fun i -> i))
+
+let test_pool_map_matches_init () =
+  let pool = Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "size" 4 (Pool.size pool);
+      for n = 0 to 40 do
+        let expected = Array.init n (fun i -> (i * i) - (3 * i)) in
+        let got = Pool.map_array pool n (fun i -> (i * i) - (3 * i)) in
+        Alcotest.(check (array int)) (Printf.sprintf "n=%d" n) expected got
+      done;
+      (* A bigger job than the pool, repeatedly, to exercise re-dispatch. *)
+      for _ = 1 to 20 do
+        let got = Pool.map_array pool 500 (fun i -> i + 1) in
+        Alcotest.(check (array int)) "large" (Array.init 500 (fun i -> i + 1)) got
+      done)
+
+let test_pool_exception () =
+  let pool = Pool.create ~domains:3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      (try
+         ignore
+           (Pool.map_array pool 8 (fun i ->
+                if i = 5 then failwith "boom" else i));
+         Alcotest.fail "expected exception"
+       with Failure msg -> Alcotest.(check string) "propagated" "boom" msg);
+      (* The pool survives a failed job. *)
+      Alcotest.(check (array int)) "still works"
+        [| 0; 1; 2; 3 |]
+        (Pool.map_array pool 4 (fun i -> i)))
+
+let test_pool_shutdown_degrades () =
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  Alcotest.(check (array int)) "sequential after shutdown"
+    [| 0; 1; 2 |]
+    (Pool.map_array pool 3 (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -297,5 +351,9 @@ let suite =
     Alcotest.test_case "arr: max_by" `Quick test_max_by;
     Alcotest.test_case "arr: take/range/filteri" `Quick test_take_range_filteri;
     Alcotest.test_case "arr: sums" `Quick test_sums;
+    Alcotest.test_case "pool: sequential" `Quick test_pool_sequential;
+    Alcotest.test_case "pool: map matches init" `Quick test_pool_map_matches_init;
+    Alcotest.test_case "pool: exception propagates" `Quick test_pool_exception;
+    Alcotest.test_case "pool: shutdown degrades" `Quick test_pool_shutdown_degrades;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_props
