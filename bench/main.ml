@@ -17,8 +17,54 @@ let default_scale = 0.2
 (* Where --json writes the timing estimates (None = stdout only). *)
 let json_file : string option ref = ref None
 
-(* Hand-rolled writer: the repo deliberately has no JSON dependency. *)
+(* Parse a snapshot previously written by [write_json] back into
+   (name, raw value string) pairs. Only the benchmark entry lines are
+   recognized; header fields and anything foreign are ignored. *)
+let read_snapshot path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         try
+           Scanf.sscanf line " {%S: %S, %S: %[0-9a-z.+-]"
+             (fun k1 name k2 value ->
+               if k1 = "name" && k2 = "ns_per_run" && value <> "" then
+                 entries := (name, value) :: !entries)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+(* Hand-rolled writer: the repo deliberately has no JSON dependency.
+   Re-runs merge into an existing snapshot: a benchmark measured this
+   run replaces its old line in place, benchmarks not re-measured keep
+   theirs, and genuinely new names append. Running one bench with
+   [--only timing --json FILE] therefore never drops the others. *)
 let write_json ~path ~scale estimates =
+  let fresh =
+    List.map
+      (fun (name, estimate) ->
+        let value =
+          match estimate with
+          | Some t when Float.is_finite t -> Printf.sprintf "%.1f" t
+          | Some _ | None -> "null"
+        in
+        (name, value))
+      estimates
+  in
+  let existing = read_snapshot path in
+  let merged =
+    List.map
+      (fun (name, v) ->
+        (name, Option.value (List.assoc_opt name fresh) ~default:v))
+      existing
+    @ List.filter (fun (name, _) -> not (List.mem_assoc name existing)) fresh
+  in
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"pnrule-bench-v1\",\n";
@@ -26,54 +72,20 @@ let write_json ~path ~scale estimates =
   Printf.fprintf oc "  \"domains\": %d,\n" (Pn_util.Pool.size (Pn_util.Pool.get_default ()));
   Printf.fprintf oc "  \"unit\": \"ns/run\",\n";
   Printf.fprintf oc "  \"benchmarks\": [\n";
-  let last = List.length estimates - 1 in
+  let last = List.length merged - 1 in
   List.iteri
-    (fun k (name, estimate) ->
-      let value =
-        match estimate with
-        | Some t when Float.is_finite t -> Printf.sprintf "%.1f" t
-        | Some _ | None -> "null"
-      in
+    (fun k (name, value) ->
       Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %s}%s\n" name value
         (if k = last then "" else ","))
-    estimates;
+    merged;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "wrote %d timing estimate(s) to %s\n%!" (List.length estimates) path
+  Printf.printf "wrote %d timing estimate(s) to %s (%d merged from previous runs)\n%!"
+    (List.length fresh) path
+    (List.length merged - List.length fresh)
 
 let timing_benchmarks ~scale =
   let open Bechamel in
-  let spec = Pn_synth.Numerical.nsyn 3 in
-  let ds = Pn_synth.Numerical.generate spec ~seed:11 ~n:20_000 in
-  let target = Pn_synth.Numerical.target_class in
-  let pn_model = Pnrule.Learner.train ds ~target in
-  let bc_view = Pn_data.View.all ds in
-  let bc_ctx =
-    let pos, neg = Pn_data.View.binary_weights bc_view ~target in
-    { Pn_metrics.Rule_metric.pos_total = pos; neg_total = neg }
-  in
-  let tests =
-    [
-      Test.make ~name:"pnrule-train-20k"
-        (Staged.stage (fun () -> ignore (Pnrule.Learner.train ds ~target)));
-      Test.make ~name:"ripper-train-20k"
-        (Staged.stage (fun () ->
-             let params = { Pn_ripper.Params.default with optimization_passes = 0 } in
-             ignore (Pn_ripper.Learner.train ~params ds ~target)));
-      Test.make ~name:"c45-tree-train-20k"
-        (Staged.stage (fun () -> ignore (Pn_c45.Tree.train ds)));
-      Test.make ~name:"pnrule-score-20k"
-        (Staged.stage (fun () -> ignore (Pnrule.Model.predict_all pn_model ds)));
-      (* The rule-growth hot path in isolation: one full candidate search
-         over every attribute of the 20k-record view. *)
-      Test.make ~name:"best-condition-20k"
-        (Staged.stage (fun () ->
-             ignore
-               (Pn_induct.Grower.best_condition
-                  ~metric:Pn_metrics.Rule_metric.Z_number ~ctx:bc_ctx ~target
-                  bc_view)));
-    ]
-  in
   let benchmark test =
     let quota = Time.second 2.0 in
     Benchmark.all
@@ -86,8 +98,7 @@ let timing_benchmarks ~scale =
       (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
       Toolkit.Instance.monotonic_clock raw
   in
-  Printf.printf "\n== Timing (Bechamel, monotonic clock) ==\n%!";
-  let estimates =
+  let run_tests tests =
     List.concat_map
       (fun test ->
         let results = analyze (benchmark test) in
@@ -105,6 +116,68 @@ let timing_benchmarks ~scale =
           results [])
       tests
   in
+  let spec = Pn_synth.Numerical.nsyn 3 in
+  let ds = Pn_synth.Numerical.generate spec ~seed:11 ~n:20_000 in
+  let target = Pn_synth.Numerical.target_class in
+  let pn_model = Pnrule.Learner.train ds ~target in
+  let bc_view = Pn_data.View.all ds in
+  let bc_ctx =
+    let pos, neg = Pn_data.View.binary_weights bc_view ~target in
+    { Pn_metrics.Rule_metric.pos_total = pos; neg_total = neg }
+  in
+  Printf.printf "\n== Timing (Bechamel, monotonic clock) ==\n%!";
+  (* Batch 1: everything that only needs the 20k training setup. The
+     heavier serving datasets of batch 2 are deliberately not allocated
+     yet: tens of MB of extra live heap makes every major GC slice
+     dearer and was observed to inflate the allocation-heavy training
+     measurements ~2x, which would break comparability with earlier
+     snapshots of the same benchmarks. *)
+  let batch1 =
+    run_tests
+      [
+        Test.make ~name:"pnrule-train-20k"
+          (Staged.stage (fun () -> ignore (Pnrule.Learner.train ds ~target)));
+        Test.make ~name:"ripper-train-20k"
+          (Staged.stage (fun () ->
+               let params = { Pn_ripper.Params.default with optimization_passes = 0 } in
+               ignore (Pn_ripper.Learner.train ~params ds ~target)));
+        Test.make ~name:"c45-tree-train-20k"
+          (Staged.stage (fun () -> ignore (Pn_c45.Tree.train ds)));
+        Test.make ~name:"pnrule-score-20k"
+          (Staged.stage (fun () -> ignore (Pnrule.Model.predict_all pn_model ds)));
+        Test.make ~name:"covered-20k"
+          (Staged.stage (fun () ->
+               ignore (Pn_rules.Rule_list.covered ds pn_model.Pnrule.Model.p_rules)));
+        (* The rule-growth hot path in isolation: one full candidate
+           search over every attribute of the 20k-record view. *)
+        Test.make ~name:"best-condition-20k"
+          (Staged.stage (fun () ->
+               ignore
+                 (Pn_induct.Grower.best_condition
+                    ~metric:Pn_metrics.Rule_metric.Z_number ~ctx:bc_ctx ~target
+                    bc_view)));
+      ]
+  in
+  (* Batch 2: serving-path benchmarks over their own, larger datasets. *)
+  let ds200 = Pn_synth.Numerical.generate spec ~seed:12 ~n:200_000 in
+  let kdd_test = Pn_synth.Kddcup.test ~seed:8 ~n:20_000 in
+  let mc_model = Pnrule.Multiclass.train (Pn_synth.Kddcup.train ~seed:7 ~n:20_000) in
+  let batch2 =
+    run_tests
+      [
+        (* Serving-path scale test: the 20k-trained model scores a fresh
+           200k draw. The fresh dataset has no sort cache, so this also
+           exercises the compiled engine's direct-comparison sweeps. *)
+        Test.make ~name:"pnrule-score-200k"
+          (Staged.stage (fun () -> ignore (Pnrule.Model.predict_all pn_model ds200)));
+        (* One-vs-rest ensemble scoring: all five KDD class models fused
+           into a single compiled program over the shifted test draw. *)
+        Test.make ~name:"multiclass-score-20k"
+          (Staged.stage (fun () ->
+               ignore (Pnrule.Multiclass.predict_all mc_model kdd_test)));
+      ]
+  in
+  let estimates = batch1 @ batch2 in
   match !json_file with
   | Some path -> write_json ~path ~scale estimates
   | None -> ()
@@ -137,10 +210,11 @@ let () =
   in
   Arg.parse spec (fun s -> only := s :: !only) "bench/main.exe [--only ID] [--scale S]";
   (* Fail fast on an unwritable --json target instead of discovering it
-     after the timing quota has been spent. *)
+     after the timing quota has been spent. Append mode: probing must
+     not truncate a snapshot the writer will later merge into. *)
   (match !json_file with
   | Some path -> (
-    try close_out (open_out path)
+    try close_out (open_out_gen [ Open_append; Open_creat ] 0o644 path)
     with Sys_error msg ->
       Printf.eprintf "cannot write --json file: %s\n" msg;
       exit 1)

@@ -25,17 +25,62 @@ let predict t ds i =
     Pn_rules.Rule_list.any_match ds t.p_rules i
     && not (Pn_rules.Rule_list.any_match ds t.n_rules i)
 
-let predict_all t ds = Array.init (Pn_data.Dataset.n_records ds) (predict t ds)
+(* Batch serving goes through the compiled bitset engine: one program
+   over both rule lists (conditions deduplicated across P and N),
+   first-match arrays resolved in columnar word passes, then the same
+   ScoreMatrix lookup as the per-record reference above — which stays
+   the oracle the equivalence tests compare against. *)
 
-let score_all t ds = Array.init (Pn_data.Dataset.n_records ds) (score t ds)
+let compiled t =
+  Pn_rules.Compiled.compile
+    [| t.p_rules.Pn_rules.Rule_list.rules; t.n_rules.Pn_rules.Rule_list.rules |]
 
-let evaluate t ds =
+(* (first P-rule, first N-rule) per record, -1 for no match. *)
+let first_matches ?pool t ds =
+  let fm = Pn_rules.Compiled.eval ?pool (compiled t) ds in
+  (fm.(0), fm.(1))
+
+let score_of_matches t ~p ~n =
+  if p < 0 then 0.0
+  else t.scores.(p).(if n < 0 then Pn_rules.Rule_list.length t.n_rules else n)
+
+let score_all ?pool t ds =
+  let pm, nm = first_matches ?pool t ds in
+  let n = Pn_data.Dataset.n_records ds in
+  let out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set out i
+      (score_of_matches t ~p:(Array.unsafe_get pm i) ~n:(Array.unsafe_get nm i))
+  done;
+  out
+
+let predict_all ?pool t ds =
+  let pm, nm = first_matches ?pool t ds in
+  let n = Pn_data.Dataset.n_records ds in
+  let out = Array.make n false in
+  if t.params.Params.use_scoring then begin
+    let thr = t.params.Params.score_threshold in
+    for i = 0 to n - 1 do
+      Array.unsafe_set out i
+        (score_of_matches t ~p:(Array.unsafe_get pm i) ~n:(Array.unsafe_get nm i)
+        > thr)
+    done
+  end
+  else
+    for i = 0 to n - 1 do
+      Array.unsafe_set out i
+        (Array.unsafe_get pm i >= 0 && Array.unsafe_get nm i < 0)
+    done;
+  out
+
+let evaluate ?pool t ds =
+  let predicted = predict_all ?pool t ds in
   let acc = ref Pn_metrics.Confusion.zero in
   for i = 0 to Pn_data.Dataset.n_records ds - 1 do
     acc :=
       Pn_metrics.Confusion.add !acc
         ~actual:(Pn_data.Dataset.label ds i = t.target)
-        ~predicted:(predict t ds i)
+        ~predicted:predicted.(i)
         ~weight:(Pn_data.Dataset.weight ds i)
   done;
   !acc

@@ -19,7 +19,9 @@ type t = {
 }
 
 (** [score t ds i] is the model's probability-like score ∈ [0,1] that
-    record [i] of [ds] belongs to the target class. *)
+    record [i] of [ds] belongs to the target class. Per-record
+    reference path; the batch functions below must (and are tested to)
+    agree with it bit-for-bit. *)
 val score : t -> Pn_data.Dataset.t -> int -> float
 
 (** [predict t ds i] thresholds [score] at [t.params.score_threshold].
@@ -27,15 +29,23 @@ val score : t -> Pn_data.Dataset.t -> int -> float
     true iff some P-rule applies and no N-rule applies. *)
 val predict : t -> Pn_data.Dataset.t -> int -> bool
 
-val predict_all : t -> Pn_data.Dataset.t -> bool array
+(** [predict_all t ds] is the per-record prediction vector, served by the
+    compiled bitset engine ({!Pn_rules.Compiled}): conditions are
+    deduplicated across the P- and N-lists and evaluated columnar-style,
+    with record chunks fanned across [pool] (default
+    {!Pn_util.Pool.get_default}). Bit-identical to mapping {!predict} at
+    every pool size. *)
+val predict_all : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> bool array
 
 (** [score_all t ds] is the per-record score vector, e.g. for
-    precision-recall analysis with {!Pn_metrics.Pr_curve}. *)
-val score_all : t -> Pn_data.Dataset.t -> float array
+    precision-recall analysis with {!Pn_metrics.Pr_curve}. Same compiled
+    batch path as {!predict_all}. *)
+val score_all : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> float array
 
 (** [evaluate t ds] tallies the weighted confusion matrix of the model on
-    a dataset labeled with the same class table. *)
-val evaluate : t -> Pn_data.Dataset.t -> Pn_metrics.Confusion.t
+    a dataset labeled with the same class table, predicting through the
+    compiled batch path. *)
+val evaluate : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> Pn_metrics.Confusion.t
 
 (** [rule_counts t] is (number of P-rules, number of N-rules). *)
 val rule_counts : t -> int * int

@@ -44,22 +44,63 @@ let predict t ds i =
     t.models;
   !best_cls
 
-let accuracy t ds =
+(* Batch one-vs-rest prediction: every per-class model's P- and N-lists
+   compile into ONE bitset program, so a condition shared across class
+   models (attack signatures frequently share service/protocol tests)
+   is evaluated once per record for the whole ensemble. The per-record
+   [predict] above stays the oracle. *)
+let predict_all ?pool t ds =
+  let lists =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (_, m) ->
+              [|
+                m.Model.p_rules.Pn_rules.Rule_list.rules;
+                m.Model.n_rules.Pn_rules.Rule_list.rules;
+              |])
+            t.models))
+  in
+  let fm = Pn_rules.Compiled.eval ?pool (Pn_rules.Compiled.compile lists) ds in
+  Array.init (Pn_data.Dataset.n_records ds) (fun i ->
+      let best_cls = ref t.fallback and best_score = ref 0.0 in
+      (* Same rarest-first tie rule as [predict]. *)
+      Array.iteri
+        (fun k (cls, model) ->
+          let p = fm.(2 * k).(i) and n = fm.((2 * k) + 1).(i) in
+          let s =
+            if p < 0 then 0.0
+            else
+              model.Model.scores.(p).(if n < 0 then
+                                        Pn_rules.Rule_list.length
+                                          model.Model.n_rules
+                                      else n)
+          in
+          if s > !best_score then begin
+            best_cls := cls;
+            best_score := s
+          end)
+        t.models;
+      !best_cls)
+
+let accuracy ?pool t ds =
+  let predicted = predict_all ?pool t ds in
   let hit = ref 0.0 and total = ref 0.0 in
   for i = 0 to Pn_data.Dataset.n_records ds - 1 do
     let w = Pn_data.Dataset.weight ds i in
     total := !total +. w;
-    if predict t ds i = Pn_data.Dataset.label ds i then hit := !hit +. w
+    if predicted.(i) = Pn_data.Dataset.label ds i then hit := !hit +. w
   done;
   if !total <= 0.0 then 0.0 else !hit /. !total
 
-let confusion t ds ~target =
+let confusion ?pool t ds ~target =
+  let predicted = predict_all ?pool t ds in
   let acc = ref Pn_metrics.Confusion.zero in
   for i = 0 to Pn_data.Dataset.n_records ds - 1 do
     acc :=
       Pn_metrics.Confusion.add !acc
         ~actual:(Pn_data.Dataset.label ds i = target)
-        ~predicted:(predict t ds i = target)
+        ~predicted:(predicted.(i) = target)
         ~weight:(Pn_data.Dataset.weight ds i)
   done;
   !acc

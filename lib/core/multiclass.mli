@@ -20,16 +20,27 @@ type t = {
 val train :
   ?params:Params.t -> ?params_for:(int -> Params.t option) -> Pn_data.Dataset.t -> t
 
-(** [predict t ds i] is the class index with the highest score. *)
+(** [predict t ds i] is the class index with the highest score
+    (per-record reference path). *)
 val predict : t -> Pn_data.Dataset.t -> int -> int
 
 (** [scores t ds i] is the per-class score vector (0 for skipped
     classes). *)
 val scores : t -> Pn_data.Dataset.t -> int -> float array
 
-(** [accuracy t ds] is the weighted multi-class accuracy. *)
-val accuracy : t -> Pn_data.Dataset.t -> float
+(** [predict_all t ds] is the per-record predicted class vector. Every
+    per-class model's rule lists compile into one
+    {!Pn_rules.Compiled} program — conditions shared across class
+    models are evaluated once per record — and record chunks fan across
+    [pool] (default {!Pn_util.Pool.get_default}). Bit-identical to
+    mapping {!predict} at every pool size. *)
+val predict_all : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> int array
+
+(** [accuracy t ds] is the weighted multi-class accuracy, predicting
+    through the compiled batch path. *)
+val accuracy : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> float
 
 (** [confusion t ds ~target] is the binary confusion of the multi-class
     prediction collapsed onto one class. *)
-val confusion : t -> Pn_data.Dataset.t -> target:int -> Pn_metrics.Confusion.t
+val confusion :
+  ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> target:int -> Pn_metrics.Confusion.t

@@ -82,6 +82,11 @@ let sort_entry t ~col =
   | Num a -> Sort_cache.entry t.sort_cache ~col a
   | Cat _ -> invalid_arg "Dataset.sort_entry: categorical column"
 
+let sort_entry_opt t ~col =
+  match t.columns.(col) with
+  | Num _ -> Sort_cache.peek t.sort_cache ~col
+  | Cat _ -> None
+
 let sorted_order t ~col = (sort_entry t ~col).Sort_cache.order
 
 let sorted_rank t ~col = (sort_entry t ~col).Sort_cache.rank

@@ -62,6 +62,11 @@ val sorted_order : t -> col:int -> int array
     sorted order. Same memoization and sharing rules. *)
 val sorted_rank : t -> col:int -> int array
 
+(** [sort_entry_opt t ~col] is the cached sort entry for numeric column
+    [col] if an earlier call already built one, and [None] otherwise
+    (including on categorical columns). Never triggers the argsort. *)
+val sort_entry_opt : t -> col:int -> Sort_cache.entry option
+
 (** [n_distinct_num t ~col] is the number of distinct values (under
     [Float.compare]) in numeric column [col], computed from the cached
     sorted order. *)

@@ -35,6 +35,8 @@ let build values =
   done;
   { order; rank; n_distinct = !n_distinct }
 
+let peek t ~col = t.slots.(col)
+
 let entry t ~col values =
   match t.slots.(col) with
   | Some e -> e

@@ -24,3 +24,9 @@ val create : int -> t
     it from [values] on first access. Callers must pass the same value
     array for a given column every time. *)
 val entry : t -> col:int -> float array -> entry
+
+(** [peek t ~col] is the cached entry if one has been built, without
+    building it. Lets opportunistic consumers (the compiled scoring
+    engine) reuse rank arrays a training pass already paid for, while
+    falling back to direct comparison on fresh serving data. *)
+val peek : t -> col:int -> entry option

@@ -31,8 +31,17 @@ let run (spec : Methods.t) ~train ~test ~target =
         result.precision result.f_measure train_seconds);
   result
 
-let run_all specs ~train ~test ~target =
-  List.map (fun spec -> run spec ~train ~test ~target) specs
+let run_all ?pool specs ~train ~test ~target =
+  (* Independent methods (or grid points) fan across the domain pool.
+     Training inside a worker is safe: a nested Pool.map_array (rule
+     growth fanning attribute scans) degrades to sequential execution,
+     and PR 1's pool-vs-sequential bit-identity keeps every trained
+     model — hence every result — independent of the pool size. *)
+  let pool = match pool with Some p -> p | None -> Pn_util.Pool.get_default () in
+  let specs = Array.of_list specs in
+  Array.to_list
+    (Pn_util.Pool.map_array pool (Array.length specs) (fun k ->
+         run specs.(k) ~train ~test ~target))
 
 let best_of ?name results =
   match results with

@@ -18,8 +18,13 @@ type result = {
 val run :
   Methods.t -> train:Pn_data.Dataset.t -> test:Pn_data.Dataset.t -> target:int -> result
 
-(** [run_all specs ~train ~test ~target] runs each method. *)
+(** [run_all specs ~train ~test ~target] runs each method, fanning the
+    independent train-and-evaluate jobs across [pool] (default
+    {!Pn_util.Pool.get_default}). Results keep the order of [specs] and
+    are bit-identical at every pool size; [train_seconds] is the only
+    field affected by core sharing. *)
 val run_all :
+  ?pool:Pn_util.Pool.t ->
   Methods.t list ->
   train:Pn_data.Dataset.t ->
   test:Pn_data.Dataset.t ->

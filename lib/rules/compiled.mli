@@ -1,0 +1,55 @@
+(** Compiled bitset scoring engine for first-match rule evaluation.
+
+    The reference serving path walks records one at a time, re-testing
+    every condition of every rule through boxed [Dataset] accessors.
+    This module compiles a batch of rule lists — a PNrule model's P- and
+    N-lists, or every list of a one-vs-rest multiclass ensemble — into a
+    form that evaluates in a handful of columnar passes:
+
+    + the distinct conditions across all lists are deduplicated, so a
+      test shared by many rules (or many per-class models) is evaluated
+      once per record instead of once per occurrence;
+    + each distinct condition is evaluated into a {!Pn_util.Bitset}
+      over the record space — numeric thresholds become intervals of
+      the dataset's {!Pn_data.Sort_cache} sorted order when a training
+      pass already built it (the bitset is filled by scattering only
+      the covered records, no per-record comparison at all), and fall
+      back to direct comparison sweeps on fresh serving data;
+    + first-match resolution per rule list works word-at-a-time: AND the
+      condition bitsets of each rule into the not-yet-resolved mask,
+      commit the hits, clear them, and stop as soon as every record is
+      resolved.
+
+    Evaluation fans across the domain pool in two phases — one job per
+    condition bitset, then one job per word-aligned chunk of the output
+    arrays. Every job writes disjoint memory, so results are
+    bit-identical at every pool size — and identical to the per-record
+    reference path ([Rule_list.first_match]), which remains the oracle
+    the property tests check against. *)
+
+type t
+
+(** [compile lists] deduplicates conditions across [lists] (each an
+    ordered rule array, first match wins) and returns the compiled
+    program. Compilation touches no data, so one program serves any
+    number of datasets over the same schema. *)
+val compile : Rule.t array array -> t
+
+(** Number of rule lists the program was compiled from. *)
+val n_lists : t -> int
+
+(** Number of distinct conditions after deduplication. *)
+val n_distinct_conditions : t -> int
+
+(** [eval ?pool t ds] resolves first-match for every compiled list over
+    every record: [(eval t ds).(l).(i)] is the index of the first rule
+    of list [l] matching record [i], or [-1] when none matches (an
+    empty rule matches everything). [pool] defaults to
+    {!Pn_util.Pool.get_default}; the result does not depend on the pool
+    size. Raises [Invalid_argument] if a condition's column kind
+    disagrees with the dataset schema, like the reference path. *)
+val eval : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> int array array
+
+(** [first_match_all ?pool rules ds] compiles and evaluates a single
+    rule list: per-record first-match indices, [-1] for no match. *)
+val first_match_all : ?pool:Pn_util.Pool.t -> Rule.t array -> Pn_data.Dataset.t -> int array

@@ -20,11 +20,21 @@ let first_match ds t i =
 let any_match ds t i = Option.is_some (first_match ds t i)
 
 let covered ds t =
-  let hits = ref [] in
-  for i = Pn_data.Dataset.n_records ds - 1 downto 0 do
-    if any_match ds t i then hits := i :: !hits
-  done;
-  Pn_data.View.of_indices ds (Array.of_list !hits)
+  (* One compiled pass over the bitset engine instead of re-running
+     any_match (every condition of every rule) per record. *)
+  let fm = Compiled.first_match_all t.rules ds in
+  let n_hits = ref 0 in
+  Array.iter (fun m -> if m >= 0 then incr n_hits) fm;
+  let hits = Array.make !n_hits 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i m ->
+      if m >= 0 then begin
+        hits.(!k) <- i;
+        incr k
+      end)
+    fm;
+  Pn_data.View.of_indices ds hits
 
 let total_conditions t =
   Array.fold_left (fun acc r -> acc + Rule.n_conditions r) 0 t.rules

@@ -1,0 +1,85 @@
+(* Dense bitsets over native-int words (63 usable bits per word on a
+   64-bit platform). Invariant: the unused tail bits of the last word
+   are always zero, so word-wide folds need no per-bit masking. *)
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+
+let words_for n = if n = 0 then 0 else ((n - 1) / bits_per_word) + 1
+
+type t = { words : int array; n_bits : int }
+
+(* All-ones pattern for a full word: every representable bit set. *)
+let full_word = -1
+
+(* Mask covering the [r] low bits of the final word (0 < r < 63 uses a
+   plain shift; r = 63 is the full word). *)
+let tail_mask r = if r = 0 then full_word else (1 lsl r) - 1
+
+let create n = { words = Array.make (words_for n) 0; n_bits = n }
+
+let length t = t.n_bits
+
+let words t = t.words
+
+let fill_zeros t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill_ones t =
+  let nw = Array.length t.words in
+  if nw > 0 then begin
+    Array.fill t.words 0 nw full_word;
+    t.words.(nw - 1) <- tail_mask (t.n_bits mod bits_per_word)
+  end
+
+let full n =
+  let t = create n in
+  fill_ones t;
+  t
+
+let set t i = t.words.(i / bits_per_word) <- t.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+let get t i = t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let inter ~into b =
+  let wa = into.words and wb = b.words in
+  for w = 0 to Array.length wa - 1 do
+    Array.unsafe_set wa w (Array.unsafe_get wa w land Array.unsafe_get wb w)
+  done
+
+let diff ~into b =
+  let wa = into.words and wb = b.words in
+  for w = 0 to Array.length wa - 1 do
+    Array.unsafe_set wa w (Array.unsafe_get wa w land lnot (Array.unsafe_get wb w))
+  done
+
+let is_empty t =
+  let rec loop w = w >= Array.length t.words || (t.words.(w) = 0 && loop (w + 1)) in
+  loop 0
+
+let popcount x =
+  let c = ref 0 and v = ref x in
+  while !v <> 0 do
+    v := !v land (!v - 1);
+    incr c
+  done;
+  !c
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter t f =
+  for w = 0 to Array.length t.words - 1 do
+    let bits = ref t.words.(w) in
+    let base = ref (w * bits_per_word) in
+    while !bits <> 0 do
+      if !bits land 1 <> 0 then f !base;
+      bits := !bits lsr 1;
+      incr base
+    done
+  done
+
+let to_indices t =
+  let out = Array.make (count t) 0 in
+  let m = ref 0 in
+  iter t (fun i ->
+      out.(!m) <- i;
+      incr m);
+  out

@@ -25,6 +25,13 @@ type t = {
 
 let size t = t.size
 
+(* True while the current domain is executing a pool job. A nested
+   [map_array] (e.g. rule growth fanning attribute scans from inside a
+   parallel harness evaluation) must not submit to the pool it is
+   already running on — it would clobber the in-flight job — so nested
+   calls degrade to sequential execution in the calling domain. *)
+let in_job : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
 let record_error t e =
   Mutex.lock t.mutex;
   if t.error = None then t.error <- Some e;
@@ -34,6 +41,8 @@ let record_error t e =
    fetch-and-add, so the partition over domains is dynamic but every
    index runs exactly once. The last finisher signals the submitter. *)
 let run_items t job =
+  let was_in_job = Domain.DLS.get in_job in
+  Domain.DLS.set in_job true;
   let rec grab () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.n_items then begin
@@ -47,7 +56,8 @@ let run_items t job =
       grab ()
     end
   in
-  grab ()
+  grab ();
+  Domain.DLS.set in_job was_in_job
 
 let rec worker t last_generation =
   Mutex.lock t.mutex;
@@ -108,7 +118,8 @@ let shutdown t =
 
 let map_array t n f =
   if n <= 0 then [||]
-  else if t.size <= 1 || t.workers = [] || n = 1 then Array.init n f
+  else if t.size <= 1 || t.workers = [] || n = 1 || Domain.DLS.get in_job then
+    Array.init n f
   else begin
     let results = Array.make n None in
     let job =

@@ -26,7 +26,13 @@ val size : t -> int
     over the pool's domains. [f] must be safe to call from any domain
     (pure reads of shared immutable data are fine). If some call
     raises, one of the raised exceptions is re-raised in the submitting
-    domain after the job drains. *)
+    domain after the job drains.
+
+    Re-entrant: a [map_array] issued from inside a pool job (any pool)
+    runs sequentially in the calling domain instead of submitting,
+    so composed parallel layers — e.g. a parallel harness evaluation
+    whose training fans attribute scans — cannot deadlock or clobber
+    the in-flight job. *)
 val map_array : t -> int -> (int -> 'a) -> 'a array
 
 (** Stop and join the worker domains. The pool afterwards degrades to

@@ -7,6 +7,7 @@ let () =
       ("data", Test_data.suite);
       ("metrics", Test_metrics.suite);
       ("rules", Test_rules.suite);
+      ("compiled", Test_compiled.suite);
       ("induct", Test_induct.suite);
       ("pnrule", Test_pnrule.suite);
       ("serialize", Test_serialize.suite);

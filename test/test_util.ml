@@ -285,12 +285,88 @@ let test_pool_shutdown_degrades () =
     [| 0; 1; 2 |]
     (Pool.map_array pool 3 (fun i -> i))
 
+(* A map_array issued from inside a pool job must degrade to sequential
+   execution instead of clobbering the in-flight job (parallel harness
+   evaluation wraps training that fans attribute scans on the same
+   pool). *)
+let test_pool_nested () =
+  let pool = Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let sum = Array.fold_left ( + ) 0 in
+      let got =
+        Pool.map_array pool 12 (fun i ->
+            sum (Pool.map_array pool 50 (fun j -> (i * j) + 1)))
+      in
+      let expected =
+        Array.init 12 (fun i -> sum (Array.init 50 (fun j -> (i * j) + 1)))
+      in
+      Alcotest.(check (array int)) "nested map matches" expected got)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Bitset = Pn_util.Bitset
+
+let test_bitset_basics () =
+  Alcotest.(check int) "words_for 0" 0 (Bitset.words_for 0);
+  Alcotest.(check int) "words_for 1" 1 (Bitset.words_for 1);
+  Alcotest.(check int) "words_for word" 1 (Bitset.words_for Bitset.bits_per_word);
+  Alcotest.(check int) "words_for word+1" 2 (Bitset.words_for (Bitset.bits_per_word + 1));
+  let t = Bitset.create 130 in
+  Alcotest.(check bool) "fresh empty" true (Bitset.is_empty t);
+  Bitset.set t 0;
+  Bitset.set t 64;
+  Bitset.set t 129;
+  Alcotest.(check bool) "get set" true (Bitset.get t 64);
+  Alcotest.(check bool) "get unset" false (Bitset.get t 63);
+  Alcotest.(check int) "count" 3 (Bitset.count t);
+  Alcotest.(check (array int)) "to_indices" [| 0; 64; 129 |] (Bitset.to_indices t);
+  let full = Bitset.full 130 in
+  Alcotest.(check int) "full count" 130 (Bitset.count full);
+  Bitset.diff ~into:full t;
+  Alcotest.(check int) "diff count" 127 (Bitset.count full);
+  Alcotest.(check bool) "diff cleared" false (Bitset.get full 64);
+  Bitset.inter ~into:full t;
+  Alcotest.(check bool) "inter disjoint empty" true (Bitset.is_empty full)
+
+let bitset_ops_prop (n, sets_a, sets_b) =
+  n = 0
+  ||
+  let a_idx = List.sort_uniq Int.compare (List.map (fun j -> j mod n) sets_a) in
+  let b_idx = List.sort_uniq Int.compare (List.map (fun j -> j mod n) sets_b) in
+  let a = Bitset.create n and b = Bitset.create n in
+  List.iter (Bitset.set a) a_idx;
+  List.iter (Bitset.set b) b_idx;
+  let copy_of t =
+    let c = Bitset.create n in
+    Array.blit (Bitset.words t) 0 (Bitset.words c) 0 (Bitset.words_for n);
+    c
+  in
+  let inter = copy_of a in
+  Bitset.inter ~into:inter b;
+  let diff = copy_of a in
+  Bitset.diff ~into:diff b;
+  let mem l i = List.mem i l in
+  List.init n (Bitset.get inter)
+  = List.init n (fun i -> mem a_idx i && mem b_idx i)
+  && List.init n (Bitset.get diff)
+     = List.init n (fun i -> mem a_idx i && not (mem b_idx i))
+  && Bitset.count a = List.length a_idx
+  && Bitset.to_indices a = Array.of_list a_idx
+  && Bitset.is_empty a = (a_idx = [])
+
 (* ------------------------------------------------------------------ *)
 (* QCheck properties                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let qcheck_props =
   [
+    QCheck.Test.make ~count:200 ~name:"bitset ops match naive sets"
+      QCheck.(triple (int_range 0 200) (list small_nat) (list small_nat))
+      bitset_ops_prop;
     QCheck.Test.make ~count:200 ~name:"rng int always in bounds"
       QCheck.(pair small_int (int_range 1 1000))
       (fun (seed, bound) ->
@@ -355,5 +431,7 @@ let suite =
     Alcotest.test_case "pool: map matches init" `Quick test_pool_map_matches_init;
     Alcotest.test_case "pool: exception propagates" `Quick test_pool_exception;
     Alcotest.test_case "pool: shutdown degrades" `Quick test_pool_shutdown_degrades;
+    Alcotest.test_case "pool: nested map degrades" `Quick test_pool_nested;
+    Alcotest.test_case "bitset: basics" `Quick test_bitset_basics;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_props
