@@ -162,6 +162,10 @@ let timing_benchmarks ~scale =
   let ds200 = Pn_synth.Numerical.generate spec ~seed:12 ~n:200_000 in
   let kdd_test = Pn_synth.Kddcup.test ~seed:8 ~n:20_000 in
   let mc_model = Pnrule.Multiclass.train (Pn_synth.Kddcup.train ~seed:7 ~n:20_000) in
+  (* The streaming benchmarks read a real file, so the IO cost (refills,
+     syscalls) is part of the measurement by design. *)
+  let csv200 = Filename.temp_file "pnrule_bench_" ".csv" in
+  Pn_data.Csv_io.save ds200 csv200;
   let batch2 =
     run_tests
       [
@@ -175,8 +179,24 @@ let timing_benchmarks ~scale =
         Test.make ~name:"multiclass-score-20k"
           (Staged.stage (fun () ->
                ignore (Pnrule.Multiclass.predict_all mc_model kdd_test)));
+        (* Streaming loader: two full decode passes over a 200k-row file. *)
+        Test.make ~name:"ingest-200k"
+          (Staged.stage (fun () -> ignore (Pn_data.Csv_io.load csv200)));
+        (* The whole serving pipeline: stream the file in, score it in
+           8k-row chunks through the compiled engine, stream predictions
+           out. Compare against pnrule-score-200k for the decode+IO tax. *)
+        Test.make ~name:"predict-e2e-200k"
+          (Staged.stage (fun () ->
+               let null = open_out "/dev/null" in
+               Fun.protect
+                 ~finally:(fun () -> close_out null)
+                 (fun () ->
+                   ignore
+                     (Pnrule.Serve.predict_csv ~model:pn_model ~input:csv200
+                        ~output:null ()))));
       ]
   in
+  Sys.remove csv200;
   let estimates = batch1 @ batch2 in
   match !json_file with
   | Some path -> write_json ~path ~scale estimates

@@ -26,13 +26,35 @@ let class_column_arg =
     & info [ "class-column" ] ~docv:"NAME"
         ~doc:"CSV column holding the class label (default: last column).")
 
+let policy_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("strict", Pn_data.Ingest_report.Strict);
+             ("skip", Pn_data.Ingest_report.Skip);
+             ("impute", Pn_data.Ingest_report.Impute) ])
+        Pn_data.Ingest_report.Strict
+    & info [ "on-error" ] ~docv:"POLICY"
+        ~doc:
+          "What to do with rows that fail to decode: $(b,strict) aborts \
+           (default), $(b,skip) drops and counts them, $(b,impute) fills \
+           missing values with the column median/majority and drops only \
+           structurally bad rows.")
+
 (* Dispatch on file extension: .arff loads as ARFF, anything else as
-   CSV. *)
-let load_csv ?class_column path =
+   CSV. Under skip/impute the ingest accounting goes to stderr. *)
+let load_csv ?class_column ?(policy = Pn_data.Ingest_report.Strict) path =
   try
-    if Filename.check_suffix (String.lowercase_ascii path) ".arff" then
-      Pn_data.Arff_io.load ?class_attribute:class_column path
-    else Pn_data.Csv_io.load ?class_column path
+    let ds, report =
+      if Filename.check_suffix (String.lowercase_ascii path) ".arff" then
+        Pn_data.Arff_io.load_with_report ?class_attribute:class_column ~policy
+          path
+      else Pn_data.Csv_io.load_with_report ?class_column ~policy path
+    in
+    if policy <> Pn_data.Ingest_report.Strict then
+      Format.eprintf "%s: %a@." path Pn_data.Ingest_report.pp report;
+    ds
   with
   | Pn_data.Csv_io.Parse_error msg | Pn_data.Arff_io.Parse_error msg ->
     Printf.eprintf "error: cannot parse %s: %s\n" path msg;
@@ -113,9 +135,9 @@ let spec_of_method meth stratified params =
 (* ------------------------------------------------------------------ *)
 
 let train_cmd =
-  let run verbose data class_column target rp rn p1 metric out =
+  let run verbose data class_column policy target rp rn p1 metric out =
     setup_logs verbose;
-    let ds = load_csv ?class_column data in
+    let ds = load_csv ?class_column ~policy data in
     let target = resolve_target ds target in
     let params = pnrule_params rp rn p1 metric in
     let model, stats = Pnrule.Learner.train_with_stats ~params ds ~target in
@@ -141,15 +163,15 @@ let train_cmd =
   Cmd.v
     (Cmd.info "train" ~doc:"Train a PNrule model on a CSV dataset and print it.")
     Term.(
-      const run $ verbose_arg $ data $ class_column_arg $ target_arg $ rp_arg
-      $ rn_arg $ p1_arg $ metric_arg $ out)
+      const run $ verbose_arg $ data $ class_column_arg $ policy_arg
+      $ target_arg $ rp_arg $ rn_arg $ p1_arg $ metric_arg $ out)
 
 (* ------------------------------------------------------------------ *)
 (* predict                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let predict_cmd =
-  let run model_file data class_column scores =
+  let run model_file data class_column scores policy chunk out =
     let model =
       try Pnrule.Serialize.load model_file with
       | Pnrule.Serialize.Corrupt msg ->
@@ -159,28 +181,43 @@ let predict_cmd =
         Printf.eprintf "error: %s\n" msg;
         exit 1
     in
-    let ds = load_csv ?class_column data in
-    (* The CSV must be schema-compatible with the model. *)
-    if ds.Pn_data.Dataset.attrs <> model.Pnrule.Model.attrs then begin
-      Printf.eprintf "error: %s's schema differs from the model's\n" data;
-      exit 1
-    end;
-    let has_labels = ds.Pn_data.Dataset.classes = model.Pnrule.Model.classes in
-    for i = 0 to Pn_data.Dataset.n_records ds - 1 do
-      if scores then Printf.printf "%.4f\n" (Pnrule.Model.score model ds i)
-      else
-        print_endline
-          (if Pnrule.Model.predict model ds i then
-             model.Pnrule.Model.classes.(model.Pnrule.Model.target)
-           else "not-" ^ model.Pnrule.Model.classes.(model.Pnrule.Model.target))
-    done;
-    if has_labels then begin
-      let cm = Pnrule.Model.evaluate model ds in
+    let predict output =
+      Pnrule.Serve.predict_csv ~policy ~chunk_size:chunk ?class_column ~scores
+        ~model ~input:data ~output ()
+    in
+    let report =
+      try
+        match out with
+        | None -> predict stdout
+        | Some path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> predict oc)
+      with
+      | Pnrule.Serve.Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+      | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    Format.eprintf "%s: %a@." data Pn_data.Ingest_report.pp report.Pnrule.Serve.ingest;
+    Printf.eprintf "%d predictions in %d chunk%s, %.2fs (%.0f rows/s)\n"
+      report.Pnrule.Serve.rows_out report.Pnrule.Serve.chunks
+      (if report.Pnrule.Serve.chunks = 1 then "" else "s")
+      report.Pnrule.Serve.seconds
+      (if report.Pnrule.Serve.seconds > 0.0 then
+         float_of_int report.Pnrule.Serve.rows_out /. report.Pnrule.Serve.seconds
+       else 0.0);
+    if report.Pnrule.Serve.unknown_labels > 0 then
+      Printf.eprintf "%d rows had labels outside the model's class table\n"
+        report.Pnrule.Serve.unknown_labels;
+    match report.Pnrule.Serve.confusion with
+    | Some cm ->
       Printf.eprintf "recall=%.4f precision=%.4f F=%.4f\n"
         (Pn_metrics.Confusion.recall cm)
         (Pn_metrics.Confusion.precision cm)
         (Pn_metrics.Confusion.f_measure cm)
-    end
+    | None -> ()
   in
   let model_file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL.pn")
@@ -191,24 +228,42 @@ let predict_cmd =
   let scores =
     Arg.(
       value & flag
-      & info [ "scores" ] ~doc:"Print probability-like scores instead of labels.")
+      & info [ "scores" ]
+          ~doc:"Add a $(b,score) column with the probability-like score.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 8192
+      & info [ "chunk" ] ~docv:"ROWS"
+          ~doc:"Rows decoded and scored per batch; bounds resident memory.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write predictions to this file instead of stdout.")
   in
   Cmd.v
     (Cmd.info "predict"
        ~doc:
-         "Classify a CSV with a saved model (one line per record on stdout; \
-          metrics on stderr when the data is labeled).")
-    Term.(const run $ model_file $ data $ class_column_arg $ scores)
+         "Stream a CSV through a saved model in fixed-size chunks, writing a \
+          predictions CSV (ingest accounting and metrics on stderr). The \
+          input is validated against the model's schema by column name, so \
+          column order may differ and extra columns are ignored.")
+    Term.(
+      const run $ model_file $ data $ class_column_arg $ scores $ policy_arg
+      $ chunk $ out)
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run verbose train_file test_file class_column target meth stratified rp rn p1 metric =
+  let run verbose train_file test_file class_column policy target meth stratified rp rn p1 metric =
     setup_logs verbose;
-    let train = load_csv ?class_column train_file in
-    let test = load_csv ?class_column test_file in
+    let train = load_csv ?class_column ~policy train_file in
+    let test = load_csv ?class_column ~policy test_file in
     let target = resolve_target train target in
     let params = pnrule_params rp rn p1 metric in
     let spec = spec_of_method meth stratified params in
@@ -227,8 +282,8 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Train on one CSV, evaluate on another.")
     Term.(
       const run $ verbose_arg $ train_file $ test_file $ class_column_arg
-      $ target_arg $ method_arg $ stratified_arg $ rp_arg $ rn_arg $ p1_arg
-      $ metric_arg)
+      $ policy_arg $ target_arg $ method_arg $ stratified_arg $ rp_arg
+      $ rn_arg $ p1_arg $ metric_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                  *)
@@ -285,8 +340,8 @@ let gen_cmd =
 (* ------------------------------------------------------------------ *)
 
 let inspect_cmd =
-  let run data class_column =
-    let ds = load_csv ?class_column data in
+  let run data class_column policy =
+    let ds = load_csv ?class_column ~policy data in
     Format.printf "%a@." Pn_data.Summary.pp ds
   in
   let data =
@@ -294,7 +349,7 @@ let inspect_cmd =
   in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Print a dataset's schema and class balance.")
-    Term.(const run $ data $ class_column_arg)
+    Term.(const run $ data $ class_column_arg $ policy_arg)
 
 let () =
   let doc = "two-phase rule induction for rare classes (PNrule)" in

@@ -79,14 +79,19 @@ let tokenize s =
     let c = s.[!i] in
     if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
     else if c = '"' then begin
-      (* Scan to the closing unescaped quote. *)
+      (* Scan to the closing unescaped quote. A backslash escapes the
+         character after it, so "a\\" (the two-character value [a\])
+         closes at its final quote — checking only the preceding
+         character would misread the escaped backslash as escaping the
+         quote and overrun the literal. *)
       let j = ref (!i + 1) in
-      while
-        !j < n && not (s.[!j] = '"' && s.[!j - 1] <> '\\')
-      do
-        incr j
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        if s.[!j] = '\\' then j := !j + 2
+        else if s.[!j] = '"' then closed := true
+        else incr j
       done;
-      if !j >= n then fail "unterminated string literal";
+      if not !closed then fail "unterminated string literal";
       let literal = String.sub s !i (!j - !i + 1) in
       let value = Scanf.sscanf literal "%S" Fun.id in
       tokens := value :: !tokens;

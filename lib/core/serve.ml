@@ -1,0 +1,280 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type report = {
+  ingest : Pn_data.Ingest_report.t;
+  chunks : int;
+  rows_out : int;
+  unknown_labels : int;
+  seconds : float;
+  confusion : Pn_metrics.Confusion.t option;
+}
+
+(* Per-attribute chunk column storage, preallocated once and reused. *)
+type store =
+  | Snum of float array
+  | Scat of int array
+
+exception Row_drop of string
+
+let median sorted =
+  let m = Array.length sorted in
+  if m land 1 = 1 then sorted.(m / 2)
+  else (sorted.((m / 2) - 1) +. sorted.(m / 2)) /. 2.0
+
+let predict_csv ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
+    ?class_column ?(scores = false) ?pool ~(model : Model.t) ~input ~output () =
+  if chunk_size <= 0 then invalid_arg "Serve.predict_csv: chunk_size";
+  let t0 = Unix.gettimeofday () in
+  let attrs = model.Model.attrs in
+  let n_attrs = Array.length attrs in
+  (* O(1) categorical decoding. *)
+  let cat_tables =
+    Array.map
+      (fun (a : Pn_data.Attribute.t) ->
+        match a.kind with
+        | Pn_data.Attribute.Numeric -> None
+        | Pn_data.Attribute.Categorical values ->
+          let tbl = Hashtbl.create (2 * Array.length values) in
+          Array.iteri (fun code v -> if not (Hashtbl.mem tbl v) then Hashtbl.add tbl v code) values;
+          Some tbl)
+      attrs
+  in
+  let class_table = Hashtbl.create 8 in
+  Array.iteri
+    (fun code c -> if not (Hashtbl.mem class_table c) then Hashtbl.add class_table c code)
+    model.Model.classes;
+  let ingest = Pn_data.Ingest_report.create () in
+  (* Header-dependent state, set when the first row arrives. *)
+  let mapping = ref [||] in
+  let n_header = ref 0 in
+  let class_idx = ref None in
+  (* Chunk state. *)
+  let stores =
+    Array.map
+      (fun (a : Pn_data.Attribute.t) ->
+        match a.kind with
+        | Pn_data.Attribute.Numeric -> Snum (Array.make chunk_size 0.0)
+        | Pn_data.Attribute.Categorical _ -> Scat (Array.make chunk_size 0))
+      attrs
+  in
+  (* Positions imputation must patch, per attribute, chunk-local. *)
+  let misses = Array.make n_attrs [] in
+  let actuals = Array.make chunk_size (-1) in
+  let fill = ref 0 in
+  let chunks = ref 0 in
+  let rows_out = ref 0 in
+  let unknown_labels = ref 0 in
+  let confusion = ref Pn_metrics.Confusion.zero in
+  let target_name = model.Model.classes.(model.Model.target) in
+  let negative_name = "not-" ^ target_name in
+  let resolve_header names =
+    (match Model.resolve_header model names with
+    | Ok m -> mapping := m
+    | Error msg -> fail "schema mismatch: %s" msg);
+    n_header := Array.length names;
+    let col =
+      match class_column with
+      | Some name -> (
+        match Array.find_index (String.equal name) names with
+        | Some j -> Some j
+        | None -> fail "class column %S not found" name)
+      | None -> Array.find_index (String.equal "class") names
+    in
+    (* A column the model claims as a feature cannot double as labels. *)
+    (class_idx :=
+       match col with
+       | Some j when class_column = None && Array.exists (( = ) j) !mapping -> None
+       | other -> other);
+    output_string output (if scores then "prediction,score\n" else "prediction\n")
+  in
+  let flush_chunk () =
+    if !fill > 0 then begin
+      let n = !fill in
+      (* Chunk-local imputation. *)
+      Array.iteri
+        (fun k miss ->
+          match miss with
+          | [] -> ()
+          | miss ->
+            let missing = Array.make n false in
+            List.iter (fun i -> missing.(i) <- true) miss;
+            (match stores.(k) with
+            | Snum col ->
+              let present = ref [] in
+              for i = 0 to n - 1 do
+                if (not missing.(i)) && not (Float.is_nan col.(i)) then
+                  present := col.(i) :: !present
+              done;
+              let m =
+                match !present with
+                | [] -> 0.0 (* no usable value in this chunk *)
+                | l ->
+                  let a = Array.of_list l in
+                  Array.sort Float.compare a;
+                  median a
+              in
+              List.iter
+                (fun i ->
+                  col.(i) <- m;
+                  Pn_data.Ingest_report.cell_imputed ingest)
+                miss
+            | Scat col ->
+              let arity = Pn_data.Attribute.arity attrs.(k) in
+              let counts = Array.make arity 0 in
+              for i = 0 to n - 1 do
+                if not missing.(i) then counts.(col.(i)) <- counts.(col.(i)) + 1
+              done;
+              let majority = ref 0 in
+              Array.iteri (fun v c -> if c > counts.(!majority) then majority := v) counts;
+              List.iter
+                (fun i ->
+                  col.(i) <- !majority;
+                  Pn_data.Ingest_report.cell_imputed ingest)
+                miss);
+            misses.(k) <- [])
+        misses;
+      let columns =
+        Array.map
+          (function
+            | Snum col -> Pn_data.Dataset.Num (Array.sub col 0 n)
+            | Scat col -> Pn_data.Dataset.Cat (Array.sub col 0 n))
+          stores
+      in
+      let ds =
+        Pn_data.Dataset.create ~attrs ~columns ~labels:(Array.make n 0)
+          ~classes:model.Model.classes ()
+      in
+      let predicted = Model.predict_all ?pool model ds in
+      let score_v = if scores then Some (Model.score_all ?pool model ds) else None in
+      for i = 0 to n - 1 do
+        let name = if predicted.(i) then target_name else negative_name in
+        (match score_v with
+        | Some s ->
+          output_string output (Pn_data.Csv_io.escape name);
+          output_char output ',';
+          output_string output (Printf.sprintf "%.6g" s.(i))
+        | None -> output_string output (Pn_data.Csv_io.escape name));
+        output_char output '\n';
+        incr rows_out;
+        if actuals.(i) >= 0 then
+          confusion :=
+            Pn_metrics.Confusion.add !confusion
+              ~actual:(actuals.(i) = model.Model.target)
+              ~predicted:predicted.(i) ~weight:1.0
+      done;
+      incr chunks;
+      fill := 0
+    end
+  in
+  let data_row ~line cells =
+    Pn_data.Ingest_report.row_read ingest;
+    let drop msg =
+      match policy with
+      | Pn_data.Ingest_report.Strict -> fail "line %d: %s" line msg
+      | Pn_data.Ingest_report.Skip | Pn_data.Ingest_report.Impute ->
+        Pn_data.Ingest_report.row_skipped ingest ~line msg
+    in
+    match
+      if Array.length cells <> !n_header then
+        raise
+          (Row_drop
+             (Printf.sprintf "row has %d fields, header has %d" (Array.length cells)
+                !n_header));
+      let k = !fill in
+      (* All writes target index [k]; a dropped row simply never
+         increments [fill], so partial writes are overwritten. *)
+      let row_misses = ref [] in
+      Array.iteri
+        (fun a j ->
+          let cell = String.trim cells.(j) in
+          let missing = cell = "" || cell = "?" in
+          let impute_at () =
+            match policy with
+            | Pn_data.Ingest_report.Impute -> row_misses := a :: !row_misses
+            | Pn_data.Ingest_report.Strict | Pn_data.Ingest_report.Skip ->
+              raise
+                (Row_drop
+                   (Printf.sprintf "missing value in column %S" attrs.(a).Pn_data.Attribute.name))
+          in
+          match stores.(a) with
+          | Snum col ->
+            if missing then impute_at ()
+            else (
+              match float_of_string_opt cell with
+              | Some v -> col.(k) <- v
+              | None ->
+                raise
+                  (Row_drop
+                     (Printf.sprintf "non-numeric cell %S in column %S" cell
+                        attrs.(a).Pn_data.Attribute.name)))
+          | Scat col -> (
+            if missing then impute_at ()
+            else
+              match Hashtbl.find_opt (Option.get cat_tables.(a)) cell with
+              | Some code -> col.(k) <- code
+              | None -> (
+                match policy with
+                | Pn_data.Ingest_report.Impute ->
+                  (* a category the model has never seen: impute *)
+                  row_misses := a :: !row_misses
+                | Pn_data.Ingest_report.Strict | Pn_data.Ingest_report.Skip ->
+                  raise
+                    (Row_drop
+                       (Printf.sprintf "value %S not known to the model in column %S"
+                          cell attrs.(a).Pn_data.Attribute.name)))))
+        !mapping;
+      !row_misses
+    with
+    | exception Row_drop msg -> drop msg
+    | row_misses ->
+      Pn_data.Ingest_report.row_kept ingest;
+      let k = !fill in
+      (* Labels are metrics-only: unknown or missing labels never fail
+         the feed. *)
+      actuals.(k) <-
+        (match !class_idx with
+        | None -> -1
+        | Some j -> (
+          let cell = String.trim cells.(j) in
+          if cell = "" || cell = "?" then -1
+          else
+            match Hashtbl.find_opt class_table cell with
+            | Some code -> code
+            | None ->
+              incr unknown_labels;
+              -1));
+      List.iter (fun a -> misses.(a) <- k :: misses.(a)) row_misses;
+      incr fill;
+      if !fill = chunk_size then flush_chunk ()
+  in
+  let ic = open_in_bin input in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      Pn_data.Stream.fold_csv (Pn_data.Stream.of_channel ic) ~init:() ~f:(fun () ~line result ->
+          if !n_header = 0 then
+            match result with
+            | Error msg -> fail "header: %s" msg
+            | Ok names -> resolve_header names
+          else
+            match result with
+            | Error msg ->
+              Pn_data.Ingest_report.row_read ingest;
+              (match policy with
+              | Pn_data.Ingest_report.Strict -> fail "line %d: %s" line msg
+              | Pn_data.Ingest_report.Skip | Pn_data.Ingest_report.Impute ->
+                Pn_data.Ingest_report.row_skipped ingest ~line msg)
+            | Ok cells -> data_row ~line cells));
+  if !n_header = 0 then fail "empty input";
+  flush_chunk ();
+  flush output;
+  {
+    ingest;
+    chunks = !chunks;
+    rows_out = !rows_out;
+    unknown_labels = !unknown_labels;
+    seconds = Unix.gettimeofday () -. t0;
+    confusion = (if !class_idx <> None then Some !confusion else None);
+  }

@@ -1,0 +1,57 @@
+(** Streaming batch prediction: the end-to-end serving pipeline.
+
+    [predict_csv] pulls a CSV feed through the {!Pn_data.Stream} decoder
+    in fixed-size chunks, validates each chunk against the saved model's
+    schema ({!Model.resolve_header} on the header, per-cell kind checks on
+    the rows), scores it through the compiled bitset engine and streams a
+    predictions CSV out — the full dataset is never materialized, so
+    resident memory is bounded by the chunk size, not the feed.
+
+    Row handling follows the ingestion {!Pn_data.Ingest_report.policy}:
+    - [Strict]: any undecodable row (malformed CSV, wrong arity, missing
+      value, categorical value the model has never seen) raises {!Error};
+    - [Skip]: such rows are dropped and counted — no prediction line is
+      emitted for them;
+    - [Impute]: missing cells ("?" or empty) and unseen categorical
+      values are filled with the {e chunk-local} median / majority value
+      (serving sees data one chunk at a time, so imputation statistics
+      are per chunk by design; a chunk with no usable value for a column
+      falls back to 0 / the first categorical value). Structurally bad
+      rows are still dropped as under [Skip].
+
+    Labels are metrics-only: when a class column is present (explicit
+    [~class_column], or a header column named "class" that the model does
+    not claim as a feature), rows whose label matches the model's class
+    table feed a running confusion matrix; unknown or missing labels are
+    counted but never fail the feed. *)
+
+exception Error of string
+
+type report = {
+  ingest : Pn_data.Ingest_report.t;
+  chunks : int;  (** number of scored chunks *)
+  rows_out : int;  (** prediction lines written *)
+  unknown_labels : int;
+      (** rows whose class cell did not name a model class *)
+  seconds : float;  (** wall-clock time for the whole pipeline *)
+  confusion : Pn_metrics.Confusion.t option;
+      (** running test metrics, when a usable class column exists *)
+}
+
+(** [predict_csv ~model ~input ~output ()] streams file [input] through
+    [model] and writes one CSV line per surviving row to [output]
+    (header [prediction], plus a [score] column with [~scores:true]).
+    [chunk_size] rows are decoded and scored at a time (default 8192).
+    Raises {!Error} on a schema mismatch or, under [Strict], on the
+    first bad row; [Sys_error] on IO failure. *)
+val predict_csv :
+  ?policy:Pn_data.Ingest_report.policy ->
+  ?chunk_size:int ->
+  ?class_column:string ->
+  ?scores:bool ->
+  ?pool:Pn_util.Pool.t ->
+  model:Model.t ->
+  input:string ->
+  output:out_channel ->
+  unit ->
+  report

@@ -58,97 +58,246 @@ let parse_attribute_decl rest =
     | other -> fail "unsupported attribute type %S for %S" other name
   end
 
-let parse_string ?class_attribute text =
-  let lines = String.split_on_char '\n' text in
+(* ------------------------------------------------------------------ *)
+(* Streaming parse                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Growable column stores for the single-pass build: the number of
+   surviving rows is unknown until end of input. *)
+type 'a grow = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let grow dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+let push g x =
+  if g.len = Array.length g.data then begin
+    let d = Array.make (2 * g.len) g.dummy in
+    Array.blit g.data 0 d 0 g.len;
+    g.data <- d
+  end;
+  g.data.(g.len) <- x;
+  g.len <- g.len + 1
+
+let to_array g = Array.sub g.data 0 g.len
+
+type store =
+  | Gnum of float grow * int grow  (* values; indices of missing cells *)
+  | Gcat of int grow  (* value codes; -1 marks a missing cell *)
+
+(* Frozen schema, built when the @data directive is reached. *)
+type schema = {
+  decls : decl array;
+  class_col : int;
+  classes : string array;
+  data_cols : int array;
+  stores : store array;  (* per data column, in [data_cols] order *)
+  labels : int grow;
+}
+
+exception Row_error of string
+
+let median sorted =
+  let m = Array.length sorted in
+  if m land 1 = 1 then sorted.(m / 2)
+  else (sorted.((m / 2) - 1) +. sorted.(m / 2)) /. 2.0
+
+let parse_source ?class_attribute ~(policy : Ingest_report.policy) source =
+  let report = Ingest_report.create () in
   let decls = ref [] in
-  let data = ref [] in
-  let in_data = ref false in
-  List.iter
-    (fun raw ->
-      let line = String.trim (strip_comment raw) in
-      if line <> "" then begin
-        let lower = String.lowercase_ascii line in
-        if String.length lower >= 9 && String.sub lower 0 9 = "@relation" then ()
-        else if String.length lower >= 10 && String.sub lower 0 10 = "@attribute" then
-          decls := parse_attribute_decl (String.sub line 10 (String.length line - 10)) :: !decls
-        else if lower = "@data" then in_data := true
-        else if String.length lower >= 1 && lower.[0] = '@' then
-          fail "unsupported directive: %S" line
-        else if !in_data then data := line :: !data
-        else fail "data before @data: %S" line
-      end)
-    lines;
-  let decls = Array.of_list (List.rev !decls) in
-  let rows = Array.of_list (List.rev !data) in
-  if Array.length decls < 2 then fail "need at least one attribute and a class";
-  if Array.length rows = 0 then fail "no data rows";
-  let decl_name = function
-    | Dnumeric n | Dnominal (n, _) -> n
-  in
-  let class_col =
-    match class_attribute with
-    | None -> Array.length decls - 1
-    | Some name -> (
-      match Array.find_index (fun d -> String.equal (decl_name d) name) decls with
-      | Some i -> i
-      | None -> fail "class attribute %S not declared" name)
-  in
-  let classes =
-    match decls.(class_col) with
-    | Dnominal (_, values) -> values
-    | Dnumeric n -> fail "class attribute %S must be nominal" n
+  let schema = ref None in
+  let freeze () =
+    let decls = Array.of_list (List.rev !decls) in
+    if Array.length decls < 2 then fail "need at least one attribute and a class";
+    let decl_name = function
+      | Dnumeric n | Dnominal (n, _) -> n
+    in
+    let class_col =
+      match class_attribute with
+      | None -> Array.length decls - 1
+      | Some name -> (
+        match Array.find_index (fun d -> String.equal (decl_name d) name) decls with
+        | Some i -> i
+        | None -> fail "class attribute %S not declared" name)
+    in
+    let classes =
+      match decls.(class_col) with
+      | Dnominal (_, values) -> values
+      | Dnumeric n -> fail "class attribute %S must be nominal" n
+    in
+    let data_cols =
+      Array.of_list
+        (List.filter (fun j -> j <> class_col)
+           (List.init (Array.length decls) Fun.id))
+    in
+    let stores =
+      Array.map
+        (fun j ->
+          match decls.(j) with
+          | Dnumeric _ -> Gnum (grow 0.0, grow 0)
+          | Dnominal _ -> Gcat (grow 0))
+        data_cols
+    in
+    { decls; class_col; classes; data_cols; stores; labels = grow 0 }
   in
   let nominal_code values cell name =
     match Array.find_index (String.equal cell) values with
     | Some i -> i
-    | None -> fail "value %S not in the nominal set of %S" cell name
+    | None ->
+      raise (Row_error (Printf.sprintf "value %S not in the nominal set of %S" cell name))
   in
-  let n = Array.length rows in
-  let parsed =
-    Array.map
-      (fun row ->
-        let cells = Array.of_list (List.map unquote (String.split_on_char ',' row)) in
-        if Array.length cells <> Array.length decls then
-          fail "row has %d fields, expected %d: %S" (Array.length cells)
-            (Array.length decls) row;
-        Array.iter (fun c -> if c = "?" then fail "missing values (?) unsupported") cells;
-        cells)
-      rows
+  let data_row sc ~line row =
+    Ingest_report.row_read report;
+    let drop msg =
+      match policy with
+      | Ingest_report.Strict -> fail "line %d: %s" line msg
+      | Ingest_report.Skip | Ingest_report.Impute ->
+        Ingest_report.row_skipped report ~line msg
+    in
+    match
+      let cells = Array.of_list (List.map unquote (String.split_on_char ',' row)) in
+      if Array.length cells <> Array.length sc.decls then
+        raise
+          (Row_error
+             (Printf.sprintf "row has %d fields, expected %d: %S" (Array.length cells)
+                (Array.length sc.decls) row));
+      (* Decode the whole row before touching the stores, so a bad cell
+         cannot leave a half-appended record behind. *)
+      let label =
+        let cell = cells.(sc.class_col) in
+        if cell = "?" then raise (Row_error "missing class label (?)")
+        else nominal_code sc.classes cell "class"
+      in
+      let decoded =
+        Array.map
+          (fun j ->
+            let cell = cells.(j) in
+            if cell = "?" then begin
+              if policy <> Ingest_report.Impute then
+                raise (Row_error "missing value (?)");
+              `Missing
+            end
+            else
+              match sc.decls.(j) with
+              | Dnumeric name -> (
+                match float_of_string_opt cell with
+                | Some v -> `Num v
+                | None ->
+                  raise
+                    (Row_error (Printf.sprintf "non-numeric cell %S in %S" cell name)))
+              | Dnominal (name, values) -> `Cat (nominal_code values cell name))
+          sc.data_cols
+      in
+      (label, decoded)
+    with
+    | exception Row_error msg -> drop msg
+    | label, decoded ->
+      Ingest_report.row_kept report;
+      push sc.labels label;
+      Array.iteri
+        (fun k cell ->
+          match (sc.stores.(k), cell) with
+          | Gnum (col, _), `Num v -> push col v
+          | Gnum (col, miss), `Missing ->
+            push miss col.len;
+            push col 0.0
+          | Gcat col, `Cat v -> push col v
+          | Gcat col, `Missing -> push col (-1)
+          | Gnum _, `Cat _ | Gcat _, `Num _ -> assert false)
+        decoded
   in
-  let labels =
-    Array.map (fun cells -> nominal_code classes cells.(class_col) "class") parsed
+  Stream.fold_lines source ~init:() ~f:(fun () ~line raw ->
+      let text = String.trim (strip_comment raw) in
+      if text <> "" then begin
+        let lower = String.lowercase_ascii text in
+        match !schema with
+        | Some sc -> data_row sc ~line text
+        | None ->
+          if String.length lower >= 9 && String.sub lower 0 9 = "@relation" then ()
+          else if String.length lower >= 10 && String.sub lower 0 10 = "@attribute" then
+            decls := parse_attribute_decl (String.sub text 10 (String.length text - 10)) :: !decls
+          else if lower = "@data" then schema := Some (freeze ())
+          else if String.length lower >= 1 && lower.[0] = '@' then
+            fail "unsupported directive: %S" text
+          else fail "data before @data: %S" text
+      end);
+  let sc =
+    match !schema with
+    | Some sc -> sc
+    | None -> freeze () (* surfaces the schema errors before "no data rows" *)
   in
-  let data_cols =
-    Array.of_list
-      (List.filter (fun j -> j <> class_col) (Array.to_list (Pn_util.Arr.range (Array.length decls))))
-  in
+  let n = sc.labels.len in
+  if n = 0 then fail "no data rows";
   let attrs_and_columns =
-    Array.map
-      (fun j ->
-        match decls.(j) with
-        | Dnumeric name ->
-          let col =
-            Array.init n (fun i ->
-                match float_of_string_opt parsed.(i).(j) with
-                | Some v -> v
-                | None -> fail "non-numeric cell %S in %S" parsed.(i).(j) name)
-          in
+    Array.mapi
+      (fun k j ->
+        let decl = sc.decls.(j) in
+        match (sc.stores.(k), decl) with
+        | Gnum (colg, missg), Dnumeric name ->
+          let col = to_array colg in
+          let miss = to_array missg in
+          if Array.length miss > 0 then begin
+            let is_missing = Array.make n false in
+            Array.iter (fun i -> is_missing.(i) <- true) miss;
+            let present = ref [] in
+            Array.iteri (fun i v -> if not is_missing.(i) then present := v :: !present) col;
+            let present = Array.of_list !present in
+            if Array.length present = 0 then
+              fail "column %S has only missing values" name;
+            Array.sort Float.compare present;
+            let m = median present in
+            Array.iter
+              (fun i ->
+                col.(i) <- m;
+                Ingest_report.cell_imputed report)
+              miss
+          end;
           (Attribute.numeric name, Dataset.Num col)
-        | Dnominal (name, values) ->
-          let col = Array.init n (fun i -> nominal_code values parsed.(i).(j) name) in
-          (Attribute.categorical name values, Dataset.Cat col))
-      data_cols
+        | Gcat colg, Dnominal (name, values) ->
+          let col = to_array colg in
+          if Array.exists (fun c -> c < 0) col then begin
+            let counts = Array.make (Array.length values) 0 in
+            Array.iter (fun c -> if c >= 0 then counts.(c) <- counts.(c) + 1) col;
+            let majority = ref 0 in
+            Array.iteri (fun v c -> if c > counts.(!majority) then majority := v) counts;
+            if counts.(!majority) = 0 then
+              fail "column %S has only missing values" name;
+            Array.iteri
+              (fun i c ->
+                if c < 0 then begin
+                  col.(i) <- !majority;
+                  Ingest_report.cell_imputed report
+                end)
+              col
+          end;
+          (Attribute.categorical name values, Dataset.Cat col)
+        | Gnum _, Dnominal _ | Gcat _, Dnumeric _ -> assert false)
+      sc.data_cols
   in
-  Dataset.create
-    ~attrs:(Array.map fst attrs_and_columns)
-    ~columns:(Array.map snd attrs_and_columns)
-    ~labels ~classes ()
+  let ds =
+    Dataset.create
+      ~attrs:(Array.map fst attrs_and_columns)
+      ~columns:(Array.map snd attrs_and_columns)
+      ~labels:(to_array sc.labels) ~classes:sc.classes ()
+  in
+  (ds, report)
 
-let load ?class_attribute path =
-  let ic = open_in path in
+let parse_string_with_report ?class_attribute ?(policy = Ingest_report.Strict) text =
+  parse_source ?class_attribute ~policy (Stream.of_string text)
+
+let parse_string ?class_attribute ?policy text =
+  fst (parse_string_with_report ?class_attribute ?policy text)
+
+let load_with_report ?class_attribute ?(policy = Ingest_report.Strict) path =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> parse_string ?class_attribute (In_channel.input_all ic))
+    (fun () -> parse_source ?class_attribute ~policy (Stream.of_channel ic))
+
+let load ?class_attribute ?policy path =
+  fst (load_with_report ?class_attribute ?policy path)
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                              *)
+(* ------------------------------------------------------------------ *)
 
 let quote_if_needed s =
   if String.exists (fun c -> c = ' ' || c = ',' || c = '\'') s then

@@ -33,6 +33,12 @@ let add_row ?(weight = 1.0) t cells ~label =
 
 let length t = t.count
 
+let clear t =
+  t.rows <- [];
+  t.labels <- [];
+  t.weights <- [];
+  t.count <- 0
+
 let to_dataset t =
   let n = t.count in
   let rows = Array.of_list (List.rev t.rows) in

@@ -17,5 +17,9 @@ val add_row : ?weight:float -> t -> cell array -> label:int -> unit
 
 val length : t -> int
 
+(** [clear t] drops all rows but keeps the schema, so one builder can be
+    reused chunk after chunk by the streaming serving path. *)
+val clear : t -> unit
+
 (** [to_dataset t] freezes the rows into a columnar dataset. *)
 val to_dataset : t -> Dataset.t

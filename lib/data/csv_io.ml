@@ -2,154 +2,230 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
-(* Minimal CSV field splitting with double-quote escaping. *)
-let split_line line =
-  let fields = ref [] in
-  let buf = Buffer.create 16 in
-  let n = String.length line in
-  let rec plain i =
-    if i >= n then finish ()
-    else
-      match line.[i] with
-      | ',' ->
-        fields := Buffer.contents buf :: !fields;
-        Buffer.clear buf;
-        plain (i + 1)
-      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
-      | c ->
-        Buffer.add_char buf c;
-        plain (i + 1)
-  and quoted i =
-    if i >= n then fail "unterminated quoted field"
-    else
-      match line.[i] with
-      | '"' when i + 1 < n && line.[i + 1] = '"' ->
-        Buffer.add_char buf '"';
-        quoted (i + 2)
-      | '"' -> plain (i + 1)
-      | c ->
-        Buffer.add_char buf c;
-        quoted (i + 1)
-  and finish () =
-    fields := Buffer.contents buf :: !fields;
-    List.rev !fields
-  in
-  plain 0
-
+(* Numeric inference accepts only finite literals: columns of string IDs
+   like "nan", "inf" or "infinity" (or overflowing literals such as
+   1e400) must stay categorical. *)
 let is_float s =
   match float_of_string_opt (String.trim s) with
-  | Some _ -> true
+  | Some v -> Float.is_finite v
   | None -> false
 
-let parse_rows lines =
-  match lines with
-  | [] -> fail "empty input"
-  | header :: rows ->
-    let names = Array.of_list (split_line header) in
-    let rows =
-      List.filter_map
-        (fun line ->
-          if String.trim line = "" then None
-          else begin
-            let cells = Array.of_list (split_line line) in
-            if Array.length cells <> Array.length names then
-              fail "row has %d fields, header has %d" (Array.length cells)
-                (Array.length names);
-            Some cells
-          end)
-        rows
-    in
-    (names, Array.of_list rows)
+let resolve_class_col class_column names =
+  match class_column with
+  | None -> Array.length names - 1
+  | Some name -> (
+    match Array.find_index (String.equal name) names with
+    | Some i -> i
+    | None -> fail "class column %S not found" name)
 
-let build ?class_column names rows =
+(* A cell is "missing" for inference and imputation when it is empty
+   (the legacy loader already special-cased empty numeric cells), and
+   additionally when it is "?" under [Impute]. Under [Skip] a "?" never
+   reaches this predicate: the whole row is dropped up front. *)
+let missing ~policy cell =
+  let t = String.trim cell in
+  t = "" || (policy = Ingest_report.Impute && t = "?")
+
+(* One streaming pass: resolve the header, apply the row-level policy,
+   hand every surviving data row to [row]. [report] is only supplied on
+   the final pass so counters are not doubled. Returns
+   (header names, class column index). *)
+let stream_pass ?class_column ~(policy : Ingest_report.policy) ?report source ~row =
+  let header = ref None in
+  Stream.fold_csv source ~init:() ~f:(fun () ~line result ->
+      match !header with
+      | None -> (
+        match result with
+        | Error msg -> fail "header: %s" msg
+        | Ok names -> header := Some (names, resolve_class_col class_column names))
+      | Some (names, class_col) -> (
+        Option.iter Ingest_report.row_read report;
+        let drop msg =
+          match policy with
+          | Ingest_report.Strict -> fail "line %d: %s" line msg
+          | Ingest_report.Skip | Ingest_report.Impute ->
+            Option.iter (fun r -> Ingest_report.row_skipped r ~line msg) report
+        in
+        match result with
+        | Error msg -> drop msg
+        | Ok cells ->
+          if Array.length cells <> Array.length names then
+            drop
+              (Printf.sprintf "row has %d fields, header has %d"
+                 (Array.length cells) (Array.length names))
+          else if
+            policy = Ingest_report.Skip
+            && Array.exists (fun c -> String.trim c = "?") cells
+          then drop "missing value (?)"
+          else if
+            policy = Ingest_report.Impute
+            &&
+            let t = String.trim cells.(class_col) in
+            t = "" || t = "?"
+          then drop "missing class label"
+          else begin
+            Option.iter Ingest_report.row_kept report;
+            row cells
+          end));
+  match !header with
+  | None -> fail "empty input"
+  | Some h -> h
+
+let median sorted =
+  let m = Array.length sorted in
+  if m land 1 = 1 then sorted.(m / 2)
+  else (sorted.((m / 2) - 1) +. sorted.(m / 2)) /. 2.0
+
+(* Two streaming passes over [with_source]: a schema scan (column kind
+   inference, surviving-row count), then the build pass that fills
+   exact-size columns. Neither pass retains raw text beyond the
+   decoder's refill buffer. *)
+let build ?class_column ~policy ~with_source () =
+  let report = Ingest_report.create () in
+  (* Pass 1: schema scan. *)
+  let numeric_ok = ref [||] in
+  let has_value = ref [||] in
+  let kept = ref 0 in
+  let header = ref ([||], 0) in
+  with_source (fun source ->
+      header :=
+        stream_pass ?class_column ~policy source ~row:(fun cells ->
+            if Array.length !numeric_ok <> Array.length cells then begin
+              numeric_ok := Array.make (Array.length cells) true;
+              has_value := Array.make (Array.length cells) false
+            end;
+            incr kept;
+            Array.iteri
+              (fun j cell ->
+                if not (missing ~policy cell) then begin
+                  !has_value.(j) <- true;
+                  if not (is_float cell) then !numeric_ok.(j) <- false
+                end)
+              cells));
+  let names, class_col = !header in
   let n_cols = Array.length names in
   if n_cols = 0 then fail "no columns";
-  if Array.length rows = 0 then fail "no data rows";
-  let class_col =
-    match class_column with
-    | None -> n_cols - 1
-    | Some name -> (
-      match Array.find_index (String.equal name) names with
-      | Some i -> i
-      | None -> fail "class column %S not found" name)
-  in
-  let data_cols =
-    Array.of_list (List.filter (fun j -> j <> class_col) (Array.to_list (Pn_util.Arr.range n_cols)))
-  in
-  let n = Array.length rows in
-  (* Class table in first-seen order. *)
+  let n = !kept in
+  if n = 0 then fail "no data rows";
+  let numeric = Array.init n_cols (fun j -> !numeric_ok.(j) && !has_value.(j)) in
+  (* Pass 2: build exact-size columns. *)
   let class_table = Hashtbl.create 8 in
   let class_names = ref [] in
-  let intern_class s =
-    match Hashtbl.find_opt class_table s with
+  let intern table names_ref s =
+    match Hashtbl.find_opt table s with
     | Some i -> i
     | None ->
-      let i = Hashtbl.length class_table in
-      Hashtbl.add class_table s i;
-      class_names := s :: !class_names;
+      let i = Hashtbl.length table in
+      Hashtbl.add table s i;
+      names_ref := s :: !names_ref;
       i
   in
-  let labels = Array.map (fun row -> intern_class (String.trim row.(class_col))) rows in
+  let labels = Array.make n 0 in
+  let stores =
+    Array.init n_cols (fun j ->
+        if j = class_col then `Class
+        else if numeric.(j) then `Num (Array.make n 0.0)
+        else `Cat (Array.make n 0, Hashtbl.create 16, ref []))
+  in
+  let i = ref 0 in
+  with_source (fun source ->
+      ignore
+        (stream_pass ?class_column ~policy ~report source ~row:(fun cells ->
+             let k = !i in
+             incr i;
+             labels.(k) <- intern class_table class_names (String.trim cells.(class_col));
+             Array.iteri
+               (fun j cell ->
+                 match stores.(j) with
+                 | `Class -> ()
+                 | `Num col ->
+                   if missing ~policy cell then
+                     (* legacy: empty numeric cells read as 0; under
+                        Impute they become a median-patched placeholder *)
+                     col.(k) <-
+                       (if policy = Ingest_report.Impute then Float.nan else 0.0)
+                   else col.(k) <- float_of_string (String.trim cell)
+                 | `Cat (col, table, vals) ->
+                   if policy = Ingest_report.Impute && missing ~policy cell then
+                     col.(k) <- -1
+                   else col.(k) <- intern table vals (String.trim cell))
+               cells)));
+  (* Patch imputed placeholders and freeze the columns. *)
+  let data_cols =
+    Array.of_list (List.filter (fun j -> j <> class_col) (List.init n_cols Fun.id))
+  in
   let attrs_and_columns =
     Array.map
       (fun j ->
         let name = names.(j) in
-        let numeric =
-          Array.for_all (fun row -> String.trim row.(j) = "" || is_float row.(j)) rows
-          && Array.exists (fun row -> String.trim row.(j) <> "") rows
-        in
-        if numeric then begin
-          let col =
-            Array.map
-              (fun row ->
-                let cell = String.trim row.(j) in
-                if cell = "" then 0.0 else float_of_string cell)
-              rows
-          in
+        match stores.(j) with
+        | `Class -> assert false
+        | `Num col ->
+          if policy = Ingest_report.Impute && Array.exists Float.is_nan col then begin
+            let present = Array.of_list (List.filter (fun v -> not (Float.is_nan v)) (Array.to_list col)) in
+            Array.sort Float.compare present;
+            let m = median present in
+            Array.iteri
+              (fun k v ->
+                if Float.is_nan v then begin
+                  col.(k) <- m;
+                  Ingest_report.cell_imputed report
+                end)
+              col
+          end;
           (Attribute.numeric name, Dataset.Num col)
-        end
-        else begin
-          let table = Hashtbl.create 16 in
-          let values = ref [] in
-          let intern s =
-            match Hashtbl.find_opt table s with
-            | Some i -> i
-            | None ->
-              let i = Hashtbl.length table in
-              Hashtbl.add table s i;
-              values := s :: !values;
-              i
-          in
-          let col = Array.map (fun row -> intern (String.trim row.(j))) rows in
-          (Attribute.categorical name (Array.of_list (List.rev !values)), Dataset.Cat col)
-        end)
+        | `Cat (col, _, vals) ->
+          let values = Array.of_list (List.rev !vals) in
+          if Array.exists (fun c -> c < 0) col then begin
+            if Array.length values = 0 then
+              fail "column %S has only missing values" name;
+            let counts = Array.make (Array.length values) 0 in
+            Array.iter (fun c -> if c >= 0 then counts.(c) <- counts.(c) + 1) col;
+            let majority = ref 0 in
+            Array.iteri
+              (fun v c -> if c > counts.(!majority) then majority := v)
+              counts;
+            Array.iteri
+              (fun k c ->
+                if c < 0 then begin
+                  col.(k) <- !majority;
+                  Ingest_report.cell_imputed report
+                end)
+              col
+          end;
+          (Attribute.categorical name values, Dataset.Cat col))
       data_cols
   in
-  ignore n;
-  Dataset.create
-    ~attrs:(Array.map fst attrs_and_columns)
-    ~columns:(Array.map snd attrs_and_columns)
-    ~labels
-    ~classes:(Array.of_list (List.rev !class_names))
+  let ds =
+    Dataset.create
+      ~attrs:(Array.map fst attrs_and_columns)
+      ~columns:(Array.map snd attrs_and_columns)
+      ~labels
+      ~classes:(Array.of_list (List.rev !class_names))
+      ()
+  in
+  (ds, report)
+
+let parse_string_with_report ?class_column ?(policy = Ingest_report.Strict) s =
+  build ?class_column ~policy ~with_source:(fun k -> k (Stream.of_string s)) ()
+
+let parse_string ?class_column ?policy s =
+  fst (parse_string_with_report ?class_column ?policy s)
+
+let load_with_report ?class_column ?(policy = Ingest_report.Strict) ?buf_size path =
+  build ?class_column ~policy
+    ~with_source:(fun k ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> k (Stream.of_channel ?buf_size ic)))
     ()
 
-let parse_string ?class_column s =
-  let names, rows = parse_rows (String.split_on_char '\n' s) in
-  build ?class_column names rows
-
-let load ?class_column path =
-  let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> close_in ic);
-  let names, rows = parse_rows (List.rev !lines) in
-  build ?class_column names rows
+let load ?class_column ?policy ?buf_size path =
+  fst (load_with_report ?class_column ?policy ?buf_size path)
 
 let escape s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 

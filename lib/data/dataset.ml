@@ -180,6 +180,22 @@ let append a b =
 
 let binary_labels t ~target = Array.map (fun l -> l = target) t.labels
 
+let equal a b =
+  same_schema a b && a.n = b.n
+  && a.labels = b.labels
+  && a.weights = b.weights
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Num u, Num v ->
+           (* nan-tolerant cell comparison: a column is the same when
+              every cell has the same bit-level meaning *)
+           Array.length u = Array.length v
+           && Array.for_all2 (fun p q -> Float.compare p q = 0) u v
+         | Cat u, Cat v -> u = v
+         | Num _, Cat _ | Cat _, Num _ -> false)
+       a.columns b.columns
+
 let pp_summary ppf t =
   Format.fprintf ppf "@[<v>%d records, %d attributes@," t.n (n_attrs t);
   Array.iter (fun a -> Format.fprintf ppf "  %a@," Attribute.pp a) t.attrs;

@@ -109,5 +109,11 @@ val append : t -> t -> t
     target class. *)
 val binary_labels : t -> target:int -> bool array
 
+(** [equal a b] is structural equality of schema, classes, labels,
+    weights and cell contents (numeric cells compared with
+    [Float.compare], so equal nan patterns count as equal). Used by the
+    streaming-vs-in-memory loader equivalence tests. *)
+val equal : t -> t -> bool
+
 (** [pp_summary] prints the schema, per-class weights and record count. *)
 val pp_summary : Format.formatter -> t -> unit

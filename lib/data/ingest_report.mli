@@ -1,0 +1,50 @@
+(** Row-level error policies and ingestion accounting for the streaming
+    loaders ({!Csv_io}, {!Arff_io}) and the chunked serving path.
+
+    A loader parameterized by a {!policy} decides what happens to a data
+    row that cannot be decoded cleanly — wrong arity, malformed quoting,
+    a value outside a declared nominal set, or a missing cell ([?] in
+    ARFF, [?]/empty under imputation in CSV). Whatever the policy, the
+    loader fills in a report so callers can tell how much of the feed
+    actually made it into the dataset. *)
+
+type policy =
+  | Strict  (** any bad row raises [Parse_error] — the legacy behaviour *)
+  | Skip  (** bad rows are dropped and counted *)
+  | Impute
+      (** missing cells are filled with the column median (numeric) or
+          majority value (categorical); structurally bad rows — wrong
+          arity, malformed quoting, unknown nominal values, missing
+          class labels — are dropped and counted as under [Skip] *)
+
+val policy_name : policy -> string
+
+(** [policy_of_string s] parses ["strict"], ["skip"] or ["impute"]. *)
+val policy_of_string : string -> policy option
+
+type t = {
+  mutable rows_read : int;  (** data rows seen (header and blank lines excluded) *)
+  mutable rows_kept : int;  (** rows that made it into the dataset *)
+  mutable rows_skipped : int;  (** rows dropped by [Skip]/[Impute] *)
+  mutable cells_imputed : int;  (** cells filled by [Impute] *)
+  mutable errors : (int * string) list;
+      (** sample of skip reasons as [(line, message)], oldest first;
+          capped at {!max_errors} *)
+}
+
+(** Number of skip reasons retained in [errors]. *)
+val max_errors : int
+
+val create : unit -> t
+
+val row_read : t -> unit
+
+val row_kept : t -> unit
+
+(** [row_skipped t ~line msg] counts a dropped row and retains the reason
+    while fewer than {!max_errors} are stored. *)
+val row_skipped : t -> line:int -> string -> unit
+
+val cell_imputed : t -> unit
+
+val pp : Format.formatter -> t -> unit

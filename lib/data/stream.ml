@@ -1,0 +1,204 @@
+type source = {
+  buf : bytes;
+  mutable pos : int;
+  mutable len : int;
+  refill : bytes -> int;
+}
+
+let of_channel ?(buf_size = 65536) ic =
+  if buf_size <= 0 then invalid_arg "Stream.of_channel: buf_size";
+  let buf = Bytes.create buf_size in
+  { buf; pos = 0; len = 0; refill = (fun b -> input ic b 0 (Bytes.length b)) }
+
+let of_string s =
+  { buf = Bytes.of_string s; pos = 0; len = String.length s; refill = (fun _ -> 0) }
+
+let next src =
+  if src.pos < src.len then begin
+    let c = Bytes.unsafe_get src.buf src.pos in
+    src.pos <- src.pos + 1;
+    Some c
+  end
+  else begin
+    let n = src.refill src.buf in
+    if n = 0 then None
+    else begin
+      src.len <- n;
+      src.pos <- 1;
+      Some (Bytes.unsafe_get src.buf 0)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CSV state machine                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fold_csv src ~init ~f =
+  let field = Buffer.create 64 in
+  let fields = ref [] in
+  (* [line] counts physical lines consumed so far; [row_line] is where
+     the row being decoded started. *)
+  let line = ref 1 in
+  let row_line = ref 1 in
+  let row_quoted = ref false in
+  let acc = ref init in
+  let push_field () =
+    fields := Buffer.contents field :: !fields;
+    Buffer.clear field
+  in
+  let reset_row () =
+    Buffer.clear field;
+    fields := [];
+    row_quoted := false;
+    row_line := !line
+  in
+  let emit_row () =
+    let row = Array.of_list (List.rev (Buffer.contents field :: !fields)) in
+    (* Whitespace-only unquoted rows are the blank lines the line-based
+       loader used to drop. *)
+    if not (Array.length row = 1 && (not !row_quoted) && String.trim row.(0) = "")
+    then acc := f !acc ~line:!row_line (Ok row);
+    reset_row ()
+  in
+  let emit_error msg = acc := f !acc ~line:!row_line (Error msg) in
+  (* After a row error: drop input up to and including the next newline,
+     then restart cleanly. *)
+  let rec resync () =
+    match next src with
+    | None -> ()
+    | Some '\n' -> incr line
+    | Some _ -> resync ()
+  in
+  let fail_row msg k =
+    emit_error msg;
+    resync ();
+    reset_row ();
+    k ()
+  in
+  let rec field_start () =
+    match next src with
+    | None ->
+      if !fields <> [] || Buffer.length field > 0 || !row_quoted then emit_row ()
+    | Some ',' ->
+      push_field ();
+      field_start ()
+    | Some '"' ->
+      row_quoted := true;
+      quoted ()
+    | Some '\n' ->
+      incr line;
+      emit_row ();
+      field_start ()
+    | Some '\r' -> cr_unquoted ()
+    | Some c ->
+      Buffer.add_char field c;
+      unquoted ()
+  and unquoted () =
+    match next src with
+    | None -> emit_row ()
+    | Some ',' ->
+      push_field ();
+      field_start ()
+    | Some '"' -> fail_row "'\"' inside an unquoted field" field_start
+    | Some '\n' ->
+      incr line;
+      emit_row ();
+      field_start ()
+    | Some '\r' -> cr_unquoted ()
+    | Some c ->
+      Buffer.add_char field c;
+      unquoted ()
+  (* Saw '\r' outside quotes: strip it when it closes the row, keep it as
+     a literal character otherwise. *)
+  and cr_unquoted () =
+    match next src with
+    | None -> emit_row () (* end of input is a row boundary: strip the CR *)
+    | Some '\n' ->
+      incr line;
+      emit_row ();
+      field_start ()
+    | Some ',' ->
+      Buffer.add_char field '\r';
+      push_field ();
+      field_start ()
+    | Some '"' ->
+      Buffer.add_char field '\r';
+      fail_row "'\"' inside an unquoted field" field_start
+    | Some '\r' ->
+      Buffer.add_char field '\r';
+      cr_unquoted ()
+    | Some c ->
+      Buffer.add_char field '\r';
+      Buffer.add_char field c;
+      unquoted ()
+  and quoted () =
+    match next src with
+    | None -> fail_row "unterminated quoted field" (fun () -> ())
+    | Some '"' -> quote_seen ()
+    | Some '\n' ->
+      incr line;
+      Buffer.add_char field '\n';
+      quoted ()
+    | Some c ->
+      Buffer.add_char field c;
+      quoted ()
+  (* Saw '"' inside a quoted field: either an escape ("") or the close. *)
+  and quote_seen () =
+    match next src with
+    | None -> emit_row ()
+    | Some '"' ->
+      Buffer.add_char field '"';
+      quoted ()
+    | Some ',' ->
+      push_field ();
+      field_start ()
+    | Some '\n' ->
+      incr line;
+      emit_row ();
+      field_start ()
+    | Some '\r' -> cr_after_close ()
+    | Some c ->
+      fail_row (Printf.sprintf "character %C after closing quote" c) field_start
+  and cr_after_close () =
+    match next src with
+    | None -> emit_row ()
+    | Some '\n' ->
+      incr line;
+      emit_row ();
+      field_start ()
+    | Some c ->
+      fail_row (Printf.sprintf "character %C after closing quote" c) field_start
+  in
+  field_start ();
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Line streaming (ARFF)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fold_lines src ~init ~f =
+  let buf = Buffer.create 256 in
+  let line = ref 1 in
+  let acc = ref init in
+  let emit () =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    let s =
+      let n = String.length s in
+      if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+    in
+    acc := f !acc ~line:!line s
+  in
+  let rec loop () =
+    match next src with
+    | None -> if Buffer.length buf > 0 then emit ()
+    | Some '\n' ->
+      emit ();
+      incr line;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  !acc

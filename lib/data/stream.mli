@@ -1,0 +1,45 @@
+(** Constant-memory streaming decoders for the ingestion layer.
+
+    {!fold_csv} runs an RFC-4180 CSV state machine over a byte source,
+    yielding one decoded record (or one row-level error) at a time — the
+    raw text is never retained beyond a fixed refill buffer, so ingest
+    memory is bounded by the longest single row, not the file.
+
+    Decoding rules:
+    - fields are separated by [','], rows by ['\n']; a ['\r'] immediately
+      before a row boundary is stripped (CRLF input parses like LF input);
+    - a field starting with ['"'] is quoted: it may contain commas,
+      ['""'] escapes for literal quotes, and raw newlines (which stay part
+      of the value, so quoted fields span physical lines);
+    - a quote character appearing after other content in an unquoted
+      field, or any character other than [','] / end-of-row after a
+      closing quote, is a deterministic row error (the RFC leaves such
+      mid-field quotes undefined; we reject rather than guess);
+    - an unterminated quote at end of input is a row error;
+    - rows whose entire unquoted text is whitespace are silently dropped,
+      like the blank lines the line-based loader used to skip.
+
+    After a row error the machine resynchronizes at the next ['\n'] and
+    keeps going, so a [Skip] policy can count bad rows and continue. *)
+
+type source
+
+(** [of_channel ?buf_size ic] streams from a channel through a fixed
+    refill buffer ([buf_size] bytes, default 64 KiB). The caller keeps
+    ownership of [ic] and must close it. *)
+val of_channel : ?buf_size:int -> in_channel -> source
+
+(** [of_string s] streams from an in-memory string. *)
+val of_string : string -> source
+
+(** [fold_csv src ~init ~f] folds [f] over every row of [src]. [line] is
+    the 1-based physical line on which the row started; the payload is
+    the decoded fields, or a description of why the row could not be
+    decoded. A source can only be folded once. *)
+val fold_csv :
+  source -> init:'a -> f:('a -> line:int -> (string array, string) result -> 'a) -> 'a
+
+(** [fold_lines src ~init ~f] folds over physical lines (terminated by
+    ['\n'] or end of input; a trailing ['\r'] is stripped). Used by the
+    line-oriented ARFF reader. *)
+val fold_lines : source -> init:'a -> f:('a -> line:int -> string -> 'a) -> 'a

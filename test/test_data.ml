@@ -253,6 +253,101 @@ let test_csv_roundtrip () =
           back.D.classes.(D.label back i)
       done)
 
+let test_csv_crlf () =
+  (* Regression: CRLF files used to leave a trailing '\r' glued to the
+     last cell, so ~class_column:"label" failed on "label\r". *)
+  let ds =
+    Csv.parse_string ~class_column:"label" "x,label\r\n1.5,yes\r\n2.5,no\r\n"
+  in
+  Alcotest.(check int) "rows" 2 (D.n_records ds);
+  Alcotest.(check string) "attr unchanged" "x" ds.D.attrs.(0).A.name;
+  Alcotest.(check string) "label clean" "no" ds.D.classes.(D.label ds 1);
+  (* Quoted fields may span physical lines. *)
+  let ds2 = Csv.parse_string "note,class\n\"a\nb\",x\n" in
+  match ds2.D.attrs.(0).A.kind with
+  | A.Categorical values -> Alcotest.(check string) "newline kept" "a\nb" values.(0)
+  | A.Numeric -> Alcotest.fail "expected categorical"
+
+let test_csv_nan_inf_categorical () =
+  (* Identifier-like literals that parse as floats (nan, inf, infinity)
+     must not flip a column to numeric: they are almost always IDs or
+     category names in real data. *)
+  let ds = Csv.parse_string "v,class\nnan,x\ninf,y\nInfinity,x\n" in
+  Alcotest.(check bool) "nan/inf stay categorical" false (A.is_numeric ds.D.attrs.(0));
+  (* Ordinary numerics still infer numeric, including exponent forms. *)
+  let ds2 = Csv.parse_string "v,class\n1e3,x\n-2.5,y\n" in
+  Alcotest.(check bool) "exponent numeric" true (A.is_numeric ds2.D.attrs.(0))
+
+let test_csv_bare_quote () =
+  (* RFC-4180 leaves a quote inside an unquoted field undefined; the
+     decoder rejects it deterministically rather than guessing. *)
+  (try
+     ignore (Csv.parse_string "v,class\na\"b,x\n");
+     Alcotest.fail "expected Parse_error"
+   with Csv.Parse_error msg ->
+     Alcotest.(check bool) "line number in message" true
+       (String.length msg > 0 && msg.[0] = 'l'));
+  (* Under Skip the bad row is dropped and counted, the rest loads. *)
+  let ds, report =
+    Csv.parse_string_with_report ~policy:Pn_data.Ingest_report.Skip
+      "v,class\na\"b,x\nok,y\n"
+  in
+  Alcotest.(check int) "one row kept" 1 (D.n_records ds);
+  Alcotest.(check int) "one skipped" 1 report.Pn_data.Ingest_report.rows_skipped;
+  Alcotest.(check int) "errors sampled" 1
+    (List.length report.Pn_data.Ingest_report.errors)
+
+let test_csv_skip_policy () =
+  let text = "x,c,class\n1,red,yes\nbad,row\n2,?,no\n3,blue,yes\n" in
+  let ds, report =
+    Csv.parse_string_with_report ~policy:Pn_data.Ingest_report.Skip text
+  in
+  (* The arity-mismatch row and the "?" row are both dropped. *)
+  Alcotest.(check int) "rows kept" 2 (D.n_records ds);
+  Alcotest.(check int) "read" 4 report.Pn_data.Ingest_report.rows_read;
+  Alcotest.(check int) "kept" 2 report.Pn_data.Ingest_report.rows_kept;
+  Alcotest.(check int) "skipped" 2 report.Pn_data.Ingest_report.rows_skipped;
+  Alcotest.(check int) "imputed" 0 report.Pn_data.Ingest_report.cells_imputed;
+  check_float "x survives" 3.0 (D.num_value ds ~col:0 1);
+  (* Strict on the same text fails (legacy behaviour). *)
+  try
+    ignore (Csv.parse_string text);
+    Alcotest.fail "expected Parse_error"
+  with Csv.Parse_error _ -> ()
+
+let test_csv_impute_policy () =
+  let text =
+    "x,c,class\n1,red,yes\n?,red,no\n3,?,yes\n5,blue,no\n7,red,yes\n?,?,\n"
+  in
+  let ds, report =
+    Csv.parse_string_with_report ~policy:Pn_data.Ingest_report.Impute text
+  in
+  (* The last row has no class label: dropped, not imputed. *)
+  Alcotest.(check int) "rows kept" 5 (D.n_records ds);
+  Alcotest.(check int) "skipped" 1 report.Pn_data.Ingest_report.rows_skipped;
+  Alcotest.(check int) "two cells imputed" 2 report.Pn_data.Ingest_report.cells_imputed;
+  (* Numeric "?" takes the column median of present values {1,3,5,7} = 4. *)
+  check_float "median imputed" 4.0 (D.num_value ds ~col:0 1);
+  (* Categorical "?" takes the majority value (red: 3 of 4 present). *)
+  Alcotest.(check string) "majority imputed" "red"
+    (A.value_name ds.D.attrs.(1) (D.cat_value ds ~col:1 2))
+
+let test_dataset_equal () =
+  let ds = tiny () in
+  Alcotest.(check bool) "reflexive" true (D.equal ds ds);
+  Alcotest.(check bool) "copy equal" true (D.equal ds (D.subset ds [| 0; 1; 2; 3; 4; 5 |]));
+  Alcotest.(check bool) "subset differs" false (D.equal ds (D.subset ds [| 0 |]));
+  (* nan compares equal to itself so imputed placeholders don't poison
+     the equivalence tests. *)
+  let mk v =
+    D.create
+      ~attrs:[| A.numeric "x" |]
+      ~columns:[| D.Num [| v |] |]
+      ~labels:[| 0 |] ~classes:[| "a" |] ()
+  in
+  Alcotest.(check bool) "nan = nan" true (D.equal (mk Float.nan) (mk Float.nan));
+  Alcotest.(check bool) "nan <> 1" false (D.equal (mk Float.nan) (mk 1.0))
+
 (* ------------------------------------------------------------------ *)
 (* ARFF                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -309,6 +404,34 @@ let test_arff_roundtrip () =
         Alcotest.(check int) "cat cell" (D.cat_value ds ~col:1 i) (D.cat_value back ~col:1 i);
         Alcotest.(check int) "label" (D.label ds i) (D.label back i)
       done)
+
+let test_arff_policies () =
+  let text =
+    "@relation t\n@attribute x numeric\n@attribute c {red,blue}\n@attribute \
+     class {a,b}\n@data\n1,red,a\n?,red,b\n3,?,a\n5,blue,b\n1,red,?\n"
+  in
+  (* Strict: the legacy failure on any "?". *)
+  (try
+     ignore (Arff.parse_string text);
+     Alcotest.fail "expected Parse_error"
+   with Arff.Parse_error _ -> ());
+  (* Skip: rows with "?" cells or class are dropped and counted. *)
+  let ds, report =
+    Arff.parse_string_with_report ~policy:Pn_data.Ingest_report.Skip text
+  in
+  Alcotest.(check int) "skip keeps clean rows" 2 (D.n_records ds);
+  Alcotest.(check int) "skip counts" 3 report.Pn_data.Ingest_report.rows_skipped;
+  (* Impute: cell "?" filled (median of {1,3,5} = 3; majority red), the
+     missing-class row still dropped. *)
+  let ds, report =
+    Arff.parse_string_with_report ~policy:Pn_data.Ingest_report.Impute text
+  in
+  Alcotest.(check int) "impute keeps rows" 4 (D.n_records ds);
+  Alcotest.(check int) "impute drops unlabeled" 1 report.Pn_data.Ingest_report.rows_skipped;
+  Alcotest.(check int) "cells imputed" 2 report.Pn_data.Ingest_report.cells_imputed;
+  check_float "numeric median" 3.0 (D.num_value ds ~col:0 1);
+  Alcotest.(check string) "nominal majority" "red"
+    (A.value_name ds.D.attrs.(1) (D.cat_value ds ~col:1 2))
 
 (* ------------------------------------------------------------------ *)
 (* Summary                                                              *)
@@ -408,8 +531,57 @@ let test_sorted_ties_shuffled_view () =
   let empty = V.filter (V.all ds) (fun _ -> false) in
   Alcotest.(check (array int)) "empty" [||] (V.sorted_by_num empty ~col:0)
 
+(* Random clean CSV text: a mix of numeric and categorical columns with
+   quoting-heavy values, written to a file and loaded through the
+   channel path at a hostile buffer size. The result must be
+   bit-identical to the in-memory parse. *)
+let csv_equivalence_prop =
+  let cat_values = [| "red"; "blue"; "a,b"; "say \"hi\""; "x y" |] in
+  let gen =
+    QCheck.Gen.(
+      pair
+        (pair (1 -- 3) (0 -- 2)) (* numeric columns, categorical columns *)
+        (pair (list_size (1 -- 30) (0 -- 1000)) (1 -- 13)))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"streaming file load ≡ in-memory parse (clean input)"
+    (QCheck.make gen)
+    (fun ((n_num, n_cat), (seeds, buf_size)) ->
+      let n_cols = n_num + n_cat in
+      let buf = Buffer.create 256 in
+      List.iteri
+        (fun c _ ->
+          if c > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "col%d" c))
+        (List.init n_cols Fun.id);
+      Buffer.add_string buf ",class\n";
+      List.iteri
+        (fun i seed ->
+          for c = 0 to n_cols - 1 do
+            if c > 0 then Buffer.add_char buf ',';
+            if c < n_num then
+              Buffer.add_string buf
+                (Printf.sprintf "%g" (float_of_int ((seed + (c * i)) mod 97)))
+            else
+              Buffer.add_string buf
+                (Pn_data.Csv_io.escape
+                   cat_values.((seed + c + i) mod Array.length cat_values))
+          done;
+          Buffer.add_string buf (if seed mod 2 = 0 then ",yes\n" else ",no\n"))
+        seeds;
+      let text = Buffer.contents buf in
+      let in_memory = Csv.parse_string text in
+      let path = Filename.temp_file "pnrule_equiv" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Out_channel.with_open_bin path (fun oc -> output_string oc text);
+          let streamed = Csv.load ~buf_size path in
+          D.equal in_memory streamed))
+
 let qcheck_props =
   [
+    csv_equivalence_prop;
     QCheck.Test.make ~count:300 ~name:"sorted_by_num matches naive argsort"
       QCheck.(
         pair
@@ -496,10 +668,17 @@ let suite =
     Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
     Alcotest.test_case "csv errors" `Quick test_csv_errors;
     Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv crlf + embedded newline" `Quick test_csv_crlf;
+    Alcotest.test_case "csv nan/inf stay categorical" `Quick test_csv_nan_inf_categorical;
+    Alcotest.test_case "csv bare quote rejected" `Quick test_csv_bare_quote;
+    Alcotest.test_case "csv skip policy" `Quick test_csv_skip_policy;
+    Alcotest.test_case "csv impute policy" `Quick test_csv_impute_policy;
+    Alcotest.test_case "dataset equal" `Quick test_dataset_equal;
     Alcotest.test_case "arff parse" `Quick test_arff_parse;
     Alcotest.test_case "arff class attribute" `Quick test_arff_class_attribute;
     Alcotest.test_case "arff errors" `Quick test_arff_errors;
     Alcotest.test_case "arff roundtrip" `Quick test_arff_roundtrip;
+    Alcotest.test_case "arff missing-value policies" `Quick test_arff_policies;
     Alcotest.test_case "summary numeric" `Quick test_summary_numeric;
     Alcotest.test_case "summary categorical" `Quick test_summary_categorical;
     Alcotest.test_case "summary per class" `Quick test_summary_per_class;

@@ -137,10 +137,105 @@ let test_ablation_components_matter () =
     (Printf.sprintf "N-phase matters: full %.3f > no-N %.3f" full no_n)
     true (full > no_n)
 
+let test_streaming_predict_matches_in_memory () =
+  (* The chunked serving pipeline must agree bit-for-bit with loading
+     the same file whole and calling the engine once. *)
+  let spec = Pn_synth.Numerical.nsyn 1 in
+  let train = Pn_synth.Numerical.generate spec ~seed:61 ~n:10_000 in
+  let test = Pn_synth.Numerical.generate spec ~seed:62 ~n:5_003 in
+  let target = Pn_synth.Numerical.target_class in
+  let model = Pnrule.Learner.train train ~target in
+  let csv = Filename.temp_file "pnrule_serve" ".csv" in
+  let out = Filename.temp_file "pnrule_serve" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove csv;
+      Sys.remove out)
+    (fun () ->
+      Pn_data.Csv_io.save test csv;
+      let report =
+        Out_channel.with_open_bin out (fun oc ->
+            (* A chunk size that does not divide the row count exercises
+               the final partial flush. *)
+            Pnrule.Serve.predict_csv ~chunk_size:512 ~model ~input:csv
+              ~output:oc ())
+      in
+      Alcotest.(check int) "all rows predicted" (D.n_records test)
+        report.Pnrule.Serve.rows_out;
+      Alcotest.(check int) "partial final chunk" 10 report.Pnrule.Serve.chunks;
+      let expected = Pnrule.Model.predict_all model test in
+      let lines = In_channel.with_open_bin out In_channel.input_lines in
+      let target_name = model.Pnrule.Model.classes.(model.Pnrule.Model.target) in
+      (match lines with
+      | header :: rows ->
+        Alcotest.(check string) "header" "prediction" header;
+        List.iteri
+          (fun i line ->
+            if (line = target_name) <> expected.(i) then
+              Alcotest.failf "row %d: %s vs %b" i line expected.(i))
+          rows
+      | [] -> Alcotest.fail "no output");
+      (* The labeled feed produced metrics identical to Model.evaluate. *)
+      match report.Pnrule.Serve.confusion with
+      | None -> Alcotest.fail "expected confusion on labeled feed"
+      | Some cm ->
+        let reference = Pnrule.Model.evaluate model test in
+        Alcotest.(check (float 1e-9))
+          "recall" (C.recall reference) (C.recall cm);
+        Alcotest.(check (float 1e-9))
+          "precision" (C.precision reference) (C.precision cm))
+
+let test_streaming_predict_skips_dirty_rows () =
+  let spec = Pn_synth.Numerical.nsyn 1 in
+  let train = Pn_synth.Numerical.generate spec ~seed:63 ~n:8_000 in
+  let target = Pn_synth.Numerical.target_class in
+  let model = Pnrule.Learner.train train ~target in
+  let csv = Filename.temp_file "pnrule_dirty" ".csv" in
+  let out = Filename.temp_file "pnrule_dirty" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove csv;
+      Sys.remove out)
+    (fun () ->
+      (* Header from the model's schema, then clean rows interleaved with
+         structurally bad ones. *)
+      let names =
+        Array.to_list (Array.map (fun (a : Pn_data.Attribute.t) -> a.name) model.Pnrule.Model.attrs)
+      in
+      Out_channel.with_open_bin csv (fun oc ->
+          output_string oc (String.concat "," names ^ "\n");
+          for i = 1 to 50 do
+            let row = List.map (fun _ -> Printf.sprintf "%d" (i mod 7)) names in
+            output_string oc (String.concat "," row ^ "\n");
+            if i mod 10 = 0 then output_string oc "totally,wrong,arity\n";
+            if i mod 25 = 0 then output_string oc "un\"quoted\n"
+          done);
+      let report =
+        Out_channel.with_open_bin out (fun oc ->
+            Pnrule.Serve.predict_csv ~policy:Pn_data.Ingest_report.Skip
+              ~chunk_size:16 ~model ~input:csv ~output:oc ())
+      in
+      Alcotest.(check int) "clean rows out" 50 report.Pnrule.Serve.rows_out;
+      Alcotest.(check int) "dirty rows skipped" 7
+        report.Pnrule.Serve.ingest.Pn_data.Ingest_report.rows_skipped;
+      (* Unlabeled feed: no confusion. *)
+      Alcotest.(check bool) "no metrics" true
+        (report.Pnrule.Serve.confusion = None);
+      (* Strict on the same file fails at the first bad row. *)
+      try
+        Out_channel.with_open_bin out (fun oc ->
+            ignore (Pnrule.Serve.predict_csv ~model ~input:csv ~output:oc ()));
+        Alcotest.fail "expected Serve.Error"
+      with Pnrule.Serve.Error _ -> ())
+
 let suite =
   [
     Alcotest.test_case "PNrule beats RIPPER on splintered data" `Slow
       test_pnrule_beats_ripper_on_splintered_data;
+    Alcotest.test_case "streaming predict ≡ in-memory scoring" `Quick
+      test_streaming_predict_matches_in_memory;
+    Alcotest.test_case "streaming predict skips dirty rows" `Quick
+      test_streaming_predict_skips_dirty_rows;
     Alcotest.test_case "stratification trades precision for recall" `Slow
       test_stratified_trades_precision_for_recall;
     Alcotest.test_case "gap narrows as target class grows" `Slow

@@ -83,6 +83,95 @@ let test_corrupt_inputs () =
     "pnrule-model v1\ntarget 0\nclasses 1\n \"a\"\nattrs 0\ndecision 0x1p-1 true\n\
      p_rules 1\n  rule 1\n    le 0 0x1p0\nn_rules 0\nscores 0 0\n"
 
+let test_backslash_names () =
+  (* Regression: a name ending in a backslash serializes as "a\\"; the
+     tokenizer used to misread the escaped backslash as escaping the
+     closing quote and overrun the literal. *)
+  let model =
+    {
+      M.target = 0;
+      classes = [| "a\\"; "q\"\\" |];
+      attrs = [| A.categorical "c\\" [| "v\\"; "plain" |] |];
+      p_rules = Pn_rules.Rule_list.of_list [];
+      n_rules = Pn_rules.Rule_list.of_list [];
+      scores = [||];
+      params = Pnrule.Params.default;
+    }
+  in
+  let back = S.of_string (S.to_string model) in
+  Alcotest.(check bool) "classes survive" true (back.M.classes = model.M.classes);
+  Alcotest.(check bool) "attrs survive" true (back.M.attrs = model.M.attrs)
+
+(* Arbitrary valid models: conditions agree with attribute kinds, the
+   score matrix has the dimensions [of_string] enforces, and floats
+   range over the awkward cases (nan, infinities, subnormals). *)
+let model_gen =
+  let open QCheck.Gen in
+  let name = oneofl [ "x"; "a b"; "q\"uote"; "back\\slash"; "" ] in
+  let threshold =
+    oneofl [ 0.5; -1.5e300; 4e-320; Float.infinity; Float.neg_infinity; Float.nan ]
+  in
+  let attr =
+    name >>= fun n ->
+    bool >>= fun numeric ->
+    if numeric then return (A.numeric n)
+    else
+      int_range 1 3 >>= fun arity ->
+      return (A.categorical n (Array.init arity (fun v -> Printf.sprintf "v%d" v)))
+  in
+  array_size (int_range 1 4) attr >>= fun attrs ->
+  let condition =
+    int_range 0 (Array.length attrs - 1) >>= fun col ->
+    match attrs.(col).A.kind with
+    | A.Categorical values ->
+      int_range 0 (Array.length values - 1) >>= fun value ->
+      return (Pn_rules.Condition.Cat_eq { col; value })
+    | A.Numeric ->
+      threshold >>= fun t ->
+      oneofl
+        [
+          Pn_rules.Condition.Num_le { col; threshold = t };
+          Pn_rules.Condition.Num_ge { col; threshold = t };
+          Pn_rules.Condition.Num_range { col; lo = t; hi = t };
+        ]
+  in
+  let rule = list_size (int_range 1 3) condition >>= fun cs -> return (Pn_rules.Rule.of_conditions cs) in
+  let rules = list_size (int_range 0 3) rule >>= fun rs -> return (Pn_rules.Rule_list.of_list rs) in
+  rules >>= fun p_rules ->
+  rules >>= fun n_rules ->
+  let n_p = Pn_rules.Rule_list.length p_rules in
+  let cols = if n_p = 0 then 0 else Pn_rules.Rule_list.length n_rules + 1 in
+  array_size (return n_p) (array_size (return cols) threshold) >>= fun scores ->
+  array_size (int_range 1 3) name >>= fun classes ->
+  int_range 0 (Array.length classes - 1) >>= fun target ->
+  threshold >>= fun score_threshold ->
+  bool >>= fun use_scoring ->
+  return
+    {
+      M.target;
+      classes;
+      attrs;
+      p_rules;
+      n_rules;
+      scores;
+      params = { Pnrule.Params.default with score_threshold; use_scoring };
+    }
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~count:300 ~name:"serialize round-trip is a fixed point"
+      (QCheck.make model_gen)
+      (fun model ->
+        (* Textual fixed point is the right equality here: nan <> nan
+           under (=), but "%h"-printed text is stable. *)
+        let s1 = S.to_string model in
+        let back = S.of_string s1 in
+        s1 = S.to_string back
+        && back.M.classes = model.M.classes
+        && back.M.attrs = model.M.attrs
+        && back.M.target = model.M.target);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Multi-class                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -142,8 +231,10 @@ let suite =
     Alcotest.test_case "serialize: fixed point" `Quick test_roundtrip_stable;
     Alcotest.test_case "serialize: file roundtrip" `Quick test_file_roundtrip;
     Alcotest.test_case "serialize: corrupt inputs raise" `Quick test_corrupt_inputs;
+    Alcotest.test_case "serialize: backslash-heavy names" `Quick test_backslash_names;
     Alcotest.test_case "multiclass: accuracy and rare recall" `Quick test_multiclass_accuracy;
     Alcotest.test_case "multiclass: score vector" `Quick test_multiclass_scores_shape;
     Alcotest.test_case "multiclass: fallback class" `Quick test_multiclass_fallback;
     Alcotest.test_case "multiclass: per-class params" `Quick test_multiclass_params_for;
   ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props
