@@ -197,7 +197,89 @@ let timing_benchmarks ~scale =
       ]
   in
   Sys.remove csv200;
-  let estimates = batch1 @ batch2 in
+  (* Batch 3: the daemon's hot serving loop. One keep-alive connection
+     POSTs a 10k-row body per run and fully reads the chunked response,
+     so the measurement covers HTTP framing, the streaming decode/score
+     core and both directions of socket IO — the marginal cost of one
+     online request once the connection is warm. *)
+  let ds10 = Pn_synth.Numerical.generate spec ~seed:13 ~n:10_000 in
+  let csv10 = Filename.temp_file "pnrule_bench_" ".csv" in
+  Pn_data.Csv_io.save ds10 csv10;
+  let body = In_channel.with_open_bin csv10 In_channel.input_all in
+  Sys.remove csv10;
+  let server =
+    Pn_server.Server.start
+      ~config:{ Pn_server.Server.default_config with idle_timeout = 60.0 }
+      ~load:(fun () -> pn_model) ()
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Pn_server.Server.port server));
+  let request =
+    Printf.sprintf
+      "POST /predict HTTP/1.1\r\nhost: bench\r\ncontent-length: %d\r\n\r\n%s"
+      (String.length body) body
+  in
+  let rbuf = Bytes.create 65536 in
+  let rpos = ref 0 and rlen = ref 0 in
+  let refill () =
+    let n = Unix.read fd rbuf 0 (Bytes.length rbuf) in
+    if n = 0 then failwith "serve bench: connection closed";
+    rpos := 0;
+    rlen := n
+  in
+  let byte () =
+    if !rpos >= !rlen then refill ();
+    let c = Bytes.get rbuf !rpos in
+    incr rpos;
+    c
+  in
+  let line () =
+    let b = Buffer.create 32 in
+    let rec go () =
+      match byte () with
+      | '\n' -> ()
+      | '\r' -> go ()
+      | c ->
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let one_request () =
+    let b = Bytes.unsafe_of_string request in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done;
+    let status = line () in
+    if String.length status < 12 || String.sub status 9 3 <> "200" then
+      failwith ("serve bench: " ^ status);
+    while line () <> "" do
+      ()
+    done;
+    let rec chunks () =
+      let size = int_of_string ("0x" ^ line ()) in
+      if size > 0 then begin
+        for _ = 1 to size do
+          ignore (byte ())
+        done;
+        ignore (line ());
+        chunks ()
+      end
+      else ignore (line ())
+    in
+    chunks ()
+  in
+  let batch3 =
+    run_tests
+      [ Test.make ~name:"serve-hot-loop-10k" (Staged.stage one_request) ]
+  in
+  Unix.close fd;
+  Pn_server.Server.stop server;
+  let estimates = batch1 @ batch2 @ batch3 in
   match !json_file with
   | Some path -> write_json ~path ~scale estimates
   | None -> ()

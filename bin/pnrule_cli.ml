@@ -4,10 +4,39 @@
      train     train a classifier on a CSV file and print the model
      eval      train on one CSV, evaluate on another, print metrics
      predict   score a CSV with a saved model
+     serve     run the online HTTP prediction daemon
      gen       write one of the paper's synthetic datasets to CSV
      inspect   print a dataset summary *)
 
 open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Validated argument converters                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Range-checked ints so an out-of-range value is a cmdliner usage
+   error at parse time, not a runtime exception mid-pipeline. *)
+let ranged_int ~what ~lo ~hi =
+  Arg.conv'
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some v when v >= lo && v <= hi -> Ok v
+        | Some v ->
+          Error (Printf.sprintf "%s must be in %d..%d, got %d" what lo hi v)
+        | None -> Error (Printf.sprintf "%s must be an integer, got %S" what s)),
+      Format.pp_print_int )
+
+let chunk_conv = ranged_int ~what:"chunk size" ~lo:1 ~hi:16_777_216
+
+let port_conv = ranged_int ~what:"port" ~lo:0 ~hi:65535
+
+let domains_conv = ranged_int ~what:"domains" ~lo:1 ~hi:64
+
+let chunk_arg =
+  Arg.(
+    value & opt chunk_conv 8192
+    & info [ "chunk" ] ~docv:"ROWS"
+        ~doc:"Rows decoded and scored per batch; bounds resident memory.")
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -231,12 +260,6 @@ let predict_cmd =
       & info [ "scores" ]
           ~doc:"Add a $(b,score) column with the probability-like score.")
   in
-  let chunk =
-    Arg.(
-      value & opt int 8192
-      & info [ "chunk" ] ~docv:"ROWS"
-          ~doc:"Rows decoded and scored per batch; bounds resident memory.")
-  in
   let out =
     Arg.(
       value
@@ -253,7 +276,119 @@ let predict_cmd =
           column order may differ and extra columns are ignored.")
     Term.(
       const run $ model_file $ data $ class_column_arg $ scores $ policy_arg
-      $ chunk $ out)
+      $ chunk_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run verbose model_file host port domains policy chunk max_body_mb max_rows
+      idle =
+    setup_logs verbose;
+    let load () = Pnrule.Serialize.load model_file in
+    let config =
+      {
+        Pn_server.Server.host;
+        port;
+        domains;
+        policy;
+        chunk_size = chunk;
+        max_body = max_body_mb * 1024 * 1024;
+        max_rows;
+        idle_timeout = idle;
+      }
+    in
+    match Pn_server.Server.start ~config ~load () with
+    | server ->
+      Pn_server.Server.install_signals server;
+      Printf.printf
+        "pnrule daemon listening on http://%s:%d/ (%d worker domain%s)\n\
+         endpoints: POST /predict, GET /healthz, GET /model, GET /metrics\n\
+         SIGHUP reloads the model, SIGTERM/SIGINT drains and exits\n\
+         %!"
+        host
+        (Pn_server.Server.port server)
+        domains
+        (if domains = 1 then "" else "s");
+      Pn_server.Server.join server
+    | exception Pnrule.Serialize.Corrupt msg ->
+      Printf.eprintf "error: cannot read model %s: %s\n" model_file msg;
+      exit 1
+    | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | exception Unix.Unix_error (err, fn, _) ->
+      Printf.eprintf "error: cannot bind %s:%d: %s (%s)\n" host port
+        (Unix.error_message err) fn;
+      exit 1
+  in
+  let model_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model"; "m" ] ~docv:"MODEL.pn" ~doc:"Saved model to serve.")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let port =
+    Arg.(
+      value & opt port_conv 8080
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on; 0 picks an ephemeral port.")
+  in
+  let domains =
+    let default =
+      match Sys.getenv_opt "PNRULE_DOMAINS" with
+      | Some raw -> (
+        match Pn_util.Pool.domains_of_env raw with Ok d -> d | Error _ -> 1)
+      | None -> min 4 (Domain.recommended_domain_count ())
+    in
+    Arg.(
+      value & opt domains_conv default
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains serving requests in parallel (default: \
+             $(b,PNRULE_DOMAINS) when set, else min(4, recommended)).")
+  in
+  let max_body =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"max body" ~lo:1 ~hi:4096) 64
+      & info [ "max-body" ] ~docv:"MIB"
+          ~doc:"Request body size limit in MiB; larger bodies get a 413.")
+  in
+  let max_rows =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"max rows" ~lo:1 ~hi:1_000_000_000) 1_000_000
+      & info [ "max-rows" ] ~docv:"ROWS"
+          ~doc:"Rows-per-request limit; longer feeds get a 413.")
+  in
+  let idle =
+    Arg.(
+      value & opt float 5.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close keep-alive connections idle longer than this.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online prediction daemon: an HTTP/1.1 server that keeps the \
+          model resident and scores POSTed CSV feeds through the same \
+          streaming pipeline as $(b,predict). Endpoints: $(b,POST /predict) \
+          (CSV body with header row; query parameters $(b,scores=1), \
+          $(b,on-error=strict|skip|impute), $(b,class-column=NAME)), \
+          $(b,GET /healthz), $(b,GET /model), $(b,GET /metrics) (Prometheus \
+          text format). SIGHUP hot-reloads the model file; SIGTERM drains \
+          gracefully.")
+    Term.(
+      const run $ verbose_arg $ model_file $ host $ port $ domains $ policy_arg
+      $ chunk_arg $ max_body $ max_rows $ idle)
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                 *)
@@ -356,4 +491,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "pnrule" ~version:"1.0.0" ~doc)
-          [ train_cmd; eval_cmd; predict_cmd; gen_cmd; inspect_cmd ]))
+          [ train_cmd; eval_cmd; predict_cmd; serve_cmd; gen_cmd; inspect_cmd ]))

@@ -101,17 +101,16 @@ let resolve_header t header =
       Error (Printf.sprintf "column %S appears more than once in the header" name)
   in
   let mapping = Array.make (Array.length t.attrs) 0 in
-  let err = ref None in
+  let errs = ref [] in
   Array.iteri
     (fun k (a : Pn_data.Attribute.t) ->
-      if !err = None then
-        match find a.name with
-        | Ok j -> mapping.(k) <- j
-        | Error e -> err := Some e)
+      match find a.name with
+      | Ok j -> mapping.(k) <- j
+      | Error e -> errs := e :: !errs)
     t.attrs;
-  match !err with
-  | Some e -> Error e
-  | None -> Ok mapping
+  match List.rev !errs with
+  | [] -> Ok mapping
+  | errs -> Error (String.concat "; " errs)
 
 let rule_counts t =
   (Pn_rules.Rule_list.length t.p_rules, Pn_rules.Rule_list.length t.n_rules)

@@ -51,7 +51,8 @@ val evaluate : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> Pn_metrics.Conf
     training schema: every attribute of [t.attrs] must appear exactly
     once in [names] (extra columns are allowed). On success returns the
     mapping from attribute index to header column index; on failure a
-    human-readable description of the first mismatch. *)
+    human-readable description of every mismatched attribute,
+    ["; "]-separated. *)
 val resolve_header : t -> string array -> (int array, string) result
 
 (** [rule_counts t] is (number of P-rules, number of N-rules). *)

@@ -1,4 +1,5 @@
 exception Error of string
+exception Limit of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
@@ -23,9 +24,19 @@ let median sorted =
   if m land 1 = 1 then sorted.(m / 2)
   else (sorted.((m / 2) - 1) +. sorted.(m / 2)) /. 2.0
 
-let predict_csv ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
-    ?class_column ?(scores = false) ?pool ~(model : Model.t) ~input ~output () =
-  if chunk_size <= 0 then invalid_arg "Serve.predict_csv: chunk_size";
+(* The shared decode/score core: both the batch file pipeline
+   ([predict_csv]) and the online daemon ([Pn_server]) run this exact
+   function, so a request body and a file of the same rows produce
+   byte-identical prediction lines. Input arrives as a {!Pn_data.Stream}
+   source; output leaves through [write], one call for the header line
+   and one per scored chunk. *)
+let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
+    ?class_column ?(scores = false) ?max_rows ?pool ~(model : Model.t) ~source
+    ~write () =
+  if chunk_size <= 0 then invalid_arg "Serve.predict_stream: chunk_size";
+  (match max_rows with
+  | Some m when m <= 0 -> invalid_arg "Serve.predict_stream: max_rows"
+  | Some _ | None -> ());
   let t0 = Unix.gettimeofday () in
   let attrs = model.Model.attrs in
   let n_attrs = Array.length attrs in
@@ -62,6 +73,7 @@ let predict_csv ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
   (* Positions imputation must patch, per attribute, chunk-local. *)
   let misses = Array.make n_attrs [] in
   let actuals = Array.make chunk_size (-1) in
+  let outbuf = Buffer.create 4096 in
   let fill = ref 0 in
   let chunks = ref 0 in
   let rows_out = ref 0 in
@@ -69,6 +81,15 @@ let predict_csv ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
   let confusion = ref Pn_metrics.Confusion.zero in
   let target_name = model.Model.classes.(model.Model.target) in
   let negative_name = "not-" ^ target_name in
+  (* Every data row — kept, skipped or malformed — counts against the
+     row budget; the daemon maps [Limit] to 413. *)
+  let count_row () =
+    Pn_data.Ingest_report.row_read ingest;
+    match max_rows with
+    | Some m when ingest.Pn_data.Ingest_report.rows_read > m ->
+      raise (Limit (Printf.sprintf "input exceeds the row limit (%d rows)" m))
+    | Some _ | None -> ()
+  in
   let resolve_header names =
     (match Model.resolve_header model names with
     | Ok m -> mapping := m
@@ -87,7 +108,7 @@ let predict_csv ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
        match col with
        | Some j when class_column = None && Array.exists (( = ) j) !mapping -> None
        | other -> other);
-    output_string output (if scores then "prediction,score\n" else "prediction\n")
+    write (if scores then "prediction,score\n" else "prediction\n")
   in
   let flush_chunk () =
     if !fill > 0 then begin
@@ -148,15 +169,16 @@ let predict_csv ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
       in
       let predicted = Model.predict_all ?pool model ds in
       let score_v = if scores then Some (Model.score_all ?pool model ds) else None in
+      Buffer.clear outbuf;
       for i = 0 to n - 1 do
         let name = if predicted.(i) then target_name else negative_name in
         (match score_v with
         | Some s ->
-          output_string output (Pn_data.Csv_io.escape name);
-          output_char output ',';
-          output_string output (Printf.sprintf "%.6g" s.(i))
-        | None -> output_string output (Pn_data.Csv_io.escape name));
-        output_char output '\n';
+          Buffer.add_string outbuf (Pn_data.Csv_io.escape name);
+          Buffer.add_char outbuf ',';
+          Buffer.add_string outbuf (Printf.sprintf "%.6g" s.(i))
+        | None -> Buffer.add_string outbuf (Pn_data.Csv_io.escape name));
+        Buffer.add_char outbuf '\n';
         incr rows_out;
         if actuals.(i) >= 0 then
           confusion :=
@@ -164,12 +186,13 @@ let predict_csv ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
               ~actual:(actuals.(i) = model.Model.target)
               ~predicted:predicted.(i) ~weight:1.0
       done;
+      write (Buffer.contents outbuf);
       incr chunks;
       fill := 0
     end
   in
   let data_row ~line cells =
-    Pn_data.Ingest_report.row_read ingest;
+    count_row ();
     let drop msg =
       match policy with
       | Pn_data.Ingest_report.Strict -> fail "line %d: %s" line msg
@@ -249,27 +272,22 @@ let predict_csv ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
       incr fill;
       if !fill = chunk_size then flush_chunk ()
   in
-  let ic = open_in_bin input in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      Pn_data.Stream.fold_csv (Pn_data.Stream.of_channel ic) ~init:() ~f:(fun () ~line result ->
-          if !n_header = 0 then
-            match result with
-            | Error msg -> fail "header: %s" msg
-            | Ok names -> resolve_header names
-          else
-            match result with
-            | Error msg ->
-              Pn_data.Ingest_report.row_read ingest;
-              (match policy with
-              | Pn_data.Ingest_report.Strict -> fail "line %d: %s" line msg
-              | Pn_data.Ingest_report.Skip | Pn_data.Ingest_report.Impute ->
-                Pn_data.Ingest_report.row_skipped ingest ~line msg)
-            | Ok cells -> data_row ~line cells));
+  Pn_data.Stream.fold_csv source ~init:() ~f:(fun () ~line result ->
+      if !n_header = 0 then
+        match result with
+        | Error msg -> fail "header: %s" msg
+        | Ok names -> resolve_header names
+      else
+        match result with
+        | Error msg ->
+          count_row ();
+          (match policy with
+          | Pn_data.Ingest_report.Strict -> fail "line %d: %s" line msg
+          | Pn_data.Ingest_report.Skip | Pn_data.Ingest_report.Impute ->
+            Pn_data.Ingest_report.row_skipped ingest ~line msg)
+        | Ok cells -> data_row ~line cells);
   if !n_header = 0 then fail "empty input";
   flush_chunk ();
-  flush output;
   {
     ingest;
     chunks = !chunks;
@@ -278,3 +296,17 @@ let predict_csv ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
     seconds = Unix.gettimeofday () -. t0;
     confusion = (if !class_idx <> None then Some !confusion else None);
   }
+
+let predict_csv ?policy ?chunk_size ?class_column ?scores ?pool ~model ~input
+    ~output () =
+  let ic = open_in_bin input in
+  let report =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        predict_stream ?policy ?chunk_size ?class_column ?scores ?pool ~model
+          ~source:(Pn_data.Stream.of_channel ic)
+          ~write:(output_string output) ())
+  in
+  flush output;
+  report

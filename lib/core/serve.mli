@@ -27,6 +27,11 @@
 
 exception Error of string
 
+(** Raised by {!predict_stream} when the feed exceeds [max_rows]. Kept
+    distinct from {!Error} so the daemon can answer 413 rather than
+    400. *)
+exception Limit of string
+
 type report = {
   ingest : Pn_data.Ingest_report.t;
   chunks : int;  (** number of scored chunks *)
@@ -38,10 +43,34 @@ type report = {
       (** running test metrics, when a usable class column exists *)
 }
 
+(** [predict_stream ~model ~source ~write ()] is the decode/score core
+    shared by the batch pipeline and the online daemon: it pulls CSV
+    rows from an arbitrary {!Pn_data.Stream.source} (a file, a socket
+    body, an in-memory string) and pushes prediction lines through
+    [write] — one call for the header line, then one per scored chunk,
+    which is what lets the HTTP path emit exactly one transfer chunk
+    per scored chunk. [max_rows] bounds the number of data rows
+    (kept, skipped or malformed) the feed may carry; exceeding it
+    raises {!Limit}. Raises {!Error} on a schema mismatch or, under
+    [Strict], on the first bad row. *)
+val predict_stream :
+  ?policy:Pn_data.Ingest_report.policy ->
+  ?chunk_size:int ->
+  ?class_column:string ->
+  ?scores:bool ->
+  ?max_rows:int ->
+  ?pool:Pn_util.Pool.t ->
+  model:Model.t ->
+  source:Pn_data.Stream.source ->
+  write:(string -> unit) ->
+  unit ->
+  report
+
 (** [predict_csv ~model ~input ~output ()] streams file [input] through
     [model] and writes one CSV line per surviving row to [output]
     (header [prediction], plus a [score] column with [~scores:true]).
     [chunk_size] rows are decoded and scored at a time (default 8192).
+    A thin wrapper over {!predict_stream}.
     Raises {!Error} on a schema mismatch or, under [Strict], on the
     first bad row; [Sys_error] on IO failure. *)
 val predict_csv :

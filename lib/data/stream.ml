@@ -13,6 +13,10 @@ let of_channel ?(buf_size = 65536) ic =
 let of_string s =
   { buf = Bytes.of_string s; pos = 0; len = String.length s; refill = (fun _ -> 0) }
 
+let of_refill ?(buf_size = 65536) refill =
+  if buf_size <= 0 then invalid_arg "Stream.of_refill: buf_size";
+  { buf = Bytes.create buf_size; pos = 0; len = 0; refill }
+
 let next src =
   if src.pos < src.len then begin
     let c = Bytes.unsafe_get src.buf src.pos in

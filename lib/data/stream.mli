@@ -32,6 +32,12 @@ val of_channel : ?buf_size:int -> in_channel -> source
 (** [of_string s] streams from an in-memory string. *)
 val of_string : string -> source
 
+(** [of_refill f] streams from an arbitrary byte producer: [f buf] must
+    write at most [Bytes.length buf] bytes at offset 0 and return how
+    many it wrote, 0 meaning end of input. Used by the prediction daemon
+    to decode a request body straight off a socket. *)
+val of_refill : ?buf_size:int -> (bytes -> int) -> source
+
 (** [fold_csv src ~init ~f] folds [f] over every row of [src]. [line] is
     the 1-based physical line on which the row started; the payload is
     the decoded fields, or a description of why the row could not be

@@ -1,0 +1,303 @@
+let log = Logs.Src.create "pn_server" ~doc:"PNrule prediction daemon"
+
+module Log = (val Logs.src_log log)
+
+type state = {
+  model : Pnrule.Model.t;
+  generation : int;
+  loaded_at : float;
+}
+
+type t = {
+  state : state Atomic.t;
+  load : unit -> Pnrule.Model.t;
+  telemetry : Telemetry.t;
+  policy : Pn_data.Ingest_report.policy;
+  chunk_size : int;
+  max_body : int;
+  max_rows : int;
+  draining : bool Atomic.t;
+  connections : int Atomic.t;
+  reloads : int Atomic.t;
+  reload_failures : int Atomic.t;
+}
+
+let create ~load ~telemetry ~policy ~chunk_size ~max_body ~max_rows ~draining =
+  let model = load () in
+  {
+    state =
+      Atomic.make { model; generation = 1; loaded_at = Unix.gettimeofday () };
+    load;
+    telemetry;
+    policy;
+    chunk_size;
+    max_body;
+    max_rows;
+    draining;
+    connections = Atomic.make 0;
+    reloads = Atomic.make 0;
+    reload_failures = Atomic.make 0;
+  }
+
+let telemetry t = t.telemetry
+
+let state t = Atomic.get t.state
+
+let connections t = t.connections
+
+let reload t =
+  match t.load () with
+  | model ->
+    let old = Atomic.get t.state in
+    Atomic.set t.state
+      { model; generation = old.generation + 1; loaded_at = Unix.gettimeofday () };
+    ignore (Atomic.fetch_and_add t.reloads 1);
+    Log.info (fun m -> m "model reloaded (generation %d)" (old.generation + 1));
+    Ok ()
+  | exception e ->
+    ignore (Atomic.fetch_and_add t.reload_failures 1);
+    let msg = Printexc.to_string e in
+    Log.warn (fun m -> m "model reload failed, keeping old model: %s" msg);
+    Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 -> Printf.bprintf buf "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Hand-rolled on purpose: the repo carries no JSON dependency. *)
+let model_json t =
+  let st = Atomic.get t.state in
+  let m = st.model in
+  let np, nn = Pnrule.Model.rule_counts m in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\"target\": \"%s\",\n"
+    (json_escape m.Pnrule.Model.classes.(m.Pnrule.Model.target));
+  Printf.bprintf buf " \"classes\": [%s],\n"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun c -> Printf.sprintf "\"%s\"" (json_escape c))
+             m.Pnrule.Model.classes)));
+  Printf.bprintf buf " \"p_rules\": %d,\n \"n_rules\": %d,\n" np nn;
+  Printf.bprintf buf " \"use_scoring\": %b,\n \"score_threshold\": %g,\n"
+    m.Pnrule.Model.params.Pnrule.Params.use_scoring
+    m.Pnrule.Model.params.Pnrule.Params.score_threshold;
+  Printf.bprintf buf " \"generation\": %d,\n \"loaded_at\": %.3f,\n" st.generation
+    st.loaded_at;
+  Printf.bprintf buf " \"attributes\": [";
+  Array.iteri
+    (fun i (a : Pn_data.Attribute.t) ->
+      if i > 0 then Buffer.add_string buf ",";
+      match a.kind with
+      | Pn_data.Attribute.Numeric ->
+        Printf.bprintf buf "\n  {\"name\": \"%s\", \"kind\": \"numeric\"}"
+          (json_escape a.name)
+      | Pn_data.Attribute.Categorical values ->
+        Printf.bprintf buf
+          "\n  {\"name\": \"%s\", \"kind\": \"categorical\", \"arity\": %d}"
+          (json_escape a.name) (Array.length values))
+    m.Pnrule.Model.attrs;
+  Buffer.add_string buf "\n ]}\n";
+  Buffer.contents buf
+
+let metrics_text t =
+  Telemetry.render t.telemetry ~extra:(fun buf ->
+      let st = Atomic.get t.state in
+      Printf.bprintf buf
+        "# HELP pnrule_model_generation Model generation (1 = initial load, +1 \
+         per reload).\n\
+         # TYPE pnrule_model_generation gauge\n\
+         pnrule_model_generation %d\n"
+        st.generation;
+      Printf.bprintf buf
+        "# HELP pnrule_model_reloads_total Successful hot reloads.\n\
+         # TYPE pnrule_model_reloads_total counter\n\
+         pnrule_model_reloads_total %d\n"
+        (Atomic.get t.reloads);
+      Printf.bprintf buf
+        "# HELP pnrule_model_reload_failures_total Reload attempts that kept \
+         the old model.\n\
+         # TYPE pnrule_model_reload_failures_total counter\n\
+         pnrule_model_reload_failures_total %d\n"
+        (Atomic.get t.reload_failures);
+      Printf.bprintf buf
+        "# HELP pnrule_connections_total Connections accepted.\n\
+         # TYPE pnrule_connections_total counter\n\
+         pnrule_connections_total %d\n"
+        (Atomic.get t.connections))
+
+(* Serving pools: each worker domain is already one lane of parallelism,
+   and Pool.map_array does not support concurrent submitters — so every
+   request scores sequentially in its worker domain. *)
+let predict t conn (req : Http.request) ~keep =
+  (* Per-request overrides, validated before any body byte is read. *)
+  let q name = List.assoc_opt name req.query in
+  let policy =
+    match q "on-error" with
+    | None -> Ok t.policy
+    | Some v -> (
+      match Pn_data.Ingest_report.policy_of_string v with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "unknown on-error policy %S" v))
+  in
+  let scores =
+    match q "scores" with
+    | None | Some "0" | Some "false" -> Ok false
+    | Some "1" | Some "true" -> Ok true
+    | Some v -> Error (Printf.sprintf "bad scores flag %S" v)
+  in
+  match (policy, scores) with
+  | Error msg, _ | _, Error msg ->
+    Http.respond conn ~status:400 ~body:(msg ^ "\n") ();
+    (400, `Close)
+  | Ok policy, Ok scores -> (
+    if req.Http.chunked_body then begin
+      Http.respond conn ~status:411
+        ~body:"chunked request bodies are not supported; send Content-Length\n" ();
+      (411, `Close)
+    end
+    else
+      match req.Http.content_length with
+      | None ->
+        Http.respond conn ~status:411 ~body:"Content-Length required\n" ();
+        (411, `Close)
+      | Some len when len > t.max_body ->
+        Http.respond conn ~status:413
+          ~body:
+            (Printf.sprintf "body of %d bytes exceeds the %d byte limit\n" len
+               t.max_body)
+          ();
+        (413, `Close)
+      | Some len -> (
+        (match Http.header req "expect" with
+        | Some v when String.lowercase_ascii v = "100-continue" ->
+          Http.continue_100 conn
+        | Some _ | None -> ());
+        let st = Atomic.get t.state in
+        let source = Pn_data.Stream.of_refill (Http.body_reader conn ~length:len) in
+        let resp = Http.start_stream conn ~status:200 ~keep_alive:keep () in
+        match
+          Pnrule.Serve.predict_stream ~policy ~chunk_size:t.chunk_size
+            ?class_column:(q "class-column") ~scores ~max_rows:t.max_rows
+            ~pool:Pn_util.Pool.sequential ~model:st.model ~source
+            ~write:(Http.stream_write resp) ()
+        with
+        | report ->
+          Http.stream_finish resp;
+          (200, `Rows report)
+        | exception Pnrule.Serve.Error msg ->
+          if Http.stream_started resp then begin
+            (* The 200 head is on the wire; all we can do is truncate the
+               chunked body so the client sees a failed transfer. *)
+            Log.debug (fun m -> m "predict failed mid-stream: %s" msg);
+            (400, `Close)
+          end
+          else begin
+            Http.respond conn ~status:400 ~body:(msg ^ "\n") ();
+            (400, `Close)
+          end
+        | exception Pnrule.Serve.Limit msg ->
+          if Http.stream_started resp then (413, `Close)
+          else begin
+            Http.respond conn ~status:413 ~body:(msg ^ "\n") ();
+            (413, `Close)
+          end))
+
+let dispatch t conn (req : Http.request) ~keep =
+  match (req.Http.meth, req.Http.path) with
+  | "POST", "/predict" -> (Telemetry.Predict, predict t conn req ~keep)
+  | _, "/predict" ->
+    Http.respond conn ~status:405 ~body:"use POST\n" ();
+    (Telemetry.Predict, (405, `Close))
+  | "GET", "/healthz" ->
+    if Atomic.get t.draining then begin
+      Http.respond conn ~status:503 ~body:"draining\n" ();
+      (Telemetry.Healthz, (503, `Close))
+    end
+    else begin
+      Http.respond conn ~status:200 ~keep_alive:keep ~body:"ok\n" ();
+      (Telemetry.Healthz, (200, `Keep))
+    end
+  | "GET", "/model" ->
+    Http.respond conn ~status:200 ~keep_alive:keep
+      ~content_type:"application/json; charset=utf-8" ~body:(model_json t) ();
+    (Telemetry.Model_info, (200, `Keep))
+  | "GET", "/metrics" ->
+    Http.respond conn ~status:200 ~keep_alive:keep
+      ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+      ~body:(metrics_text t) ();
+    (Telemetry.Metrics, (200, `Keep))
+  | _, ("/healthz" | "/model" | "/metrics") ->
+    Http.respond conn ~status:405 ~body:"use GET\n" ();
+    (Telemetry.Other, (405, `Close))
+  | _, path ->
+    Http.respond conn ~status:404 ~body:(Printf.sprintf "no route %s\n" path) ();
+    (Telemetry.Other, (404, `Close))
+
+let handle t ~slot conn =
+  match Http.read_request conn with
+  | exception Http.Disconnect -> `Close
+  | exception Http.Timeout -> `Close
+  | exception Http.Bad_request msg -> (
+    match
+      Http.respond conn ~status:400 ~body:(msg ^ "\n") ();
+      Telemetry.observe slot Telemetry.Other ~status:400 ~seconds:0.0
+    with
+    | () -> `Close
+    | exception _ -> `Close)
+  | req -> (
+    let t0 = Unix.gettimeofday () in
+    Telemetry.in_flight_incr t.telemetry;
+    (* A keep-alive response is only offered when the client asked for
+       it, the server is not draining, and the request carried no body
+       we might leave half-read on the socket. *)
+    let keep =
+      req.Http.keep_alive
+      && (not (Atomic.get t.draining))
+      && (req.Http.meth = "POST" || req.Http.content_length = None)
+      && not req.Http.chunked_body
+    in
+    let result =
+      match dispatch t conn req ~keep with
+      | r -> r
+      | exception (Http.Disconnect | Http.Timeout) ->
+        (* nginx's 499: the client went away mid-request *)
+        (Telemetry.Other, (499, `Close))
+      | exception e ->
+        (* A handler bug must not take the worker domain down. *)
+        Log.err (fun m ->
+            m "request %s %s crashed: %s" req.Http.meth req.Http.path
+              (Printexc.to_string e));
+        let status = 500 in
+        (match Http.respond conn ~status ~body:"internal error\n" () with
+        | () -> ()
+        | exception _ -> ());
+        (Telemetry.Other, (status, `Close))
+    in
+    let endpoint, (status, outcome) = result in
+    Telemetry.in_flight_decr t.telemetry;
+    let seconds = Unix.gettimeofday () -. t0 in
+    Telemetry.observe slot endpoint ~status ~seconds;
+    match outcome with
+    | `Rows (report : Pnrule.Serve.report) ->
+      Telemetry.add_rows slot
+        ~rows_in:report.Pnrule.Serve.ingest.Pn_data.Ingest_report.rows_read
+        ~rows_out:report.Pnrule.Serve.rows_out;
+      if keep then `Keep else `Close
+    | `Keep -> if keep then `Keep else `Close
+    | `Close -> `Close)

@@ -1,0 +1,50 @@
+(** Endpoint logic of the prediction daemon, one call per request.
+
+    The handler owns the hot-swappable model state: an [Atomic.t] whose
+    value is replaced wholesale on reload, so a request reads the model
+    exactly once at dispatch and keeps scoring on that snapshot even if
+    a reload lands mid-request — in-flight requests always finish on the
+    model they started with. *)
+
+(** One loaded model generation. *)
+type state = {
+  model : Pnrule.Model.t;
+  generation : int;  (** 1 for the initial load, +1 per successful reload *)
+  loaded_at : float;  (** unix time of the swap *)
+}
+
+type t
+
+(** [create ~load ~telemetry ...] loads the initial model via [load]
+    (exceptions propagate) and fixes the serving parameters. [draining]
+    is shared with the accept loop: when true, responses stop offering
+    keep-alive and [/healthz] turns 503. *)
+val create :
+  load:(unit -> Pnrule.Model.t) ->
+  telemetry:Telemetry.t ->
+  policy:Pn_data.Ingest_report.policy ->
+  chunk_size:int ->
+  max_body:int ->
+  max_rows:int ->
+  draining:bool Atomic.t ->
+  t
+
+val telemetry : t -> Telemetry.t
+
+(** Current model snapshot. *)
+val state : t -> state
+
+(** Bumped by the accept loop; surfaced on [/metrics]. *)
+val connections : t -> int Atomic.t
+
+(** [reload t] runs [load] and atomically swaps the model in. On
+    failure the old model stays and the failure is counted (surfaced on
+    [/metrics] as [pnrule_model_reload_failures_total]). *)
+val reload : t -> (unit, string) result
+
+(** [handle t ~slot conn] reads one request off [conn], dispatches it,
+    writes the response, and records telemetry into [slot]. Returns
+    whether the connection may serve another request. Never raises:
+    protocol errors become 4xx responses, handler bugs become 500s, and
+    a vanished peer becomes [`Close]. *)
+val handle : t -> slot:Telemetry.slot -> Http.conn -> [ `Keep | `Close ]

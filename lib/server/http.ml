@@ -1,0 +1,368 @@
+exception Bad_request of string
+exception Disconnect
+exception Timeout
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : bytes;
+  mutable rpos : int;
+  mutable rlen : int;
+}
+
+let make_conn ?(buf_size = 65536) fd =
+  if buf_size <= 0 then invalid_arg "Http.make_conn: buf_size";
+  { fd; rbuf = Bytes.create buf_size; rpos = 0; rlen = 0 }
+
+let fd c = c.fd
+
+(* ------------------------------------------------------------------ *)
+(* Raw IO                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Refill the connection buffer; false means EOF. The socket carries
+   SO_RCVTIMEO, so a stalled peer surfaces as [Timeout], not a hung
+   worker. *)
+let refill c =
+  let rec go () =
+    match Unix.read c.fd c.rbuf 0 (Bytes.length c.rbuf) with
+    | 0 -> false
+    | n ->
+      c.rpos <- 0;
+      c.rlen <- n;
+      true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise Timeout
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      raise Disconnect
+  in
+  go ()
+
+let write_all c s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring c.fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Disconnect
+  in
+  go 0
+
+let wait_readable c ~timeout ~stop =
+  if c.rpos < c.rlen then `Readable
+  else begin
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec loop () =
+      if stop () then `Stopped
+      else begin
+        let now = Unix.gettimeofday () in
+        if now >= deadline then `Timeout
+        else begin
+          let slice = Float.min 0.1 (deadline -. now) in
+          match Unix.select [ c.fd ] [] [] slice with
+          | [ _ ], _, _ -> `Readable
+          | _ -> loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        end
+      end
+    in
+    loop ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  version : string;
+  headers : (string * string) list;
+  content_length : int option;
+  chunked_body : bool;
+  keep_alive : bool;
+}
+
+let header req name = List.assoc_opt name req.headers
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise (Bad_request "malformed percent-encoding")
+
+let url_decode ?(plus_space = false) s =
+  if not (String.contains s '%' || (plus_space && String.contains s '+')) then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (match s.[!i] with
+      | '%' ->
+        if !i + 2 >= n then raise (Bad_request "truncated percent-encoding");
+        Buffer.add_char buf
+          (Char.chr ((16 * hex_value s.[!i + 1]) + hex_value s.[!i + 2]));
+        i := !i + 2
+      | '+' when plus_space -> Buffer.add_char buf ' '
+      | c -> Buffer.add_char buf c);
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
+let parse_query s =
+  if s = "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (url_decode ~plus_space:true kv, "")
+             | Some eq ->
+               Some
+                 ( url_decode ~plus_space:true (String.sub kv 0 eq),
+                   url_decode ~plus_space:true
+                     (String.sub kv (eq + 1) (String.length kv - eq - 1)) ))
+
+(* Read one head line (up to '\n', '\r' stripped). [budget] is the
+   remaining head byte allowance, mutated as we consume. [at_start]
+   distinguishes a clean EOF between keep-alive requests (Disconnect)
+   from EOF inside a head (Bad_request). *)
+let read_line c ~budget ~at_start =
+  let buf = Buffer.create 128 in
+  let rec go () =
+    if c.rpos >= c.rlen && not (refill c) then
+      if at_start && Buffer.length buf = 0 then raise Disconnect
+      else raise (Bad_request "EOF inside request head")
+    else begin
+      let stop = min c.rlen (c.rpos + !budget + 1) in
+      (* find '\n' in the buffered window *)
+      let nl = ref c.rpos in
+      while !nl < stop && Bytes.unsafe_get c.rbuf !nl <> '\n' do
+        incr nl
+      done;
+      let chunk_len = !nl - c.rpos in
+      Buffer.add_subbytes buf c.rbuf c.rpos chunk_len;
+      budget := !budget - chunk_len;
+      if !budget < 0 then raise (Bad_request "request head too large");
+      if !nl < c.rlen && Bytes.unsafe_get c.rbuf !nl = '\n' then begin
+        c.rpos <- !nl + 1;
+        decr budget;
+        let s = Buffer.contents buf in
+        let n = String.length s in
+        if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+      end
+      else begin
+        c.rpos <- !nl;
+        if !budget <= 0 then raise (Bad_request "request head too large");
+        go ()
+      end
+    end
+  in
+  go ()
+
+let read_request ?(max_header = 8192) c =
+  let budget = ref max_header in
+  let request_line = read_line c ~budget ~at_start:true in
+  let meth, target, version =
+    match String.split_on_char ' ' request_line with
+    | [ m; t; v ] when m <> "" && t <> "" -> (m, t, v)
+    | _ -> raise (Bad_request "malformed request line")
+  in
+  if not (String.length version = 8 && String.sub version 0 7 = "HTTP/1.") then
+    raise (Bad_request "unsupported protocol version");
+  let path, query =
+    match String.index_opt target '?' with
+    | None -> (url_decode target, [])
+    | Some q ->
+      ( url_decode (String.sub target 0 q),
+        parse_query (String.sub target (q + 1) (String.length target - q - 1)) )
+  in
+  let headers = ref [] in
+  let rec loop () =
+    let line = read_line c ~budget ~at_start:false in
+    if line <> "" then begin
+      (match String.index_opt line ':' with
+      | None | Some 0 -> raise (Bad_request "malformed header line")
+      | Some colon ->
+        let name = String.lowercase_ascii (String.sub line 0 colon) in
+        let value =
+          String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
+        in
+        headers := (name, value) :: !headers);
+      loop ()
+    end
+  in
+  loop ();
+  let headers = List.rev !headers in
+  let find name = List.assoc_opt name headers in
+  let content_length =
+    match find "content-length" with
+    | None -> None
+    | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 -> Some n
+      | Some _ | None -> raise (Bad_request "malformed Content-Length"))
+  in
+  let chunked_body =
+    match find "transfer-encoding" with
+    | Some v -> String.lowercase_ascii (String.trim v) <> "identity"
+    | None -> false
+  in
+  let keep_alive =
+    let conn = Option.map String.lowercase_ascii (find "connection") in
+    if version = "HTTP/1.0" then conn = Some "keep-alive" else conn <> Some "close"
+  in
+  {
+    meth;
+    path;
+    query;
+    version;
+    headers;
+    content_length;
+    chunked_body;
+    keep_alive;
+  }
+
+let body_reader c ~length =
+  let remaining = ref length in
+  fun buf ->
+    if !remaining <= 0 then 0
+    else begin
+      let want = min (Bytes.length buf) !remaining in
+      let n =
+        if c.rpos < c.rlen then begin
+          let n = min want (c.rlen - c.rpos) in
+          Bytes.blit c.rbuf c.rpos buf 0 n;
+          c.rpos <- c.rpos + n;
+          n
+        end
+        else begin
+          let rec rd () =
+            match Unix.read c.fd buf 0 want with
+            | 0 -> raise Disconnect (* body shorter than Content-Length *)
+            | n -> n
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> rd ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              raise Timeout
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              raise Disconnect
+          in
+          rd ()
+        end
+      in
+      remaining := !remaining - n;
+      n
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let status_text = function
+  | 100 -> "Continue"
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 411 -> "Length Required"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let add_head buf ~status ~content_type ~keep_alive extra =
+  Printf.bprintf buf "HTTP/1.1 %d %s\r\n" status (status_text status);
+  Printf.bprintf buf "server: pnrule\r\n";
+  Printf.bprintf buf "content-type: %s\r\n" content_type;
+  Printf.bprintf buf "connection: %s\r\n"
+    (if keep_alive then "keep-alive" else "close");
+  extra buf;
+  Buffer.add_string buf "\r\n"
+
+let respond c ?(content_type = "text/plain; charset=utf-8") ?(keep_alive = false)
+    ~status ~body () =
+  let buf = Buffer.create (String.length body + 256) in
+  add_head buf ~status ~content_type ~keep_alive (fun buf ->
+      Printf.bprintf buf "content-length: %d\r\n" (String.length body));
+  Buffer.add_string buf body;
+  write_all c (Buffer.contents buf)
+
+let continue_100 c = write_all c "HTTP/1.1 100 Continue\r\n\r\n"
+
+type stream_response = {
+  sc : conn;
+  status : int;
+  content_type : string;
+  keep_alive : bool;
+  threshold : int;
+  pending : Buffer.t;
+  chunk : Buffer.t;
+  mutable started : bool;
+  mutable finished : bool;
+}
+
+let start_stream c ?(content_type = "text/csv; charset=utf-8") ?(threshold = 16384)
+    ~status ~keep_alive () =
+  {
+    sc = c;
+    status;
+    content_type;
+    keep_alive;
+    threshold;
+    pending = Buffer.create 4096;
+    chunk = Buffer.create 4096;
+    started = false;
+    finished = false;
+  }
+
+let stream_started r = r.started
+
+(* One transfer chunk per call, head and payload in a single write. *)
+let send_chunk r s =
+  if String.length s > 0 then begin
+    Buffer.clear r.chunk;
+    Printf.bprintf r.chunk "%x\r\n" (String.length s);
+    Buffer.add_string r.chunk s;
+    Buffer.add_string r.chunk "\r\n";
+    write_all r.sc (Buffer.contents r.chunk)
+  end
+
+let start_now r =
+  let buf = Buffer.create 256 in
+  add_head buf ~status:r.status ~content_type:r.content_type
+    ~keep_alive:r.keep_alive (fun buf ->
+      Buffer.add_string buf "transfer-encoding: chunked\r\n");
+  write_all r.sc (Buffer.contents buf);
+  r.started <- true
+
+let stream_write r s =
+  if r.finished then invalid_arg "Http.stream_write: finished";
+  if r.started then send_chunk r s
+  else begin
+    Buffer.add_string r.pending s;
+    if Buffer.length r.pending >= r.threshold then begin
+      start_now r;
+      let s = Buffer.contents r.pending in
+      Buffer.clear r.pending;
+      send_chunk r s
+    end
+  end
+
+let stream_finish r =
+  if not r.finished then begin
+    r.finished <- true;
+    if r.started then write_all r.sc "0\r\n\r\n"
+    else
+      respond r.sc ~content_type:r.content_type ~keep_alive:r.keep_alive
+        ~status:r.status
+        ~body:(Buffer.contents r.pending)
+        ()
+  end

@@ -1,0 +1,109 @@
+(** Minimal from-scratch HTTP/1.1 server-side protocol layer.
+
+    One {!conn} per accepted socket, holding a preallocated read buffer
+    that lives for the whole connection (keep-alive requests reuse it).
+    Requests are parsed with bounded header size; bodies are exposed as
+    a refill function compatible with {!Pn_data.Stream.of_refill}, so a
+    predict body streams straight off the socket without ever being
+    materialized.
+
+    Writes are SIGPIPE-safe by construction provided the process ignores
+    SIGPIPE (the server installs that): a peer that went away surfaces
+    as {!Disconnect}, never as a signal. *)
+
+(** The request could not be parsed; answer 400 and close. *)
+exception Bad_request of string
+
+(** The peer closed or reset the connection. *)
+exception Disconnect
+
+(** A read exceeded the socket receive timeout. *)
+exception Timeout
+
+type conn
+
+(** [make_conn fd] wraps an accepted socket. [buf_size] is the
+    per-connection read buffer (default 64 KiB). The caller closes [fd]. *)
+val make_conn : ?buf_size:int -> Unix.file_descr -> conn
+
+val fd : conn -> Unix.file_descr
+
+type request = {
+  meth : string;  (** uppercase, e.g. ["GET"] *)
+  path : string;  (** percent-decoded, without the query string *)
+  query : (string * string) list;  (** decoded key/value pairs, in order *)
+  version : string;  (** ["HTTP/1.1"] *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  content_length : int option;
+  chunked_body : bool;  (** Transfer-Encoding: chunked request body *)
+  keep_alive : bool;  (** what the client asked for *)
+}
+
+(** First value of header [name] (give it lowercased). *)
+val header : request -> string -> string option
+
+(** [read_request conn] blocks for and parses one request head. Raises
+    {!Bad_request} (malformed or oversized head), {!Disconnect} (EOF
+    before a complete head — clean EOF between requests included),
+    {!Timeout}. [max_header] bounds the head size (default 8 KiB). *)
+val read_request : ?max_header:int -> conn -> request
+
+(** [body_reader conn ~length] is a refill function that yields exactly
+    [length] body bytes then 0, suitable for
+    {!Pn_data.Stream.of_refill}. Raises {!Disconnect} if the peer closes
+    early, {!Timeout} on a stalled read. *)
+val body_reader : conn -> length:int -> bytes -> int
+
+(** [wait_readable conn ~timeout ~stop] waits for the next request on a
+    keep-alive connection: polls in short slices so a drain ([stop ()]
+    turning true) is noticed promptly. [`Readable] may also mean EOF —
+    the next read will raise {!Disconnect}. *)
+val wait_readable :
+  conn -> timeout:float -> stop:(unit -> bool) -> [ `Readable | `Timeout | `Stopped ]
+
+(** [respond conn ~status ~body ()] writes a complete response with
+    [Content-Length]. [content_type] defaults to [text/plain].
+    [keep_alive] (default false) selects the [Connection] header. *)
+val respond :
+  conn ->
+  ?content_type:string ->
+  ?keep_alive:bool ->
+  status:int ->
+  body:string ->
+  unit ->
+  unit
+
+(** [continue_100 conn] writes the interim [100 Continue] response. *)
+val continue_100 : conn -> unit
+
+(** Deferred streaming response: nothing reaches the socket until the
+    buffered output crosses a threshold, so a handler that fails early
+    (schema mismatch, row limit) can still discard it and send a clean
+    error status instead. Once started, the response is chunked; a
+    failure after that point can only abort the connection. *)
+type stream_response
+
+(** [start_stream conn ~status ~keep_alive ()] creates a deferred
+    response. [threshold] is the buffered-bytes point at which the head
+    plus first chunk hit the socket (default 16 KiB). *)
+val start_stream :
+  conn ->
+  ?content_type:string ->
+  ?threshold:int ->
+  status:int ->
+  keep_alive:bool ->
+  unit ->
+  stream_response
+
+(** Whether any byte of this response has reached the socket. *)
+val stream_started : stream_response -> bool
+
+(** Append body output (sent as one transfer chunk once streaming). *)
+val stream_write : stream_response -> string -> unit
+
+(** Finish the response: a small never-started response degrades to a
+    plain [Content-Length] one; a started response gets its final
+    chunk. *)
+val stream_finish : stream_response -> unit
+
+val status_text : int -> string

@@ -1,0 +1,227 @@
+let log = Logs.Src.create "pn_server.lifecycle" ~doc:"daemon lifecycle"
+
+module Log = (val Logs.src_log log)
+
+type config = {
+  host : string;
+  port : int;
+  domains : int;
+  policy : Pn_data.Ingest_report.policy;
+  chunk_size : int;
+  max_body : int;
+  max_rows : int;
+  idle_timeout : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    domains = 1;
+    policy = Pn_data.Ingest_report.Strict;
+    chunk_size = 8192;
+    max_body = 64 * 1024 * 1024;
+    max_rows = 1_000_000;
+    idle_timeout = 5.0;
+  }
+
+(* Blocking multi-producer/multi-consumer queue; [None] is the
+   per-worker shutdown sentinel. *)
+module Q = struct
+  type 'a t = { q : 'a Queue.t; m : Mutex.t; c : Condition.t }
+
+  let create () = { q = Queue.create (); m = Mutex.create (); c = Condition.create () }
+
+  let push t v =
+    Mutex.lock t.m;
+    Queue.push v t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.c t.m
+    done;
+    let v = Queue.pop t.q in
+    Mutex.unlock t.m;
+    v
+end
+
+type t = {
+  config : config;
+  lfd : Unix.file_descr;
+  port : int;
+  handler : Handler.t;
+  queue : Unix.file_descr option Q.t;
+  stop_req : bool Atomic.t;
+  reload_req : bool Atomic.t;
+  draining : bool Atomic.t;
+  mutable listener : unit Domain.t option;
+}
+
+let port t = t.port
+
+let generation t = (Handler.state t.handler).Handler.generation
+
+let reload t = Handler.reload t.handler
+
+let request_reload t = Atomic.set t.reload_req true
+
+let request_stop t = Atomic.set t.stop_req true
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One connection, start to close: keep-alive requests loop until the
+   client leaves, the idle timeout fires, or a drain begins. Any
+   exception that escapes the handler (it catches its own) means the
+   connection is beyond saving — close it, keep the worker. *)
+let serve_conn t ~slot fd =
+  let conn = Http.make_conn fd in
+  let rec requests () =
+    match
+      Http.wait_readable conn ~timeout:t.config.idle_timeout ~stop:(fun () ->
+          Atomic.get t.draining)
+    with
+    | `Timeout | `Stopped -> ()
+    | `Readable -> (
+      match Handler.handle t.handler ~slot conn with
+      | `Keep -> requests ()
+      | `Close -> ())
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try requests () with _ -> ())
+
+let worker t i () =
+  let slot = Telemetry.slot (Handler.telemetry t.handler) i in
+  let rec loop () =
+    match Q.pop t.queue with
+    | None -> ()
+    | Some fd ->
+      serve_conn t ~slot fd;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Listener domain                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let listener t workers () =
+  let rec loop () =
+    if Atomic.get t.reload_req then begin
+      Atomic.set t.reload_req false;
+      ignore (Handler.reload t.handler)
+    end;
+    if Atomic.get t.stop_req then ()
+    else begin
+      (match Unix.select [ t.lfd ] [] [] 0.05 with
+      | [ _ ], _, _ -> (
+        match Unix.accept ~cloexec:true t.lfd with
+        | fd, _ ->
+          (* Bound every read so a stalled peer cannot pin a worker. *)
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout
+           with Unix.Unix_error _ -> ());
+          (* Responses are written as header + body chunks back to back;
+             without TCP_NODELAY, Nagle + delayed ACK turns that into a
+             ~40 ms stall per request. *)
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          ignore (Atomic.fetch_and_add (Handler.connections t.handler) 1);
+          Q.push t.queue (Some fd)
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+          ->
+          ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (* Graceful drain: stop accepting, let queued and in-flight
+     connections finish, wake idle keep-alive waits via [draining]. *)
+  Log.info (fun m -> m "draining: %d worker domain(s)" t.config.domains);
+  Atomic.set t.draining true;
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  (* Sentinels queue behind any accepted-but-unserved connections, so
+     those are served before the workers exit. *)
+  List.iter (fun _ -> Q.push t.queue None) workers;
+  List.iter Domain.join workers;
+  Log.info (fun m -> m "drained")
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = default_config) ~load () =
+  if config.domains < 1 || config.domains > 64 then
+    invalid_arg "Server.start: domains must be in 1..64";
+  if config.port < 0 || config.port > 65535 then
+    invalid_arg "Server.start: port must be in 0..65535";
+  if config.chunk_size <= 0 then invalid_arg "Server.start: chunk_size";
+  if config.max_body <= 0 then invalid_arg "Server.start: max_body";
+  if config.max_rows <= 0 then invalid_arg "Server.start: max_rows";
+  if config.idle_timeout <= 0.0 then invalid_arg "Server.start: idle_timeout";
+  (* SIGPIPE must die before the first write to a vanished client. *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let telemetry = Telemetry.create ~slots:config.domains in
+  let draining = Atomic.make false in
+  let handler =
+    Handler.create ~load ~telemetry ~policy:config.policy
+      ~chunk_size:config.chunk_size ~max_body:config.max_body
+      ~max_rows:config.max_rows ~draining
+  in
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+      Unix.bind lfd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+      Unix.listen lfd 128;
+      let port =
+        match Unix.getsockname lfd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> assert false
+      in
+      {
+        config;
+        lfd;
+        port;
+        handler;
+        queue = Q.create ();
+        stop_req = Atomic.make false;
+        reload_req = Atomic.make false;
+        draining;
+        listener = None;
+      }
+    with e ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  let workers = List.init config.domains (fun i -> Domain.spawn (worker t i)) in
+  t.listener <- Some (Domain.spawn (listener t workers));
+  Log.info (fun m ->
+      m "listening on %s:%d (%d worker domain(s), model generation 1)"
+        config.host t.port config.domains);
+  t
+
+let join t =
+  match t.listener with
+  | None -> ()
+  | Some d ->
+    t.listener <- None;
+    Domain.join d
+
+let stop t =
+  request_stop t;
+  join t
+
+let install_signals t =
+  Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> request_reload t));
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_stop t));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop t))

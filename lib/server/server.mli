@@ -1,0 +1,69 @@
+(** The resident prediction daemon: a TCP listener domain feeding a
+    fixed pool of worker domains over a blocking queue.
+
+    Lifecycle:
+    - {!start} loads the model, binds the socket, spawns the domains and
+      returns immediately;
+    - SIGHUP (or {!reload}) swaps the model atomically — requests in
+      flight finish on the model they started with;
+    - SIGTERM/SIGINT (or {!stop}) drains gracefully: the listener stops
+      accepting, already-accepted connections are served to completion,
+      idle keep-alive connections are closed, workers are joined.
+
+    Signals only flip atomics; the listener loop notices them within
+    ~50 ms and does the actual work, so handlers stay trivial. SIGPIPE
+    is ignored for the whole process while a server runs — a vanished
+    client surfaces as an [EPIPE] that the HTTP layer turns into a
+    closed connection, never a killed process. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  domains : int;  (** worker domains, 1..64 *)
+  policy : Pn_data.Ingest_report.policy;  (** default row policy *)
+  chunk_size : int;  (** rows decoded/scored per batch *)
+  max_body : int;  (** request body byte limit (413 beyond) *)
+  max_rows : int;  (** rows-per-request limit (413 beyond) *)
+  idle_timeout : float;
+      (** seconds a keep-alive connection may sit idle; also the
+          per-read stall timeout inside a request *)
+}
+
+(** [{host = "127.0.0.1"; port = 0; domains = 1; policy = Strict;
+    chunk_size = 8192; max_body = 64 MiB; max_rows = 1_000_000;
+    idle_timeout = 5.0}] *)
+val default_config : config
+
+type t
+
+(** [start ~config ~load ()] — [load] produces the model now (initial
+    load; exceptions propagate) and again on every reload. Raises
+    [Invalid_argument] on an out-of-range config, [Unix.Unix_error] if
+    the bind fails. *)
+val start : ?config:config -> load:(unit -> Pnrule.Model.t) -> unit -> t
+
+(** The actually-bound port (useful with [port = 0]). *)
+val port : t -> int
+
+(** Current model generation (1 = initial load). *)
+val generation : t -> int
+
+(** Synchronous reload — what SIGHUP triggers asynchronously. *)
+val reload : t -> (unit, string) result
+
+(** Flip the reload flag from a signal handler; the listener performs
+    the reload within ~50 ms. *)
+val request_reload : t -> unit
+
+(** Flip the stop flag; the listener begins the graceful drain within
+    ~50 ms. Signal-safe. *)
+val request_stop : t -> unit
+
+(** Block until the drain completes and all domains are joined. *)
+val join : t -> unit
+
+(** [request_stop] + [join]. Idempotent. *)
+val stop : t -> unit
+
+(** Install SIGHUP → reload, SIGTERM/SIGINT → stop for this server. *)
+val install_signals : t -> unit

@@ -1,0 +1,148 @@
+type endpoint =
+  | Predict
+  | Healthz
+  | Model_info
+  | Metrics
+  | Other
+
+let endpoints = [| Predict; Healthz; Model_info; Metrics; Other |]
+
+let n_endpoints = Array.length endpoints
+
+let endpoint_index = function
+  | Predict -> 0
+  | Healthz -> 1
+  | Model_info -> 2
+  | Metrics -> 3
+  | Other -> 4
+
+let endpoint_label = function
+  | Predict -> "predict"
+  | Healthz -> "healthz"
+  | Model_info -> "model"
+  | Metrics -> "metrics"
+  | Other -> "other"
+
+let buckets =
+  [| 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5 |]
+
+let n_buckets = Array.length buckets
+
+(* Single-writer per slot: each atomic is only ever written by its
+   owning worker domain, so there is no contention — Atomic is used for
+   publication (the scraping domain must see a coherent value), not for
+   mutual exclusion. *)
+type slot = {
+  requests : int Atomic.t array;  (* per endpoint *)
+  errors : int Atomic.t array;  (* per endpoint, status >= 400 *)
+  lat_buckets : int Atomic.t array array;  (* per endpoint x bucket *)
+  lat_sum : float Atomic.t array;  (* per endpoint, seconds *)
+  rows_in : int Atomic.t;
+  rows_out : int Atomic.t;
+}
+
+type t = {
+  slots : slot array;
+  in_flight : int Atomic.t;
+}
+
+let make_slot () =
+  {
+    requests = Array.init n_endpoints (fun _ -> Atomic.make 0);
+    errors = Array.init n_endpoints (fun _ -> Atomic.make 0);
+    lat_buckets =
+      Array.init n_endpoints (fun _ -> Array.init n_buckets (fun _ -> Atomic.make 0));
+    lat_sum = Array.init n_endpoints (fun _ -> Atomic.make 0.0);
+    rows_in = Atomic.make 0;
+    rows_out = Atomic.make 0;
+  }
+
+let create ~slots =
+  if slots < 1 then invalid_arg "Telemetry.create: slots";
+  { slots = Array.init slots (fun _ -> make_slot ()); in_flight = Atomic.make 0 }
+
+let slot t i = t.slots.(i)
+
+(* Uncontended by construction, so a plain read-modify-write is fine. *)
+let bump a = Atomic.set a (Atomic.get a + 1)
+
+let add a n = Atomic.set a (Atomic.get a + n)
+
+let observe s ep ~status ~seconds =
+  let e = endpoint_index ep in
+  bump s.requests.(e);
+  if status >= 400 then bump s.errors.(e);
+  Atomic.set s.lat_sum.(e) (Atomic.get s.lat_sum.(e) +. seconds);
+  let b = ref 0 in
+  while !b < n_buckets && seconds > buckets.(!b) do
+    incr b
+  done;
+  if !b < n_buckets then bump s.lat_buckets.(e).(!b)
+
+let add_rows s ~rows_in ~rows_out =
+  add s.rows_in rows_in;
+  add s.rows_out rows_out
+
+let in_flight_incr t = ignore (Atomic.fetch_and_add t.in_flight 1)
+
+let in_flight_decr t = ignore (Atomic.fetch_and_add t.in_flight (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Scrape-time merge + exposition text                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sum_int t f = Array.fold_left (fun acc s -> acc + Atomic.get (f s)) 0 t.slots
+
+let sum_float t f =
+  Array.fold_left (fun acc s -> acc +. Atomic.get (f s)) 0.0 t.slots
+
+let header buf name help kind =
+  Printf.bprintf buf "# HELP %s %s\n# TYPE %s %s\n" name help name kind
+
+let render t ~extra =
+  let buf = Buffer.create 4096 in
+  header buf "pnrule_requests_total" "Requests handled, by endpoint." "counter";
+  Array.iter
+    (fun ep ->
+      let e = endpoint_index ep in
+      Printf.bprintf buf "pnrule_requests_total{endpoint=%S} %d\n"
+        (endpoint_label ep)
+        (sum_int t (fun s -> s.requests.(e))))
+    endpoints;
+  header buf "pnrule_request_errors_total"
+    "Requests answered with a 4xx/5xx status, by endpoint." "counter";
+  Array.iter
+    (fun ep ->
+      let e = endpoint_index ep in
+      Printf.bprintf buf "pnrule_request_errors_total{endpoint=%S} %d\n"
+        (endpoint_label ep)
+        (sum_int t (fun s -> s.errors.(e))))
+    endpoints;
+  header buf "pnrule_rows_in_total"
+    "Data rows decoded from predict bodies (kept or skipped)." "counter";
+  Printf.bprintf buf "pnrule_rows_in_total %d\n" (sum_int t (fun s -> s.rows_in));
+  header buf "pnrule_rows_out_total" "Prediction lines written." "counter";
+  Printf.bprintf buf "pnrule_rows_out_total %d\n" (sum_int t (fun s -> s.rows_out));
+  header buf "pnrule_in_flight" "Requests currently being processed." "gauge";
+  Printf.bprintf buf "pnrule_in_flight %d\n" (Atomic.get t.in_flight);
+  header buf "pnrule_request_seconds" "Request latency, by endpoint." "histogram";
+  Array.iter
+    (fun ep ->
+      let e = endpoint_index ep in
+      let label = endpoint_label ep in
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun b le ->
+          cumulative := !cumulative + sum_int t (fun s -> s.lat_buckets.(e).(b));
+          Printf.bprintf buf "pnrule_request_seconds_bucket{endpoint=%S,le=\"%g\"} %d\n"
+            label le !cumulative)
+        buckets;
+      let count = sum_int t (fun s -> s.requests.(e)) in
+      Printf.bprintf buf "pnrule_request_seconds_bucket{endpoint=%S,le=\"+Inf\"} %d\n"
+        label count;
+      Printf.bprintf buf "pnrule_request_seconds_sum{endpoint=%S} %.6f\n" label
+        (sum_float t (fun s -> s.lat_sum.(e)));
+      Printf.bprintf buf "pnrule_request_seconds_count{endpoint=%S} %d\n" label count)
+    endpoints;
+  extra buf;
+  Buffer.contents buf

@@ -152,13 +152,26 @@ let map_array t n f =
 (* Process-default pool                                                 *)
 (* ------------------------------------------------------------------ *)
 
+let domains_of_env raw =
+  match int_of_string_opt (String.trim raw) with
+  | Some d when d >= 1 -> Ok (min d 64)
+  | Some d -> Error (Printf.sprintf "PNRULE_DOMAINS=%S: %d is not >= 1" raw d)
+  | None -> Error (Printf.sprintf "PNRULE_DOMAINS=%S is not an integer" raw)
+
+(* A bad PNRULE_DOMAINS used to silently fall through to
+   [recommended_domain_count], i.e. a typo'd knob quietly went *more*
+   parallel. Warn and force sequential instead: the conservative mode,
+   and the one every PNRULE_DOMAINS result is tested to be
+   bit-identical with. *)
 let env_domains () =
   match Sys.getenv_opt "PNRULE_DOMAINS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some d when d >= 1 -> Some (min d 64)
-    | Some _ | None -> None)
   | None -> None
+  | Some raw -> (
+    match domains_of_env raw with
+    | Ok d -> Some d
+    | Error msg ->
+      Logs.warn (fun m -> m "%s; falling back to sequential execution" msg);
+      Some 1)
 
 let default_pool : t option ref = ref None
 

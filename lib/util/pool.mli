@@ -39,10 +39,18 @@ val map_array : t -> int -> (int -> 'a) -> 'a array
     sequential execution; call it in tests or at process exit. *)
 val shutdown : t -> unit
 
+(** [domains_of_env raw] parses a [PNRULE_DOMAINS] value: [Ok d] for a
+    positive integer (surrounding whitespace ignored, capped at 64),
+    [Error msg] for anything else. Exposed so tests can pin the
+    parsing contract down without mutating the environment. *)
+val domains_of_env : string -> (int, string) result
+
 (** The process-wide default pool, created on first use. Its size comes
     from the [PNRULE_DOMAINS] environment variable when set to a
     positive integer (1 forces sequential execution, values are capped
-    at 64), otherwise from [Domain.recommended_domain_count ()]. *)
+    at 64), otherwise from [Domain.recommended_domain_count ()]. A set
+    but unparsable (or < 1) [PNRULE_DOMAINS] logs a warning and forces
+    sequential execution rather than silently going parallel. *)
 val get_default : unit -> t
 
 (** Replace the process default (tests use this to pin a size). The

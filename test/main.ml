@@ -18,4 +18,5 @@ let () =
       ("synth", Test_synth.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
+      ("server", Test_server.suite);
     ]

@@ -229,6 +229,73 @@ let qcheck_props =
         Float.abs (C.total cm -. D.total_weight ds) < 1e-6);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Header resolution against the serving schema                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A small trained model whose schema is the two attributes x, y. *)
+let header_model = lazy (L.train (separable ~seed:91 ~n:4_000) ~target:1)
+
+let two_attr_model = lazy (L.train (two_phase ~seed:92 ~n:8_000) ~target:1)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_resolve_header_edge_cases () =
+  let m = Lazy.force two_attr_model in
+  (* Extra columns are fine and must not disturb the mapping: the
+     returned indices point at the right header slots regardless of
+     order or junk in between. *)
+  (match M.resolve_header m [| "junk"; "y"; "class"; "x" |] with
+  | Ok map -> Alcotest.(check (array int)) "mapping" [| 3; 1 |] map
+  | Error msg -> Alcotest.failf "extra columns rejected: %s" msg);
+  (match M.resolve_header m [| "x"; "y" |] with
+  | Ok map -> Alcotest.(check (array int)) "identity" [| 0; 1 |] map
+  | Error msg -> Alcotest.failf "exact header rejected: %s" msg);
+  (* A duplicated attribute name is ambiguous, not first-wins. *)
+  (match M.resolve_header m [| "x"; "y"; "x" |] with
+  | Ok _ -> Alcotest.fail "duplicate column accepted"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "duplicate named: %s" msg)
+      true (contains msg "x"));
+  (* Every mismatch is reported at once, "; "-separated. *)
+  match M.resolve_header m [| "a"; "b" |] with
+  | Ok _ -> Alcotest.fail "alien header accepted"
+  | Error msg ->
+    Alcotest.(check bool) "mentions x" true (contains msg "x");
+    Alcotest.(check bool) "mentions y" true (contains msg "y");
+    Alcotest.(check bool) "separator" true (contains msg "; ")
+
+let test_missing_class_column_for_metrics () =
+  (* Asking the serving pipeline for metrics against a class column the
+     feed does not carry must fail up front, not stream garbage. *)
+  let m = Lazy.force header_model in
+  let feed = "x\n41.0\n10.0\n" in
+  let sink = Buffer.create 64 in
+  (try
+     ignore
+       (Pnrule.Serve.predict_stream ~class_column:"nope" ~model:m
+          ~source:(Pn_data.Stream.of_string feed)
+          ~write:(Buffer.add_string sink) ());
+     Alcotest.fail "expected Serve.Error"
+   with Pnrule.Serve.Error msg ->
+     Alcotest.(check bool)
+       (Printf.sprintf "names the column: %s" msg)
+       true
+       (String.length msg > 0));
+  (* Without the explicit request the same feed streams fine. *)
+  Buffer.clear sink;
+  let report =
+    Pnrule.Serve.predict_stream ~model:m
+      ~source:(Pn_data.Stream.of_string feed)
+      ~write:(Buffer.add_string sink) ()
+  in
+  Alcotest.(check int) "rows out" 2 report.Pnrule.Serve.rows_out;
+  Alcotest.(check bool) "no metrics" true (report.Pnrule.Serve.confusion = None)
+
 let suite =
   [
     Alcotest.test_case "separable problem solved" `Quick test_separable_perfect;
@@ -245,5 +312,8 @@ let suite =
     Alcotest.test_case "training stats bookkeeping" `Quick test_stats_bookkeeping;
     Alcotest.test_case "all metrics can train" `Quick test_metric_variants_train;
     Alcotest.test_case "training is deterministic" `Quick test_deterministic;
+    Alcotest.test_case "resolve_header edge cases" `Quick test_resolve_header_edge_cases;
+    Alcotest.test_case "missing class column for metrics" `Quick
+      test_missing_class_column_for_metrics;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_props

@@ -1,0 +1,494 @@
+(* End-to-end tests for the prediction daemon (lib/server): a real TCP
+   client pointed at a server booted on an ephemeral port. Every
+   response body is compared against the batch [Serve] pipeline's bytes
+   on the same rows — the two paths share one core and must agree
+   exactly. *)
+
+module Server = Pn_server.Server
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* A minimal blocking HTTP/1.1 client                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type t = {
+    fd : Unix.file_descr;
+    buf : Bytes.t;
+    mutable pos : int;
+    mutable len : int;
+  }
+
+  let connect port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; buf = Bytes.create 65536; pos = 0; len = 0 }
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+  let send t s =
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write t.fd b !off (n - !off)
+    done
+
+  let refill t =
+    let n = Unix.read t.fd t.buf 0 (Bytes.length t.buf) in
+    if n = 0 then failwith "client: unexpected EOF";
+    t.pos <- 0;
+    t.len <- n
+
+  let byte t =
+    if t.pos >= t.len then refill t;
+    let c = Bytes.get t.buf t.pos in
+    t.pos <- t.pos + 1;
+    c
+
+  let line t =
+    let b = Buffer.create 64 in
+    let rec go () =
+      match byte t with
+      | '\n' -> ()
+      | '\r' -> go ()
+      | c ->
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+
+  let read_n t n =
+    let b = Buffer.create n in
+    for _ = 1 to n do
+      Buffer.add_char b (byte t)
+    done;
+    Buffer.contents b
+
+  let read_headers t =
+    let rec go acc =
+      match line t with
+      | "" -> List.rev acc
+      | l -> (
+        match String.index_opt l ':' with
+        | None -> go acc
+        | Some i ->
+          let k = String.lowercase_ascii (String.sub l 0 i) in
+          let v = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+          go ((k, v) :: acc))
+    in
+    go []
+
+  let read_chunked t =
+    let b = Buffer.create 1024 in
+    let rec go () =
+      let size = int_of_string ("0x" ^ line t) in
+      if size = 0 then ignore (line t)
+      else begin
+        Buffer.add_string b (read_n t size);
+        ignore (line t);
+        go ()
+      end
+    in
+    go ();
+    Buffer.contents b
+
+  (* status, lowercased headers, fully decoded body *)
+  let read_response t =
+    let status_line = line t in
+    let status =
+      try Scanf.sscanf status_line "HTTP/1.1 %d" Fun.id
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        Alcotest.failf "bad status line %S" status_line
+    in
+    let hs = read_headers t in
+    let body =
+      match List.assoc_opt "transfer-encoding" hs with
+      | Some te when String.lowercase_ascii te = "chunked" -> read_chunked t
+      | _ -> (
+        match List.assoc_opt "content-length" hs with
+        | Some n -> read_n t (int_of_string n)
+        | None -> "")
+    in
+    (status, hs, body)
+
+  let request t ~meth ~path ?(headers = []) ?body () =
+    let b = Buffer.create 256 in
+    Printf.bprintf b "%s %s HTTP/1.1\r\nhost: test\r\n" meth path;
+    List.iter (fun (k, v) -> Printf.bprintf b "%s: %s\r\n" k v) headers;
+    (match body with
+    | Some s -> Printf.bprintf b "content-length: %d\r\n" (String.length s)
+    | None -> ());
+    Buffer.add_string b "\r\n";
+    (match body with Some s -> Buffer.add_string b s | None -> ());
+    send t (Buffer.contents b);
+    read_response t
+end
+
+(* One request on a throwaway connection. *)
+let one_shot port ~meth ~path ?headers ?body () =
+  let c = Client.connect port in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () -> Client.request c ~meth ~path ?headers ?body ())
+
+let metric_value text name =
+  let prefix = name ^ " " in
+  let plen = String.length prefix in
+  match
+    List.find_map
+      (fun l ->
+        if String.length l > plen && String.sub l 0 plen = prefix then
+          Some (String.sub l plen (String.length l - plen))
+        else None)
+      (String.split_on_char '\n' text)
+  with
+  | Some v -> float_of_string v
+  | None -> Alcotest.failf "metric %s missing from scrape" name
+
+let restore_signals () =
+  Sys.set_signal Sys.sighup Sys.Signal_default;
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  Sys.set_signal Sys.sigint Sys.Signal_default
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixture: one trained model, a CSV feed, and the batch
+   pipeline's exact bytes on that feed.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fixture =
+  lazy
+    (let spec = Pn_synth.Numerical.nsyn 1 in
+     let train = Pn_synth.Numerical.generate spec ~seed:71 ~n:10_000 in
+     let test = Pn_synth.Numerical.generate spec ~seed:72 ~n:1_237 in
+     let model =
+       Pnrule.Learner.train train ~target:Pn_synth.Numerical.target_class
+     in
+     let csv = Filename.temp_file "pnrule_srv" ".csv" in
+     let out = Filename.temp_file "pnrule_srv" ".out" in
+     Fun.protect
+       ~finally:(fun () ->
+         Sys.remove csv;
+         Sys.remove out)
+       (fun () ->
+         Pn_data.Csv_io.save test csv;
+         ignore
+           (Out_channel.with_open_bin out (fun oc ->
+                Pnrule.Serve.predict_csv ~chunk_size:256 ~model ~input:csv
+                  ~output:oc ()));
+         let body = In_channel.with_open_bin csv In_channel.input_all in
+         let expected = In_channel.with_open_bin out In_channel.input_all in
+         (model, body, expected, Pn_data.Dataset.n_records test)))
+
+(* The server must score with the same chunk size the batch reference
+   used, so the two outputs are comparable chunk for chunk. *)
+let boot ?(domains = 1) ?config ~model () =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { Server.default_config with domains; chunk_size = 256 }
+  in
+  Server.start ~config ~load:(fun () -> model) ()
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent keep-alive clients, byte-identical to batch              *)
+(* ------------------------------------------------------------------ *)
+
+let run_e2e ~domains () =
+  let model, body, expected, rows = Lazy.force fixture in
+  let srv = boot ~domains ~model () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let clients = 4 and reqs = 3 in
+      (* Each client domain holds one keep-alive connection and reuses it
+         for several predict requests. *)
+      let results =
+        List.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                let c = Client.connect port in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    List.init reqs (fun _ ->
+                        Client.request c ~meth:"POST" ~path:"/predict" ~body ()))))
+        |> List.map Domain.join
+      in
+      List.iter
+        (List.iter (fun (status, _, got) ->
+             Alcotest.(check int) "predict status" 200 status;
+             Alcotest.(check string) "byte-identical to batch Serve" expected
+               got))
+        results;
+      (* One more connection interleaving every endpoint, keep-alive. *)
+      let c = Client.connect port in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let s, _, b = Client.request c ~meth:"GET" ~path:"/healthz" () in
+          Alcotest.(check int) "healthz" 200 s;
+          Alcotest.(check string) "healthz body" "ok\n" b;
+          let s, hs, b = Client.request c ~meth:"GET" ~path:"/model" () in
+          Alcotest.(check int) "model" 200 s;
+          Alcotest.(check bool)
+            "model content type json" true
+            (match List.assoc_opt "content-type" hs with
+            | Some ct -> contains ct "application/json"
+            | None -> false);
+          Alcotest.(check bool)
+            "model json names the target" true
+            (contains b "\"target\"");
+          Alcotest.(check bool)
+            "model json generation" true
+            (contains b "\"generation\": 1");
+          let s, _, got = Client.request c ~meth:"POST" ~path:"/predict" ~body () in
+          Alcotest.(check int) "keep-alive predict" 200 s;
+          Alcotest.(check string) "keep-alive predict bytes" expected got;
+          (* The scrape reconciles with everything this test sent. *)
+          let s, _, m = Client.request c ~meth:"GET" ~path:"/metrics" () in
+          Alcotest.(check int) "metrics" 200 s;
+          let predicts = float_of_int ((clients * reqs) + 1) in
+          let total_rows = predicts *. float_of_int rows in
+          Alcotest.(check (float 0.0))
+            "predict requests" predicts
+            (metric_value m "pnrule_requests_total{endpoint=\"predict\"}");
+          Alcotest.(check (float 0.0))
+            "healthz requests" 1.0
+            (metric_value m "pnrule_requests_total{endpoint=\"healthz\"}");
+          Alcotest.(check (float 0.0))
+            "rows in" total_rows
+            (metric_value m "pnrule_rows_in_total");
+          Alcotest.(check (float 0.0))
+            "rows out" total_rows
+            (metric_value m "pnrule_rows_out_total");
+          Alcotest.(check (float 0.0))
+            "latency observations" predicts
+            (metric_value m
+               "pnrule_request_seconds_count{endpoint=\"predict\"}");
+          (* The scrape itself is the one request in flight. *)
+          Alcotest.(check (float 0.0))
+            "in flight" 1.0
+            (metric_value m "pnrule_in_flight")))
+
+(* ------------------------------------------------------------------ *)
+(* Error paths: the worker must survive every one of them              *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_paths () =
+  let model, _, _, _ = Lazy.force fixture in
+  let config =
+    {
+      Server.default_config with
+      domains = 2;
+      chunk_size = 64;
+      max_body = 2048;
+      max_rows = 8;
+    }
+  in
+  let srv = boot ~config ~model () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let attr_names =
+        Array.to_list
+          (Array.map
+             (fun (a : Pn_data.Attribute.t) -> a.name)
+             model.Pnrule.Model.attrs)
+      in
+      (* Garbage instead of a request line. *)
+      let c = Client.connect port in
+      Client.send c "NOT-EVEN-HTTP\r\n\r\n";
+      let s, _, _ = Client.read_response c in
+      Alcotest.(check int) "garbage request" 400 s;
+      Client.close c;
+      (* Routing errors. *)
+      let s, _, _ = one_shot port ~meth:"GET" ~path:"/nope" () in
+      Alcotest.(check int) "unknown route" 404 s;
+      let s, _, _ = one_shot port ~meth:"GET" ~path:"/predict" () in
+      Alcotest.(check int) "GET /predict" 405 s;
+      let s, _, _ = one_shot port ~meth:"POST" ~path:"/metrics" ~body:"" () in
+      Alcotest.(check int) "POST /metrics" 405 s;
+      (* Bad per-request override. *)
+      let s, _, _ =
+        one_shot port ~meth:"POST" ~path:"/predict?scores=maybe" ~body:"" ()
+      in
+      Alcotest.(check int) "bad scores flag" 400 s;
+      (* Schema mismatch: the 400 body lists every missing attribute. *)
+      let s, _, b =
+        one_shot port ~meth:"POST" ~path:"/predict" ~body:"a,b\n1,2\n" ()
+      in
+      Alcotest.(check int) "schema mismatch" 400 s;
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "mismatch message mentions %s" name)
+            true (contains b name))
+        attr_names;
+      (* Oversized body: rejected from the Content-Length alone, before
+         any body byte is sent. *)
+      let c = Client.connect port in
+      Client.send c
+        "POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: 4096\r\n\r\n";
+      let s, _, _ = Client.read_response c in
+      Alcotest.(check int) "oversized body" 413 s;
+      Client.close c;
+      (* Row-count limit (max_rows = 8). *)
+      let feed = Buffer.create 256 in
+      Buffer.add_string feed (String.concat "," attr_names ^ "\n");
+      for _ = 1 to 20 do
+        Buffer.add_string feed
+          (String.concat "," (List.map (fun _ -> "0") attr_names) ^ "\n")
+      done;
+      let s, _, _ =
+        one_shot port ~meth:"POST" ~path:"/predict?on-error=skip"
+          ~body:(Buffer.contents feed) ()
+      in
+      Alcotest.(check int) "row limit" 413 s;
+      (* Mid-request disconnect: head plus a truncated body, then gone. *)
+      let c = Client.connect port in
+      Client.send c
+        "POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: 1000\r\n\r\nhalf";
+      Client.close c;
+      Unix.sleepf 0.2;
+      (* Both workers are still alive and serving. *)
+      let s, _, b = one_shot port ~meth:"GET" ~path:"/healthz" () in
+      Alcotest.(check int) "healthz after errors" 200 s;
+      Alcotest.(check string) "healthz body" "ok\n" b;
+      let _, _, m = one_shot port ~meth:"GET" ~path:"/metrics" () in
+      (* 405 + bad flag + schema + oversize + row limit, all on the
+         predict endpoint. *)
+      Alcotest.(check (float 0.0))
+        "predict errors counted" 5.0
+        (metric_value m
+           "pnrule_request_errors_total{endpoint=\"predict\"}"))
+
+(* ------------------------------------------------------------------ *)
+(* Hot reload                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_reload_and_generation () =
+  let model, body, expected, _ = Lazy.force fixture in
+  let fail = ref false in
+  let load () = if !fail then failwith "synthetic load failure" else model in
+  let config = { Server.default_config with chunk_size = 256 } in
+  let srv = Server.start ~config ~load () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      restore_signals ())
+    (fun () ->
+      let port = Server.port srv in
+      Alcotest.(check int) "initial generation" 1 (Server.generation srv);
+      (match Server.reload srv with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "reload failed: %s" m);
+      Alcotest.(check int) "generation bumped" 2 (Server.generation srv);
+      let _, _, j = one_shot port ~meth:"GET" ~path:"/model" () in
+      Alcotest.(check bool)
+        "/model reports the new generation" true
+        (contains j "\"generation\": 2");
+      (* A failing load keeps the old model serving. *)
+      fail := true;
+      (match Server.reload srv with
+      | Ok () -> Alcotest.fail "expected reload failure"
+      | Error _ -> ());
+      Alcotest.(check int) "generation unchanged" 2 (Server.generation srv);
+      let s, _, got = one_shot port ~meth:"POST" ~path:"/predict" ~body () in
+      Alcotest.(check int) "still serving" 200 s;
+      Alcotest.(check string) "old model still answers" expected got;
+      (* SIGHUP: the asynchronous path through the listener loop. *)
+      fail := false;
+      Server.install_signals srv;
+      Unix.kill (Unix.getpid ()) Sys.sighup;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Server.generation srv < 3 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.02
+      done;
+      Alcotest.(check int) "SIGHUP reloaded" 3 (Server.generation srv);
+      let _, _, m = one_shot port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check (float 0.0))
+        "reloads counted" 2.0
+        (metric_value m "pnrule_model_reloads_total");
+      Alcotest.(check (float 0.0))
+        "failures counted" 1.0
+        (metric_value m "pnrule_model_reload_failures_total"))
+
+(* ------------------------------------------------------------------ *)
+(* Graceful drain                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_sigterm_drains_in_flight () =
+  let model, body, expected, _ = Lazy.force fixture in
+  let srv = boot ~domains:2 ~model () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      restore_signals ())
+    (fun () ->
+      let port = Server.port srv in
+      Server.install_signals srv;
+      let mid_request = Atomic.make false in
+      let client =
+        Domain.spawn (fun () ->
+            let c = Client.connect port in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                (* A completed first request guarantees a worker domain
+                   owns this connection before the drain begins. *)
+                let s, _, _ = Client.request c ~meth:"GET" ~path:"/healthz" () in
+                Alcotest.(check int) "pre-drain healthz" 200 s;
+                let cut = String.length body / 2 in
+                Client.send c
+                  (Printf.sprintf
+                     "POST /predict HTTP/1.1\r\n\
+                      host: t\r\n\
+                      content-length: %d\r\n\
+                      \r\n\
+                      %s"
+                     (String.length body)
+                     (String.sub body 0 cut));
+                Atomic.set mid_request true;
+                (* Hold the request open across the SIGTERM. *)
+                Unix.sleepf 0.6;
+                Client.send c (String.sub body cut (String.length body - cut));
+                Client.read_response c))
+      in
+      while not (Atomic.get mid_request) do
+        Unix.sleepf 0.01
+      done;
+      (* Give the worker a moment to pick the request up, then drain. *)
+      Unix.sleepf 0.15;
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      let status, _, got = Domain.join client in
+      Alcotest.(check int) "in-flight request finished" 200 status;
+      Alcotest.(check string) "complete, correct response" expected got;
+      Server.join srv;
+      (* Fully drained: the listener is gone. *)
+      match Client.connect port with
+      | c ->
+        Client.close c;
+        Alcotest.fail "server still accepting after drain"
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ())
+
+let suite =
+  [
+    Alcotest.test_case "e2e: 1 worker domain" `Quick (run_e2e ~domains:1);
+    Alcotest.test_case "e2e: 4 worker domains" `Quick (run_e2e ~domains:4);
+    Alcotest.test_case "error paths leave workers alive" `Quick
+      test_error_paths;
+    Alcotest.test_case "hot reload and generations" `Quick
+      test_reload_and_generation;
+    Alcotest.test_case "SIGTERM drains in-flight work" `Quick
+      test_sigterm_drains_in_flight;
+  ]

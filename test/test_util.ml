@@ -278,6 +278,36 @@ let test_pool_exception () =
         [| 0; 1; 2; 3 |]
         (Pool.map_array pool 4 (fun i -> i)))
 
+(* The PNRULE_DOMAINS parsing contract: positive integers (whitespace
+   tolerated, capped at 64) are accepted; anything else is a descriptive
+   error so [get_default] can warn and fall back to sequential. *)
+let test_pool_domains_of_env () =
+  let check_ok raw expected =
+    match Pool.domains_of_env raw with
+    | Ok d -> Alcotest.(check int) (Printf.sprintf "%S" raw) expected d
+    | Error msg -> Alcotest.failf "%S rejected: %s" raw msg
+  in
+  let check_err raw =
+    match Pool.domains_of_env raw with
+    | Ok d -> Alcotest.failf "%S accepted as %d" raw d
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error mentions the value" raw)
+        true
+        (msg <> "")
+  in
+  check_ok "1" 1;
+  check_ok "4" 4;
+  check_ok " 8 " 8;
+  check_ok "64" 64;
+  (* Values past the cap clamp rather than fail. *)
+  check_ok "100" 64;
+  check_err "";
+  check_err "garbage";
+  check_err "4.5";
+  check_err "0";
+  check_err "-3"
+
 let test_pool_shutdown_degrades () =
   let pool = Pool.create ~domains:2 in
   Pool.shutdown pool;
@@ -431,6 +461,7 @@ let suite =
     Alcotest.test_case "pool: map matches init" `Quick test_pool_map_matches_init;
     Alcotest.test_case "pool: exception propagates" `Quick test_pool_exception;
     Alcotest.test_case "pool: shutdown degrades" `Quick test_pool_shutdown_degrades;
+    Alcotest.test_case "pool: PNRULE_DOMAINS parsing" `Quick test_pool_domains_of_env;
     Alcotest.test_case "pool: nested map degrades" `Quick test_pool_nested;
     Alcotest.test_case "bitset: basics" `Quick test_bitset_basics;
   ]
