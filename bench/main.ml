@@ -156,6 +156,15 @@ let timing_benchmarks ~scale =
                  (Pn_induct.Grower.best_condition
                     ~metric:Pn_metrics.Rule_metric.Z_number ~ctx:bc_ctx ~target
                     bc_view)));
+        (* The fault registry's disarmed fast path: 1000 cap passes per
+           run, so ns/run ÷ 1000 is the per-pass tax the permanently
+           embedded fault points add to production IO loops. It should
+           measure as a handful of ns — one atomic load and a branch. *)
+        Test.make ~name:"fault-overhead-1k"
+          (Staged.stage (fun () ->
+               for _ = 1 to 1000 do
+                 ignore (Pn_util.Fault.cap "bench.probe" 4096)
+               done));
       ]
   in
   (* Batch 2: serving-path benchmarks over their own, larger datasets. *)

@@ -26,6 +26,17 @@ let ranged_int ~what ~lo ~hi =
         | None -> Error (Printf.sprintf "%s must be an integer, got %S" what s)),
       Format.pp_print_int )
 
+(* Same, for seconds-valued knobs (timeouts, deadlines). *)
+let ranged_float ~what ~lo ~hi =
+  Arg.conv'
+    ( (fun s ->
+        match float_of_string_opt s with
+        | Some v when v >= lo && v <= hi -> Ok v
+        | Some v ->
+          Error (Printf.sprintf "%s must be in %g..%g, got %g" what lo hi v)
+        | None -> Error (Printf.sprintf "%s must be a number, got %S" what s)),
+      fun ppf v -> Format.fprintf ppf "%g" v )
+
 let chunk_conv = ranged_int ~what:"chunk size" ~lo:1 ~hi:16_777_216
 
 let port_conv = ranged_int ~what:"port" ~lo:0 ~hi:65535
@@ -284,7 +295,7 @@ let predict_cmd =
 
 let serve_cmd =
   let run verbose model_file host port domains policy chunk max_body_mb max_rows
-      idle =
+      idle deadline =
     setup_logs verbose;
     let load () = Pnrule.Serialize.load model_file in
     let config =
@@ -297,6 +308,7 @@ let serve_cmd =
         max_body = max_body_mb * 1024 * 1024;
         max_rows;
         idle_timeout = idle;
+        deadline;
       }
     in
     match Pn_server.Server.start ~config ~load () with
@@ -375,6 +387,15 @@ let serve_cmd =
       & info [ "idle-timeout" ] ~docv:"SECONDS"
           ~doc:"Close keep-alive connections idle longer than this.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (ranged_float ~what:"deadline" ~lo:0.0 ~hi:86_400.0) 0.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request wall-clock budget; a predict request that overruns \
+             it is answered 408. 0 (the default) disables the deadline.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -388,7 +409,7 @@ let serve_cmd =
           gracefully.")
     Term.(
       const run $ verbose_arg $ model_file $ host $ port $ domains $ policy_arg
-      $ chunk_arg $ max_body $ max_rows $ idle)
+      $ chunk_arg $ max_body $ max_rows $ idle $ deadline)
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                 *)

@@ -32,7 +32,7 @@ let write_rules buf label rules =
 
 let to_string (m : Model.t) =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "pnrule-model v1\n";
+  Buffer.add_string buf "pnrule-model v2\n";
   Buffer.add_string buf (Printf.sprintf "target %d\n" m.Model.target);
   Buffer.add_string buf (Printf.sprintf "classes %d\n" (Array.length m.Model.classes));
   Array.iter (fun c -> Buffer.add_string buf ("  " ^ quote c ^ "\n")) m.Model.classes;
@@ -61,6 +61,11 @@ let to_string (m : Model.t) =
       Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf " %h" s)) row;
       Buffer.add_char buf '\n')
     m.Model.scores;
+  (* v2 footer: CRC-32 of every byte above it. [load] refuses a file
+     whose body and footer disagree, which is what lets hot reload tell
+     a torn or bit-flipped file from a healthy one. *)
+  Buffer.add_string buf
+    (Printf.sprintf "crc %08x\n" (Pn_util.Crc32.string (Buffer.contents buf)));
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -137,6 +142,14 @@ let bool_tok st =
   | Some v -> v
   | None -> fail "expected bool, found %S" t
 
+(* An element count from untrusted input: it must not exceed the tokens
+   actually present, or a corrupted count would drive a huge allocation
+   before the parse fails. *)
+let count_tok st ~what =
+  let v = int_tok st in
+  if v < 0 || v > List.length st.tokens then fail "implausible %s count %d" what v;
+  v
+
 let read_condition st =
   match next st with
   | "cat" ->
@@ -160,70 +173,157 @@ let read_condition st =
 
 let read_rules st label =
   expect st label;
-  let count = int_tok st in
+  let count = count_tok st ~what:"rule" in
   let rules =
     List.init count (fun _ ->
         expect st "rule";
-        let k = int_tok st in
+        let k = count_tok st ~what:"condition" in
         Pn_rules.Rule.of_conditions (List.init k (fun _ -> read_condition st)))
   in
   Pn_rules.Rule_list.of_list rules
 
-let of_string s =
-  let st = tokenize s in
-  expect st "pnrule-model";
-  expect st "v1";
-  expect st "target";
-  let target = int_tok st in
-  expect st "classes";
-  let n_classes = int_tok st in
-  let classes = Array.init n_classes (fun _ -> next st) in
-  expect st "attrs";
-  let n_attrs = int_tok st in
-  let attrs =
-    Array.init n_attrs (fun _ ->
-        match next st with
-        | "num" -> Pn_data.Attribute.numeric (next st)
-        | "cat" ->
-          let name = next st in
-          let arity = int_tok st in
-          Pn_data.Attribute.categorical name (Array.init arity (fun _ -> next st))
-        | other -> fail "unknown attribute kind %S" other)
+(* v2 files end with "crc XXXXXXXX\n" over every byte above it. Checked
+   on the raw bytes, before tokenization: any flip or truncation
+   anywhere in the file — including inside string literals the tokenizer
+   would otherwise choke on — surfaces as this one clean error. *)
+let verify_crc s =
+  let n = String.length s in
+  if n < 2 || s.[n - 1] <> '\n' then fail "missing checksum footer";
+  let body_end =
+    match String.rindex_from_opt s (n - 2) '\n' with Some i -> i + 1 | None -> 0
   in
-  expect st "decision";
-  let score_threshold = float_tok st in
-  let use_scoring = bool_tok st in
-  let p_rules = read_rules st "p_rules" in
-  let n_rules = read_rules st "n_rules" in
-  expect st "scores";
-  let rows = int_tok st in
-  let cols = int_tok st in
-  let scores = Array.init rows (fun _ -> Array.init cols (fun _ -> float_tok st)) in
-  if rows > 0 && cols <> Pn_rules.Rule_list.length n_rules + 1 then
-    fail "score matrix width %d does not match %d N-rules" cols
-      (Pn_rules.Rule_list.length n_rules);
-  if rows <> Pn_rules.Rule_list.length p_rules then
-    fail "score matrix height %d does not match %d P-rules" rows
-      (Pn_rules.Rule_list.length p_rules);
-  if target < 0 || target >= n_classes then fail "target class out of range";
-  {
-    Model.target;
-    classes;
-    attrs;
-    p_rules;
-    n_rules;
-    scores;
-    params = { Params.default with score_threshold; use_scoring };
-  }
+  let footer = String.sub s body_end (n - body_end) in
+  let stored =
+    try Scanf.sscanf footer "crc %x\n%!" Fun.id
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail "malformed checksum footer %S" (String.trim footer)
+  in
+  let actual = Pn_util.Crc32.string ~len:body_end s in
+  if stored <> actual then
+    fail "checksum mismatch: footer says %08x, content hashes to %08x" stored
+      actual
 
+let of_string s =
+  let parse () =
+    let st = tokenize s in
+    expect st "pnrule-model";
+    let version =
+      match next st with
+      | "v1" -> 1 (* legacy: no checksum footer *)
+      | "v2" -> 2
+      | other -> fail "unsupported format version %S" other
+    in
+    if version >= 2 then verify_crc s;
+    expect st "target";
+    let target = int_tok st in
+    expect st "classes";
+    let n_classes = count_tok st ~what:"class" in
+    let classes = Array.init n_classes (fun _ -> next st) in
+    expect st "attrs";
+    let n_attrs = count_tok st ~what:"attribute" in
+    let attrs =
+      Array.init n_attrs (fun _ ->
+          match next st with
+          | "num" -> Pn_data.Attribute.numeric (next st)
+          | "cat" ->
+            let name = next st in
+            let arity = count_tok st ~what:"value" in
+            Pn_data.Attribute.categorical name (Array.init arity (fun _ -> next st))
+          | other -> fail "unknown attribute kind %S" other)
+    in
+    expect st "decision";
+    let score_threshold = float_tok st in
+    let use_scoring = bool_tok st in
+    let p_rules = read_rules st "p_rules" in
+    let n_rules = read_rules st "n_rules" in
+    expect st "scores";
+    let rows = count_tok st ~what:"score row" in
+    let cols = count_tok st ~what:"score column" in
+    let scores = Array.init rows (fun _ -> Array.init cols (fun _ -> float_tok st)) in
+    if rows > 0 && cols <> Pn_rules.Rule_list.length n_rules + 1 then
+      fail "score matrix width %d does not match %d N-rules" cols
+        (Pn_rules.Rule_list.length n_rules);
+    if rows <> Pn_rules.Rule_list.length p_rules then
+      fail "score matrix height %d does not match %d P-rules" rows
+        (Pn_rules.Rule_list.length p_rules);
+    if target < 0 || target >= n_classes then fail "target class out of range";
+    if version >= 2 then begin
+      expect st "crc";
+      ignore (next st)
+    end;
+    {
+      Model.target;
+      classes;
+      attrs;
+      p_rules;
+      n_rules;
+      scores;
+      params = { Params.default with score_threshold; use_scoring };
+    }
+  in
+  (* Every reader failure mode must come out as [Corrupt]: callers (hot
+     reload, the CLI) decide "keep the old model" on that one exception,
+     and a stray [Scan_failure] would instead kill the worker. *)
+  try parse () with
+  | Corrupt _ as c -> raise c
+  | Scanf.Scan_failure _ | Failure _ | Invalid_argument _ | Not_found
+  | End_of_file ->
+    fail "malformed model text"
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* fsync of a directory makes the rename itself durable. Some
+   filesystems refuse it; that only weakens durability, never
+   atomicity, so errors are ignored. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Atomic save: all bytes go to a temp file in the target's directory,
+   reach disk via fsync, and only then rename over [path] — a crash at
+   any point leaves either the complete old file or the complete new
+   one, never a torn hybrid. The write loop passes the
+   [serialize.write] fault point so chaos tests can cut it short at an
+   arbitrary byte. *)
 let save m path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string m))
+  let data = to_string m in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let write_all fd =
+    let len = String.length data in
+    let off = ref 0 in
+    while !off < len do
+      let want = Pn_util.Fault.cap "serialize.write" (min 65536 (len - !off)) in
+      match Unix.write_substring fd data !off want with
+      | n -> off := !off + n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  match
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_all fd;
+        Unix.fsync fd)
+  with
+  | () ->
+    Sys.rename tmp path;
+    fsync_dir (Filename.dirname path)
+  | exception e ->
+    (* Never leave the half-written temp file behind — and never let the
+       failure touch [path]: the previous model generation stays valid. *)
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let load path =
-  let ic = open_in path in
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> of_string (In_channel.input_all ic))

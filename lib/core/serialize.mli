@@ -3,19 +3,33 @@
     The format is line-oriented and self-contained: it carries the class
     table, the attribute schema (with categorical value names), both rule
     lists, the ScoreMatrix, and the parameters needed to reproduce the
-    model's decision behaviour. Written models round-trip exactly. *)
+    model's decision behaviour. Written models round-trip exactly.
+
+    Format v2 (the only version written) ends with a [crc XXXXXXXX]
+    footer — the CRC-32 of every byte above it — which the readers
+    verify before parsing, so torn, truncated or bit-flipped files are
+    rejected with one clean error. v1 files (no footer) still load. *)
 
 exception Corrupt of string
-(** Raised by the readers on malformed input, with a description. *)
+(** Raised by the readers on malformed input — bad syntax, implausible
+    counts, or a checksum mismatch — with a description. Every reader
+    failure mode is funnelled into this exception so callers can safely
+    decide "keep the previous model". *)
 
-(** [to_string model] serializes a model. *)
+(** [to_string model] serializes a model (v2, checksum footer included). *)
 val to_string : Model.t -> string
 
 (** [of_string s] parses a serialized model. Raises [Corrupt]. *)
 val of_string : string -> Model.t
 
-(** [save model path] / [load path] — file-based wrappers. [load] raises
-    [Corrupt] or [Sys_error]. *)
+(** [save model path] writes atomically: the bytes go to a temp file in
+    [path]'s directory, are fsynced, and are renamed over [path] only
+    once complete — a crash mid-save leaves the previous file intact,
+    never a torn hybrid. Passes the [serialize.write] fault point.
+    Raises [Unix.Unix_error] / [Sys_error] on IO failure (the temp file
+    is removed, [path] untouched). *)
 val save : Model.t -> string -> unit
 
+(** [load path] reads and verifies a model file. Raises [Corrupt] or
+    [Sys_error]. *)
 val load : string -> Model.t

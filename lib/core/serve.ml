@@ -288,6 +288,7 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
         | Ok cells -> data_row ~line cells);
   if !n_header = 0 then fail "empty input";
   flush_chunk ();
+  Pn_data.Ingest_report.add_io_retries ingest (Pn_data.Stream.retries source);
   {
     ingest;
     chunks = !chunks;

@@ -16,13 +16,21 @@ type t = {
   mutable rows_kept : int;
   mutable rows_skipped : int;
   mutable cells_imputed : int;
+  mutable io_retries : int;
   mutable errors : (int * string) list;
 }
 
 let max_errors = 5
 
 let create () =
-  { rows_read = 0; rows_kept = 0; rows_skipped = 0; cells_imputed = 0; errors = [] }
+  {
+    rows_read = 0;
+    rows_kept = 0;
+    rows_skipped = 0;
+    cells_imputed = 0;
+    io_retries = 0;
+    errors = [];
+  }
 
 let row_read t = t.rows_read <- t.rows_read + 1
 
@@ -34,9 +42,12 @@ let row_skipped t ~line msg =
 
 let cell_imputed t = t.cells_imputed <- t.cells_imputed + 1
 
+let add_io_retries t n = t.io_retries <- t.io_retries + n
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>rows read %d, kept %d, skipped %d, cells imputed %d"
     t.rows_read t.rows_kept t.rows_skipped t.cells_imputed;
+  if t.io_retries > 0 then Format.fprintf ppf ", io retries %d" t.io_retries;
   List.iter
     (fun (line, msg) -> Format.fprintf ppf "@,  line %d: %s" line msg)
     t.errors;

@@ -27,6 +27,9 @@ type t = {
   mutable rows_kept : int;  (** rows that made it into the dataset *)
   mutable rows_skipped : int;  (** rows dropped by [Skip]/[Impute] *)
   mutable cells_imputed : int;  (** cells filled by [Impute] *)
+  mutable io_retries : int;
+      (** transient IO errors retried while feeding this ingest
+          ({!Stream.retries} of the underlying source) *)
   mutable errors : (int * string) list;
       (** sample of skip reasons as [(line, message)], oldest first;
           capped at {!max_errors} *)
@@ -46,5 +49,8 @@ val row_kept : t -> unit
 val row_skipped : t -> line:int -> string -> unit
 
 val cell_imputed : t -> unit
+
+(** [add_io_retries t n] accounts [n] transient-error retries. *)
+val add_io_retries : t -> int -> unit
 
 val pp : Format.formatter -> t -> unit

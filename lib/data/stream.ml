@@ -3,19 +3,69 @@ type source = {
   mutable pos : int;
   mutable len : int;
   refill : bytes -> int;
+  mutable retries : int;
 }
 
 let of_channel ?(buf_size = 65536) ic =
   if buf_size <= 0 then invalid_arg "Stream.of_channel: buf_size";
   let buf = Bytes.create buf_size in
-  { buf; pos = 0; len = 0; refill = (fun b -> input ic b 0 (Bytes.length b)) }
+  {
+    buf;
+    pos = 0;
+    len = 0;
+    refill = (fun b -> input ic b 0 (Bytes.length b));
+    retries = 0;
+  }
 
 let of_string s =
-  { buf = Bytes.of_string s; pos = 0; len = String.length s; refill = (fun _ -> 0) }
+  {
+    buf = Bytes.of_string s;
+    pos = 0;
+    len = String.length s;
+    refill = (fun _ -> 0);
+    retries = 0;
+  }
 
 let of_refill ?(buf_size = 65536) refill =
   if buf_size <= 0 then invalid_arg "Stream.of_refill: buf_size";
-  { buf = Bytes.create buf_size; pos = 0; len = 0; refill }
+  { buf = Bytes.create buf_size; pos = 0; len = 0; refill; retries = 0 }
+
+let retries src = src.retries
+
+(* Transient refill errors (EINTR/EAGAIN storms, injected faults) are
+   retried a bounded number of times with jittered exponential backoff;
+   each retry is counted on the source and surfaced through
+   [Ingest_report.io_retries]. Anything still failing after the budget
+   propagates to the caller. *)
+let max_refill_retries = 5
+
+let refill src =
+  let len = Bytes.length src.buf in
+  let rec attempt k =
+    match
+      (* A string-backed source can carry an empty buffer; the fault
+         point only makes sense for real reads. *)
+      let want = if len = 0 then 0 else Pn_util.Fault.cap "stream.refill" len in
+      if want >= len then src.refill src.buf
+      else begin
+        (* Injected short read: offer the producer a smaller window, so
+           every byte it yields still lands in [buf] — data is delayed,
+           never dropped. *)
+        let sub = Bytes.create want in
+        let n = src.refill sub in
+        Bytes.blit sub 0 src.buf 0 n;
+        n
+      end
+    with
+    | n -> n
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      when k < max_refill_retries ->
+      src.retries <- src.retries + 1;
+      Pn_util.Backoff.sleep ~attempt:k ();
+      attempt (k + 1)
+  in
+  attempt 0
 
 let next src =
   if src.pos < src.len then begin
@@ -24,7 +74,7 @@ let next src =
     Some c
   end
   else begin
-    let n = src.refill src.buf in
+    let n = refill src in
     if n = 0 then None
     else begin
       src.len <- n;

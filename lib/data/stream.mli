@@ -38,6 +38,12 @@ val of_string : string -> source
     to decode a request body straight off a socket. *)
 val of_refill : ?buf_size:int -> (bytes -> int) -> source
 
+(** [retries src] — transient refill errors (EINTR/EAGAIN, injected
+    faults at the [stream.refill] point) retried so far. Each refill
+    gets a bounded retry budget with jittered exponential backoff;
+    exhausting it propagates the error. *)
+val retries : source -> int
+
 (** [fold_csv src ~init ~f] folds [f] over every row of [src]. [line] is
     the 1-based physical line on which the row started; the payload is
     the decoded fields, or a description of why the row could not be

@@ -8,6 +8,11 @@ type state = {
   loaded_at : float;
 }
 
+(* A request that outlives its per-request deadline. Checked on every
+   body refill and every response write, so even a client trickling one
+   byte per timeout window cannot pin a worker past the deadline. *)
+exception Deadline
+
 type t = {
   state : state Atomic.t;
   load : unit -> Pnrule.Model.t;
@@ -16,13 +21,16 @@ type t = {
   chunk_size : int;
   max_body : int;
   max_rows : int;
+  deadline : float;
   draining : bool Atomic.t;
   connections : int Atomic.t;
   reloads : int Atomic.t;
   reload_failures : int Atomic.t;
+  worker_restarts : int Atomic.t;
 }
 
-let create ~load ~telemetry ~policy ~chunk_size ~max_body ~max_rows ~draining =
+let create ~load ~telemetry ~policy ~chunk_size ~max_body ~max_rows ~deadline
+    ~draining =
   let model = load () in
   {
     state =
@@ -33,10 +41,12 @@ let create ~load ~telemetry ~policy ~chunk_size ~max_body ~max_rows ~draining =
     chunk_size;
     max_body;
     max_rows;
+    deadline;
     draining;
     connections = Atomic.make 0;
     reloads = Atomic.make 0;
     reload_failures = Atomic.make 0;
+    worker_restarts = Atomic.make 0;
   }
 
 let telemetry t = t.telemetry
@@ -44,6 +54,8 @@ let telemetry t = t.telemetry
 let state t = Atomic.get t.state
 
 let connections t = t.connections
+
+let worker_restarts t = t.worker_restarts
 
 let reload t =
   match t.load () with
@@ -139,7 +151,13 @@ let metrics_text t =
         "# HELP pnrule_connections_total Connections accepted.\n\
          # TYPE pnrule_connections_total counter\n\
          pnrule_connections_total %d\n"
-        (Atomic.get t.connections))
+        (Atomic.get t.connections);
+      Printf.bprintf buf
+        "# HELP pnrule_worker_restarts_total Worker domains respawned after \
+         dying on an escaped exception.\n\
+         # TYPE pnrule_worker_restarts_total counter\n\
+         pnrule_worker_restarts_total %d\n"
+        (Atomic.get t.worker_restarts))
 
 (* Serving pools: each worker domain is already one lane of parallelism,
    and Pool.map_array does not support concurrent submitters — so every
@@ -189,17 +207,44 @@ let predict t conn (req : Http.request) ~keep =
           Http.continue_100 conn
         | Some _ | None -> ());
         let st = Atomic.get t.state in
-        let source = Pn_data.Stream.of_refill (Http.body_reader conn ~length:len) in
+        (* Deadline guard: checked on every body refill and every
+           response write, the two points where a slow peer can stall
+           the request indefinitely. 0 disables it. *)
+        let deadline_at =
+          if t.deadline > 0.0 then Unix.gettimeofday () +. t.deadline
+          else Float.infinity
+        in
+        let guard () =
+          if Unix.gettimeofday () > deadline_at then raise Deadline
+        in
+        let reader = Http.body_reader conn ~length:len in
+        let source =
+          Pn_data.Stream.of_refill (fun buf ->
+              guard ();
+              reader buf)
+        in
         let resp = Http.start_stream conn ~status:200 ~keep_alive:keep () in
         match
           Pnrule.Serve.predict_stream ~policy ~chunk_size:t.chunk_size
             ?class_column:(q "class-column") ~scores ~max_rows:t.max_rows
             ~pool:Pn_util.Pool.sequential ~model:st.model ~source
-            ~write:(Http.stream_write resp) ()
+            ~write:(fun s ->
+              guard ();
+              Http.stream_write resp s)
+            ()
         with
         | report ->
           Http.stream_finish resp;
           (200, `Rows report)
+        | exception Deadline ->
+          if Http.stream_started resp then (408, `Close)
+          else begin
+            Http.respond conn ~status:408
+              ~body:
+                (Printf.sprintf "request exceeded the %gs deadline\n" t.deadline)
+              ();
+            (408, `Close)
+          end
         | exception Pnrule.Serve.Error msg ->
           if Http.stream_started resp then begin
             (* The 200 head is on the wire; all we can do is truncate the
@@ -293,11 +338,14 @@ let handle t ~slot conn =
     Telemetry.in_flight_decr t.telemetry;
     let seconds = Unix.gettimeofday () -. t0 in
     Telemetry.observe slot endpoint ~status ~seconds;
+    Telemetry.add_retries slot (Http.take_io_retries conn);
     match outcome with
     | `Rows (report : Pnrule.Serve.report) ->
       Telemetry.add_rows slot
         ~rows_in:report.Pnrule.Serve.ingest.Pn_data.Ingest_report.rows_read
         ~rows_out:report.Pnrule.Serve.rows_out;
+      Telemetry.add_retries slot
+        report.Pnrule.Serve.ingest.Pn_data.Ingest_report.io_retries;
       if keep then `Keep else `Close
     | `Keep -> if keep then `Keep else `Close
     | `Close -> `Close)

@@ -16,9 +16,12 @@ type state = {
 type t
 
 (** [create ~load ~telemetry ...] loads the initial model via [load]
-    (exceptions propagate) and fixes the serving parameters. [draining]
-    is shared with the accept loop: when true, responses stop offering
-    keep-alive and [/healthz] turns 503. *)
+    (exceptions propagate) and fixes the serving parameters. [deadline]
+    is the per-request wall-clock budget in seconds (0 disables it); a
+    request that overruns it — checked on every body refill and every
+    response write — is answered 408 (or aborted if the response already
+    started). [draining] is shared with the accept loop: when true,
+    responses stop offering keep-alive and [/healthz] turns 503. *)
 val create :
   load:(unit -> Pnrule.Model.t) ->
   telemetry:Telemetry.t ->
@@ -26,6 +29,7 @@ val create :
   chunk_size:int ->
   max_body:int ->
   max_rows:int ->
+  deadline:float ->
   draining:bool Atomic.t ->
   t
 
@@ -36,6 +40,10 @@ val state : t -> state
 
 (** Bumped by the accept loop; surfaced on [/metrics]. *)
 val connections : t -> int Atomic.t
+
+(** Bumped by the listener when it respawns a dead worker domain;
+    surfaced on [/metrics] as [pnrule_worker_restarts_total]. *)
+val worker_restarts : t -> int Atomic.t
 
 (** [reload t] runs [load] and atomically swaps the model in. On
     failure the old model stays and the failure is counted (surfaced on

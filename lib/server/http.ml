@@ -7,13 +7,21 @@ type conn = {
   rbuf : bytes;
   mutable rpos : int;
   mutable rlen : int;
+  mutable wretries : int;
 }
 
 let make_conn ?(buf_size = 65536) fd =
   if buf_size <= 0 then invalid_arg "Http.make_conn: buf_size";
-  { fd; rbuf = Bytes.create buf_size; rpos = 0; rlen = 0 }
+  { fd; rbuf = Bytes.create buf_size; rpos = 0; rlen = 0; wretries = 0 }
 
 let fd c = c.fd
+
+(* Write-side retry accounting, drained once per request by the handler
+   so keep-alive connections never double-count. *)
+let take_io_retries c =
+  let n = c.wretries in
+  c.wretries <- 0;
+  n
 
 (* ------------------------------------------------------------------ *)
 (* Raw IO                                                               *)
@@ -38,17 +46,32 @@ let refill c =
   in
   go ()
 
+(* Transient write errors get a bounded, backed-off retry budget per
+   write call (EINTR used to spin-retry unboundedly — an EINTR storm
+   could wedge a worker). The [serve.chunk_write] fault point can cut a
+   write short or inject those errors; short writes are naturally safe
+   because the loop resumes at the new offset. *)
+let max_write_retries = 5
+
 let write_all c s =
   let len = String.length s in
-  let rec go off =
+  let rec go off attempts =
     if off < len then
-      match Unix.write_substring c.fd s off (len - off) with
-      | n -> go (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      match
+        let want = Pn_util.Fault.cap "serve.chunk_write" (len - off) in
+        Unix.write_substring c.fd s off want
+      with
+      | n -> go (off + n) 0
+      | exception
+          Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        when attempts < max_write_retries ->
+        c.wretries <- c.wretries + 1;
+        Pn_util.Backoff.sleep ~attempt:attempts ();
+        go off (attempts + 1)
       | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
         raise Disconnect
   in
-  go 0
+  go 0 0
 
 let wait_readable c ~timeout ~stop =
   if c.rpos < c.rlen then `Readable

@@ -28,6 +28,13 @@ val make_conn : ?buf_size:int -> Unix.file_descr -> conn
 
 val fd : conn -> Unix.file_descr
 
+(** [take_io_retries c] returns the transient write errors retried on
+    this connection since the last call, and zeroes the counter — the
+    handler drains it once per request into the telemetry slot. Writes
+    retry EINTR/EAGAIN (and faults injected at [serve.chunk_write]) a
+    bounded number of times with jittered exponential backoff. *)
+val take_io_retries : conn -> int
+
 type request = {
   meth : string;  (** uppercase, e.g. ["GET"] *)
   path : string;  (** percent-decoded, without the query string *)

@@ -11,6 +11,7 @@ type config = {
   max_body : int;
   max_rows : int;
   idle_timeout : float;
+  deadline : float;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     max_body = 64 * 1024 * 1024;
     max_rows = 1_000_000;
     idle_timeout = 5.0;
+    deadline = 0.0;
   }
 
 (* Blocking multi-producer/multi-consumer queue; [None] is the
@@ -48,6 +50,15 @@ module Q = struct
     v
 end
 
+(* One worker domain plus the flag it raises when it dies on an escaped
+   exception. The listener polls the flag, joins the corpse, and
+   respawns into the same slot (same telemetry index), so a crashed
+   worker never shrinks the pool. *)
+type worker_slot = {
+  mutable domain : unit Domain.t;
+  dead : bool Atomic.t;
+}
+
 type t = {
   config : config;
   lfd : Unix.file_descr;
@@ -57,6 +68,7 @@ type t = {
   stop_req : bool Atomic.t;
   reload_req : bool Atomic.t;
   draining : bool Atomic.t;
+  mutable workers : worker_slot array;
   mutable listener : unit Domain.t option;
 }
 
@@ -77,7 +89,10 @@ let request_stop t = Atomic.set t.stop_req true
 (* One connection, start to close: keep-alive requests loop until the
    client leaves, the idle timeout fires, or a drain begins. Any
    exception that escapes the handler (it catches its own) means the
-   connection is beyond saving — close it, keep the worker. *)
+   connection is beyond saving — close it, keep the worker. The one
+   deliberate hole: an injected [server.worker] fault is re-raised so it
+   kills the worker domain, which is exactly the crash the supervision
+   path exists to recover from. *)
 let serve_conn t ~slot fd =
   let conn = Http.make_conn fd in
   let rec requests () =
@@ -93,9 +108,18 @@ let serve_conn t ~slot fd =
   in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () -> try requests () with _ -> ())
+    (fun () ->
+      try
+        Pn_util.Fault.check "server.worker";
+        requests ()
+      with
+      | Pn_util.Fault.Injected _ as e -> raise e
+      | _ -> ())
 
-let worker t i () =
+(* A worker never lets an exception escape its domain: it records the
+   death in [dead] and returns, so [Domain.join] on the corpse is always
+   clean and the listener can respawn it. *)
+let worker t i dead () =
   let slot = Telemetry.slot (Handler.telemetry t.handler) i in
   let rec loop () =
     match Q.pop t.queue with
@@ -104,18 +128,40 @@ let worker t i () =
       serve_conn t ~slot fd;
       loop ()
   in
-  loop ()
+  try loop ()
+  with e ->
+    Log.err (fun m -> m "worker domain %d died: %s" i (Printexc.to_string e));
+    Atomic.set dead true
+
+let spawn_worker t i =
+  let dead = Atomic.make false in
+  { domain = Domain.spawn (worker t i dead); dead }
+
+(* Supervision sweep, run from the listener loop: join any worker that
+   flagged itself dead and respawn into the same slot. *)
+let check_workers t =
+  Array.iteri
+    (fun i ws ->
+      if Atomic.get ws.dead then begin
+        Domain.join ws.domain;
+        ignore (Atomic.fetch_and_add (Handler.worker_restarts t.handler) 1);
+        Log.warn (fun m -> m "respawning dead worker domain %d" i);
+        Atomic.set ws.dead false;
+        ws.domain <- Domain.spawn (worker t i ws.dead)
+      end)
+    t.workers
 
 (* ------------------------------------------------------------------ *)
 (* Listener domain                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let listener t workers () =
+let listener t () =
   let rec loop () =
     if Atomic.get t.reload_req then begin
       Atomic.set t.reload_req false;
       ignore (Handler.reload t.handler)
     end;
+    check_workers t;
     if Atomic.get t.stop_req then ()
     else begin
       (match Unix.select [ t.lfd ] [] [] 0.05 with
@@ -136,9 +182,18 @@ let listener t workers () =
             Unix.Unix_error
               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
           ->
-          ())
+          ()
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          (* The listening socket was closed under us (a stop racing the
+             accept). Treat it as the stop it is instead of crashing the
+             listener domain and hanging [join]. *)
+          Atomic.set t.stop_req true)
       | _ -> ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* Same race, seen by select: a closed lfd must start the drain,
+           not busy-loop or kill the domain. *)
+        Atomic.set t.stop_req true);
       loop ()
     end
   in
@@ -150,8 +205,8 @@ let listener t workers () =
   (try Unix.close t.lfd with Unix.Unix_error _ -> ());
   (* Sentinels queue behind any accepted-but-unserved connections, so
      those are served before the workers exit. *)
-  List.iter (fun _ -> Q.push t.queue None) workers;
-  List.iter Domain.join workers;
+  Array.iter (fun _ -> Q.push t.queue None) t.workers;
+  Array.iter (fun ws -> Domain.join ws.domain) t.workers;
   Log.info (fun m -> m "drained")
 
 (* ------------------------------------------------------------------ *)
@@ -167,6 +222,7 @@ let start ?(config = default_config) ~load () =
   if config.max_body <= 0 then invalid_arg "Server.start: max_body";
   if config.max_rows <= 0 then invalid_arg "Server.start: max_rows";
   if config.idle_timeout <= 0.0 then invalid_arg "Server.start: idle_timeout";
+  if config.deadline < 0.0 then invalid_arg "Server.start: deadline";
   (* SIGPIPE must die before the first write to a vanished client. *)
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let telemetry = Telemetry.create ~slots:config.domains in
@@ -174,7 +230,7 @@ let start ?(config = default_config) ~load () =
   let handler =
     Handler.create ~load ~telemetry ~policy:config.policy
       ~chunk_size:config.chunk_size ~max_body:config.max_body
-      ~max_rows:config.max_rows ~draining
+      ~max_rows:config.max_rows ~deadline:config.deadline ~draining
   in
   let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   let t =
@@ -197,14 +253,15 @@ let start ?(config = default_config) ~load () =
         stop_req = Atomic.make false;
         reload_req = Atomic.make false;
         draining;
+        workers = [||];
         listener = None;
       }
     with e ->
       (try Unix.close lfd with Unix.Unix_error _ -> ());
       raise e
   in
-  let workers = List.init config.domains (fun i -> Domain.spawn (worker t i)) in
-  t.listener <- Some (Domain.spawn (listener t workers));
+  t.workers <- Array.init config.domains (fun i -> spawn_worker t i);
+  t.listener <- Some (Domain.spawn (listener t));
   Log.info (fun m ->
       m "listening on %s:%d (%d worker domain(s), model generation 1)"
         config.host t.port config.domains);

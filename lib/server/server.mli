@@ -14,7 +14,13 @@
     ~50 ms and does the actual work, so handlers stay trivial. SIGPIPE
     is ignored for the whole process while a server runs — a vanished
     client surfaces as an [EPIPE] that the HTTP layer turns into a
-    closed connection, never a killed process. *)
+    closed connection, never a killed process.
+
+    The listener also supervises the worker pool: a worker domain that
+    dies on an escaped exception flags itself, and the listener joins
+    the corpse and respawns a fresh domain into the same slot (same
+    telemetry index) within ~50 ms. Restarts are counted and exported as
+    [pnrule_worker_restarts_total]. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -27,11 +33,15 @@ type config = {
   idle_timeout : float;
       (** seconds a keep-alive connection may sit idle; also the
           per-read stall timeout inside a request *)
+  deadline : float;
+      (** per-request wall-clock budget in seconds; 0 disables it. A
+          predict request that overruns it is answered 408 (or aborted
+          mid-stream). *)
 }
 
 (** [{host = "127.0.0.1"; port = 0; domains = 1; policy = Strict;
     chunk_size = 8192; max_body = 64 MiB; max_rows = 1_000_000;
-    idle_timeout = 5.0}] *)
+    idle_timeout = 5.0; deadline = 0.0}] *)
 val default_config : config
 
 type t

@@ -39,6 +39,7 @@ type slot = {
   lat_sum : float Atomic.t array;  (* per endpoint, seconds *)
   rows_in : int Atomic.t;
   rows_out : int Atomic.t;
+  io_retries : int Atomic.t;
 }
 
 type t = {
@@ -55,6 +56,7 @@ let make_slot () =
     lat_sum = Array.init n_endpoints (fun _ -> Atomic.make 0.0);
     rows_in = Atomic.make 0;
     rows_out = Atomic.make 0;
+    io_retries = Atomic.make 0;
   }
 
 let create ~slots =
@@ -82,6 +84,8 @@ let observe s ep ~status ~seconds =
 let add_rows s ~rows_in ~rows_out =
   add s.rows_in rows_in;
   add s.rows_out rows_out
+
+let add_retries s n = if n > 0 then add s.io_retries n
 
 let in_flight_incr t = ignore (Atomic.fetch_and_add t.in_flight 1)
 
@@ -123,6 +127,11 @@ let render t ~extra =
   Printf.bprintf buf "pnrule_rows_in_total %d\n" (sum_int t (fun s -> s.rows_in));
   header buf "pnrule_rows_out_total" "Prediction lines written." "counter";
   Printf.bprintf buf "pnrule_rows_out_total %d\n" (sum_int t (fun s -> s.rows_out));
+  header buf "pnrule_io_retries_total"
+    "Transient IO errors retried with backoff (socket reads and writes)."
+    "counter";
+  Printf.bprintf buf "pnrule_io_retries_total %d\n"
+    (sum_int t (fun s -> s.io_retries));
   header buf "pnrule_in_flight" "Requests currently being processed." "gauge";
   Printf.bprintf buf "pnrule_in_flight %d\n" (Atomic.get t.in_flight);
   header buf "pnrule_request_seconds" "Request latency, by endpoint." "histogram";

@@ -40,6 +40,11 @@ val observe : slot -> endpoint -> status:int -> seconds:float -> unit
     lines written. *)
 val add_rows : slot -> rows_in:int -> rows_out:int -> unit
 
+(** [add_retries slot n] accounts [n] transient IO errors that were
+    retried (stream refills and response writes) — exported as
+    [pnrule_io_retries_total]. *)
+val add_retries : slot -> int -> unit
+
 (** The in-flight request gauge (shared; incremented when a request has
     been parsed, decremented when its response is done). *)
 val in_flight_incr : t -> unit

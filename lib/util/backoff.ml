@@ -1,0 +1,19 @@
+(* Exponential backoff with jitter for bounded IO retry loops. The
+   jitter stream is a process-global splitmix64 sequence: it only spreads
+   retry timing, so it needs no per-call-site seeding and never affects
+   computed results. *)
+
+let mu = Mutex.create ()
+
+let rng = Rng.create 0x6a69747465 (* "jitte" *)
+
+let jitter () = Mutex.protect mu (fun () -> Rng.float rng 1.0)
+
+let delay ?(base = 0.001) ?(cap = 0.05) ~attempt () =
+  if attempt < 0 then invalid_arg "Backoff.delay: attempt";
+  let exp = Float.min cap (base *. Float.pow 2.0 (float_of_int attempt)) in
+  (* Decorrelated-ish: uniform in [exp/2, exp), so concurrent retriers
+     spread out instead of thundering in lockstep. *)
+  (exp /. 2.0) *. (1.0 +. jitter ())
+
+let sleep ?base ?cap ~attempt () = Unix.sleepf (delay ?base ?cap ~attempt ())

@@ -1,0 +1,11 @@
+(** Exponential backoff with jitter for bounded retry of transient IO
+    errors (EINTR/EAGAIN storms, injected faults). *)
+
+(** [delay ~attempt ()] is the pause before retry number [attempt]
+    (0-based): exponential from [base] seconds (default 1 ms), capped at
+    [cap] (default 50 ms), jittered uniformly into [exp/2, exp) so
+    concurrent retriers decorrelate. *)
+val delay : ?base:float -> ?cap:float -> attempt:int -> unit -> float
+
+(** [sleep ~attempt ()] sleeps for [delay ~attempt ()]. *)
+val sleep : ?base:float -> ?cap:float -> attempt:int -> unit -> unit

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG checksum) over strings.
+
+    Checksums are returned as plain non-negative ints in [0, 2^32). *)
+
+(** [string s] is the CRC-32 of [s] (or of the [pos]/[len] slice). *)
+val string : ?pos:int -> ?len:int -> string -> int
+
+(** [update crc s ~pos ~len] extends a running checksum, so a value can
+    be computed incrementally over slices: [update (update 0 a ...) b ...]
+    equals [string (a ^ b)]. *)
+val update : int -> string -> pos:int -> len:int -> int

@@ -1,0 +1,276 @@
+exception Injected of string
+
+type outcome =
+  | Eintr
+  | Eagain
+  | Raise
+  | Short of int
+  | Crash_after of int
+
+type point = {
+  outcome : outcome;
+  after : int;
+  every : int;
+  times : int;
+  p : float;
+  rng : Rng.t;
+  mutable passes : int;
+  mutable fired : int;
+  (* Crash_after only: bytes still allowed through before the "crash". *)
+  mutable budget : int;
+}
+
+(* The whole registry lives behind one mutex; fault points are consulted
+   from worker domains concurrently. The disarmed fast path never takes
+   the lock: it is a single atomic load, which is what lets the points
+   sit permanently in IO hot loops. *)
+let mu = Mutex.create ()
+
+let enabled = Atomic.make false
+
+let table : (string, point) Hashtbl.t = Hashtbl.create 8
+
+let base_seed = ref 0
+
+let locked f = Mutex.protect mu f
+
+let set_seed n = locked (fun () -> base_seed := n)
+
+let seed () = locked (fun () -> !base_seed)
+
+(* Each point draws its probability coins from a private splitmix64
+   stream derived from (seed, name), so arming extra points never
+   perturbs another point's schedule. *)
+let point_rng name =
+  Rng.create (!base_seed lxor Hashtbl.hash name lxor 0x66617573 (* "faus" *))
+
+let arm ?(after = 0) ?(every = 1) ?(times = max_int) ?(p = 1.0) name outcome =
+  locked (fun () ->
+      Hashtbl.replace table name
+        {
+          outcome;
+          after = max 0 after;
+          every = max 1 every;
+          times = max 0 times;
+          p = Float.min 1.0 (Float.max 0.0 p);
+          rng = point_rng name;
+          passes = 0;
+          fired = 0;
+          budget = (match outcome with Crash_after n -> max 0 n | _ -> 0);
+        };
+      Atomic.set enabled true)
+
+let disarm name =
+  locked (fun () ->
+      Hashtbl.remove table name;
+      if Hashtbl.length table = 0 then Atomic.set enabled false)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Atomic.set enabled false)
+
+let find name = locked (fun () -> Hashtbl.find_opt table name)
+
+let passes name = match find name with None -> 0 | Some pt -> pt.passes
+
+let fired name = match find name with None -> 0 | Some pt -> pt.fired
+
+let suppressed name = passes name - fired name
+
+let stats () =
+  locked (fun () ->
+      Hashtbl.fold (fun name pt acc -> (name, pt.passes, pt.fired) :: acc) table [])
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Schedule evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One pass of the deterministic schedule (registry lock held). The coin
+   is only flipped on passes that are otherwise eligible, so the rng
+   stream position — and therefore the whole replay — depends only on
+   the pass sequence, never on wall clock or domain interleaving within
+   a single point. *)
+let schedule_fires pt =
+  pt.passes > pt.after
+  && (pt.passes - pt.after - 1) mod pt.every = 0
+  && pt.fired < pt.times
+  && (pt.p >= 1.0 || Rng.float pt.rng 1.0 < pt.p)
+
+let exn_of name = function
+  | Eintr -> Unix.Unix_error (Unix.EINTR, name, "injected")
+  | Eagain -> Unix.Unix_error (Unix.EAGAIN, name, "injected")
+  | Raise | Short _ | Crash_after _ -> Injected name
+
+let check name =
+  if Atomic.get enabled then begin
+    let verdict =
+      locked (fun () ->
+          match Hashtbl.find_opt table name with
+          | None -> None
+          | Some pt -> (
+            pt.passes <- pt.passes + 1;
+            match pt.outcome with
+            (* Byte-count outcomes cannot fire at a countless point. *)
+            | Short _ | Crash_after _ -> None
+            | (Eintr | Eagain | Raise) as o ->
+              if schedule_fires pt then begin
+                pt.fired <- pt.fired + 1;
+                Some (exn_of name o)
+              end
+              else None))
+    in
+    match verdict with None -> () | Some e -> raise e
+  end
+
+let cap name n =
+  if n <= 0 then invalid_arg "Fault.cap: byte count must be positive";
+  if not (Atomic.get enabled) then n
+  else begin
+    let verdict =
+      locked (fun () ->
+          match Hashtbl.find_opt table name with
+          | None -> Ok n
+          | Some pt -> (
+            pt.passes <- pt.passes + 1;
+            match pt.outcome with
+            | Crash_after _ ->
+              (* Unconditional once armed: the budget is the schedule. *)
+              if pt.budget >= n then begin
+                pt.budget <- pt.budget - n;
+                Ok n
+              end
+              else if pt.budget > 0 then begin
+                let allowed = pt.budget in
+                pt.budget <- 0;
+                pt.fired <- pt.fired + 1;
+                Ok allowed
+              end
+              else begin
+                pt.fired <- pt.fired + 1;
+                Error (Injected name)
+              end
+            | Short k ->
+              if schedule_fires pt then begin
+                pt.fired <- pt.fired + 1;
+                Ok (min n (max 1 k))
+              end
+              else Ok n
+            | (Eintr | Eagain | Raise) as o ->
+              if schedule_fires pt then begin
+                pt.fired <- pt.fired + 1;
+                Error (exn_of name o)
+              end
+              else Ok n))
+    in
+    match verdict with Ok m -> m | Error e -> raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* PNRULE_FAULTS grammar                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: %S is not an integer" what s)
+
+let parse_mode clause s =
+  let prefixed pre =
+    let lp = String.length pre in
+    if String.length s > lp && String.sub s 0 lp = pre then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  match s with
+  | "eintr" -> Ok Eintr
+  | "eagain" -> Ok Eagain
+  | "raise" -> Ok Raise
+  | _ -> (
+    match prefixed "short@" with
+    | Some k -> Result.map (fun k -> Short k) (parse_int clause k)
+    | None -> (
+      match prefixed "crash@" with
+      | Some n -> Result.map (fun n -> Crash_after n) (parse_int clause n)
+      | None -> Error (Printf.sprintf "%s: unknown mode %S" clause s)))
+
+let parse_clause clause =
+  match String.index_opt clause ':' with
+  | None -> (
+    (* seed=N is the only point-free clause. *)
+    match String.split_on_char '=' clause with
+    | [ "seed"; v ] -> Result.map (fun s -> `Seed s) (parse_int clause v)
+    | _ ->
+      Error
+        (Printf.sprintf "%S: expected NAME:MODE[,k=v...] or seed=N" clause))
+  | Some colon -> (
+    let name = String.sub clause 0 colon in
+    let rest = String.sub clause (colon + 1) (String.length clause - colon - 1) in
+    match String.split_on_char ',' rest with
+    | [] | [ "" ] -> Error (Printf.sprintf "%S: missing mode" clause)
+    | mode :: modifiers -> (
+      match parse_mode clause mode with
+      | Error _ as e -> e
+      | Ok outcome ->
+        let rec apply ~after ~every ~times ~p = function
+          | [] -> Ok (`Point (name, outcome, after, every, times, p))
+          | m :: tl -> (
+            match String.split_on_char '=' m with
+            | [ "after"; v ] ->
+              Result.bind (parse_int clause v) (fun after ->
+                  apply ~after ~every ~times ~p tl)
+            | [ "every"; v ] ->
+              Result.bind (parse_int clause v) (fun every ->
+                  apply ~after ~every ~times ~p tl)
+            | [ "times"; v ] ->
+              Result.bind (parse_int clause v) (fun times ->
+                  apply ~after ~every ~times ~p tl)
+            | [ "p"; v ] -> (
+              match float_of_string_opt v with
+              | Some p -> apply ~after ~every ~times ~p tl
+              | None ->
+                Error (Printf.sprintf "%s: p=%S is not a float" clause v))
+            | _ ->
+              Error (Printf.sprintf "%s: unknown modifier %S" clause m))
+        in
+        apply ~after:0 ~every:1 ~times:max_int ~p:1.0 modifiers))
+
+let arm_spec spec =
+  let clauses =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  (* Two passes so seed=N applies to every point of the spec regardless
+     of clause order. *)
+  List.fold_left
+    (fun acc clause ->
+      Result.bind acc (fun parsed ->
+          Result.map (fun c -> c :: parsed) (parse_clause clause)))
+    (Ok []) clauses
+  |> Result.map (fun parsed ->
+         let parsed = List.rev parsed in
+         List.iter (function `Seed s -> set_seed s | `Point _ -> ()) parsed;
+         List.iter
+           (function
+             | `Seed _ -> ()
+             | `Point (name, outcome, after, every, times, p) ->
+               arm ~after ~every ~times ~p name outcome)
+           parsed)
+
+(* Environment arming happens once, at module initialization, so a
+   PNRULE_FAULTS run needs no code changes anywhere. The seed is
+   printed because the acceptance bar for every chaos failure is "replays
+   exactly from the printed seed". *)
+let () =
+  match Sys.getenv_opt "PNRULE_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match arm_spec spec with
+    | Ok () ->
+      Printf.eprintf "pnrule: fault injection armed (seed=%d): %s\n%!" (seed ())
+        spec
+    | Error msg ->
+      Printf.eprintf
+        "pnrule: ignoring malformed PNRULE_FAULTS (%s); no faults armed\n%!" msg)

@@ -1,0 +1,94 @@
+(** Deterministic fault injection: named fault points, armed on demand.
+
+    A fault point is a named site in production code — [serialize.write],
+    [stream.refill], [server.worker], [serve.chunk_write] — that consults
+    this registry on every pass. When the registry is disarmed (the
+    default) a pass costs one atomic load and a branch, so the points can
+    live permanently in hot paths. When a point is armed, a deterministic
+    splitmix64-seeded schedule decides on which passes the fault fires,
+    and the outcome is injected: an exception, a transient [Unix] errno,
+    a short read/write, or a simulated crash after a byte budget.
+
+    Arming is either programmatic ({!arm}, for tests) or via the
+    [PNRULE_FAULTS] environment variable (for chaos CI and manual ops
+    drills), whose grammar is semicolon-separated clauses:
+
+    {v
+    PNRULE_FAULTS="seed=42;stream.refill:eintr,p=0.2;serialize.write:crash@4096"
+
+    clause  := 'seed=' INT | NAME ':' mode modifiers
+    mode    := 'eintr' | 'eagain' | 'raise' | 'short@' INT | 'crash@' INT
+    modifier:= ',after=' INT   passes to let through before firing
+             | ',every=' INT   then fire on every Nth eligible pass
+             | ',times=' INT   stop after this many firings
+             | ',p=' FLOAT     fire each eligible pass with probability p
+    v}
+
+    The same seed replays the same schedule exactly — including the
+    [p]-gated coin flips, which come from a per-point splitmix64 stream —
+    so every chaos failure reproduces from the printed seed. *)
+
+exception Injected of string
+(** The injected "software bug" exception; the payload names the point.
+    Supervision layers treat it like any other escaped exception. *)
+
+(** What an armed point does when its schedule fires. *)
+type outcome =
+  | Eintr  (** raise [Unix.Unix_error (EINTR, point, "")] *)
+  | Eagain  (** raise [Unix.Unix_error (EAGAIN, point, "")] *)
+  | Raise  (** raise {!Injected} *)
+  | Short of int  (** cap the pass's byte count at this many bytes *)
+  | Crash_after of int
+      (** let this many bytes through the point in total, then raise
+          {!Injected} on every later pass — a mid-write crash *)
+
+(** [arm name outcome] arms a point programmatically. [after] passes are
+    let through untouched (default 0); then every [every]-th eligible
+    pass fires (default 1), each gated by probability [p] (default 1.0),
+    until [times] firings have happened (default unlimited). Re-arming a
+    name replaces its schedule and zeroes its counters. *)
+val arm :
+  ?after:int -> ?every:int -> ?times:int -> ?p:float -> string -> outcome -> unit
+
+(** [arm_spec spec] parses and applies one [PNRULE_FAULTS]-grammar string.
+    Returns [Error] (and arms nothing from the offending clause) on a
+    malformed clause. *)
+val arm_spec : string -> (unit, string) result
+
+(** [disarm name] removes one point; {!reset} removes all of them and
+    restores the zero-cost disarmed fast path. *)
+val disarm : string -> unit
+
+val reset : unit -> unit
+
+(** [set_seed n] re-seeds the schedule streams of subsequently armed
+    points (default seed 0). *)
+val set_seed : int -> unit
+
+(** The seed in force — printed by chaos harnesses so failures replay. *)
+val seed : unit -> int
+
+(** [check name] passes a non-IO fault point: raises per the armed
+    outcome ([Short]/[Crash_after] never fire here — there is no byte
+    count to cut). No-op when disarmed. *)
+val check : string -> unit
+
+(** [cap name n] passes an IO fault point that is about to move [n > 0]
+    bytes: returns how many bytes the caller may actually move ([n] when
+    disarmed or the schedule does not fire, [min n k] for [Short k], the
+    remaining budget for [Crash_after]) and raises when the outcome is an
+    exception. The caller must move at most the returned count this
+    pass. *)
+val cap : string -> int -> int
+
+(** [fired name] / [passes name] — firings and total passes of a point,
+    armed or not (0 for unknown names). [suppressed] is
+    [passes - fired]. *)
+val fired : string -> int
+
+val passes : string -> int
+
+val suppressed : string -> int
+
+(** All armed points as [(name, passes, fired)], sorted by name. *)
+val stats : unit -> (string * int * int) list

@@ -19,4 +19,5 @@ let () =
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
       ("server", Test_server.suite);
+      ("fault", Test_fault.suite);
     ]

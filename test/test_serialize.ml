@@ -157,6 +157,27 @@ let model_gen =
       params = { Pnrule.Params.default with score_threshold; use_scoring };
     }
 
+(* A corruption: flip one body byte (past the version line, which is not
+   under the checksum's protection against a v2->v1 downgrade) or chop
+   the tail off. Either way the reader must answer with [Corrupt] — not
+   crash with a stray exception, and never return a model as if nothing
+   happened. *)
+let corruption_gen =
+  let open QCheck.Gen in
+  model_gen >>= fun model ->
+  let s = S.to_string model in
+  let body_start = String.index s '\n' + 1 in
+  oneof
+    [
+      ( int_range body_start (String.length s - 1) >>= fun pos ->
+        int_range 1 255 >>= fun delta ->
+        let b = Bytes.of_string s in
+        Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) + delta) land 0xff));
+        return (Bytes.to_string b) );
+      ( int_range 0 (String.length s - 1) >>= fun keep ->
+        return (String.sub s 0 keep) );
+    ]
+
 let qcheck_props =
   [
     QCheck.Test.make ~count:300 ~name:"serialize round-trip is a fixed point"
@@ -170,6 +191,15 @@ let qcheck_props =
         && back.M.classes = model.M.classes
         && back.M.attrs = model.M.attrs
         && back.M.target = model.M.target);
+    QCheck.Test.make ~count:500
+      ~name:"serialize: corrupted bytes always raise Corrupt"
+      (QCheck.make corruption_gen)
+      (fun corrupted ->
+        match S.of_string corrupted with
+        | _ -> QCheck.Test.fail_report "corruption accepted silently"
+        | exception S.Corrupt _ -> true
+        | exception e ->
+          QCheck.Test.fail_reportf "leaked exception %s" (Printexc.to_string e));
   ]
 
 (* ------------------------------------------------------------------ *)
