@@ -17,23 +17,81 @@ let default_scale = 0.2
 (* Where --json writes the timing estimates (None = stdout only). *)
 let json_file : string option ref = ref None
 
+(* Raw token following ["key":] in a JSON-ish line — the hand-rolled
+   counterpart of the writer below. Only bare numbers match; quoted
+   strings deliberately don't. *)
+let find_sub s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let field_token line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+    let n = String.length line in
+    let start = ref (i + String.length key + 3) in
+    while !start < n && line.[!start] = ' ' do
+      incr start
+    done;
+    let stop = ref !start in
+    while
+      !stop < n
+      &&
+      match line.[!stop] with
+      | '0' .. '9' | 'a' .. 'z' | '.' | '+' | '-' -> true
+      | _ -> false
+    do
+      incr stop
+    done;
+    if !stop > !start then Some (String.sub line !start (!stop - !start))
+    else None
+
 (* Parse a snapshot previously written by [write_json] back into
-   (name, raw value string) pairs. Only the benchmark entry lines are
-   recognized; header fields and anything foreign are ignored. *)
+   (name, (ns, domains, scale)) entries with raw value strings. V1
+   snapshots carried scale/domains only at file level; entries missing
+   the per-entry fields inherit the file-level values seen above them,
+   so merging into the v2 schema keeps the conditions each number was
+   measured under. Anything foreign is ignored. *)
 let read_snapshot path =
   if not (Sys.file_exists path) then []
   else begin
     let ic = open_in path in
+    let file_scale = ref "null" in
+    let file_domains = ref "null" in
     let entries = ref [] in
     (try
        while true do
          let line = input_line ic in
-         try
+         match
            Scanf.sscanf line " {%S: %S, %S: %[0-9a-z.+-]"
              (fun k1 name k2 value ->
                if k1 = "name" && k2 = "ns_per_run" && value <> "" then
-                 entries := (name, value) :: !entries)
-         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+                 Some (name, value)
+               else None)
+         with
+         | Some (name, value) ->
+           let domains =
+             Option.value (field_token line "domains") ~default:!file_domains
+           in
+           let sc =
+             Option.value (field_token line "scale") ~default:!file_scale
+           in
+           entries := (name, (value, domains, sc)) :: !entries
+         | None -> ()
+         | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+           if find_sub line "\"name\"" = None then begin
+             (match field_token line "scale" with
+             | Some v -> file_scale := v
+             | None -> ());
+             match field_token line "domains" with
+             | Some v -> file_domains := v
+             | None -> ()
+           end
        done
      with End_of_file -> ());
     close_in ic;
@@ -43,9 +101,14 @@ let read_snapshot path =
 (* Hand-rolled writer: the repo deliberately has no JSON dependency.
    Re-runs merge into an existing snapshot: a benchmark measured this
    run replaces its old line in place, benchmarks not re-measured keep
-   theirs, and genuinely new names append. Running one bench with
+   theirs (including the domains/scale they were measured at), and
+   genuinely new names append. Running one bench with
    [--only timing --json FILE] therefore never drops the others. *)
 let write_json ~path ~scale estimates =
+  let domains =
+    string_of_int (Pn_util.Pool.size (Pn_util.Pool.get_default ()))
+  in
+  let scale_s = Printf.sprintf "%g" scale in
   let fresh =
     List.map
       (fun (name, estimate) ->
@@ -54,7 +117,7 @@ let write_json ~path ~scale estimates =
           | Some t when Float.is_finite t -> Printf.sprintf "%.1f" t
           | Some _ | None -> "null"
         in
-        (name, value))
+        (name, (value, domains, scale_s)))
       estimates
   in
   let existing = read_snapshot path in
@@ -67,15 +130,17 @@ let write_json ~path ~scale estimates =
   in
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"pnrule-bench-v1\",\n";
-  Printf.fprintf oc "  \"scale\": %g,\n" scale;
-  Printf.fprintf oc "  \"domains\": %d,\n" (Pn_util.Pool.size (Pn_util.Pool.get_default ()));
+  Printf.fprintf oc "  \"schema\": \"pnrule-bench-v2\",\n";
+  Printf.fprintf oc "  \"scale\": %s,\n" scale_s;
+  Printf.fprintf oc "  \"domains\": %s,\n" domains;
   Printf.fprintf oc "  \"unit\": \"ns/run\",\n";
   Printf.fprintf oc "  \"benchmarks\": [\n";
   let last = List.length merged - 1 in
   List.iteri
-    (fun k (name, value) ->
-      Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %s}%s\n" name value
+    (fun k (name, (value, dom, sc)) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ns_per_run\": %s, \"domains\": %s, \"scale\": %s}%s\n"
+        name value dom sc
         (if k = last then "" else ","))
     merged;
   Printf.fprintf oc "  ]\n}\n";
@@ -175,6 +240,8 @@ let timing_benchmarks ~scale =
      syscalls) is part of the measurement by design. *)
   let csv200 = Filename.temp_file "pnrule_bench_" ".csv" in
   Pn_data.Csv_io.save ds200 csv200;
+  let pnc200 = Filename.temp_file "pnrule_bench_" ".pnc" in
+  Pn_data.Columnar.save ds200 pnc200;
   let batch2 =
     run_tests
       [
@@ -191,6 +258,11 @@ let timing_benchmarks ~scale =
         (* Streaming loader: two full decode passes over a 200k-row file. *)
         Test.make ~name:"ingest-200k"
           (Staged.stage (fun () -> ignore (Pn_data.Csv_io.load csv200)));
+        (* Binary columnar loader over the same 200k rows: block reads,
+           CRC verification and typed decode, but no text parsing.
+           Compare against ingest-200k for the format's decode win. *)
+        Test.make ~name:"ingest-columnar-200k"
+          (Staged.stage (fun () -> ignore (Pn_data.Columnar.load pnc200)));
         (* The whole serving pipeline: stream the file in, score it in
            8k-row chunks through the compiled engine, stream predictions
            out. Compare against pnrule-score-200k for the decode+IO tax. *)
@@ -203,9 +275,23 @@ let timing_benchmarks ~scale =
                    ignore
                      (Pnrule.Serve.predict_csv ~model:pn_model ~input:csv200
                         ~output:null ()))));
+        (* Same pipeline over the columnar file: row groups decode
+           straight into the scorer's buffers, so this should sit within
+           a small factor of pnrule-score-200k — the end-to-end payoff
+           the format exists for. *)
+        Test.make ~name:"predict-e2e-columnar-200k"
+          (Staged.stage (fun () ->
+               let null = open_out "/dev/null" in
+               Fun.protect
+                 ~finally:(fun () -> close_out null)
+                 (fun () ->
+                   ignore
+                     (Pnrule.Serve.predict_pnc ~model:pn_model ~input:pnc200
+                        ~output:null ()))));
       ]
   in
   Sys.remove csv200;
+  Sys.remove pnc200;
   (* Batch 3: the daemon's hot serving loop. One keep-alive connection
      POSTs a 10k-row body per run and fully reads the chunked response,
      so the measurement covers HTTP framing, the streaming decode/score

@@ -24,6 +24,65 @@ let median sorted =
   if m land 1 = 1 then sorted.(m / 2)
   else (sorted.((m / 2) - 1) +. sorted.(m / 2)) /. 2.0
 
+(* The output side shared by the CSV and columnar feeds: header line,
+   chunk scoring, prediction formatting and confusion accounting. Both
+   decoders funnel their chunks through [em_emit], which is what makes a
+   CSV feed and a columnar feed of the same rows produce byte-identical
+   prediction output. *)
+type emitter = {
+  em_header : unit -> unit;
+  em_emit :
+    n:int -> columns:Pn_data.Dataset.column array -> actuals:int array -> unit;
+  em_chunks : int ref;
+  em_rows_out : int ref;
+  em_confusion : Pn_metrics.Confusion.t ref;
+}
+
+let make_emitter ?pool ~scores ~(model : Model.t) ~write () =
+  let outbuf = Buffer.create 4096 in
+  let chunks = ref 0 in
+  let rows_out = ref 0 in
+  let confusion = ref Pn_metrics.Confusion.zero in
+  let target_name = model.Model.classes.(model.Model.target) in
+  let negative_name = "not-" ^ target_name in
+  let em_header () =
+    write (if scores then "prediction,score\n" else "prediction\n")
+  in
+  let em_emit ~n ~columns ~actuals =
+    let ds =
+      Pn_data.Dataset.create ~attrs:model.Model.attrs ~columns
+        ~labels:(Array.make n 0) ~classes:model.Model.classes ()
+    in
+    let predicted = Model.predict_all ?pool model ds in
+    let score_v = if scores then Some (Model.score_all ?pool model ds) else None in
+    Buffer.clear outbuf;
+    for i = 0 to n - 1 do
+      let name = if predicted.(i) then target_name else negative_name in
+      (match score_v with
+      | Some s ->
+        Buffer.add_string outbuf (Pn_data.Csv_io.escape name);
+        Buffer.add_char outbuf ',';
+        Buffer.add_string outbuf (Printf.sprintf "%.6g" s.(i))
+      | None -> Buffer.add_string outbuf (Pn_data.Csv_io.escape name));
+      Buffer.add_char outbuf '\n';
+      incr rows_out;
+      if actuals.(i) >= 0 then
+        confusion :=
+          Pn_metrics.Confusion.add !confusion
+            ~actual:(actuals.(i) = model.Model.target)
+            ~predicted:predicted.(i) ~weight:1.0
+    done;
+    write (Buffer.contents outbuf);
+    incr chunks
+  in
+  {
+    em_header;
+    em_emit;
+    em_chunks = chunks;
+    em_rows_out = rows_out;
+    em_confusion = confusion;
+  }
+
 (* The shared decode/score core: both the batch file pipeline
    ([predict_csv]) and the online daemon ([Pn_server]) run this exact
    function, so a request body and a file of the same rows produce
@@ -73,14 +132,9 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
   (* Positions imputation must patch, per attribute, chunk-local. *)
   let misses = Array.make n_attrs [] in
   let actuals = Array.make chunk_size (-1) in
-  let outbuf = Buffer.create 4096 in
   let fill = ref 0 in
-  let chunks = ref 0 in
-  let rows_out = ref 0 in
   let unknown_labels = ref 0 in
-  let confusion = ref Pn_metrics.Confusion.zero in
-  let target_name = model.Model.classes.(model.Model.target) in
-  let negative_name = "not-" ^ target_name in
+  let em = make_emitter ?pool ~scores ~model ~write () in
   (* Every data row — kept, skipped or malformed — counts against the
      row budget; the daemon maps [Limit] to 413. *)
   let count_row () =
@@ -108,7 +162,7 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
        match col with
        | Some j when class_column = None && Array.exists (( = ) j) !mapping -> None
        | other -> other);
-    write (if scores then "prediction,score\n" else "prediction\n")
+    em.em_header ()
   in
   let flush_chunk () =
     if !fill > 0 then begin
@@ -163,31 +217,7 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
             | Scat col -> Pn_data.Dataset.Cat (Array.sub col 0 n))
           stores
       in
-      let ds =
-        Pn_data.Dataset.create ~attrs ~columns ~labels:(Array.make n 0)
-          ~classes:model.Model.classes ()
-      in
-      let predicted = Model.predict_all ?pool model ds in
-      let score_v = if scores then Some (Model.score_all ?pool model ds) else None in
-      Buffer.clear outbuf;
-      for i = 0 to n - 1 do
-        let name = if predicted.(i) then target_name else negative_name in
-        (match score_v with
-        | Some s ->
-          Buffer.add_string outbuf (Pn_data.Csv_io.escape name);
-          Buffer.add_char outbuf ',';
-          Buffer.add_string outbuf (Printf.sprintf "%.6g" s.(i))
-        | None -> Buffer.add_string outbuf (Pn_data.Csv_io.escape name));
-        Buffer.add_char outbuf '\n';
-        incr rows_out;
-        if actuals.(i) >= 0 then
-          confusion :=
-            Pn_metrics.Confusion.add !confusion
-              ~actual:(actuals.(i) = model.Model.target)
-              ~predicted:predicted.(i) ~weight:1.0
-      done;
-      write (Buffer.contents outbuf);
-      incr chunks;
+      em.em_emit ~n ~columns ~actuals;
       fill := 0
     end
   in
@@ -291,12 +321,319 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
   Pn_data.Ingest_report.add_io_retries ingest (Pn_data.Stream.retries source);
   {
     ingest;
-    chunks = !chunks;
-    rows_out = !rows_out;
+    chunks = !(em.em_chunks);
+    rows_out = !(em.em_rows_out);
     unknown_labels = !unknown_labels;
     seconds = Unix.gettimeofday () -. t0;
-    confusion = (if !class_idx <> None then Some !confusion else None);
+    confusion = (if !class_idx <> None then Some !(em.em_confusion) else None);
   }
+
+(* The columnar fast path: one row group per chunk, decoded straight
+   into the reader's preallocated buffers — no text parsing, no
+   per-cell branching on the hot path. Only categorical codes are
+   touched row-by-row (remapped from the file dictionary to the model's,
+   skipped entirely when the dictionaries already agree); numeric
+   columns go to the scorer as the decode buffers themselves. *)
+let predict_columnar_stream ?(policy = Pn_data.Ingest_report.Strict)
+    ?(scores = false) ?max_rows ?pool ~(model : Model.t) ~source ~write () =
+  (match max_rows with
+  | Some m when m <= 0 -> invalid_arg "Serve.predict_columnar_stream: max_rows"
+  | Some _ | None -> ());
+  let t0 = Unix.gettimeofday () in
+  let corrupt f =
+    try f () with Pn_data.Columnar.Corrupt msg -> fail "columnar: %s" msg
+  in
+  let r = corrupt (fun () -> Pn_data.Columnar.open_reader source) in
+  let sch = Pn_data.Columnar.schema r in
+  let file_attrs = sch.Pn_data.Columnar.attrs in
+  let names =
+    Array.map (fun (a : Pn_data.Attribute.t) -> a.name) file_attrs
+  in
+  let mapping =
+    match Model.resolve_header model names with
+    | Ok m -> m
+    | Error msg -> fail "schema mismatch: %s" msg
+  in
+  let attrs = model.Model.attrs in
+  let n_attrs = Array.length attrs in
+  (* resolve_header matches names; the binary format also carries kinds,
+     which must agree. Categorical dictionaries may differ from the
+     model's: precompute file-code -> model-code remaps (-1 = a value
+     the model has never seen). *)
+  let remaps = Array.make n_attrs [||] in
+  let identity = Array.make n_attrs true in
+  Array.iteri
+    (fun a j ->
+      match (attrs.(a).Pn_data.Attribute.kind, file_attrs.(j).Pn_data.Attribute.kind)
+      with
+      | Pn_data.Attribute.Numeric, Pn_data.Attribute.Numeric -> ()
+      | Pn_data.Attribute.Categorical mvals, Pn_data.Attribute.Categorical fvals
+        ->
+        let tbl = Hashtbl.create (2 * Array.length mvals) in
+        Array.iteri
+          (fun code v -> if not (Hashtbl.mem tbl v) then Hashtbl.add tbl v code)
+          mvals;
+        let remap =
+          Array.map
+            (fun v ->
+              match Hashtbl.find_opt tbl v with Some c -> c | None -> -1)
+            fvals
+        in
+        remaps.(a) <- remap;
+        identity.(a) <-
+          Array.length fvals = Array.length mvals
+          && (let ok = ref true in
+              Array.iteri (fun i c -> if c <> i then ok := false) remap;
+              !ok)
+      | Pn_data.Attribute.Numeric, Pn_data.Attribute.Categorical _ ->
+        fail "schema mismatch: column %S is categorical in the file but numeric in the model"
+          names.(j)
+      | Pn_data.Attribute.Categorical _, Pn_data.Attribute.Numeric ->
+        fail "schema mismatch: column %S is numeric in the file but categorical in the model"
+          names.(j))
+    mapping;
+  let class_remap =
+    Array.map
+      (fun c ->
+        match Array.find_index (String.equal c) model.Model.classes with
+        | Some code -> code
+        | None -> -1)
+      sch.Pn_data.Columnar.classes
+  in
+  (* Blocks of columns the model does not use are checksum-verified but
+     never decoded. *)
+  let wanted = Array.make (Array.length file_attrs) false in
+  Array.iter (fun j -> wanted.(j) <- true) mapping;
+  Pn_data.Columnar.set_wanted r wanted;
+  let ingest = Pn_data.Ingest_report.create () in
+  let unknown_labels = ref 0 in
+  let em = make_emitter ?pool ~scores ~model ~write () in
+  em.em_header ();
+  let gs = sch.Pn_data.Columnar.group_size in
+  let actuals = Array.make gs (-1) in
+  let keep = Array.make gs true in
+  let misses = Array.make n_attrs [] in
+  let base_row = ref 0 in
+  let rec groups () =
+    match corrupt (fun () -> Pn_data.Columnar.read_group r) with
+    | None -> ()
+    | Some rows ->
+      (* Every decoded row counts against the row budget, as in the CSV
+         path. *)
+      for _ = 1 to rows do
+        Pn_data.Ingest_report.row_read ingest
+      done;
+      (match max_rows with
+      | Some m when ingest.Pn_data.Ingest_report.rows_read > m ->
+        raise (Limit (Printf.sprintf "input exceeds the row limit (%d rows)" m))
+      | Some _ | None -> ());
+      Array.fill keep 0 rows true;
+      (* Row policy, column-major: a missing cell or an unknown
+         categorical value fails / drops / queues the row for chunk-local
+         imputation — the same decisions the CSV decoder takes cell by
+         cell. *)
+      Array.iteri
+        (fun a j ->
+          let name = attrs.(a).Pn_data.Attribute.name in
+          let miss = Pn_data.Columnar.col_missing r j in
+          let on_missing i =
+            match policy with
+            | Pn_data.Ingest_report.Strict ->
+              fail "row %d: missing value in column %S" (!base_row + i + 1) name
+            | Pn_data.Ingest_report.Skip ->
+              keep.(i) <- false;
+              Pn_data.Ingest_report.row_skipped ingest ~line:(!base_row + i + 1)
+                (Printf.sprintf "missing value in column %S" name)
+            | Pn_data.Ingest_report.Impute -> misses.(a) <- i :: misses.(a)
+          in
+          match attrs.(a).Pn_data.Attribute.kind with
+          | Pn_data.Attribute.Numeric -> (
+            match miss with
+            | None -> ()
+            | Some mask ->
+              for i = 0 to rows - 1 do
+                if mask.(i) && keep.(i) then on_missing i
+              done)
+          | Pn_data.Attribute.Categorical _ ->
+            let col = Pn_data.Columnar.cat_col r j in
+            let remap = remaps.(a) in
+            let fvals =
+              match file_attrs.(j).Pn_data.Attribute.kind with
+              | Pn_data.Attribute.Categorical v -> v
+              | Pn_data.Attribute.Numeric -> assert false
+            in
+            let is_missing i =
+              match miss with None -> false | Some mask -> mask.(i)
+            in
+            if identity.(a) then (
+              match miss with
+              | None -> ()
+              | Some mask ->
+                for i = 0 to rows - 1 do
+                  if mask.(i) && keep.(i) then on_missing i
+                done)
+            else
+              for i = 0 to rows - 1 do
+                if keep.(i) then
+                  if is_missing i then on_missing i
+                  else
+                    let m = remap.(col.(i)) in
+                    if m >= 0 then col.(i) <- m
+                    else
+                      match policy with
+                      | Pn_data.Ingest_report.Strict ->
+                        fail "row %d: value %S not known to the model in column %S"
+                          (!base_row + i + 1) fvals.(col.(i)) name
+                      | Pn_data.Ingest_report.Skip ->
+                        keep.(i) <- false;
+                        Pn_data.Ingest_report.row_skipped ingest
+                          ~line:(!base_row + i + 1)
+                          (Printf.sprintf
+                             "value %S not known to the model in column %S"
+                             fvals.(col.(i)) name)
+                      | Pn_data.Ingest_report.Impute ->
+                        misses.(a) <- i :: misses.(a)
+              done)
+        mapping;
+      (* Chunk-local imputation, mirroring the CSV path. *)
+      Array.iteri
+        (fun a miss ->
+          match miss with
+          | [] -> ()
+          | miss ->
+            let missing = Array.make rows false in
+            List.iter (fun i -> missing.(i) <- true) miss;
+            let j = mapping.(a) in
+            (match attrs.(a).Pn_data.Attribute.kind with
+            | Pn_data.Attribute.Numeric ->
+              let col = Pn_data.Columnar.num_col r j in
+              let present = ref [] in
+              for i = 0 to rows - 1 do
+                if (not missing.(i)) && not (Float.is_nan col.(i)) then
+                  present := col.(i) :: !present
+              done;
+              let m =
+                match !present with
+                | [] -> 0.0
+                | l ->
+                  let a = Array.of_list l in
+                  Array.sort Float.compare a;
+                  median a
+              in
+              List.iter
+                (fun i ->
+                  col.(i) <- m;
+                  Pn_data.Ingest_report.cell_imputed ingest)
+                miss
+            | Pn_data.Attribute.Categorical _ ->
+              let col = Pn_data.Columnar.cat_col r j in
+              let arity = Pn_data.Attribute.arity attrs.(a) in
+              let counts = Array.make arity 0 in
+              for i = 0 to rows - 1 do
+                if not missing.(i) then counts.(col.(i)) <- counts.(col.(i)) + 1
+              done;
+              let majority = ref 0 in
+              Array.iteri
+                (fun v c -> if c > counts.(!majority) then majority := v)
+                counts;
+              List.iter
+                (fun i ->
+                  col.(i) <- !majority;
+                  Pn_data.Ingest_report.cell_imputed ingest)
+                miss);
+            misses.(a) <- [])
+        misses;
+      (* Labels are metrics-only; compact kept rows in place (column by
+         column) when the policy dropped any. *)
+      let labels = Pn_data.Columnar.group_labels r in
+      let n = ref 0 in
+      for i = 0 to rows - 1 do
+        if keep.(i) then begin
+          actuals.(!n) <-
+            (match labels with
+            | None -> -1
+            | Some lab ->
+              if lab.(i) < 0 then -1
+              else
+                let code = class_remap.(lab.(i)) in
+                if code < 0 then begin
+                  incr unknown_labels;
+                  -1
+                end
+                else code);
+          Pn_data.Ingest_report.row_kept ingest;
+          incr n
+        end
+      done;
+      let n = !n in
+      if n < rows then
+        Array.iteri
+          (fun j w ->
+            if w then
+              match file_attrs.(j).Pn_data.Attribute.kind with
+              | Pn_data.Attribute.Numeric ->
+                let col = Pn_data.Columnar.num_col r j in
+                let w = ref 0 in
+                for i = 0 to rows - 1 do
+                  if keep.(i) then begin
+                    col.(!w) <- col.(i);
+                    incr w
+                  end
+                done
+              | Pn_data.Attribute.Categorical _ ->
+                let col = Pn_data.Columnar.cat_col r j in
+                let w = ref 0 in
+                for i = 0 to rows - 1 do
+                  if keep.(i) then begin
+                    col.(!w) <- col.(i);
+                    incr w
+                  end
+                done)
+          wanted;
+      if n > 0 then begin
+        let columns =
+          Array.map
+            (fun j ->
+              match file_attrs.(j).Pn_data.Attribute.kind with
+              | Pn_data.Attribute.Numeric ->
+                let col = Pn_data.Columnar.num_col r j in
+                Pn_data.Dataset.Num
+                  (if n = Array.length col then col else Array.sub col 0 n)
+              | Pn_data.Attribute.Categorical _ ->
+                let col = Pn_data.Columnar.cat_col r j in
+                Pn_data.Dataset.Cat
+                  (if n = Array.length col then col else Array.sub col 0 n))
+            mapping
+        in
+        em.em_emit ~n ~columns ~actuals
+      end;
+      base_row := !base_row + rows;
+      groups ()
+  in
+  groups ();
+  Pn_data.Ingest_report.add_io_retries ingest (Pn_data.Columnar.io_retries r);
+  {
+    ingest;
+    chunks = !(em.em_chunks);
+    rows_out = !(em.em_rows_out);
+    unknown_labels = !unknown_labels;
+    seconds = Unix.gettimeofday () -. t0;
+    confusion =
+      (if sch.Pn_data.Columnar.has_labels then Some !(em.em_confusion) else None);
+  }
+
+let predict_pnc ?policy ?scores ?pool ~model ~input ~output () =
+  let ic = open_in_bin input in
+  let report =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        predict_columnar_stream ?policy ?scores ?pool ~model
+          ~source:(Pn_data.Stream.of_channel ic)
+          ~write:(output_string output) ())
+  in
+  flush output;
+  report
 
 let predict_csv ?policy ?chunk_size ?class_column ?scores ?pool ~model ~input
     ~output () =

@@ -66,6 +66,43 @@ val predict_stream :
   unit ->
   report
 
+(** [predict_columnar_stream ~model ~source ~write ()] is the binary
+    fast path: the same scoring, output formatting and policy semantics
+    as {!predict_stream}, fed from a {!Pn_data.Columnar} [.pnc] stream
+    instead of CSV text. One row group is scored per chunk (so the
+    file's group size plays the role of [chunk_size]), decoded straight
+    into reusable buffers with no per-cell parsing; on the same rows the
+    output is byte-identical to the CSV path's. The file's categorical
+    dictionaries and class table are remapped to the model's by name;
+    values the model has never seen follow the policy exactly like
+    unknown CSV cells, and missing-value bitmaps drive
+    Strict/Skip/Impute the same way. When the file carries labels they
+    feed the confusion matrix, as a CSV "class" column would. Raises
+    {!Error} (wrapping {!Pn_data.Columnar.Corrupt} as
+    ["columnar: ..."] ) and {!Limit} like the CSV core. *)
+val predict_columnar_stream :
+  ?policy:Pn_data.Ingest_report.policy ->
+  ?scores:bool ->
+  ?max_rows:int ->
+  ?pool:Pn_util.Pool.t ->
+  model:Model.t ->
+  source:Pn_data.Stream.source ->
+  write:(string -> unit) ->
+  unit ->
+  report
+
+(** [predict_pnc ~model ~input ~output ()] — {!predict_columnar_stream}
+    over a [.pnc] file, the binary counterpart of {!predict_csv}. *)
+val predict_pnc :
+  ?policy:Pn_data.Ingest_report.policy ->
+  ?scores:bool ->
+  ?pool:Pn_util.Pool.t ->
+  model:Model.t ->
+  input:string ->
+  output:out_channel ->
+  unit ->
+  report
+
 (** [predict_csv ~model ~input ~output ()] streams file [input] through
     [model] and writes one CSV line per surviving row to [output]
     (header [prediction], plus a [score] column with [~scores:true]).

@@ -67,6 +67,30 @@ let refill src =
   in
   attempt 0
 
+(* Bulk binary read for the columnar decoder: drain the buffered bytes
+   first, then refill. Returns 0 only at end of input. *)
+let read_into src dst pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length dst then
+    invalid_arg "Stream.read_into";
+  if len = 0 then 0
+  else if src.pos < src.len then begin
+    let n = min len (src.len - src.pos) in
+    Bytes.blit src.buf src.pos dst pos n;
+    src.pos <- src.pos + n;
+    n
+  end
+  else begin
+    let n = refill src in
+    if n = 0 then 0
+    else begin
+      src.len <- n;
+      let k = min len n in
+      Bytes.blit src.buf 0 dst pos k;
+      src.pos <- k;
+      k
+    end
+  end
+
 let next src =
   if src.pos < src.len then begin
     let c = Bytes.unsafe_get src.buf src.pos in

@@ -38,6 +38,13 @@ val of_string : string -> source
     to decode a request body straight off a socket. *)
 val of_refill : ?buf_size:int -> (bytes -> int) -> source
 
+(** [read_into src dst pos len] reads up to [len] bytes into [dst] at
+    [pos]: buffered bytes first, one refill otherwise. Returns the
+    number of bytes moved; 0 means end of input. Used by the binary
+    columnar decoder ({!Columnar}), interleaving safely with the
+    character-level readers. *)
+val read_into : source -> bytes -> int -> int -> int
+
 (** [retries src] — transient refill errors (EINTR/EAGAIN, injected
     faults at the [stream.refill] point) retried so far. Each refill
     gets a bounded retry budget with jittered exponential backoff;

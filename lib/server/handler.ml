@@ -179,6 +179,25 @@ let predict t conn (req : Http.request) ~keep =
     | Some "1" | Some "true" -> Ok true
     | Some v -> Error (Printf.sprintf "bad scores flag %S" v)
   in
+  (* Content negotiation: a binary columnar body is routed to the
+     [.pnc] fast path; anything else (including no Content-Type) keeps
+     the historical CSV behaviour. *)
+  let columnar =
+    match Http.header req "content-type" with
+    | None -> false
+    | Some v ->
+      let v =
+        match String.index_opt v ';' with
+        | Some i -> String.sub v 0 i
+        | None -> v
+      in
+      String.lowercase_ascii (String.trim v) = "application/x-pnrule-columnar"
+  in
+  let scores =
+    if columnar && q "class-column" <> None then
+      Error "class-column does not apply to columnar input (labels are in the file)"
+    else scores
+  in
   match (policy, scores) with
   | Error msg, _ | _, Error msg ->
     Http.respond conn ~status:400 ~body:(msg ^ "\n") ();
@@ -224,14 +243,19 @@ let predict t conn (req : Http.request) ~keep =
               reader buf)
         in
         let resp = Http.start_stream conn ~status:200 ~keep_alive:keep () in
+        let write s =
+          guard ();
+          Http.stream_write resp s
+        in
         match
-          Pnrule.Serve.predict_stream ~policy ~chunk_size:t.chunk_size
-            ?class_column:(q "class-column") ~scores ~max_rows:t.max_rows
-            ~pool:Pn_util.Pool.sequential ~model:st.model ~source
-            ~write:(fun s ->
-              guard ();
-              Http.stream_write resp s)
-            ()
+          if columnar then
+            Pnrule.Serve.predict_columnar_stream ~policy ~scores
+              ~max_rows:t.max_rows ~pool:Pn_util.Pool.sequential ~model:st.model
+              ~source ~write ()
+          else
+            Pnrule.Serve.predict_stream ~policy ~chunk_size:t.chunk_size
+              ?class_column:(q "class-column") ~scores ~max_rows:t.max_rows
+              ~pool:Pn_util.Pool.sequential ~model:st.model ~source ~write ()
         with
         | report ->
           Http.stream_finish resp;

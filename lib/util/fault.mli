@@ -1,7 +1,8 @@
 (** Deterministic fault injection: named fault points, armed on demand.
 
     A fault point is a named site in production code — [serialize.write],
-    [stream.refill], [server.worker], [serve.chunk_write] — that consults
+    [stream.refill], [server.worker], [serve.chunk_write],
+    [columnar.read], [columnar.write] — that consults
     this registry on every pass. When the registry is disarmed (the
     default) a pass costs one atomic load and a branch, so the points can
     live permanently in hot paths. When a point is armed, a deterministic

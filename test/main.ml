@@ -20,4 +20,5 @@ let () =
       ("integration", Test_integration.suite);
       ("server", Test_server.suite);
       ("fault", Test_fault.suite);
+      ("columnar", Test_columnar.suite);
     ]

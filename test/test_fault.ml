@@ -1,8 +1,9 @@
 (* Chaos suite: the deterministic fault-injection registry itself, and
-   the three layers hardened with it — atomic model persistence
-   (serialize.write), streaming ingestion (stream.refill), and the
-   daemon's worker supervision (server.worker). Every run is driven by
-   an explicit seed so a failure replays exactly.
+   the layers hardened with it — atomic model persistence
+   (serialize.write), streaming ingestion (stream.refill), the columnar
+   dataset format (columnar.read / columnar.write), and the daemon's
+   worker supervision (server.worker). Every run is driven by an
+   explicit seed so a failure replays exactly.
 
    Each test leaves the registry disarmed ([Fault.reset] in a finally),
    so chaos never leaks into the other suites. *)
@@ -172,6 +173,51 @@ let test_atomic_save_survives_crash () =
       let back = S.load path in
       Alcotest.(check string) "reload of survivor round-trips" good
         (S.to_string back))
+
+let test_columnar_save_survives_crash () =
+  let module C = Pn_data.Columnar in
+  let ds = Test_columnar.mixed ~seed:31 ~n:3_000 in
+  let dir = Filename.temp_file "pnrule_colatomic" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "data.pnc" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      C.save ds path;
+      let good = read_file path in
+      with_chaos "columnar.write:crash@4096" (fun () ->
+          (match C.save (Test_columnar.mixed ~seed:32 ~n:3_000) path with
+          | () -> Alcotest.fail "save should have crashed mid-write"
+          | exception F.Injected _ -> ());
+          Alcotest.(check bool)
+            "the crash actually fired" true
+            (F.fired "columnar.write" > 0));
+      Alcotest.(check string) "old file intact after crashed save" good
+        (read_file path);
+      Alcotest.(check (list string))
+        "no temp droppings" [ "data.pnc" ]
+        (List.sort compare (Array.to_list (Sys.readdir dir)));
+      Alcotest.(check bool)
+        "survivor still decodes to the first dataset" true
+        (Pn_data.Dataset.equal ds (C.load path)))
+
+let test_columnar_short_reads_exact () =
+  let module C = Pn_data.Columnar in
+  let ds = Test_columnar.mixed ~seed:33 ~n:5_000 in
+  let s = C.to_string ~group_size:512 ds in
+  (* Every third block read is capped to 7 bytes: decoding degenerates
+     into a trickle of fragments, which must change nothing about the
+     result or the checksums. *)
+  with_chaos "columnar.read:short@7,every=3" (fun () ->
+      let back = C.of_string s in
+      Alcotest.(check bool) "short reads decode exactly" true
+        (Pn_data.Dataset.equal ds back);
+      Alcotest.(check bool)
+        "short reads actually injected" true
+        (F.fired "columnar.read" > 0))
 
 (* ------------------------------------------------------------------ *)
 (* The daemon under chaos                                               *)
@@ -352,6 +398,10 @@ let suite =
       test_spec_parsing;
     Alcotest.test_case "persistence: crashed save leaves old file" `Quick
       test_atomic_save_survives_crash;
+    Alcotest.test_case "columnar: crashed save leaves old file" `Quick
+      test_columnar_save_survives_crash;
+    Alcotest.test_case "columnar: short reads decode exactly" `Quick
+      test_columnar_short_reads_exact;
     Alcotest.test_case "daemon: reload survives crash and corruption" `Quick
       test_reload_survives_corruption;
     Alcotest.test_case "daemon: short reads stay byte-identical" `Quick
