@@ -10,6 +10,18 @@
 
 let default_scale = 0.2
 
+(* Every timing benchmark carries its own base row count, measured at
+   the default scale: [rows ~scale base] is exactly [base] when [scale]
+   is the default 0.2 and shrinks or grows proportionally from there
+   (with a floor so a tiny --scale still measures something). The name
+   keeps its base-size suffix at every scale — "pnrule-train-1m" stays
+   a million-row benchmark by default instead of silently becoming a
+   200k one — so re-runs merge into the same BENCH_grower.json entries,
+   and the per-entry "scale" field records what each number was
+   actually measured at. *)
+let rows ~scale base =
+  max 1_000 (int_of_float (float_of_int base *. (scale /. default_scale)))
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
@@ -182,7 +194,7 @@ let timing_benchmarks ~scale =
       tests
   in
   let spec = Pn_synth.Numerical.nsyn 3 in
-  let ds = Pn_synth.Numerical.generate spec ~seed:11 ~n:20_000 in
+  let ds = Pn_synth.Numerical.generate spec ~seed:11 ~n:(rows ~scale 20_000) in
   let target = Pn_synth.Numerical.target_class in
   let pn_model = Pnrule.Learner.train ds ~target in
   let bc_view = Pn_data.View.all ds in
@@ -233,9 +245,11 @@ let timing_benchmarks ~scale =
       ]
   in
   (* Batch 2: serving-path benchmarks over their own, larger datasets. *)
-  let ds200 = Pn_synth.Numerical.generate spec ~seed:12 ~n:200_000 in
-  let kdd_test = Pn_synth.Kddcup.test ~seed:8 ~n:20_000 in
-  let mc_model = Pnrule.Multiclass.train (Pn_synth.Kddcup.train ~seed:7 ~n:20_000) in
+  let ds200 = Pn_synth.Numerical.generate spec ~seed:12 ~n:(rows ~scale 200_000) in
+  let kdd_test = Pn_synth.Kddcup.test ~seed:8 ~n:(rows ~scale 20_000) in
+  let mc_model =
+    Pnrule.Multiclass.train (Pn_synth.Kddcup.train ~seed:7 ~n:(rows ~scale 20_000))
+  in
   (* The streaming benchmarks read a real file, so the IO cost (refills,
      syscalls) is part of the measurement by design. *)
   let csv200 = Filename.temp_file "pnrule_bench_" ".csv" in
@@ -273,7 +287,7 @@ let timing_benchmarks ~scale =
                  ~finally:(fun () -> close_out null)
                  (fun () ->
                    ignore
-                     (Pnrule.Serve.predict_csv ~model:pn_model ~input:csv200
+                     (Pnrule.Serve.predict_csv ~model:(Pnrule.Saved.Single pn_model) ~input:csv200
                         ~output:null ()))));
         (* Same pipeline over the columnar file: row groups decode
            straight into the scorer's buffers, so this should sit within
@@ -286,7 +300,7 @@ let timing_benchmarks ~scale =
                  ~finally:(fun () -> close_out null)
                  (fun () ->
                    ignore
-                     (Pnrule.Serve.predict_pnc ~model:pn_model ~input:pnc200
+                     (Pnrule.Serve.predict_pnc ~model:(Pnrule.Saved.Single pn_model) ~input:pnc200
                         ~output:null ()))));
       ]
   in
@@ -297,7 +311,7 @@ let timing_benchmarks ~scale =
      so the measurement covers HTTP framing, the streaming decode/score
      core and both directions of socket IO — the marginal cost of one
      online request once the connection is warm. *)
-  let ds10 = Pn_synth.Numerical.generate spec ~seed:13 ~n:10_000 in
+  let ds10 = Pn_synth.Numerical.generate spec ~seed:13 ~n:(rows ~scale 10_000) in
   let csv10 = Filename.temp_file "pnrule_bench_" ".csv" in
   Pn_data.Csv_io.save ds10 csv10;
   let body = In_channel.with_open_bin csv10 In_channel.input_all in
@@ -305,7 +319,7 @@ let timing_benchmarks ~scale =
   let server =
     Pn_server.Server.start
       ~config:{ Pn_server.Server.default_config with idle_timeout = 60.0 }
-      ~load:(fun () -> pn_model) ()
+      ~load:(fun () -> Pnrule.Saved.Single pn_model) ()
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect fd
@@ -352,21 +366,46 @@ let timing_benchmarks ~scale =
     let status = line () in
     if String.length status < 12 || String.sub status 9 3 <> "200" then
       failwith ("serve bench: " ^ status);
-    while line () <> "" do
-      ()
-    done;
-    let rec chunks () =
-      let size = int_of_string ("0x" ^ line ()) in
-      if size > 0 then begin
-        for _ = 1 to size do
-          ignore (byte ())
-        done;
-        ignore (line ());
-        chunks ()
-      end
-      else ignore (line ())
+    (* Small responses arrive with content-length framing (the server
+       only switches to chunked past its buffering threshold), so the
+       reader must handle both. *)
+    let chunked = ref false and content_length = ref (-1) in
+    let header_prefix h p =
+      String.length h >= String.length p
+      && String.lowercase_ascii (String.sub h 0 (String.length p)) = p
     in
-    chunks ()
+    let rec headers () =
+      let h = line () in
+      if h <> "" then begin
+        if header_prefix h "transfer-encoding:" then chunked := true
+        else if header_prefix h "content-length:" then
+          content_length :=
+            int_of_string
+              (String.trim (String.sub h 15 (String.length h - 15)));
+        headers ()
+      end
+    in
+    headers ();
+    if !chunked then begin
+      let rec chunks () =
+        let size = int_of_string ("0x" ^ line ()) in
+        if size > 0 then begin
+          for _ = 1 to size do
+            ignore (byte ())
+          done;
+          ignore (line ());
+          chunks ()
+        end
+        else ignore (line ())
+      in
+      chunks ()
+    end
+    else begin
+      if !content_length < 0 then failwith "serve bench: no framing header";
+      for _ = 1 to !content_length do
+        ignore (byte ())
+      done
+    end
   in
   let batch3 =
     run_tests
@@ -374,7 +413,53 @@ let timing_benchmarks ~scale =
   in
   Unix.close fd;
   Pn_server.Server.stop server;
-  let estimates = batch1 @ batch2 @ batch3 in
+  (* Batch 4: million-row training, the workload the sampling hooks
+     exist for. One wall-clocked run each instead of Bechamel —
+     repeated-run protocols would cost many minutes per estimate at
+     this size, and the effect under test (a 5x+ ratio between the
+     sampled and unsampled paths) dwarfs single-run noise. The sort
+     cache is prewarmed across all columns first so neither variant
+     pays the one-time argsort inside its measurement. *)
+  let n1m = rows ~scale 1_000_000 in
+  Printf.printf "\n== Million-row training (wall clock, %d rows) ==\n%!" n1m;
+  let ds1m = Pn_synth.Numerical.generate spec ~seed:14 ~n:n1m in
+  for col = 0 to Pn_data.Dataset.n_attrs ds1m - 1 do
+    match ds1m.Pn_data.Dataset.attrs.(col).Pn_data.Attribute.kind with
+    | Pn_data.Attribute.Numeric -> ignore (Pn_data.Dataset.sorted_order ds1m ~col)
+    | Pn_data.Attribute.Categorical _ -> ()
+  done;
+  let wall name f =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    Printf.printf "%-32s %14.0f ns/run\n%!" name ns;
+    (name, Some ns)
+  in
+  let sampled =
+    {
+      Pn_induct.Sampling.instances =
+        Pn_induct.Sampling.Stratified { fraction = 0.1; min_per_class = 50 };
+      features = Pn_induct.Sampling.Sqrt_features;
+      seed = 7;
+    }
+  in
+  let b_sampled =
+    wall "pnrule-train-1m" (fun () ->
+        Pnrule.Learner.train ~sampling:sampled ds1m ~target)
+  in
+  let b_full =
+    wall "pnrule-train-1m-full" (fun () -> Pnrule.Learner.train ds1m ~target)
+  in
+  let b_boosted =
+    wall "boosted-train-1m" (fun () ->
+        Pnrule.Ensemble.train ~sampling:sampled ds1m ~target)
+  in
+  let batch4 = [ b_sampled; b_full; b_boosted ] in
+  (match batch4 with
+  | [ (_, Some t_sampled); (_, Some t_full); _ ] ->
+    Printf.printf "sampled vs full training speedup: %.1fx\n%!" (t_full /. t_sampled)
+  | _ -> ());
+  let estimates = batch1 @ batch2 @ batch3 @ batch4 in
   match !json_file with
   | Some path -> write_json ~path ~scale estimates
   | None -> ()

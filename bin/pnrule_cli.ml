@@ -83,12 +83,23 @@ let policy_arg =
            missing values with the column median/majority and drops only \
            structurally bad rows.")
 
-(* Dispatch on file extension: .arff loads as ARFF, anything else as
-   CSV. Under skip/impute the ingest accounting goes to stderr. *)
-let load_csv ?class_column ?(policy = Pn_data.Ingest_report.Strict) path =
+(* Dispatch on file extension: .arff loads as ARFF, .pnc as binary
+   columnar (no text parsing at all), anything else as CSV. Under
+   skip/impute the ingest accounting goes to stderr. *)
+let load_dataset ?class_column ?(policy = Pn_data.Ingest_report.Strict) path =
+  let lower = String.lowercase_ascii path in
   try
     let ds, report =
-      if Filename.check_suffix (String.lowercase_ascii path) ".arff" then
+      if Filename.check_suffix lower ".pnc" then begin
+        if class_column <> None then begin
+          Printf.eprintf
+            "error: --class-column does not apply to columnar input (labels \
+             are in the file)\n";
+          exit 1
+        end;
+        Pn_data.Columnar.load_with_report ~policy path
+      end
+      else if Filename.check_suffix lower ".arff" then
         Pn_data.Arff_io.load_with_report ?class_attribute:class_column ~policy
           path
       else Pn_data.Csv_io.load_with_report ?class_column ~policy path
@@ -99,6 +110,9 @@ let load_csv ?class_column ?(policy = Pn_data.Ingest_report.Strict) path =
   with
   | Pn_data.Csv_io.Parse_error msg | Pn_data.Arff_io.Parse_error msg ->
     Printf.eprintf "error: cannot parse %s: %s\n" path msg;
+    exit 1
+  | Pn_data.Columnar.Corrupt msg ->
+    Printf.eprintf "error: cannot read %s: %s\n" path msg;
     exit 1
   | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -126,9 +140,9 @@ let verbose_arg =
 let method_arg =
   Arg.(
     value
-    & opt (enum [ ("pnrule", `Pnrule); ("ripper", `Ripper); ("c45rules", `C45rules); ("c45tree", `C45tree) ]) `Pnrule
+    & opt (enum [ ("pnrule", `Pnrule); ("boosted", `Boosted); ("ripper", `Ripper); ("c45rules", `C45rules); ("c45tree", `C45tree) ]) `Pnrule
     & info [ "method" ] ~docv:"METHOD"
-        ~doc:"Classifier: $(b,pnrule), $(b,ripper), $(b,c45rules) or $(b,c45tree).")
+        ~doc:"Classifier: $(b,pnrule), $(b,boosted), $(b,ripper), $(b,c45rules) or $(b,c45tree).")
 
 let stratified_arg =
   Arg.(
@@ -167,33 +181,126 @@ let pnrule_params rp rn p1 metric =
 let spec_of_method meth stratified params =
   match meth with
   | `Pnrule -> Pn_harness.Methods.pnrule ~params ()
+  | `Boosted ->
+    Pn_harness.Methods.boosted
+      ~params:
+        {
+          Pnrule.Ensemble.default_params with
+          metric = params.Pnrule.Params.metric;
+        }
+      ()
   | `Ripper -> Pn_harness.Methods.ripper ~stratified ()
   | `C45rules -> Pn_harness.Methods.c45rules ~stratified ()
   | `C45tree -> Pn_harness.Methods.c45tree ~stratified ()
+
+(* ------------------------------------------------------------------ *)
+(* Sampling arguments (train)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let instance_sample_conv =
+  Arg.conv'
+    ( Pn_induct.Sampling.instances_of_string,
+      fun ppf v ->
+        Format.pp_print_string ppf (Pn_induct.Sampling.instances_to_string v) )
+
+let feature_sample_conv =
+  Arg.conv'
+    ( Pn_induct.Sampling.features_of_string,
+      fun ppf v ->
+        Format.pp_print_string ppf (Pn_induct.Sampling.features_to_string v) )
+
+let instance_sample_arg =
+  Arg.(
+    value
+    & opt instance_sample_conv Pn_induct.Sampling.All_instances
+    & info [ "instance-sample" ] ~docv:"STRATEGY"
+        ~doc:
+          "Instance sub-sampling: $(b,none) (default), a fraction in (0,1] \
+           (without replacement), $(b,bag:)$(i,FRAC) (with replacement), or \
+           $(b,strat:)$(i,FRAC)[$(b,:)$(i,MIN)] (per-class, never fewer than \
+           $(i,MIN) records of any class — the rare class is never starved).")
+
+let feature_sample_arg =
+  Arg.(
+    value
+    & opt feature_sample_conv Pn_induct.Sampling.All_features
+    & info [ "feature-sample" ] ~docv:"STRATEGY"
+        ~doc:
+          "Per-rule feature sub-sampling: $(b,none) (default), $(b,sqrt) \
+           (⌈√n⌉ attributes), or a fraction in (0,1].")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the sampling streams; a given strategy at a given seed \
+           draws the same records and columns at any $(b,PNRULE_DOMAINS).")
 
 (* ------------------------------------------------------------------ *)
 (* train                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let train_cmd =
-  let run verbose data class_column policy target rp rn p1 metric out =
+  let run verbose data class_column policy target meth rounds shrinkage
+      instances features seed rp rn p1 metric out =
     setup_logs verbose;
-    let ds = load_csv ?class_column ~policy data in
+    let ds = load_dataset ?class_column ~policy data in
     let target = resolve_target ds target in
-    let params = pnrule_params rp rn p1 metric in
-    let model, stats = Pnrule.Learner.train_with_stats ~params ds ~target in
-    Format.printf "%a@." Pnrule.Model.pp model;
-    Format.printf "P-phase coverage: %.3f@." stats.Pnrule.Learner.p_coverage;
-    Format.printf "training-set performance: %a@." Pn_metrics.Confusion.pp
-      stats.Pnrule.Learner.train_confusion;
-    match out with
-    | Some path ->
-      Pnrule.Serialize.save model path;
-      Printf.printf "model written to %s\n" path
-    | None -> ()
+    let sampling = { Pn_induct.Sampling.instances; features; seed } in
+    match meth with
+    | `Pnrule ->
+      let params = pnrule_params rp rn p1 metric in
+      let model, stats =
+        Pnrule.Learner.train_with_stats ~params ~sampling ds ~target
+      in
+      Format.printf "%a@." Pnrule.Model.pp model;
+      Format.printf "P-phase coverage: %.3f@." stats.Pnrule.Learner.p_coverage;
+      Format.printf "training-set performance: %a@." Pn_metrics.Confusion.pp
+        stats.Pnrule.Learner.train_confusion;
+      (match out with
+      | Some path ->
+        Pnrule.Serialize.save model path;
+        Printf.printf "model written to %s\n" path
+      | None -> ())
+    | `Boosted -> (
+      let params =
+        { Pnrule.Ensemble.default_params with rounds; shrinkage; metric }
+      in
+      let ensemble = Pnrule.Ensemble.train ~params ~sampling ds ~target in
+      Format.printf "%a@." Pnrule.Ensemble.pp ensemble;
+      Format.printf "training-set performance: %a@." Pn_metrics.Confusion.pp
+        (Pnrule.Ensemble.evaluate ensemble ds);
+      match out with
+      | Some path ->
+        Pnrule.Serialize.save_saved (Pnrule.Saved.Boosted ensemble) path;
+        Printf.printf "model written to %s\n" path
+      | None -> ())
   in
   let data =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA.csv")
+  in
+  let meth =
+    Arg.(
+      value
+      & opt (enum [ ("pnrule", `Pnrule); ("boosted", `Boosted) ]) `Pnrule
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:
+            "Learner: $(b,pnrule) (the two-phase rule list, default) or \
+             $(b,boosted) (a confidence-rated boosted rule ensemble).")
+  in
+  let rounds =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"rounds" ~lo:1 ~hi:10_000) 30
+      & info [ "rounds" ] ~docv:"N" ~doc:"Boosted: boosting rounds.")
+  in
+  let shrinkage =
+    Arg.(
+      value
+      & opt (ranged_float ~what:"shrinkage" ~lo:1e-6 ~hi:1.0) 0.5
+      & info [ "shrinkage" ] ~docv:"FRAC"
+          ~doc:"Boosted: confidence multiplier in (0,1].")
   in
   let out =
     Arg.(
@@ -202,10 +309,15 @@ let train_cmd =
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Save the trained model to this file.")
   in
   Cmd.v
-    (Cmd.info "train" ~doc:"Train a PNrule model on a CSV dataset and print it.")
+    (Cmd.info "train"
+       ~doc:
+         "Train a model on a CSV, ARFF or binary columnar ($(b,.pnc)) dataset \
+          and print it.")
     Term.(
       const run $ verbose_arg $ data $ class_column_arg $ policy_arg
-      $ target_arg $ rp_arg $ rn_arg $ p1_arg $ metric_arg $ out)
+      $ target_arg $ meth $ rounds $ shrinkage $ instance_sample_arg
+      $ feature_sample_arg $ seed_arg $ rp_arg $ rn_arg $ p1_arg $ metric_arg
+      $ out)
 
 (* ------------------------------------------------------------------ *)
 (* predict                                                              *)
@@ -214,7 +326,7 @@ let train_cmd =
 let predict_cmd =
   let run model_file data class_column scores policy chunk out format =
     let model =
-      try Pnrule.Serialize.load model_file with
+      try Pnrule.Serialize.load_saved model_file with
       | Pnrule.Serialize.Corrupt msg ->
         Printf.eprintf "error: cannot read model %s: %s\n" model_file msg;
         exit 1
@@ -325,7 +437,7 @@ let predict_cmd =
 
 let ingest_cmd =
   let run data class_column policy group_size out =
-    let ds = load_csv ?class_column ~policy data in
+    let ds = load_dataset ?class_column ~policy data in
     match Pn_data.Columnar.save ~group_size ds out with
     | () ->
       let n = Pn_data.Dataset.n_records ds in
@@ -384,7 +496,7 @@ let serve_cmd =
   let run verbose model_file host port domains policy chunk max_body_mb max_rows
       idle deadline =
     setup_logs verbose;
-    let load () = Pnrule.Serialize.load model_file in
+    let load () = Pnrule.Serialize.load_saved model_file in
     let config =
       {
         Pn_server.Server.host;
@@ -507,8 +619,8 @@ let serve_cmd =
 let eval_cmd =
   let run verbose train_file test_file class_column policy target meth stratified rp rn p1 metric =
     setup_logs verbose;
-    let train = load_csv ?class_column ~policy train_file in
-    let test = load_csv ?class_column ~policy test_file in
+    let train = load_dataset ?class_column ~policy train_file in
+    let test = load_dataset ?class_column ~policy test_file in
     let target = resolve_target train target in
     let params = pnrule_params rp rn p1 metric in
     let spec = spec_of_method meth stratified params in
@@ -578,7 +690,10 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen"
-       ~doc:"Generate one of the paper's synthetic datasets as CSV.")
+       ~doc:
+         "Generate one of the paper's synthetic datasets; the output format \
+          follows the extension ($(b,.csv), $(b,.arff), or binary columnar \
+          $(b,.pnc)).")
     Term.(const run $ model $ n $ seed $ out)
 
 (* ------------------------------------------------------------------ *)
@@ -587,7 +702,7 @@ let gen_cmd =
 
 let inspect_cmd =
   let run data class_column policy =
-    let ds = load_csv ?class_column ~policy data in
+    let ds = load_dataset ?class_column ~policy data in
     Format.printf "%a@." Pn_data.Summary.pp ds
   in
   let data =

@@ -1,0 +1,70 @@
+(** Boosted rule ensembles on the PNrule substrate.
+
+    A SLIPPER-style confidence-rated booster: each round grows one
+    conjunctive rule (the same {!Pn_induct.Grower} search the rule
+    lists use, under the round's instance/feature sample) on the
+    reweighted training set and gives it a confidence weight
+    [shrinkage · ½·ln((W₊+ε)/(W₋+ε))] from its weighted coverage; the
+    records it covers are then reweighted AdaBoost-style. Rules abstain
+    on records they do not cover, so a record's score is the bias (the
+    default-rule confidence — strongly negative for a rare target
+    class) plus the weights of the member rules covering it.
+
+    Serving compiles the members into the bitset engine — one
+    single-rule list per member, conditions deduplicated across
+    members, coverage resolved word-at-a-time — so the weighted vote
+    costs a columnar add per member, never a per-record interpretive
+    rule walk. *)
+
+type member = { rule : Pn_rules.Rule.t; weight : float }
+
+type t = {
+  target : int;
+  classes : string array;
+  attrs : Pn_data.Attribute.t array;
+  members : member array;
+  bias : float;  (** default-rule confidence, added to every score *)
+  threshold : float;  (** predict the target class when score exceeds it *)
+}
+
+type params = {
+  rounds : int;  (** boosting rounds; degenerate rounds add no member *)
+  shrinkage : float;  (** confidence multiplier in (0, 1] *)
+  metric : Pn_metrics.Rule_metric.kind;
+  max_rule_length : int option;
+  min_support_fraction : float;
+      (** per-rule support floor, as a fraction of the round view's
+          positive weight *)
+  threshold : float;
+}
+
+(** 30 rounds, shrinkage 0.5, Z-number metric, rules of ≤ 4 conditions,
+    1% support floor, decision threshold 0. *)
+val default_params : params
+
+(** [train ?params ?sampling ds ~target] boosts for [params.rounds]
+    rounds. Each round draws its own sampling context from a stream
+    split off [sampling.seed], so the ensemble — like the single-list
+    learner — is bit-identical across [PNRULE_DOMAINS] at a fixed
+    seed. Raises [Invalid_argument] on an empty dataset or zero
+    target-class weight. *)
+val train :
+  ?params:params ->
+  ?sampling:Pn_induct.Sampling.t ->
+  Pn_data.Dataset.t ->
+  target:int ->
+  t
+
+(** [score_all ?pool t ds] is each record's ensemble score
+    (bias + Σ covering member weights), resolved through one compiled
+    bitset program over all members. *)
+val score_all : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> float array
+
+val predict_all : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> bool array
+
+(** Weighted binary confusion of the ensemble on [ds]. *)
+val evaluate : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> Pn_metrics.Confusion.t
+
+val n_members : t -> int
+
+val pp : Format.formatter -> t -> unit

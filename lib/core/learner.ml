@@ -23,7 +23,8 @@ let view_counts view ~target ~negate =
    whole growth (§2.2). [accept] decides whether a refinement with the
    given scores is taken; [force] lets the N-phase push past a
    non-improving refinement when the recall floor demands it. *)
-let grow_rule ~params ~target ~negate ~min_support ~max_length ~accept ~force remaining =
+let grow_rule ?features ~params ~target ~negate ~min_support ~max_length ~accept
+    ~force remaining =
   let counts0 = view_counts remaining ~target ~negate in
   let ctx = { RM.pos_total = counts0.RM.pos; neg_total = counts0.RM.neg } in
   let metric = params.Params.metric in
@@ -37,7 +38,7 @@ let grow_rule ~params ~target ~negate ~min_support ~max_length ~accept ~force re
     else begin
       match
         Pn_induct.Grower.best_condition ~allow_ranges:params.Params.allow_ranges
-          ~min_support ~current:rule ~metric ~ctx ~target ~negate covered
+          ~min_support ~current:rule ?features ~metric ~ctx ~target ~negate covered
       with
       | None -> (rule, covered, current_counts)
       | Some cand ->
@@ -63,11 +64,15 @@ let grow_rule ~params ~target ~negate ~min_support ~max_length ~accept ~force re
 (* P-phase                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let p_phase ~params ds ~target =
-  let all = Pn_data.View.all ds in
-  let target_total = Pn_data.View.class_weight all target in
+(* [sctx] streams the per-rule feature masks; with feature sampling off
+   it draws nothing, so unsampled training is byte-identical to before
+   the sampling hooks existed. [view] is the (possibly instance-sampled)
+   training view both phases run on. *)
+let p_phase ~params ~sctx ds ~view ~target =
+  let target_total = Pn_data.View.class_weight view target in
   if target_total <= 0.0 then
     invalid_arg "Pnrule.Learner.train: no target-class weight in training data";
+  let n_attrs = Pn_data.Dataset.n_attrs ds in
   let min_support = params.Params.min_support_fraction *. target_total in
   let accept ~current_score ~candidate_score ~candidate_counts =
     candidate_score > current_score +. 1e-12
@@ -79,8 +84,9 @@ let p_phase ~params ds ~target =
     if List.length acc_rules >= params.Params.max_p_rules then stop ()
     else if fst (Pn_data.View.binary_weights remaining ~target) <= 0.0 then stop ()
     else begin
+      let features = Pn_induct.Sampling.feature_mask sctx ~n_attrs in
       let rule, _covered, counts =
-        grow_rule ~params ~target ~negate:false ~min_support
+        grow_rule ?features ~params ~target ~negate:false ~min_support
           ~max_length:params.Params.max_p_rule_length ~accept ~force:no_force
           remaining
       in
@@ -107,7 +113,7 @@ let p_phase ~params ds ~target =
       end
     end
   in
-  loop all 0.0 [] []
+  loop view 0.0 [] []
 
 (* ------------------------------------------------------------------ *)
 (* N-phase                                                              *)
@@ -162,10 +168,21 @@ let prune_n_rule ~params ~target ~target_total ~recall prune_view rule =
     !best
   end
 
-let n_phase ~params ds ~target ~p_rules ~p_coverage =
-  let u = Pn_rules.Rule_list.covered ds p_rules in
+let n_phase ~params ~sctx ds ~view ~target ~p_rules ~p_coverage =
+  (* The pooled set U is the P-covered part of the *training view*: one
+     compiled first-match pass over the dataset, then an O(view) filter,
+     so sampled training never walks the full record set interpretively.
+     On the unsampled all-records view this selects exactly the indices
+     [Rule_list.covered] used to. *)
+  let u =
+    let fm =
+      Pn_rules.Compiled.first_match_all p_rules.Pn_rules.Rule_list.rules ds
+    in
+    Pn_data.View.filter view (fun i -> fm.(i) >= 0)
+  in
   let u_pos, u_neg = Pn_data.View.binary_weights u ~target in
-  let target_total = Pn_data.Dataset.class_weight ds target in
+  let target_total = Pn_data.View.class_weight view target in
+  let n_attrs = Pn_data.Dataset.n_attrs ds in
   let n_candidates = Pn_induct.Grower.candidate_space_size ds in
   let rng = Pn_util.Rng.create params.Params.seed in
   let recall = ref p_coverage in
@@ -186,13 +203,14 @@ let n_phase ~params ds ~target ~p_rules ~p_coverage =
         let tp_removed = current_counts.RM.neg in
         !recall -. (tp_removed /. target_total) < params.Params.recall_floor
       in
+      let features = Pn_induct.Sampling.feature_mask sctx ~n_attrs in
       let rule, counts =
         if params.Params.n_prune then begin
           let grow_view, prune_view =
             Pn_data.View.split remaining rng ~left_fraction:(2.0 /. 3.0)
           in
           let rule, _, _ =
-            grow_rule ~params ~target ~negate:true ~min_support:0.0
+            grow_rule ?features ~params ~target ~negate:true ~min_support:0.0
               ~max_length:params.Params.max_n_rule_length ~accept ~force grow_view
           in
           let rule =
@@ -203,7 +221,7 @@ let n_phase ~params ds ~target ~p_rules ~p_coverage =
         end
         else begin
           let rule, _covered, counts =
-            grow_rule ~params ~target ~negate:true ~min_support:0.0
+            grow_rule ?features ~params ~target ~negate:true ~min_support:0.0
               ~max_length:params.Params.max_n_rule_length ~accept ~force remaining
           in
           (rule, counts)
@@ -243,25 +261,28 @@ let n_phase ~params ds ~target ~p_rules ~p_coverage =
 
 let laplace pos total = (pos +. 1.0) /. (total +. 2.0)
 
-let build_scores ~params ds ~target ~p_rules ~n_rules =
+(* The ScoreMatrix is estimated on the same (possibly sampled) view the
+   rules were grown on: at a million rows an all-records interpretive
+   first-match pass here would eat most of what sampling saved. *)
+let build_scores ~params view ~target ~p_rules ~n_rules =
+  let ds = view.Pn_data.View.data in
   let np = Pn_rules.Rule_list.length p_rules in
   let nn = Pn_rules.Rule_list.length n_rules in
   let cell_w = Array.make_matrix np (nn + 1) 0.0 in
   let cell_pos = Array.make_matrix np (nn + 1) 0.0 in
-  for i = 0 to Pn_data.Dataset.n_records ds - 1 do
-    match Pn_rules.Rule_list.first_match ds p_rules i with
-    | None -> ()
-    | Some p ->
-      let j =
-        match Pn_rules.Rule_list.first_match ds n_rules i with
-        | None -> nn
-        | Some j -> j
-      in
-      let w = Pn_data.Dataset.weight ds i in
-      cell_w.(p).(j) <- cell_w.(p).(j) +. w;
-      if Pn_data.Dataset.label ds i = target then
-        cell_pos.(p).(j) <- cell_pos.(p).(j) +. w
-  done;
+  Pn_data.View.iter view (fun i ->
+      match Pn_rules.Rule_list.first_match ds p_rules i with
+      | None -> ()
+      | Some p ->
+        let j =
+          match Pn_rules.Rule_list.first_match ds n_rules i with
+          | None -> nn
+          | Some j -> j
+        in
+        let w = Pn_data.Dataset.weight ds i in
+        cell_w.(p).(j) <- cell_w.(p).(j) +. w;
+        if Pn_data.Dataset.label ds i = target then
+          cell_pos.(p).(j) <- cell_pos.(p).(j) +. w);
   Array.init np (fun p ->
       let row_w = Pn_util.Arr.sum_floats cell_w.(p) in
       let row_pos = Pn_util.Arr.sum_floats cell_pos.(p) in
@@ -287,21 +308,31 @@ let build_scores ~params ds ~target ~p_rules ~n_rules =
 (* Training entry points                                                *)
 (* ------------------------------------------------------------------ *)
 
-let train_with_stats ?(params = Params.default) ds ~target =
-  let p_list, p_cov, p_coverage = p_phase ~params ds ~target in
+let train_with_stats ?(params = Params.default)
+    ?(sampling = Pn_induct.Sampling.none) ds ~target =
+  (* One sampling stream per training run: the instance sample is drawn
+     first, then one feature mask per rule, all on this thread — results
+     depend on the seed only, never on the domain-pool size. *)
+  let sctx = Pn_induct.Sampling.ctx sampling in
+  let view = Pn_induct.Sampling.sample_instances sctx (Pn_data.View.all ds) in
+  if Pn_data.View.size view < Pn_data.Dataset.n_records ds then
+    Log.info (fun m ->
+        m "instance sampling: training on %d of %d records"
+          (Pn_data.View.size view) (Pn_data.Dataset.n_records ds));
+  let p_list, p_cov, p_coverage = p_phase ~params ~sctx ds ~view ~target in
   let p_rules = Pn_rules.Rule_list.of_list p_list in
   Log.info (fun m ->
       m "P-phase: %d rules, target coverage %.3f" (List.length p_list) p_coverage);
   let n_list, n_cov, dl_trace =
     if params.Params.enable_n_phase && p_list <> [] then
-      n_phase ~params ds ~target ~p_rules ~p_coverage
+      n_phase ~params ~sctx ds ~view ~target ~p_rules ~p_coverage
     else ([], [], [])
   in
   let n_rules = Pn_rules.Rule_list.of_list n_list in
   Log.info (fun m -> m "N-phase: %d rules" (List.length n_list));
   let scores =
     if p_list = [] then [||]
-    else build_scores ~params ds ~target ~p_rules ~n_rules
+    else build_scores ~params view ~target ~p_rules ~n_rules
   in
   let model =
     {
@@ -325,4 +356,5 @@ let train_with_stats ?(params = Params.default) ds ~target =
   in
   (model, stats)
 
-let train ?params ds ~target = fst (train_with_stats ?params ds ~target)
+let train ?params ?sampling ds ~target =
+  fst (train_with_stats ?params ?sampling ds ~target)

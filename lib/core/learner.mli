@@ -22,10 +22,27 @@ type stats = {
   train_confusion : Pn_metrics.Confusion.t;
 }
 
-(** [train ?params ds ~target] learns a binary PNrule model for class
-    index [target]. Raises [Invalid_argument] if the dataset carries no
-    target-class weight. *)
-val train : ?params:Params.t -> Pn_data.Dataset.t -> target:int -> Model.t
+(** [train ?params ?sampling ds ~target] learns a binary PNrule model
+    for class index [target]. Raises [Invalid_argument] if the training
+    view carries no target-class weight.
+
+    [sampling] (default {!Pn_induct.Sampling.none}) sub-samples the
+    induction itself: both phases grow their rules — and the ScoreMatrix
+    is estimated — on the instance-sampled view, and each rule searches
+    only its drawn feature subset. All draws come from the strategy's
+    seed on the calling thread, so sampled training is bit-identical
+    across [PNRULE_DOMAINS]; with [Sampling.none] nothing is drawn and
+    training is byte-identical to the unsampled learner. *)
+val train :
+  ?params:Params.t ->
+  ?sampling:Pn_induct.Sampling.t ->
+  Pn_data.Dataset.t ->
+  target:int ->
+  Model.t
 
 val train_with_stats :
-  ?params:Params.t -> Pn_data.Dataset.t -> target:int -> Model.t * stats
+  ?params:Params.t ->
+  ?sampling:Pn_induct.Sampling.t ->
+  Pn_data.Dataset.t ->
+  target:int ->
+  Model.t * stats

@@ -1,0 +1,59 @@
+type t = Single of Model.t | Boosted of Ensemble.t
+
+let kind = function Single _ -> "pnrule" | Boosted _ -> "boosted"
+
+let attrs = function
+  | Single m -> m.Model.attrs
+  | Boosted e -> e.Ensemble.attrs
+
+let classes = function
+  | Single m -> m.Model.classes
+  | Boosted e -> e.Ensemble.classes
+
+let target = function
+  | Single m -> m.Model.target
+  | Boosted e -> e.Ensemble.target
+
+let resolve_header t header =
+  let attrs = attrs t in
+  let find name =
+    let hits = ref [] in
+    Array.iteri
+      (fun j h -> if String.equal h name then hits := j :: !hits)
+      header;
+    match !hits with
+    | [ j ] -> Ok j
+    | [] -> Error (Printf.sprintf "column %S required by the model is missing" name)
+    | _ :: _ ->
+      Error (Printf.sprintf "column %S appears more than once in the header" name)
+  in
+  let mapping = Array.make (Array.length attrs) 0 in
+  let errs = ref [] in
+  Array.iteri
+    (fun k (a : Pn_data.Attribute.t) ->
+      match find a.name with
+      | Ok j -> mapping.(k) <- j
+      | Error e -> errs := e :: !errs)
+    attrs;
+  match List.rev !errs with
+  | [] -> Ok mapping
+  | errs -> Error (String.concat "; " errs)
+
+let predict_all ?pool t ds =
+  match t with
+  | Single m -> Model.predict_all ?pool m ds
+  | Boosted e -> Ensemble.predict_all ?pool e ds
+
+let score_all ?pool t ds =
+  match t with
+  | Single m -> Model.score_all ?pool m ds
+  | Boosted e -> Ensemble.score_all ?pool e ds
+
+let evaluate ?pool t ds =
+  match t with
+  | Single m -> Model.evaluate ?pool m ds
+  | Boosted e -> Ensemble.evaluate ?pool e ds
+
+let pp ppf = function
+  | Single m -> Model.pp ppf m
+  | Boosted e -> Ensemble.pp ppf e

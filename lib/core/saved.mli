@@ -1,0 +1,31 @@
+(** What a model file can hold: a single two-phase PNrule list
+    ({!Model.t}, formats v1/v2) or a boosted ensemble ({!Ensemble.t},
+    format v3). The serving stack — {!Serve}, the daemon, the CLI — is
+    written against this type, so every model kind rides the same
+    streaming pipeline and the same compiled bitset scoring. *)
+
+type t = Single of Model.t | Boosted of Ensemble.t
+
+(** ["pnrule"] or ["boosted"] — the discriminator surfaced on
+    [GET /model]. *)
+val kind : t -> string
+
+val attrs : t -> Pn_data.Attribute.t array
+
+val classes : t -> string array
+
+(** Index of the target class in {!classes}. *)
+val target : t -> int
+
+(** Same name-based schema check as {!Model.resolve_header}, over
+    either kind: [Ok mapping] maps attribute [k] to header column
+    [mapping.(k)]; [Error] lists every missing/duplicated column. *)
+val resolve_header : t -> string array -> (int array, string) result
+
+val predict_all : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> bool array
+
+val score_all : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> float array
+
+val evaluate : ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> Pn_metrics.Confusion.t
+
+val pp : Format.formatter -> t -> unit

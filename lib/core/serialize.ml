@@ -30,13 +30,11 @@ let write_rules buf label rules =
       List.iter (write_condition buf) r.Pn_rules.Rule.conditions)
     (Pn_rules.Rule_list.to_list rules)
 
-let to_string (m : Model.t) =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "pnrule-model v2\n";
-  Buffer.add_string buf (Printf.sprintf "target %d\n" m.Model.target);
-  Buffer.add_string buf (Printf.sprintf "classes %d\n" (Array.length m.Model.classes));
-  Array.iter (fun c -> Buffer.add_string buf ("  " ^ quote c ^ "\n")) m.Model.classes;
-  Buffer.add_string buf (Printf.sprintf "attrs %d\n" (Array.length m.Model.attrs));
+let write_schema buf ~target ~classes ~attrs =
+  Buffer.add_string buf (Printf.sprintf "target %d\n" target);
+  Buffer.add_string buf (Printf.sprintf "classes %d\n" (Array.length classes));
+  Array.iter (fun c -> Buffer.add_string buf ("  " ^ quote c ^ "\n")) classes;
+  Buffer.add_string buf (Printf.sprintf "attrs %d\n" (Array.length attrs));
   Array.iter
     (fun (a : Pn_data.Attribute.t) ->
       match a.kind with
@@ -46,7 +44,21 @@ let to_string (m : Model.t) =
         Buffer.add_string buf
           (Printf.sprintf "  cat %s %d%s\n" (quote a.name) (Array.length values)
              (Array.fold_left (fun acc v -> acc ^ " " ^ quote v) "" values)))
-    m.Model.attrs;
+    attrs
+
+(* Both formats end with a CRC-32 footer over every byte above it;
+   [load] refuses a file whose body and footer disagree, which is what
+   lets hot reload tell a torn or bit-flipped file from a healthy one. *)
+let add_crc_footer buf =
+  Buffer.add_string buf
+    (Printf.sprintf "crc %08x\n" (Pn_util.Crc32.string (Buffer.contents buf)));
+  Buffer.contents buf
+
+let to_string (m : Model.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "pnrule-model v2\n";
+  write_schema buf ~target:m.Model.target ~classes:m.Model.classes
+    ~attrs:m.Model.attrs;
   let p = m.Model.params in
   Buffer.add_string buf
     (Printf.sprintf "decision %h %b\n" p.Params.score_threshold p.Params.use_scoring);
@@ -61,12 +73,31 @@ let to_string (m : Model.t) =
       Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf " %h" s)) row;
       Buffer.add_char buf '\n')
     m.Model.scores;
-  (* v2 footer: CRC-32 of every byte above it. [load] refuses a file
-     whose body and footer disagree, which is what lets hot reload tell
-     a torn or bit-flipped file from a healthy one. *)
-  Buffer.add_string buf
-    (Printf.sprintf "crc %08x\n" (Pn_util.Crc32.string (Buffer.contents buf)));
-  Buffer.contents buf
+  add_crc_footer buf
+
+(* v3 carries a boosted ensemble: same schema block as v2, then the
+   decision threshold, the bias, and one weighted rule per member. A
+   [Saved.Single] keeps writing v2 bytes, so files produced before v3
+   existed and files produced after are byte-identical. *)
+let string_of_saved = function
+  | Saved.Single m -> to_string m
+  | Saved.Boosted e ->
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "pnrule-model v3\nkind boosted\n";
+    write_schema buf ~target:e.Ensemble.target ~classes:e.Ensemble.classes
+      ~attrs:e.Ensemble.attrs;
+    Buffer.add_string buf (Printf.sprintf "decision %h\n" e.Ensemble.threshold);
+    Buffer.add_string buf (Printf.sprintf "bias %h\n" e.Ensemble.bias);
+    Buffer.add_string buf
+      (Printf.sprintf "members %d\n" (Array.length e.Ensemble.members));
+    Array.iter
+      (fun (mb : Ensemble.member) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  member %h %d\n" mb.Ensemble.weight
+             (Pn_rules.Rule.n_conditions mb.Ensemble.rule));
+        List.iter (write_condition buf) mb.Ensemble.rule.Pn_rules.Rule.conditions)
+      e.Ensemble.members;
+    add_crc_footer buf
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                              *)
@@ -182,7 +213,7 @@ let read_rules st label =
   in
   Pn_rules.Rule_list.of_list rules
 
-(* v2 files end with "crc XXXXXXXX\n" over every byte above it. Checked
+(* v2+ files end with "crc XXXXXXXX\n" over every byte above it. Checked
    on the raw bytes, before tokenization: any flip or truncation
    anywhere in the file — including inside string literals the tokenizer
    would otherwise choke on — surfaces as this one clean error. *)
@@ -203,7 +234,81 @@ let verify_crc s =
     fail "checksum mismatch: footer says %08x, content hashes to %08x" stored
       actual
 
-let of_string s =
+let read_schema st =
+  expect st "target";
+  let target = int_tok st in
+  expect st "classes";
+  let n_classes = count_tok st ~what:"class" in
+  let classes = Array.init n_classes (fun _ -> next st) in
+  expect st "attrs";
+  let n_attrs = count_tok st ~what:"attribute" in
+  let attrs =
+    Array.init n_attrs (fun _ ->
+        match next st with
+        | "num" -> Pn_data.Attribute.numeric (next st)
+        | "cat" ->
+          let name = next st in
+          let arity = count_tok st ~what:"value" in
+          Pn_data.Attribute.categorical name (Array.init arity (fun _ -> next st))
+        | other -> fail "unknown attribute kind %S" other)
+  in
+  if target < 0 || target >= n_classes then fail "target class out of range";
+  (target, classes, attrs)
+
+let read_single st ~version =
+  let target, classes, attrs = read_schema st in
+  expect st "decision";
+  let score_threshold = float_tok st in
+  let use_scoring = bool_tok st in
+  let p_rules = read_rules st "p_rules" in
+  let n_rules = read_rules st "n_rules" in
+  expect st "scores";
+  let rows = count_tok st ~what:"score row" in
+  let cols = count_tok st ~what:"score column" in
+  let scores = Array.init rows (fun _ -> Array.init cols (fun _ -> float_tok st)) in
+  if rows > 0 && cols <> Pn_rules.Rule_list.length n_rules + 1 then
+    fail "score matrix width %d does not match %d N-rules" cols
+      (Pn_rules.Rule_list.length n_rules);
+  if rows <> Pn_rules.Rule_list.length p_rules then
+    fail "score matrix height %d does not match %d P-rules" rows
+      (Pn_rules.Rule_list.length p_rules);
+  if version >= 2 then begin
+    expect st "crc";
+    ignore (next st)
+  end;
+  {
+    Model.target;
+    classes;
+    attrs;
+    p_rules;
+    n_rules;
+    scores;
+    params = { Params.default with score_threshold; use_scoring };
+  }
+
+let read_boosted st =
+  let target, classes, attrs = read_schema st in
+  expect st "decision";
+  let threshold = float_tok st in
+  expect st "bias";
+  let bias = float_tok st in
+  expect st "members";
+  let count = count_tok st ~what:"member" in
+  let members =
+    Array.init count (fun _ ->
+        expect st "member";
+        let weight = float_tok st in
+        let k = count_tok st ~what:"condition" in
+        let rule =
+          Pn_rules.Rule.of_conditions (List.init k (fun _ -> read_condition st))
+        in
+        { Ensemble.rule; weight })
+  in
+  expect st "crc";
+  ignore (next st);
+  { Ensemble.target; classes; attrs; members; bias; threshold }
+
+let saved_of_string s =
   let parse () =
     let st = tokenize s in
     expect st "pnrule-model";
@@ -211,55 +316,17 @@ let of_string s =
       match next st with
       | "v1" -> 1 (* legacy: no checksum footer *)
       | "v2" -> 2
+      | "v3" -> 3
       | other -> fail "unsupported format version %S" other
     in
     if version >= 2 then verify_crc s;
-    expect st "target";
-    let target = int_tok st in
-    expect st "classes";
-    let n_classes = count_tok st ~what:"class" in
-    let classes = Array.init n_classes (fun _ -> next st) in
-    expect st "attrs";
-    let n_attrs = count_tok st ~what:"attribute" in
-    let attrs =
-      Array.init n_attrs (fun _ ->
-          match next st with
-          | "num" -> Pn_data.Attribute.numeric (next st)
-          | "cat" ->
-            let name = next st in
-            let arity = count_tok st ~what:"value" in
-            Pn_data.Attribute.categorical name (Array.init arity (fun _ -> next st))
-          | other -> fail "unknown attribute kind %S" other)
-    in
-    expect st "decision";
-    let score_threshold = float_tok st in
-    let use_scoring = bool_tok st in
-    let p_rules = read_rules st "p_rules" in
-    let n_rules = read_rules st "n_rules" in
-    expect st "scores";
-    let rows = count_tok st ~what:"score row" in
-    let cols = count_tok st ~what:"score column" in
-    let scores = Array.init rows (fun _ -> Array.init cols (fun _ -> float_tok st)) in
-    if rows > 0 && cols <> Pn_rules.Rule_list.length n_rules + 1 then
-      fail "score matrix width %d does not match %d N-rules" cols
-        (Pn_rules.Rule_list.length n_rules);
-    if rows <> Pn_rules.Rule_list.length p_rules then
-      fail "score matrix height %d does not match %d P-rules" rows
-        (Pn_rules.Rule_list.length p_rules);
-    if target < 0 || target >= n_classes then fail "target class out of range";
-    if version >= 2 then begin
-      expect st "crc";
-      ignore (next st)
-    end;
-    {
-      Model.target;
-      classes;
-      attrs;
-      p_rules;
-      n_rules;
-      scores;
-      params = { Params.default with score_threshold; use_scoring };
-    }
+    if version <= 2 then Saved.Single (read_single st ~version)
+    else begin
+      expect st "kind";
+      match next st with
+      | "boosted" -> Saved.Boosted (read_boosted st)
+      | other -> fail "unknown model kind %S" other
+    end
   in
   (* Every reader failure mode must come out as [Corrupt]: callers (hot
      reload, the CLI) decide "keep the old model" on that one exception,
@@ -269,6 +336,12 @@ let of_string s =
   | Scanf.Scan_failure _ | Failure _ | Invalid_argument _ | Not_found
   | End_of_file ->
     fail "malformed model text"
+
+let of_string s =
+  match saved_of_string s with
+  | Saved.Single m -> m
+  | Saved.Boosted _ ->
+    fail "boosted ensemble (v3) where a single PNrule model was expected"
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                                *)
@@ -290,8 +363,7 @@ let fsync_dir dir =
    one, never a torn hybrid. The write loop passes the
    [serialize.write] fault point so chaos tests can cut it short at an
    arbitrary byte. *)
-let save m path =
-  let data = to_string m in
+let write_atomic data path =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let write_all fd =
     let len = String.length data in
@@ -322,8 +394,16 @@ let save m path =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
 
-let load path =
+let save m path = write_atomic (to_string m) path
+
+let save_saved sm path = write_atomic (string_of_saved sm) path
+
+let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (In_channel.input_all ic))
+    (fun () -> In_channel.input_all ic)
+
+let load path = of_string (read_file path)
+
+let load_saved path = saved_of_string (read_file path)

@@ -1,14 +1,16 @@
 (** Plain-text persistence for PNrule models.
 
     The format is line-oriented and self-contained: it carries the class
-    table, the attribute schema (with categorical value names), both rule
-    lists, the ScoreMatrix, and the parameters needed to reproduce the
-    model's decision behaviour. Written models round-trip exactly.
+    table, the attribute schema (with categorical value names), and the
+    model body. Written models round-trip exactly.
 
-    Format v2 (the only version written) ends with a [crc XXXXXXXX]
-    footer — the CRC-32 of every byte above it — which the readers
-    verify before parsing, so torn, truncated or bit-flipped files are
-    rejected with one clean error. v1 files (no footer) still load. *)
+    Two bodies exist: v2 holds a single two-phase PNrule model (both
+    rule lists, the ScoreMatrix, decision parameters); v3 holds a
+    boosted ensemble ([kind boosted]: bias, decision threshold, and one
+    weighted rule per member). Both end with a [crc XXXXXXXX] footer —
+    the CRC-32 of every byte above it — which the readers verify before
+    parsing, so torn, truncated or bit-flipped files are rejected with
+    one clean error. v1 files (no footer) still load. *)
 
 exception Corrupt of string
 (** Raised by the readers on malformed input — bad syntax, implausible
@@ -16,11 +18,22 @@ exception Corrupt of string
     failure mode is funnelled into this exception so callers can safely
     decide "keep the previous model". *)
 
-(** [to_string model] serializes a model (v2, checksum footer included). *)
+(** [to_string model] serializes a single model (v2, checksum footer
+    included). *)
 val to_string : Model.t -> string
 
-(** [of_string s] parses a serialized model. Raises [Corrupt]. *)
+(** [of_string s] parses a serialized single model. Raises [Corrupt] —
+    including on a (valid) v3 ensemble file, which only
+    {!saved_of_string} accepts. *)
 val of_string : string -> Model.t
+
+(** [string_of_saved sm] serializes either kind: [Single] produces the
+    same v2 bytes as {!to_string}, [Boosted] produces v3. *)
+val string_of_saved : Saved.t -> string
+
+(** [saved_of_string s] parses any supported version: v1/v2 come back as
+    [Single], v3 as [Boosted]. Raises [Corrupt]. *)
+val saved_of_string : string -> Saved.t
 
 (** [save model path] writes atomically: the bytes go to a temp file in
     [path]'s directory, are fsynced, and are renamed over [path] only
@@ -30,6 +43,14 @@ val of_string : string -> Model.t
     is removed, [path] untouched). *)
 val save : Model.t -> string -> unit
 
-(** [load path] reads and verifies a model file. Raises [Corrupt] or
-    [Sys_error]. *)
+(** [save_saved sm path] is {!save} for either model kind — same atomic
+    protocol, same [serialize.write] fault point. *)
+val save_saved : Saved.t -> string -> unit
+
+(** [load path] reads and verifies a single-model file. Raises [Corrupt]
+    or [Sys_error]. *)
 val load : string -> Model.t
+
+(** [load_saved path] reads and verifies a model file of any supported
+    version. Raises [Corrupt] or [Sys_error]. *)
+val load_saved : string -> Saved.t

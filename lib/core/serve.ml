@@ -38,23 +38,24 @@ type emitter = {
   em_confusion : Pn_metrics.Confusion.t ref;
 }
 
-let make_emitter ?pool ~scores ~(model : Model.t) ~write () =
+let make_emitter ?pool ~scores ~(model : Saved.t) ~write () =
   let outbuf = Buffer.create 4096 in
   let chunks = ref 0 in
   let rows_out = ref 0 in
   let confusion = ref Pn_metrics.Confusion.zero in
-  let target_name = model.Model.classes.(model.Model.target) in
+  let target = Saved.target model in
+  let target_name = (Saved.classes model).(target) in
   let negative_name = "not-" ^ target_name in
   let em_header () =
     write (if scores then "prediction,score\n" else "prediction\n")
   in
   let em_emit ~n ~columns ~actuals =
     let ds =
-      Pn_data.Dataset.create ~attrs:model.Model.attrs ~columns
-        ~labels:(Array.make n 0) ~classes:model.Model.classes ()
+      Pn_data.Dataset.create ~attrs:(Saved.attrs model) ~columns
+        ~labels:(Array.make n 0) ~classes:(Saved.classes model) ()
     in
-    let predicted = Model.predict_all ?pool model ds in
-    let score_v = if scores then Some (Model.score_all ?pool model ds) else None in
+    let predicted = Saved.predict_all ?pool model ds in
+    let score_v = if scores then Some (Saved.score_all ?pool model ds) else None in
     Buffer.clear outbuf;
     for i = 0 to n - 1 do
       let name = if predicted.(i) then target_name else negative_name in
@@ -68,8 +69,7 @@ let make_emitter ?pool ~scores ~(model : Model.t) ~write () =
       incr rows_out;
       if actuals.(i) >= 0 then
         confusion :=
-          Pn_metrics.Confusion.add !confusion
-            ~actual:(actuals.(i) = model.Model.target)
+          Pn_metrics.Confusion.add !confusion ~actual:(actuals.(i) = target)
             ~predicted:predicted.(i) ~weight:1.0
     done;
     write (Buffer.contents outbuf);
@@ -90,14 +90,14 @@ let make_emitter ?pool ~scores ~(model : Model.t) ~write () =
    source; output leaves through [write], one call for the header line
    and one per scored chunk. *)
 let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
-    ?class_column ?(scores = false) ?max_rows ?pool ~(model : Model.t) ~source
+    ?class_column ?(scores = false) ?max_rows ?pool ~(model : Saved.t) ~source
     ~write () =
   if chunk_size <= 0 then invalid_arg "Serve.predict_stream: chunk_size";
   (match max_rows with
   | Some m when m <= 0 -> invalid_arg "Serve.predict_stream: max_rows"
   | Some _ | None -> ());
   let t0 = Unix.gettimeofday () in
-  let attrs = model.Model.attrs in
+  let attrs = Saved.attrs model in
   let n_attrs = Array.length attrs in
   (* O(1) categorical decoding. *)
   let cat_tables =
@@ -114,7 +114,7 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
   let class_table = Hashtbl.create 8 in
   Array.iteri
     (fun code c -> if not (Hashtbl.mem class_table c) then Hashtbl.add class_table c code)
-    model.Model.classes;
+    (Saved.classes model);
   let ingest = Pn_data.Ingest_report.create () in
   (* Header-dependent state, set when the first row arrives. *)
   let mapping = ref [||] in
@@ -145,7 +145,7 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
     | Some _ | None -> ()
   in
   let resolve_header names =
-    (match Model.resolve_header model names with
+    (match Saved.resolve_header model names with
     | Ok m -> mapping := m
     | Error msg -> fail "schema mismatch: %s" msg);
     n_header := Array.length names;
@@ -335,7 +335,7 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
    skipped entirely when the dictionaries already agree); numeric
    columns go to the scorer as the decode buffers themselves. *)
 let predict_columnar_stream ?(policy = Pn_data.Ingest_report.Strict)
-    ?(scores = false) ?max_rows ?pool ~(model : Model.t) ~source ~write () =
+    ?(scores = false) ?max_rows ?pool ~(model : Saved.t) ~source ~write () =
   (match max_rows with
   | Some m when m <= 0 -> invalid_arg "Serve.predict_columnar_stream: max_rows"
   | Some _ | None -> ());
@@ -350,11 +350,11 @@ let predict_columnar_stream ?(policy = Pn_data.Ingest_report.Strict)
     Array.map (fun (a : Pn_data.Attribute.t) -> a.name) file_attrs
   in
   let mapping =
-    match Model.resolve_header model names with
+    match Saved.resolve_header model names with
     | Ok m -> m
     | Error msg -> fail "schema mismatch: %s" msg
   in
-  let attrs = model.Model.attrs in
+  let attrs = Saved.attrs model in
   let n_attrs = Array.length attrs in
   (* resolve_header matches names; the binary format also carries kinds,
      which must agree. Categorical dictionaries may differ from the
@@ -393,9 +393,10 @@ let predict_columnar_stream ?(policy = Pn_data.Ingest_report.Strict)
           names.(j))
     mapping;
   let class_remap =
+    let classes = Saved.classes model in
     Array.map
       (fun c ->
-        match Array.find_index (String.equal c) model.Model.classes with
+        match Array.find_index (String.equal c) classes with
         | Some code -> code
         | None -> -1)
       sch.Pn_data.Columnar.classes

@@ -2,10 +2,12 @@
 
     [predict_csv] pulls a CSV feed through the {!Pn_data.Stream} decoder
     in fixed-size chunks, validates each chunk against the saved model's
-    schema ({!Model.resolve_header} on the header, per-cell kind checks on
+    schema ({!Saved.resolve_header} on the header, per-cell kind checks on
     the rows), scores it through the compiled bitset engine and streams a
     predictions CSV out — the full dataset is never materialized, so
-    resident memory is bounded by the chunk size, not the feed.
+    resident memory is bounded by the chunk size, not the feed. The
+    pipeline is written against {!Saved.t}, so a boosted ensemble serves
+    through exactly the same path as a single PNrule model.
 
     Row handling follows the ingestion {!Pn_data.Ingest_report.policy}:
     - [Strict]: any undecodable row (malformed CSV, wrong arity, missing
@@ -60,7 +62,7 @@ val predict_stream :
   ?scores:bool ->
   ?max_rows:int ->
   ?pool:Pn_util.Pool.t ->
-  model:Model.t ->
+  model:Saved.t ->
   source:Pn_data.Stream.source ->
   write:(string -> unit) ->
   unit ->
@@ -85,7 +87,7 @@ val predict_columnar_stream :
   ?scores:bool ->
   ?max_rows:int ->
   ?pool:Pn_util.Pool.t ->
-  model:Model.t ->
+  model:Saved.t ->
   source:Pn_data.Stream.source ->
   write:(string -> unit) ->
   unit ->
@@ -97,7 +99,7 @@ val predict_pnc :
   ?policy:Pn_data.Ingest_report.policy ->
   ?scores:bool ->
   ?pool:Pn_util.Pool.t ->
-  model:Model.t ->
+  model:Saved.t ->
   input:string ->
   output:out_channel ->
   unit ->
@@ -116,7 +118,7 @@ val predict_csv :
   ?class_column:string ->
   ?scores:bool ->
   ?pool:Pn_util.Pool.t ->
-  model:Model.t ->
+  model:Saved.t ->
   input:string ->
   output:out_channel ->
   unit ->

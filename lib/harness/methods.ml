@@ -1,5 +1,6 @@
 type model =
   | Pnrule_model of Pnrule.Model.t
+  | Boosted_model of Pnrule.Ensemble.t
   | Ripper_model of Pn_ripper.Model.t
   | C45rules_model of Pn_c45.Rules.t
   | C45tree_model of Pn_c45.Tree.t
@@ -12,13 +13,30 @@ type t = {
 let evaluate model ds ~target =
   match model with
   | Pnrule_model m -> Pnrule.Model.evaluate m ds
+  | Boosted_model m -> Pnrule.Ensemble.evaluate m ds
   | Ripper_model m -> Pn_ripper.Model.evaluate m ds
   | C45rules_model m -> Pn_c45.Rules.evaluate_binary m ds ~target
   | C45tree_model m -> Pn_c45.Tree.evaluate_binary m ds ~target
 
-let pnrule ?name ?(params = Pnrule.Params.default) () =
+let pnrule ?name ?(params = Pnrule.Params.default)
+    ?(sampling = Pn_induct.Sampling.none) () =
   let name = Option.value name ~default:"PNrule" in
-  { name; train = (fun ds ~target -> Pnrule_model (Pnrule.Learner.train ~params ds ~target)) }
+  {
+    name;
+    train =
+      (fun ds ~target ->
+        Pnrule_model (Pnrule.Learner.train ~params ~sampling ds ~target));
+  }
+
+let boosted ?name ?(params = Pnrule.Ensemble.default_params)
+    ?(sampling = Pn_induct.Sampling.none) () =
+  let name = Option.value name ~default:"Boosted" in
+  {
+    name;
+    train =
+      (fun ds ~target ->
+        Boosted_model (Pnrule.Ensemble.train ~params ~sampling ds ~target));
+  }
 
 let pnrule_grid ?(metric = Pn_metrics.Rule_metric.Z_number) () =
   List.concat_map

@@ -4,6 +4,7 @@
 
 type model =
   | Pnrule_model of Pnrule.Model.t
+  | Boosted_model of Pnrule.Ensemble.t
   | Ripper_model of Pn_ripper.Model.t
   | C45rules_model of Pn_c45.Rules.t
   | C45tree_model of Pn_c45.Tree.t
@@ -17,8 +18,24 @@ type t = {
     any model on [ds]. *)
 val evaluate : model -> Pn_data.Dataset.t -> target:int -> Pn_metrics.Confusion.t
 
-(** [pnrule ?name ?params ()] — PNrule with the given parameters. *)
-val pnrule : ?name:string -> ?params:Pnrule.Params.t -> unit -> t
+(** [pnrule ?name ?params ?sampling ()] — PNrule with the given
+    parameters, optionally trained under a {!Pn_induct.Sampling}
+    strategy pair. *)
+val pnrule :
+  ?name:string ->
+  ?params:Pnrule.Params.t ->
+  ?sampling:Pn_induct.Sampling.t ->
+  unit ->
+  t
+
+(** [boosted ?name ?params ?sampling ()] — the {!Pnrule.Ensemble}
+    booster, with each round sampled per [sampling]. *)
+val boosted :
+  ?name:string ->
+  ?params:Pnrule.Ensemble.params ->
+  ?sampling:Pn_induct.Sampling.t ->
+  unit ->
+  t
 
 (** [pnrule_grid ()] — the paper's §3.1 protocol: rp ∈ {0.95, 0.99} ×
     rn ∈ {0.7, 0.95}, every other parameter conservative; the reported

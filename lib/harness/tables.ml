@@ -396,6 +396,53 @@ let ablation_multiphase ~scale =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* B1: boosted ensembles, accuracy vs training speed                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The single PNrule list against the boosted ensemble, each unsampled
+   and under the 10% stratified + √-features strategy — the first
+   accuracy-vs-speed table for the ensemble path. [train_seconds] is
+   wall clock under [run_all]'s core sharing, so read the ratios, not
+   the absolutes. *)
+let boosted_table ~scale =
+  let sampled =
+    {
+      Pn_induct.Sampling.instances =
+        Pn_induct.Sampling.Stratified { fraction = 0.1; min_per_class = 50 };
+      features = Pn_induct.Sampling.Sqrt_features;
+      seed = 7;
+    }
+  in
+  let run_on ~name ~train ~test ~target =
+    let specs =
+      [
+        Methods.c45rules ();
+        Methods.ripper ();
+        Methods.pnrule ();
+        Methods.pnrule ~name:"PNrule[strat10%+sqrt]" ~sampling:sampled ();
+        Methods.boosted ();
+        Methods.boosted ~name:"Boosted[strat10%+sqrt]" ~sampling:sampled ();
+      ]
+    in
+    let results = Experiment.run_all specs ~train ~test ~target in
+    let rows =
+      List.map
+        (fun (r : Experiment.result) ->
+          (r.method_name :: Tablefmt.result_cells r)
+          @ [ Printf.sprintf "%.2f" r.train_seconds ])
+        results
+    in
+    Tablefmt.print
+      ~title:(Printf.sprintf "B1: boosted vs single-list on %s" name)
+      ~header:[ "method"; "Rec"; "Prec"; "F"; "train s" ]
+      rows
+  in
+  let train, test = numeric_sets ~scale ~name:"nsyn3-boosted" (Pn_synth.Numerical.nsyn 3) in
+  run_on ~name:"nsyn3" ~train ~test ~target:Pn_synth.Numerical.target_class;
+  let train, test = kdd_sets ~scale in
+  run_on ~name:"kdd/probe" ~train ~test ~target:Pn_synth.Kddcup.probe
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -412,6 +459,7 @@ let all =
     ("s4b", "Section 4: r2l.P1 grid", section4_r2l_p1);
     ("s4c", "Section 4: probe rp/rn grid", section4_probe);
     ("s4d", "Section 4: probe.P1 grid", section4_probe_p1);
+    ("b1", "B1: boosted vs single-list accuracy/speed", boosted_table);
     ("a1", "Ablation: PNrule component knockouts", ablation);
     ("a2", "Ablation: multi-phase extension", ablation_multiphase);
   ]

@@ -58,7 +58,7 @@ let window_counts p j k =
 let parallel_min_records = 512
 
 let best_condition ?(allow_ranges = true) ?(negate = false) ?(min_support = 0.0)
-    ?current ?pool ~metric ~ctx ~target view =
+    ?current ?features ?pool ~metric ~ctx ~target view =
   let ds = view.Pn_data.View.data in
   let attrs = ds.Pn_data.Dataset.attrs in
   let is_pos label = if negate then label <> target else label = target in
@@ -203,16 +203,31 @@ let best_condition ?(allow_ranges = true) ?(negate = false) ?(min_support = 0.0)
       end);
     !best
   in
-  let n_attrs = Array.length attrs in
+  (* Feature sampling prunes the fan-out itself: only the kept columns
+     are scanned (or dispatched to the pool) at all. The kept array is
+     ascending, so the reduce below stays the sequential left-to-right
+     winner regardless of which columns survived. *)
+  let n_cols =
+    match features with
+    | None -> Array.length attrs
+    | Some kept -> Array.length kept
+  in
+  let col_of k = match features with None -> k | Some kept -> kept.(k) in
   let pool =
     match pool with Some p -> p | None -> Pn_util.Pool.get_default ()
   in
   let per_column =
     if
-      Pn_util.Pool.size pool > 1 && n_attrs > 1
+      Pn_util.Pool.size pool > 1 && n_cols > 1
       && Pn_data.View.size view >= parallel_min_records
-    then Pn_util.Pool.map_array pool n_attrs (fun col -> scan_column col attrs.(col))
-    else Array.init n_attrs (fun col -> scan_column col attrs.(col))
+    then
+      Pn_util.Pool.map_array pool n_cols (fun k ->
+          let col = col_of k in
+          scan_column col attrs.(col))
+    else
+      Array.init n_cols (fun k ->
+          let col = col_of k in
+          scan_column col attrs.(col))
   in
   (* Deterministic reduce: ascending column index, and an earlier
      candidate survives a tie exactly as in the sequential scan

@@ -35,6 +35,11 @@ type candidate = {
     per-value [positive − prior·support] scores), which finds interior
     signature peaks even when both one-sided optima land elsewhere.
 
+    [features] (default: every column) restricts the search to the
+    given ascending column indices — {!Sampling.feature_mask} draws one
+    per rule — pruning the per-attribute fan-out itself rather than
+    filtering candidates after the fact.
+
     [pool] (default [Pn_util.Pool.get_default ()], i.e. the
     [PNRULE_DOMAINS] knob) fans the per-attribute scans across domains
     for views of ≥ 512 records. The reduce is deterministic — higher
@@ -45,6 +50,7 @@ val best_condition :
   ?negate:bool ->
   ?min_support:float ->
   ?current:Pn_rules.Rule.t ->
+  ?features:int array ->
   ?pool:Pn_util.Pool.t ->
   metric:Pn_metrics.Rule_metric.kind ->
   ctx:Pn_metrics.Rule_metric.context ->

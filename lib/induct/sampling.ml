@@ -1,0 +1,144 @@
+type instances =
+  | All_instances
+  | Fraction of float
+  | Bagging of float
+  | Stratified of { fraction : float; min_per_class : int }
+
+type features =
+  | All_features
+  | Sqrt_features
+  | Fraction_features of float
+
+type t = { instances : instances; features : features; seed : int }
+
+let none = { instances = All_instances; features = All_features; seed = 1 }
+
+let is_none t = t.instances = All_instances && t.features = All_features
+
+type ctx = { spec : t; rng : Pn_util.Rng.t }
+
+let ctx t = { spec = t; rng = Pn_util.Rng.create t.seed }
+
+let ctx_of_rng t rng = { spec = t; rng }
+
+(* Kept counts round half-up so tiny views keep at least one record of
+   anything a fraction touches. *)
+let rounded_count fraction n =
+  min n (max 1 (int_of_float (Float.round (fraction *. float_of_int n))))
+
+(* Map sorted view *positions* back to dataset indices. Views keep their
+   index arrays ascending in practice, and sampled positions come out
+   sorted, so the result preserves the view's order — which is what lets
+   [View.sorted_by_num] keep using the cached global order. *)
+let take_positions (view : Pn_data.View.t) positions =
+  Pn_data.View.of_indices view.Pn_data.View.data
+    (Array.map (fun p -> view.Pn_data.View.idx.(p)) positions)
+
+let sample_instances c view =
+  let n = Pn_data.View.size view in
+  if n = 0 then view
+  else
+    match c.spec.instances with
+    | All_instances -> view
+    | Fraction f ->
+      let k = rounded_count f n in
+      take_positions view (Pn_util.Rng.sample_without_replacement c.rng ~n ~k)
+    | Bagging f ->
+      let k = rounded_count f n in
+      let positions = Array.init k (fun _ -> Pn_util.Rng.int c.rng n) in
+      Array.sort compare positions;
+      take_positions view positions
+    | Stratified { fraction; min_per_class } ->
+      let ds = view.Pn_data.View.data in
+      let n_classes = Pn_data.Dataset.n_classes ds in
+      (* Per-class position lists, in view order. *)
+      let members = Array.make n_classes [] in
+      for p = n - 1 downto 0 do
+        let cl = Pn_data.Dataset.label ds view.Pn_data.View.idx.(p) in
+        members.(cl) <- p :: members.(cl)
+      done;
+      let kept = ref [] in
+      (* Fixed ascending class order keeps the draw sequence — and so
+         the sample — independent of anything but the seed. *)
+      for cl = 0 to n_classes - 1 do
+        let ps = Array.of_list members.(cl) in
+        let n_c = Array.length ps in
+        if n_c > 0 then begin
+          let k =
+            min n_c (max (min n_c min_per_class) (rounded_count fraction n_c))
+          in
+          let chosen =
+            if k = n_c then Array.init n_c Fun.id
+            else Pn_util.Rng.sample_without_replacement c.rng ~n:n_c ~k
+          in
+          Array.iter (fun j -> kept := ps.(j) :: !kept) chosen
+        end
+      done;
+      let positions = Array.of_list !kept in
+      Array.sort compare positions;
+      take_positions view positions
+
+let feature_mask c ~n_attrs =
+  if n_attrs <= 0 then None
+  else
+    match c.spec.features with
+    | All_features -> None
+    | Sqrt_features ->
+      let k = min n_attrs (max 1 (int_of_float (ceil (sqrt (float_of_int n_attrs))))) in
+      if k >= n_attrs then None
+      else Some (Pn_util.Rng.sample_without_replacement c.rng ~n:n_attrs ~k)
+    | Fraction_features f ->
+      let k = rounded_count f n_attrs in
+      if k >= n_attrs then None
+      else Some (Pn_util.Rng.sample_without_replacement c.rng ~n:n_attrs ~k)
+
+(* ------------------------------------------------------------------ *)
+(* CLI grammar                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fraction_of_string what s =
+  match float_of_string_opt s with
+  | Some f when f > 0.0 && f <= 1.0 -> Ok f
+  | Some f -> Error (Printf.sprintf "%s fraction must be in (0, 1], got %g" what f)
+  | None -> Error (Printf.sprintf "%s fraction must be a number, got %S" what s)
+
+let instances_of_string s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ "none" ] -> Ok All_instances
+  | [ f ] -> Result.map (fun f -> Fraction f) (fraction_of_string "instance" f)
+  | [ "bag"; f ] -> Result.map (fun f -> Bagging f) (fraction_of_string "bagging" f)
+  | [ "strat"; f ] ->
+    Result.map
+      (fun fraction -> Stratified { fraction; min_per_class = 50 })
+      (fraction_of_string "stratified" f)
+  | [ "strat"; f; m ] -> (
+    match (fraction_of_string "stratified" f, int_of_string_opt m) with
+    | Ok fraction, Some min_per_class when min_per_class >= 0 ->
+      Ok (Stratified { fraction; min_per_class })
+    | (Error _ as e), _ -> e
+    | Ok _, _ -> Error (Printf.sprintf "stratified floor must be a non-negative integer, got %S" m))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown instance strategy %S (want none, FRAC, bag:FRAC, strat:FRAC or strat:FRAC:MIN)"
+         s)
+
+let features_of_string s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ "none" ] -> Ok All_features
+  | [ "sqrt" ] -> Ok Sqrt_features
+  | [ f ] -> Result.map (fun f -> Fraction_features f) (fraction_of_string "feature" f)
+  | _ ->
+    Error (Printf.sprintf "unknown feature strategy %S (want none, sqrt or FRAC)" s)
+
+let instances_to_string = function
+  | All_instances -> "none"
+  | Fraction f -> Printf.sprintf "%g" f
+  | Bagging f -> Printf.sprintf "bag:%g" f
+  | Stratified { fraction; min_per_class } ->
+    Printf.sprintf "strat:%g:%d" fraction min_per_class
+
+let features_to_string = function
+  | All_features -> "none"
+  | Sqrt_features -> "sqrt"
+  | Fraction_features f -> Printf.sprintf "%g" f

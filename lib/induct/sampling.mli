@@ -1,0 +1,73 @@
+(** Pluggable sub-sampling for the induction hot path.
+
+    Million-row training does not need every instance and every
+    attribute scanned per candidate condition: a strategy pair drawn
+    here prunes both axes before the grower runs. Instance strategies
+    shrink the view a rule is grown on; feature strategies prune the
+    per-attribute fan-out of {!Grower.best_condition} directly.
+
+    Every draw comes from a splitmix64 stream derived from the explicit
+    [seed], and all draws happen on the submitting thread — so a given
+    strategy at a given seed selects the same records and columns at
+    any [PNRULE_DOMAINS], which is what keeps sampled training
+    bit-identical across pool sizes. *)
+
+type instances =
+  | All_instances  (** keep every record; draws nothing *)
+  | Fraction of float  (** without replacement, keep ≈ fraction·n *)
+  | Bagging of float
+      (** with replacement, ≈ fraction·n draws; duplicates keep their
+          multiplicity, which is how bagged rounds differ *)
+  | Stratified of { fraction : float; min_per_class : int }
+      (** [Fraction] applied per class, but never fewer than
+          [min_per_class] records of any class (all of them when the
+          class is smaller) — the rare class is never starved *)
+
+type features =
+  | All_features  (** scan every attribute; draws nothing *)
+  | Sqrt_features  (** keep ⌈√n_attrs⌉ attributes per rule *)
+  | Fraction_features of float  (** keep ≈ fraction·n_attrs per rule *)
+
+type t = { instances : instances; features : features; seed : int }
+
+(** No sampling on either axis, seed 1. Training with [none] draws
+    nothing and is byte-identical to unsampled training. *)
+val none : t
+
+val is_none : t -> bool
+
+(** A stateful stream of sampling decisions. One context serves one
+    training run (or one boosted round): instance draws first, then one
+    feature mask per rule, in a fixed order. *)
+type ctx
+
+(** [ctx t] seeds a fresh stream from [t.seed]. *)
+val ctx : t -> ctx
+
+(** [ctx_of_rng t rng] runs the strategies off an externally split
+    stream — the boosted learner hands each round its own. *)
+val ctx_of_rng : t -> Pn_util.Rng.t -> ctx
+
+(** [sample_instances c view] applies the instance strategy. Kept
+    indices stay in [view]'s order (bagging duplicates are sorted in),
+    so downstream sort-cache filtering sees an ascending index array.
+    [All_instances] returns [view] itself and draws nothing. *)
+val sample_instances : ctx -> Pn_data.View.t -> Pn_data.View.t
+
+(** [feature_mask c ~n_attrs] draws the column subset for one rule:
+    [None] means every column ([All_features] draws nothing), otherwise
+    a sorted array of kept column indices for
+    {!Grower.best_condition}'s [?features]. *)
+val feature_mask : ctx -> n_attrs:int -> int array option
+
+(** Parsers for the CLI grammar (round-trips with the printers):
+    instances: [none] | [FRAC] | [bag:FRAC] | [strat:FRAC] |
+    [strat:FRAC:MIN]; features: [none] | [sqrt] | [FRAC]. Fractions
+    must lie in (0, 1]. *)
+val instances_of_string : string -> (instances, string) result
+
+val features_of_string : string -> (features, string) result
+
+val instances_to_string : instances -> string
+
+val features_to_string : features -> string

@@ -3,7 +3,7 @@ let log = Logs.Src.create "pn_server" ~doc:"PNrule prediction daemon"
 module Log = (val Logs.src_log log)
 
 type state = {
-  model : Pnrule.Model.t;
+  model : Pnrule.Saved.t;
   generation : int;
   loaded_at : float;
 }
@@ -15,7 +15,7 @@ exception Deadline
 
 type t = {
   state : state Atomic.t;
-  load : unit -> Pnrule.Model.t;
+  load : unit -> Pnrule.Saved.t;
   telemetry : Telemetry.t;
   policy : Pn_data.Ingest_report.policy;
   chunk_size : int;
@@ -95,20 +95,26 @@ let json_escape s =
 let model_json t =
   let st = Atomic.get t.state in
   let m = st.model in
-  let np, nn = Pnrule.Model.rule_counts m in
+  let classes = Pnrule.Saved.classes m in
   let buf = Buffer.create 1024 in
-  Printf.bprintf buf "{\"target\": \"%s\",\n"
-    (json_escape m.Pnrule.Model.classes.(m.Pnrule.Model.target));
+  Printf.bprintf buf "{\"kind\": \"%s\",\n" (Pnrule.Saved.kind m);
+  Printf.bprintf buf " \"target\": \"%s\",\n"
+    (json_escape classes.(Pnrule.Saved.target m));
   Printf.bprintf buf " \"classes\": [%s],\n"
     (String.concat ", "
        (Array.to_list
-          (Array.map
-             (fun c -> Printf.sprintf "\"%s\"" (json_escape c))
-             m.Pnrule.Model.classes)));
-  Printf.bprintf buf " \"p_rules\": %d,\n \"n_rules\": %d,\n" np nn;
-  Printf.bprintf buf " \"use_scoring\": %b,\n \"score_threshold\": %g,\n"
-    m.Pnrule.Model.params.Pnrule.Params.use_scoring
-    m.Pnrule.Model.params.Pnrule.Params.score_threshold;
+          (Array.map (fun c -> Printf.sprintf "\"%s\"" (json_escape c)) classes)));
+  (match m with
+  | Pnrule.Saved.Single m ->
+    let np, nn = Pnrule.Model.rule_counts m in
+    Printf.bprintf buf " \"p_rules\": %d,\n \"n_rules\": %d,\n" np nn;
+    Printf.bprintf buf " \"use_scoring\": %b,\n \"score_threshold\": %g,\n"
+      m.Pnrule.Model.params.Pnrule.Params.use_scoring
+      m.Pnrule.Model.params.Pnrule.Params.score_threshold
+  | Pnrule.Saved.Boosted e ->
+    Printf.bprintf buf " \"members\": %d,\n" (Pnrule.Ensemble.n_members e);
+    Printf.bprintf buf " \"bias\": %g,\n \"threshold\": %g,\n"
+      e.Pnrule.Ensemble.bias e.Pnrule.Ensemble.threshold);
   Printf.bprintf buf " \"generation\": %d,\n \"loaded_at\": %.3f,\n" st.generation
     st.loaded_at;
   Printf.bprintf buf " \"attributes\": [";
@@ -123,7 +129,7 @@ let model_json t =
         Printf.bprintf buf
           "\n  {\"name\": \"%s\", \"kind\": \"categorical\", \"arity\": %d}"
           (json_escape a.name) (Array.length values))
-    m.Pnrule.Model.attrs;
+    (Pnrule.Saved.attrs m);
   Buffer.add_string buf "\n ]}\n";
   Buffer.contents buf
 

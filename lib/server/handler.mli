@@ -8,7 +8,7 @@
 
 (** One loaded model generation. *)
 type state = {
-  model : Pnrule.Model.t;
+  model : Pnrule.Saved.t;
   generation : int;  (** 1 for the initial load, +1 per successful reload *)
   loaded_at : float;  (** unix time of the swap *)
 }
@@ -23,7 +23,7 @@ type t
     started). [draining] is shared with the accept loop: when true,
     responses stop offering keep-alive and [/healthz] turns 503. *)
 val create :
-  load:(unit -> Pnrule.Model.t) ->
+  load:(unit -> Pnrule.Saved.t) ->
   telemetry:Telemetry.t ->
   policy:Pn_data.Ingest_report.policy ->
   chunk_size:int ->

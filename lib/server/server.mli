@@ -50,7 +50,7 @@ type t
     load; exceptions propagate) and again on every reload. Raises
     [Invalid_argument] on an out-of-range config, [Unix.Unix_error] if
     the bind fails. *)
-val start : ?config:config -> load:(unit -> Pnrule.Model.t) -> unit -> t
+val start : ?config:config -> load:(unit -> Pnrule.Saved.t) -> unit -> t
 
 (** The actually-bound port (useful with [port = 0]). *)
 val port : t -> int

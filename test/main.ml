@@ -11,6 +11,8 @@ let () =
       ("compiled", Test_compiled.suite);
       ("induct", Test_induct.suite);
       ("pnrule", Test_pnrule.suite);
+      ("sampling", Test_sampling.suite);
+      ("ensemble", Test_ensemble.suite);
       ("serialize", Test_serialize.suite);
       ("extensions", Test_extensions.suite);
       ("ripper", Test_ripper.suite);

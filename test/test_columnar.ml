@@ -287,7 +287,7 @@ let serve_csv ?policy ?scores ~model ds =
   Sys.remove csv;
   let buf = Buffer.create 4096 in
   let report =
-    Pnrule.Serve.predict_stream ?policy ?scores ~model
+    Pnrule.Serve.predict_stream ?policy ?scores ~model:(Pnrule.Saved.Single model)
       ~source:(Pn_data.Stream.of_string body)
       ~write:(Buffer.add_string buf) ()
   in
@@ -297,7 +297,8 @@ let serve_pnc ?policy ?scores ?missing ~model ds =
   let s = C.to_string ?missing ds in
   let buf = Buffer.create 4096 in
   let report =
-    Pnrule.Serve.predict_columnar_stream ?policy ?scores ~model
+    Pnrule.Serve.predict_columnar_stream ?policy ?scores
+      ~model:(Pnrule.Saved.Single model)
       ~source:(Pn_data.Stream.of_string s)
       ~write:(Buffer.add_string buf) ()
   in
@@ -403,7 +404,8 @@ let test_serve_limit_and_corrupt () =
   let ds = mixed ~seed:18 ~n:1_000 in
   let s = C.to_string ds in
   (match
-     Pnrule.Serve.predict_columnar_stream ~max_rows:999 ~model
+     Pnrule.Serve.predict_columnar_stream ~max_rows:999
+       ~model:(Pnrule.Saved.Single model)
        ~source:(Pn_data.Stream.of_string s)
        ~write:ignore ()
    with
@@ -411,7 +413,7 @@ let test_serve_limit_and_corrupt () =
   | exception Pnrule.Serve.Limit _ -> ());
   let truncated = String.sub s 0 (String.length s - 7) in
   match
-    Pnrule.Serve.predict_columnar_stream ~model
+    Pnrule.Serve.predict_columnar_stream ~model:(Pnrule.Saved.Single model)
       ~source:(Pn_data.Stream.of_string truncated)
       ~write:ignore ()
   with

@@ -1,0 +1,197 @@
+(* Tests for the boosted rule ensemble: the compiled bitset scorer
+   against a per-record interpretive reference, the Serialize v3
+   round-trip (including corruption), and the accuracy claim —
+   boosting matches or beats the single PNrule list's recall on the
+   skewed synthetic problems. *)
+
+module D = Pn_data.Dataset
+module E = Pnrule.Ensemble
+module S = Pnrule.Serialize
+module Sv = Pnrule.Saved
+
+let skewed ~seed ~n = Test_serialize.mixed_problem ~seed ~n
+
+(* ------------------------------------------------------------------ *)
+(* Compiled scoring vs the interpretive reference                       *)
+(* ------------------------------------------------------------------ *)
+
+(* What [score_all] must compute, spelled out one record at a time with
+   [Rule.matches]. Both walk members in order starting from the bias,
+   so the float operations — and hence the bytes — are identical. *)
+let reference_scores e ds =
+  Array.init (D.n_records ds) (fun i ->
+      Array.fold_left
+        (fun acc mb ->
+          if Pn_rules.Rule.matches ds mb.E.rule i then acc +. mb.E.weight
+          else acc)
+        e.E.bias e.E.members)
+
+let test_compiled_matches_reference () =
+  let train = skewed ~seed:31 ~n:10_000 in
+  let test = skewed ~seed:32 ~n:6_000 in
+  let e = E.train train ~target:1 in
+  Alcotest.(check bool) "ensemble is not degenerate" true (E.n_members e > 0);
+  List.iter
+    (fun ds ->
+      let fast = E.score_all e ds in
+      let slow = reference_scores e ds in
+      Array.iteri
+        (fun i s ->
+          if not (Float.equal s slow.(i)) then
+            Alcotest.failf "score differs at %d: compiled %h, reference %h" i s
+              slow.(i))
+        fast;
+      let preds = E.predict_all e ds in
+      Array.iteri
+        (fun i p ->
+          if p <> (fast.(i) > e.E.threshold) then
+            Alcotest.failf "prediction disagrees with score at %d" i)
+        preds)
+    [ train; test ]
+
+(* ------------------------------------------------------------------ *)
+(* Serialize v3                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Arbitrary ensembles over the same awkward attribute/float space the
+   single-model generator explores: reuse its rules as members and give
+   them nan/inf/subnormal weights. *)
+let ensemble_gen =
+  let open QCheck.Gen in
+  Test_serialize.model_gen >>= fun m ->
+  let rules =
+    Pn_rules.Rule_list.to_list m.Pnrule.Model.p_rules
+    @ Pn_rules.Rule_list.to_list m.Pnrule.Model.n_rules
+  in
+  let weight =
+    oneofl [ 0.5; -2.25; 1e-300; 4e-320; Float.infinity; Float.neg_infinity; Float.nan ]
+  in
+  list_size (return (List.length rules)) weight >>= fun ws ->
+  weight >>= fun bias ->
+  weight >>= fun threshold ->
+  return
+    {
+      E.target = m.Pnrule.Model.target;
+      classes = m.Pnrule.Model.classes;
+      attrs = m.Pnrule.Model.attrs;
+      members =
+        Array.of_list (List.map2 (fun rule weight -> { E.rule; weight }) rules ws);
+      bias;
+      threshold;
+    }
+
+(* Flip one body byte or chop the tail — the v3 reader, like v2, must
+   answer every mutation with [Corrupt]. *)
+let corruption_gen =
+  let open QCheck.Gen in
+  ensemble_gen >>= fun e ->
+  let s = S.string_of_saved (Sv.Boosted e) in
+  let body_start = String.index s '\n' + 1 in
+  oneof
+    [
+      ( int_range body_start (String.length s - 1) >>= fun pos ->
+        int_range 1 255 >>= fun delta ->
+        let b = Bytes.of_string s in
+        Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) + delta) land 0xff));
+        return (Bytes.to_string b) );
+      ( int_range 0 (String.length s - 1) >>= fun keep ->
+        return (String.sub s 0 keep) );
+    ]
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~count:300 ~name:"ensemble: v3 round-trip is a fixed point"
+      (QCheck.make ensemble_gen)
+      (fun e ->
+        let s1 = S.string_of_saved (Sv.Boosted e) in
+        match S.saved_of_string s1 with
+        | Sv.Single _ -> QCheck.Test.fail_report "v3 read back as a single model"
+        | Sv.Boosted back ->
+          s1 = S.string_of_saved (Sv.Boosted back)
+          && back.E.target = e.E.target
+          && back.E.classes = e.E.classes
+          && back.E.attrs = e.E.attrs
+          && E.n_members back = E.n_members e);
+    QCheck.Test.make ~count:500
+      ~name:"ensemble: corrupted v3 bytes always raise Corrupt"
+      (QCheck.make corruption_gen)
+      (fun corrupted ->
+        match S.saved_of_string corrupted with
+        | _ -> QCheck.Test.fail_report "corruption accepted silently"
+        | exception S.Corrupt _ -> true
+        | exception e ->
+          QCheck.Test.fail_reportf "leaked exception %s" (Printexc.to_string e));
+  ]
+
+let test_v2_loads_as_single () =
+  let ds = skewed ~seed:33 ~n:8_000 in
+  let model = Pnrule.Learner.train ds ~target:1 in
+  let v2 = S.to_string model in
+  match S.saved_of_string v2 with
+  | Sv.Boosted _ -> Alcotest.fail "v2 bytes read back as an ensemble"
+  | Sv.Single back ->
+    Alcotest.(check string) "byte-identical" v2 (S.to_string back);
+    Alcotest.(check string) "string_of_saved writes the v2 bytes" v2
+      (S.string_of_saved (Sv.Single back))
+
+let test_of_string_rejects_v3 () =
+  let ds = skewed ~seed:34 ~n:6_000 in
+  let e = E.train ~params:{ E.default_params with rounds = 5 } ds ~target:1 in
+  let v3 = S.string_of_saved (Sv.Boosted e) in
+  match S.of_string v3 with
+  | _ -> Alcotest.fail "of_string accepted a v3 ensemble"
+  | exception S.Corrupt _ -> ()
+
+let test_file_roundtrip () =
+  let ds = skewed ~seed:35 ~n:8_000 in
+  let e = E.train ds ~target:2 in
+  let path = Filename.temp_file "pnrule_ensemble" ".pn" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.save_saved (Sv.Boosted e) path;
+      let back = S.load_saved path in
+      Alcotest.(check string) "byte-identical after save/load"
+        (S.string_of_saved (Sv.Boosted e))
+        (S.string_of_saved back);
+      Alcotest.(check bool) "same predictions" true
+        (Sv.predict_all back ds = E.predict_all e ds))
+
+(* ------------------------------------------------------------------ *)
+(* Accuracy on the skewed synthetics                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_boosted_beats_single_list_recall () =
+  let spec = Pn_synth.Numerical.nsyn 3 in
+  let train = Pn_synth.Numerical.generate spec ~seed:41 ~n:20_000 in
+  let test = Pn_synth.Numerical.generate spec ~seed:42 ~n:10_000 in
+  let target = Pn_synth.Numerical.target_class in
+  let pn = Pnrule.Learner.train train ~target in
+  let boosted = E.train train ~target in
+  let pn_recall = Pn_metrics.Confusion.recall (Pnrule.Model.evaluate pn test) in
+  let b_cm = E.evaluate boosted test in
+  let b_recall = Pn_metrics.Confusion.recall b_cm in
+  Alcotest.(check bool)
+    (Printf.sprintf "boosted recall %.4f >= PNrule recall %.4f" b_recall
+       pn_recall)
+    true
+    (b_recall >= pn_recall);
+  Alcotest.(check bool)
+    (Printf.sprintf "boosted F %.4f is competitive"
+       (Pn_metrics.Confusion.f_measure b_cm))
+    true
+    (Pn_metrics.Confusion.f_measure b_cm > 0.7)
+
+let suite =
+  [
+    Alcotest.test_case "ensemble: compiled scorer matches reference" `Quick
+      test_compiled_matches_reference;
+    Alcotest.test_case "ensemble: v2 bytes load as Single" `Quick
+      test_v2_loads_as_single;
+    Alcotest.test_case "ensemble: of_string rejects v3" `Quick
+      test_of_string_rejects_v3;
+    Alcotest.test_case "ensemble: file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "ensemble: boosted recall beats the single list" `Quick
+      test_boosted_beats_single_list_recall;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props

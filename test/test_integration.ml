@@ -157,7 +157,8 @@ let test_streaming_predict_matches_in_memory () =
         Out_channel.with_open_bin out (fun oc ->
             (* A chunk size that does not divide the row count exercises
                the final partial flush. *)
-            Pnrule.Serve.predict_csv ~chunk_size:512 ~model ~input:csv
+            Pnrule.Serve.predict_csv ~chunk_size:512
+              ~model:(Pnrule.Saved.Single model) ~input:csv
               ~output:oc ())
       in
       Alcotest.(check int) "all rows predicted" (D.n_records test)
@@ -213,7 +214,8 @@ let test_streaming_predict_skips_dirty_rows () =
       let report =
         Out_channel.with_open_bin out (fun oc ->
             Pnrule.Serve.predict_csv ~policy:Pn_data.Ingest_report.Skip
-              ~chunk_size:16 ~model ~input:csv ~output:oc ())
+              ~chunk_size:16 ~model:(Pnrule.Saved.Single model) ~input:csv
+              ~output:oc ())
       in
       Alcotest.(check int) "clean rows out" 50 report.Pnrule.Serve.rows_out;
       Alcotest.(check int) "dirty rows skipped" 7
@@ -224,7 +226,9 @@ let test_streaming_predict_skips_dirty_rows () =
       (* Strict on the same file fails at the first bad row. *)
       try
         Out_channel.with_open_bin out (fun oc ->
-            ignore (Pnrule.Serve.predict_csv ~model ~input:csv ~output:oc ()));
+            ignore
+              (Pnrule.Serve.predict_csv ~model:(Pnrule.Saved.Single model)
+                 ~input:csv ~output:oc ()));
         Alcotest.fail "expected Serve.Error"
       with Pnrule.Serve.Error _ -> ())
 

@@ -277,7 +277,7 @@ let test_missing_class_column_for_metrics () =
   let sink = Buffer.create 64 in
   (try
      ignore
-       (Pnrule.Serve.predict_stream ~class_column:"nope" ~model:m
+       (Pnrule.Serve.predict_stream ~class_column:"nope" ~model:(Pnrule.Saved.Single m)
           ~source:(Pn_data.Stream.of_string feed)
           ~write:(Buffer.add_string sink) ());
      Alcotest.fail "expected Serve.Error"
@@ -289,7 +289,7 @@ let test_missing_class_column_for_metrics () =
   (* Without the explicit request the same feed streams fine. *)
   Buffer.clear sink;
   let report =
-    Pnrule.Serve.predict_stream ~model:m
+    Pnrule.Serve.predict_stream ~model:(Pnrule.Saved.Single m)
       ~source:(Pn_data.Stream.of_string feed)
       ~write:(Buffer.add_string sink) ()
   in

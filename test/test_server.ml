@@ -170,7 +170,8 @@ let fixture =
      let train = Pn_synth.Numerical.generate spec ~seed:71 ~n:10_000 in
      let test = Pn_synth.Numerical.generate spec ~seed:72 ~n:1_237 in
      let model =
-       Pnrule.Learner.train train ~target:Pn_synth.Numerical.target_class
+       Pnrule.Saved.Single
+         (Pnrule.Learner.train train ~target:Pn_synth.Numerical.target_class)
      in
      let csv = Filename.temp_file "pnrule_srv" ".csv" in
      let out = Filename.temp_file "pnrule_srv" ".out" in
@@ -303,7 +304,7 @@ let test_error_paths () =
         Array.to_list
           (Array.map
              (fun (a : Pn_data.Attribute.t) -> a.name)
-             model.Pnrule.Model.attrs)
+             (Pnrule.Saved.attrs model))
       in
       (* Garbage instead of a request line. *)
       let c = Client.connect port in
