@@ -242,6 +242,14 @@ let timing_benchmarks ~scale =
                for _ = 1 to 1000 do
                  ignore (Pn_util.Fault.cap "bench.probe" 4096)
                done));
+        (* The canary gate of a staged rollout: build a schema-exact
+           synthetic batch and force the compile + score path. This is
+           the latency a POST /admin/rollout pays before flipping (on
+           top of loading the file), so it bounds how fast generations
+           can be cycled. *)
+        Test.make ~name:"rollout-warm"
+          (Staged.stage (fun () ->
+               Pnrule.Registry.warm (Pnrule.Saved.Single pn_model)));
       ]
   in
   (* Batch 2: serving-path benchmarks over their own, larger datasets. *)
@@ -319,7 +327,8 @@ let timing_benchmarks ~scale =
   let server =
     Pn_server.Server.start
       ~config:{ Pn_server.Server.default_config with idle_timeout = 60.0 }
-      ~load:(fun () -> Pnrule.Saved.Single pn_model) ()
+      ~source:(Pn_server.Handler.Loader (fun () -> Pnrule.Saved.Single pn_model))
+      ()
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect fd

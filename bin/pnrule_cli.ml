@@ -493,10 +493,22 @@ let ingest_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run verbose model_file host port domains policy chunk max_body_mb max_rows
-      idle deadline =
+  let run verbose model_file registry host port domains policy chunk max_body_mb
+      max_rows idle deadline backlog queue_limit =
     setup_logs verbose;
-    let load () = Pnrule.Serialize.load_saved model_file in
+    let source =
+      match (model_file, registry) with
+      | Some m, None ->
+        Pn_server.Handler.Loader (fun () -> Pnrule.Serialize.load_saved m)
+      | None, Some dir ->
+        Pn_server.Handler.Registry (Pnrule.Registry.open_dir dir)
+      | Some _, Some _ ->
+        Printf.eprintf "error: --model and --registry are mutually exclusive\n";
+        exit 1
+      | None, None ->
+        Printf.eprintf "error: one of --model or --registry is required\n";
+        exit 1
+    in
     let config =
       {
         Pn_server.Server.host;
@@ -508,23 +520,33 @@ let serve_cmd =
         max_rows;
         idle_timeout = idle;
         deadline;
+        backlog;
+        queue_limit;
       }
     in
-    match Pn_server.Server.start ~config ~load () with
+    match Pn_server.Server.start ~config ~source () with
     | server ->
       Pn_server.Server.install_signals server;
       Printf.printf
-        "pnrule daemon listening on http://%s:%d/ (%d worker domain%s)\n\
-         endpoints: POST /predict, GET /healthz, GET /model, GET /metrics\n\
+        "pnrule daemon listening on http://%s:%d/ (%d worker domain%s, \
+         generation %d)\n\
+         endpoints: POST /predict, GET /healthz, GET /model, GET /metrics%s\n\
          SIGHUP reloads the model, SIGTERM/SIGINT drains and exits\n\
          %!"
         host
         (Pn_server.Server.port server)
         domains
-        (if domains = 1 then "" else "s");
+        (if domains = 1 then "" else "s")
+        (Pn_server.Server.generation server)
+        (if registry <> None then
+           ",\n           POST /admin/rollout, POST /admin/rollback"
+         else "");
       Pn_server.Server.join server
     | exception Pnrule.Serialize.Corrupt msg ->
-      Printf.eprintf "error: cannot read model %s: %s\n" model_file msg;
+      Printf.eprintf "error: cannot read model: %s\n" msg;
+      exit 1
+    | exception Pnrule.Registry.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
       exit 1
     | exception Sys_error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -536,9 +558,22 @@ let serve_cmd =
   in
   let model_file =
     Arg.(
-      required
+      value
       & opt (some file) None
-      & info [ "model"; "m" ] ~docv:"MODEL.pn" ~doc:"Saved model to serve.")
+      & info [ "model"; "m" ] ~docv:"MODEL.pn"
+          ~doc:"Saved model to serve (exclusive with $(b,--registry)).")
+  in
+  let registry =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "registry" ] ~docv:"DIR"
+          ~doc:
+            "Versioned model registry directory: $(b,gen-N.model) files plus \
+             a $(b,CURRENT) pointer. Serves the generation CURRENT names \
+             (falling back to the highest loadable one) and enables staged \
+             rollout via $(b,POST /admin/rollout) and one-command rollback \
+             via $(b,POST /admin/rollback).")
   in
   let host =
     Arg.(
@@ -595,6 +630,24 @@ let serve_cmd =
             "Per-request wall-clock budget; a predict request that overruns \
              it is answered 408. 0 (the default) disables the deadline.")
   in
+  let backlog =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"backlog" ~lo:1 ~hi:65535) 128
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Kernel listen(2) backlog of the accepting socket.")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"queue limit" ~lo:1 ~hi:1_000_000) 256
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission limit: once in-flight requests plus \
+             accepted-but-unserved connections reach this, new connections \
+             are refused with 429 and a Retry-After header instead of \
+             queueing behind the worker pool.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -606,11 +659,14 @@ let serve_cmd =
           $(b,scores=1), $(b,on-error=strict|skip|impute), \
           $(b,class-column=NAME)), \
           $(b,GET /healthz), $(b,GET /model), $(b,GET /metrics) (Prometheus \
-          text format). SIGHUP hot-reloads the model file; SIGTERM drains \
-          gracefully.")
+          text format), and — with $(b,--registry) — $(b,POST /admin/rollout) \
+          / $(b,POST /admin/rollback) for staged model flips. SIGHUP \
+          hot-reloads the model; SIGTERM drains gracefully. Load shedding: \
+          beyond $(b,--queue-limit) the daemon answers 429 + Retry-After.")
     Term.(
-      const run $ verbose_arg $ model_file $ host $ port $ domains $ policy_arg
-      $ chunk_arg $ max_body $ max_rows $ idle $ deadline)
+      const run $ verbose_arg $ model_file $ registry $ host $ port $ domains
+      $ policy_arg $ chunk_arg $ max_body $ max_rows $ idle $ deadline
+      $ backlog $ queue_limit)
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                 *)

@@ -363,13 +363,13 @@ let fsync_dir dir =
    one, never a torn hybrid. The write loop passes the
    [serialize.write] fault point so chaos tests can cut it short at an
    arbitrary byte. *)
-let write_atomic data path =
+let write_atomic ?(fault_point = "serialize.write") data path =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let write_all fd =
     let len = String.length data in
     let off = ref 0 in
     while !off < len do
-      let want = Pn_util.Fault.cap "serialize.write" (min 65536 (len - !off)) in
+      let want = Pn_util.Fault.cap fault_point (min 65536 (len - !off)) in
       match Unix.write_substring fd data !off want with
       | n -> off := !off + n
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()

@@ -35,6 +35,16 @@ val string_of_saved : Saved.t -> string
     [Single], v3 as [Boosted]. Raises [Corrupt]. *)
 val saved_of_string : string -> Saved.t
 
+(** [write_atomic data path] is the raw crash-safe write protocol
+    behind {!save}: temp file in [path]'s directory, fsync, rename,
+    directory fsync — a crash at any point leaves [path] either absent
+    or entirely the old bytes. [fault_point] names the {!Pn_util.Fault}
+    point the write loop passes (default [serialize.write]); the model
+    registry reuses this protocol for its [CURRENT] pointer under its
+    own [registry.flip] point. Raises [Unix.Unix_error] / [Sys_error]
+    on IO failure (the temp file is removed, [path] untouched). *)
+val write_atomic : ?fault_point:string -> string -> string -> unit
+
 (** [save model path] writes atomically: the bytes go to a temp file in
     [path]'s directory, are fsynced, and are renamed over [path] only
     once complete — a crash mid-save leaves the previous file intact,

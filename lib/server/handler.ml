@@ -8,6 +8,13 @@ type state = {
   loaded_at : float;
 }
 
+(* Where models come from: a plain loader (SIGHUP re-runs it, generation
+   is a local counter) or a versioned registry directory (generations
+   are on-disk facts; /admin/rollout flips between them). *)
+type source =
+  | Loader of (unit -> Pnrule.Saved.t)
+  | Registry of Pnrule.Registry.t
+
 (* A request that outlives its per-request deadline. Checked on every
    body refill and every response write, so even a client trickling one
    byte per timeout window cannot pin a worker past the deadline. *)
@@ -15,7 +22,7 @@ exception Deadline
 
 type t = {
   state : state Atomic.t;
-  load : unit -> Pnrule.Saved.t;
+  source : source;
   telemetry : Telemetry.t;
   policy : Pn_data.Ingest_report.policy;
   chunk_size : int;
@@ -23,19 +30,37 @@ type t = {
   max_rows : int;
   deadline : float;
   draining : bool Atomic.t;
+  queued : int Atomic.t;  (* accepted, not yet picked up by a worker *)
+  queue_limit : int;
   connections : int Atomic.t;
   reloads : int Atomic.t;
   reload_failures : int Atomic.t;
   worker_restarts : int Atomic.t;
+  (* Staged rollout: [admin] serializes flips, [warming] is the brief
+     window in which a candidate generation is being canary-scored. *)
+  admin : Mutex.t;
+  warming : bool Atomic.t;
+  rollouts : int Atomic.t;
+  rollbacks : int Atomic.t;
+  rollout_failures : int Atomic.t;
+  shed_overload : int Atomic.t;
+  shed_draining : int Atomic.t;
+  shed_warming : int Atomic.t;
 }
 
-let create ~load ~telemetry ~policy ~chunk_size ~max_body ~max_rows ~deadline
-    ~draining =
-  let model = load () in
+let initial_state source =
+  let loaded_at = Unix.gettimeofday () in
+  match source with
+  | Loader load -> { model = load (); generation = 1; loaded_at }
+  | Registry reg ->
+    let generation, model = Pnrule.Registry.load_initial reg in
+    { model; generation; loaded_at }
+
+let create ~source ~telemetry ~policy ~chunk_size ~max_body ~max_rows ~deadline
+    ~draining ~queued ~queue_limit =
   {
-    state =
-      Atomic.make { model; generation = 1; loaded_at = Unix.gettimeofday () };
-    load;
+    state = Atomic.make (initial_state source);
+    source;
     telemetry;
     policy;
     chunk_size;
@@ -43,10 +68,20 @@ let create ~load ~telemetry ~policy ~chunk_size ~max_body ~max_rows ~deadline
     max_rows;
     deadline;
     draining;
+    queued;
+    queue_limit;
     connections = Atomic.make 0;
     reloads = Atomic.make 0;
     reload_failures = Atomic.make 0;
     worker_restarts = Atomic.make 0;
+    admin = Mutex.create ();
+    warming = Atomic.make false;
+    rollouts = Atomic.make 0;
+    rollbacks = Atomic.make 0;
+    rollout_failures = Atomic.make 0;
+    shed_overload = Atomic.make 0;
+    shed_draining = Atomic.make 0;
+    shed_warming = Atomic.make 0;
   }
 
 let telemetry t = t.telemetry
@@ -57,20 +92,114 @@ let connections t = t.connections
 
 let worker_restarts t = t.worker_restarts
 
+let note_shed t = function
+  | `Overload -> ignore (Atomic.fetch_and_add t.shed_overload 1)
+  | `Draining -> ignore (Atomic.fetch_and_add t.shed_draining 1)
+  | `Warming -> ignore (Atomic.fetch_and_add t.shed_warming 1)
+
+(* The listener's admission estimate: requests being processed plus
+   connections accepted but not yet picked up by a worker. *)
+let admission_load t =
+  Telemetry.in_flight_count t.telemetry + Atomic.get t.queued
+
+(* SIGHUP semantics by source: a [Loader] re-runs the load function and
+   bumps the generation; a [Registry] re-resolves the CURRENT pointer
+   (falling back to the highest loadable generation), so an operator can
+   repoint CURRENT by hand and SIGHUP into it — but a plain SIGHUP never
+   advances past what the pointer names. Staged rollout stays an
+   explicit /admin action. *)
 let reload t =
-  match t.load () with
-  | model ->
-    let old = Atomic.get t.state in
-    Atomic.set t.state
-      { model; generation = old.generation + 1; loaded_at = Unix.gettimeofday () };
+  match
+    match t.source with
+    | Loader load -> (load (), (Atomic.get t.state).generation + 1)
+    | Registry reg ->
+      let g, m = Pnrule.Registry.load_initial reg in
+      (m, g)
+  with
+  | model, generation ->
+    Atomic.set t.state { model; generation; loaded_at = Unix.gettimeofday () };
     ignore (Atomic.fetch_and_add t.reloads 1);
-    Log.info (fun m -> m "model reloaded (generation %d)" (old.generation + 1));
+    Log.info (fun m -> m "model reloaded (generation %d)" generation);
     Ok ()
   | exception e ->
     ignore (Atomic.fetch_and_add t.reload_failures 1);
     let msg = Printexc.to_string e in
     Log.warn (fun m -> m "model reload failed, keeping old model: %s" msg);
     Error msg
+
+(* One staged flip: resolve the target generation, load it, warm it
+   (compile + canary-score), persist the CURRENT pointer, and only then
+   swap the serving snapshot. Any failure before the swap leaves the old
+   generation serving untouched. [gen] overrides the default target (the
+   next generation up for rollout, the previous one down for rollback);
+   a concurrent flip is refused rather than queued, so the client
+   retries against fresh state. *)
+let rollout t ~back ~gen =
+  match t.source with
+  | Loader _ -> Error `No_registry
+  | Registry reg ->
+    if not (Mutex.try_lock t.admin) then Error `Busy
+    else
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.admin)
+        (fun () ->
+          let cur = (Atomic.get t.state).generation in
+          let target =
+            match gen with
+            | Some g ->
+              if List.mem g (Pnrule.Registry.generations reg) then Ok g
+              else
+                Error
+                  (`No_candidate
+                     (Printf.sprintf "generation %d is not in the registry" g))
+            | None -> (
+              match
+                if back then Pnrule.Registry.prev_below reg cur
+                else Pnrule.Registry.next_above reg cur
+              with
+              | Some g -> Ok g
+              | None ->
+                Error
+                  (`No_candidate
+                     (if back then
+                        Printf.sprintf "no generation below %d to roll back to"
+                          cur
+                      else
+                        Printf.sprintf "no generation above %d to roll out" cur)))
+          in
+          match target with
+          | Error _ as e -> e
+          | Ok g ->
+            Atomic.set t.warming true;
+            Fun.protect
+              ~finally:(fun () -> Atomic.set t.warming false)
+              (fun () ->
+                match
+                  let model = Pnrule.Registry.load_gen reg g in
+                  Pnrule.Registry.warm model;
+                  Pnrule.Registry.set_current reg g;
+                  model
+                with
+                | model ->
+                  Atomic.set t.state
+                    { model; generation = g; loaded_at = Unix.gettimeofday () };
+                  ignore
+                    (Atomic.fetch_and_add
+                       (if back then t.rollbacks else t.rollouts)
+                       1);
+                  Log.info (fun m ->
+                      m "%s: generation %d -> %d"
+                        (if back then "rollback" else "rollout")
+                        cur g);
+                  Ok g
+                | exception e ->
+                  ignore (Atomic.fetch_and_add t.rollout_failures 1);
+                  let msg = Printexc.to_string e in
+                  Log.warn (fun m ->
+                      m "%s to generation %d failed, keeping generation %d: %s"
+                        (if back then "rollback" else "rollout")
+                        g cur msg);
+                  Error (`Failed (cur, msg))))
 
 (* ------------------------------------------------------------------ *)
 (* Endpoints                                                            *)
@@ -115,6 +244,8 @@ let model_json t =
     Printf.bprintf buf " \"members\": %d,\n" (Pnrule.Ensemble.n_members e);
     Printf.bprintf buf " \"bias\": %g,\n \"threshold\": %g,\n"
       e.Pnrule.Ensemble.bias e.Pnrule.Ensemble.threshold);
+  Printf.bprintf buf " \"source\": \"%s\",\n"
+    (match t.source with Loader _ -> "file" | Registry _ -> "registry");
   Printf.bprintf buf " \"generation\": %d,\n \"loaded_at\": %.3f,\n" st.generation
     st.loaded_at;
   Printf.bprintf buf " \"attributes\": [";
@@ -153,6 +284,52 @@ let metrics_text t =
          # TYPE pnrule_model_reload_failures_total counter\n\
          pnrule_model_reload_failures_total %d\n"
         (Atomic.get t.reload_failures);
+      Printf.bprintf buf
+        "# HELP pnrule_model_rollouts_total Staged rollouts completed via \
+         POST /admin/rollout.\n\
+         # TYPE pnrule_model_rollouts_total counter\n\
+         pnrule_model_rollouts_total %d\n"
+        (Atomic.get t.rollouts);
+      Printf.bprintf buf
+        "# HELP pnrule_model_rollbacks_total Rollbacks completed via \
+         POST /admin/rollback.\n\
+         # TYPE pnrule_model_rollbacks_total counter\n\
+         pnrule_model_rollbacks_total %d\n"
+        (Atomic.get t.rollbacks);
+      Printf.bprintf buf
+        "# HELP pnrule_model_rollout_failures_total Rollout/rollback attempts \
+         that kept the serving generation.\n\
+         # TYPE pnrule_model_rollout_failures_total counter\n\
+         pnrule_model_rollout_failures_total %d\n"
+        (Atomic.get t.rollout_failures);
+      Printf.bprintf buf
+        "# HELP pnrule_warming Whether a candidate generation is being \
+         canary-scored right now.\n\
+         # TYPE pnrule_warming gauge\n\
+         pnrule_warming %d\n"
+        (if Atomic.get t.warming then 1 else 0);
+      Printf.bprintf buf
+        "# HELP pnrule_shed_total Requests refused by load shedding, by \
+         reason.\n\
+         # TYPE pnrule_shed_total counter\n\
+         pnrule_shed_total{reason=\"overload\"} %d\n\
+         pnrule_shed_total{reason=\"draining\"} %d\n\
+         pnrule_shed_total{reason=\"warming\"} %d\n"
+        (Atomic.get t.shed_overload)
+        (Atomic.get t.shed_draining)
+        (Atomic.get t.shed_warming);
+      Printf.bprintf buf
+        "# HELP pnrule_queue_depth Connections accepted but not yet picked up \
+         by a worker.\n\
+         # TYPE pnrule_queue_depth gauge\n\
+         pnrule_queue_depth %d\n"
+        (Atomic.get t.queued);
+      Printf.bprintf buf
+        "# HELP pnrule_queue_limit Admission limit on in-flight plus queued \
+         work.\n\
+         # TYPE pnrule_queue_limit gauge\n\
+         pnrule_queue_limit %d\n"
+        t.queue_limit;
       Printf.bprintf buf
         "# HELP pnrule_connections_total Connections accepted.\n\
          # TYPE pnrule_connections_total counter\n\
@@ -293,15 +470,73 @@ let predict t conn (req : Http.request) ~keep =
             (413, `Close)
           end))
 
+let admin t conn (req : Http.request) ~back ~keep =
+  let action = if back then "rollback" else "rollout" in
+  match List.assoc_opt "gen" req.Http.query with
+  | Some v when int_of_string_opt v = None ->
+    Http.respond conn ~status:400
+      ~body:(Printf.sprintf "bad gen %S: expected a generation number\n" v)
+      ();
+    (400, `Close)
+  | gen_raw -> (
+    match rollout t ~back ~gen:(Option.map int_of_string gen_raw) with
+    | Ok g ->
+      Http.respond conn ~status:200 ~keep_alive:keep
+        ~content_type:"application/json; charset=utf-8"
+        ~body:
+          (Printf.sprintf
+             "{\"status\": \"ok\", \"action\": \"%s\", \"generation\": %d}\n"
+             action g)
+        ();
+      (200, `Keep)
+    | Error `No_registry ->
+      Http.respond conn ~status:409
+        ~body:"no model registry configured; start the daemon with --registry DIR\n"
+        ();
+      (409, `Close)
+    | Error `Busy ->
+      note_shed t `Warming;
+      Http.respond conn ~status:503
+        ~headers:[ ("retry-after", "1") ]
+        ~body:"another rollout is in progress; retry shortly\n" ();
+      (503, `Close)
+    | Error (`No_candidate msg) ->
+      Http.respond conn ~status:409 ~body:(msg ^ "\n") ();
+      (409, `Close)
+    | Error (`Failed (cur, msg)) ->
+      Http.respond conn ~status:500
+        ~body:
+          (Printf.sprintf "%s failed, still serving generation %d: %s\n" action
+             cur msg)
+        ();
+      (500, `Close))
+
 let dispatch t conn (req : Http.request) ~keep =
   match (req.Http.meth, req.Http.path) with
-  | "POST", "/predict" -> (Telemetry.Predict, predict t conn req ~keep)
+  | "POST", "/predict" ->
+    if Atomic.get t.draining then begin
+      (* New work is refused during the drain with an explicit retry
+         hint; requests already admitted keep running to completion. *)
+      note_shed t `Draining;
+      Http.respond conn ~status:503
+        ~headers:[ ("retry-after", "1") ]
+        ~body:"draining; retry against another instance\n" ();
+      (Telemetry.Predict, (503, `Close))
+    end
+    else (Telemetry.Predict, predict t conn req ~keep)
   | _, "/predict" ->
     Http.respond conn ~status:405 ~body:"use POST\n" ();
     (Telemetry.Predict, (405, `Close))
+  | "POST", "/admin/rollout" -> (Telemetry.Admin, admin t conn req ~back:false ~keep)
+  | "POST", "/admin/rollback" -> (Telemetry.Admin, admin t conn req ~back:true ~keep)
+  | _, ("/admin/rollout" | "/admin/rollback") ->
+    Http.respond conn ~status:405 ~body:"use POST\n" ();
+    (Telemetry.Admin, (405, `Close))
   | "GET", "/healthz" ->
     if Atomic.get t.draining then begin
-      Http.respond conn ~status:503 ~body:"draining\n" ();
+      Http.respond conn ~status:503
+        ~headers:[ ("retry-after", "1") ]
+        ~body:"draining\n" ();
       (Telemetry.Healthz, (503, `Close))
     end
     else begin
@@ -335,47 +570,54 @@ let handle t ~slot conn =
     with
     | () -> `Close
     | exception _ -> `Close)
-  | req -> (
+  | req ->
     let t0 = Unix.gettimeofday () in
     Telemetry.in_flight_incr t.telemetry;
-    (* A keep-alive response is only offered when the client asked for
-       it, the server is not draining, and the request carried no body
-       we might leave half-read on the socket. *)
-    let keep =
-      req.Http.keep_alive
-      && (not (Atomic.get t.draining))
-      && (req.Http.meth = "POST" || req.Http.content_length = None)
-      && not req.Http.chunked_body
-    in
-    let result =
-      match dispatch t conn req ~keep with
-      | r -> r
-      | exception (Http.Disconnect | Http.Timeout) ->
-        (* nginx's 499: the client went away mid-request *)
-        (Telemetry.Other, (499, `Close))
-      | exception e ->
-        (* A handler bug must not take the worker domain down. *)
-        Log.err (fun m ->
-            m "request %s %s crashed: %s" req.Http.meth req.Http.path
-              (Printexc.to_string e));
-        let status = 500 in
-        (match Http.respond conn ~status ~body:"internal error\n" () with
-        | () -> ()
-        | exception _ -> ());
-        (Telemetry.Other, (status, `Close))
-    in
-    let endpoint, (status, outcome) = result in
-    Telemetry.in_flight_decr t.telemetry;
-    let seconds = Unix.gettimeofday () -. t0 in
-    Telemetry.observe slot endpoint ~status ~seconds;
-    Telemetry.add_retries slot (Http.take_io_retries conn);
-    match outcome with
-    | `Rows (report : Pnrule.Serve.report) ->
-      Telemetry.add_rows slot
-        ~rows_in:report.Pnrule.Serve.ingest.Pn_data.Ingest_report.rows_read
-        ~rows_out:report.Pnrule.Serve.rows_out;
-      Telemetry.add_retries slot
-        report.Pnrule.Serve.ingest.Pn_data.Ingest_report.io_retries;
-      if keep then `Keep else `Close
-    | `Keep -> if keep then `Keep else `Close
-    | `Close -> `Close)
+    (* The decrement must survive any exit path: admission control
+       compares in_flight against the queue limit, so a decrement lost
+       to a raising handler would not just skew a gauge — every leak
+       would permanently shrink the daemon's capacity until it sheds
+       all traffic. *)
+    Fun.protect
+      ~finally:(fun () -> Telemetry.in_flight_decr t.telemetry)
+      (fun () ->
+        (* A keep-alive response is only offered when the client asked
+           for it, the server is not draining, and the request carried
+           no body we might leave half-read on the socket. *)
+        let keep =
+          req.Http.keep_alive
+          && (not (Atomic.get t.draining))
+          && (req.Http.meth = "POST" || req.Http.content_length = None)
+          && not req.Http.chunked_body
+        in
+        let result =
+          match dispatch t conn req ~keep with
+          | r -> r
+          | exception (Http.Disconnect | Http.Timeout) ->
+            (* nginx's 499: the client went away mid-request *)
+            (Telemetry.Other, (499, `Close))
+          | exception e ->
+            (* A handler bug must not take the worker domain down. *)
+            Log.err (fun m ->
+                m "request %s %s crashed: %s" req.Http.meth req.Http.path
+                  (Printexc.to_string e));
+            let status = 500 in
+            (match Http.respond conn ~status ~body:"internal error\n" () with
+            | () -> ()
+            | exception _ -> ());
+            (Telemetry.Other, (status, `Close))
+        in
+        let endpoint, (status, outcome) = result in
+        let seconds = Unix.gettimeofday () -. t0 in
+        Telemetry.observe slot endpoint ~status ~seconds;
+        Telemetry.add_retries slot (Http.take_io_retries conn);
+        match outcome with
+        | `Rows (report : Pnrule.Serve.report) ->
+          Telemetry.add_rows slot
+            ~rows_in:report.Pnrule.Serve.ingest.Pn_data.Ingest_report.rows_read
+            ~rows_out:report.Pnrule.Serve.rows_out;
+          Telemetry.add_retries slot
+            report.Pnrule.Serve.ingest.Pn_data.Ingest_report.io_retries;
+          if keep then `Keep else `Close
+        | `Keep -> if keep then `Keep else `Close
+        | `Close -> `Close)

@@ -1,29 +1,42 @@
 (** Endpoint logic of the prediction daemon, one call per request.
 
     The handler owns the hot-swappable model state: an [Atomic.t] whose
-    value is replaced wholesale on reload, so a request reads the model
-    exactly once at dispatch and keeps scoring on that snapshot even if
-    a reload lands mid-request — in-flight requests always finish on the
-    model they started with. *)
+    value is replaced wholesale on reload or rollout, so a request reads
+    the model exactly once at dispatch and keeps scoring on that
+    snapshot even if a flip lands mid-request — in-flight requests
+    always finish on the model they started with. *)
 
 (** One loaded model generation. *)
 type state = {
   model : Pnrule.Saved.t;
-  generation : int;  (** 1 for the initial load, +1 per successful reload *)
+  generation : int;
+      (** [Loader] source: 1 for the initial load, +1 per successful
+          reload. [Registry] source: the on-disk generation number. *)
   loaded_at : float;  (** unix time of the swap *)
 }
 
+(** Where models come from. A [Loader] is re-run on every reload and
+    generations are a local counter; a [Registry] makes generations
+    on-disk facts and enables [POST /admin/rollout] / [/admin/rollback]
+    staged flips. *)
+type source =
+  | Loader of (unit -> Pnrule.Saved.t)
+  | Registry of Pnrule.Registry.t
+
 type t
 
-(** [create ~load ~telemetry ...] loads the initial model via [load]
-    (exceptions propagate) and fixes the serving parameters. [deadline]
-    is the per-request wall-clock budget in seconds (0 disables it); a
-    request that overruns it — checked on every body refill and every
-    response write — is answered 408 (or aborted if the response already
-    started). [draining] is shared with the accept loop: when true,
-    responses stop offering keep-alive and [/healthz] turns 503. *)
+(** [create ~source ~telemetry ...] loads the initial model from
+    [source] (exceptions propagate) and fixes the serving parameters.
+    [deadline] is the per-request wall-clock budget in seconds (0
+    disables it); a request that overruns it — checked on every body
+    refill and every response write — is answered 408 (or aborted if
+    the response already started). [draining] is shared with the accept
+    loop: when true, responses stop offering keep-alive, [/healthz]
+    turns 503 and new predict requests are shed. [queued] is the shared
+    count of accepted-but-unserved connections and [queue_limit] the
+    admission bound, both surfaced on [/metrics]. *)
 val create :
-  load:(unit -> Pnrule.Saved.t) ->
+  source:source ->
   telemetry:Telemetry.t ->
   policy:Pn_data.Ingest_report.policy ->
   chunk_size:int ->
@@ -31,6 +44,8 @@ val create :
   max_rows:int ->
   deadline:float ->
   draining:bool Atomic.t ->
+  queued:int Atomic.t ->
+  queue_limit:int ->
   t
 
 val telemetry : t -> Telemetry.t
@@ -45,10 +60,43 @@ val connections : t -> int Atomic.t
     surfaced on [/metrics] as [pnrule_worker_restarts_total]. *)
 val worker_restarts : t -> int Atomic.t
 
-(** [reload t] runs [load] and atomically swaps the model in. On
-    failure the old model stays and the failure is counted (surfaced on
-    [/metrics] as [pnrule_model_reload_failures_total]). *)
+(** [note_shed t reason] counts one load-shedding refusal, surfaced as
+    [pnrule_shed_total{reason=...}]. [`Overload] is bumped by the
+    listener's admission control, [`Draining] and [`Warming] by the
+    handler itself. *)
+val note_shed : t -> [ `Overload | `Draining | `Warming ] -> unit
+
+(** [admission_load t] is in-flight requests plus
+    accepted-but-unserved connections — what the listener compares
+    against the queue limit before admitting a connection. *)
+val admission_load : t -> int
+
+(** [reload t] re-resolves the source and atomically swaps the model
+    in: a [Loader] is re-run (generation +1), a [Registry] re-resolves
+    its CURRENT pointer — a plain reload never advances past what the
+    pointer names. On failure the old model stays and the failure is
+    counted (surfaced as [pnrule_model_reload_failures_total]). *)
 val reload : t -> (unit, string) result
+
+(** [rollout t ~back ~gen] performs one staged flip against a
+    [Registry] source: pick the target generation ([gen] if given, else
+    the next above the serving one — or below for [~back:true]), load
+    it, warm it (compile + canary-score), persist the CURRENT pointer,
+    and only then swap the serving snapshot. Any failure leaves the old
+    generation serving. [`Busy] means another flip holds the admin
+    lock; [`No_registry] that the daemon runs from a plain model file;
+    [`Failed (cur, msg)] that the candidate was rejected and [cur] is
+    still serving. *)
+val rollout :
+  t ->
+  back:bool ->
+  gen:int option ->
+  ( int,
+    [ `Busy
+    | `No_registry
+    | `No_candidate of string
+    | `Failed of int * string ] )
+  result
 
 (** [handle t ~slot conn] reads one request off [conn], dispatches it,
     writes the response, and records telemetry into [slot]. Returns

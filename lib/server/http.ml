@@ -113,10 +113,10 @@ let header req name = List.assoc_opt name req.headers
 
 let hex_value c =
   match c with
-  | '0' .. '9' -> Char.code c - Char.code '0'
-  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-  | _ -> raise (Bad_request "malformed percent-encoding")
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
 
 let url_decode ?(plus_space = false) s =
   if not (String.contains s '%' || (plus_space && String.contains s '+')) then s
@@ -127,9 +127,22 @@ let url_decode ?(plus_space = false) s =
     while !i < n do
       (match s.[!i] with
       | '%' ->
-        if !i + 2 >= n then raise (Bad_request "truncated percent-encoding");
-        Buffer.add_char buf
-          (Char.chr ((16 * hex_value s.[!i + 1]) + hex_value s.[!i + 2]));
+        (* Both malformed shapes — "%2" cut off by the end of the
+           string and "%zz" with non-hex digits — must fail identically
+           here: Bad_request becomes a deterministic 400 upstream,
+           never an escaped exception or a silently mangled byte. *)
+        if !i + 2 >= n then
+          raise
+            (Bad_request
+               (Printf.sprintf "truncated percent-encoding %S"
+                  (String.sub s !i (n - !i))));
+        (match (hex_value s.[!i + 1], hex_value s.[!i + 2]) with
+        | Some hi, Some lo -> Buffer.add_char buf (Char.chr ((16 * hi) + lo))
+        | _ ->
+          raise
+            (Bad_request
+               (Printf.sprintf "invalid percent-encoding %S"
+                  (String.sub s !i 3))));
         i := !i + 2
       | '+' when plus_space -> Buffer.add_char buf ' '
       | c -> Buffer.add_char buf c);
@@ -295,8 +308,10 @@ let status_text = function
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
   | 411 -> "Length Required"
   | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Unknown"
@@ -311,12 +326,30 @@ let add_head buf ~status ~content_type ~keep_alive extra =
   Buffer.add_string buf "\r\n"
 
 let respond c ?(content_type = "text/plain; charset=utf-8") ?(keep_alive = false)
-    ~status ~body () =
+    ?(headers = []) ~status ~body () =
   let buf = Buffer.create (String.length body + 256) in
   add_head buf ~status ~content_type ~keep_alive (fun buf ->
-      Printf.bprintf buf "content-length: %d\r\n" (String.length body));
+      Printf.bprintf buf "content-length: %d\r\n" (String.length body);
+      List.iter (fun (k, v) -> Printf.bprintf buf "%s: %s\r\n" k v) headers);
   Buffer.add_string buf body;
   write_all c (Buffer.contents buf)
+
+(* Pre-admission refusal, called from the listener domain on a socket
+   that has no [conn] yet: one best-effort write of a tiny canned
+   response straight to the raw fd, no buffering and no retries —
+   shedding must never block the accept loop behind a slow peer. The
+   caller closes the fd. *)
+let deny fd ~status ~retry_after ~body =
+  let buf = Buffer.create 256 in
+  add_head buf ~status ~content_type:"text/plain; charset=utf-8"
+    ~keep_alive:false (fun buf ->
+      Printf.bprintf buf "content-length: %d\r\n" (String.length body);
+      Printf.bprintf buf "retry-after: %d\r\n" retry_after);
+  Buffer.add_string buf body;
+  let s = Buffer.contents buf in
+  match Unix.write_substring fd s 0 (String.length s) with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
 
 let continue_100 c = write_all c "HTTP/1.1 100 Continue\r\n\r\n"
 

@@ -70,15 +70,25 @@ val wait_readable :
 
 (** [respond conn ~status ~body ()] writes a complete response with
     [Content-Length]. [content_type] defaults to [text/plain].
-    [keep_alive] (default false) selects the [Connection] header. *)
+    [keep_alive] (default false) selects the [Connection] header.
+    [headers] appends extra response headers (lowercase names),
+    e.g. [("retry-after", "1")] on a 503. *)
 val respond :
   conn ->
   ?content_type:string ->
   ?keep_alive:bool ->
+  ?headers:(string * string) list ->
   status:int ->
   body:string ->
   unit ->
   unit
+
+(** [deny fd ~status ~retry_after ~body] writes one canned refusal
+    (with a [Retry-After] header) straight to a raw accepted socket —
+    the listener's load-shedding path, used before any {!conn} exists.
+    Single best-effort write, never raises, never blocks on a slow
+    peer; the caller closes [fd]. *)
+val deny : Unix.file_descr -> status:int -> retry_after:int -> body:string -> unit
 
 (** [continue_100 conn] writes the interim [100 Continue] response. *)
 val continue_100 : conn -> unit

@@ -12,6 +12,8 @@ type config = {
   max_rows : int;
   idle_timeout : float;
   deadline : float;
+  backlog : int;
+  queue_limit : int;
 }
 
 let default_config =
@@ -25,6 +27,8 @@ let default_config =
     max_rows = 1_000_000;
     idle_timeout = 5.0;
     deadline = 0.0;
+    backlog = 128;
+    queue_limit = 256;
   }
 
 (* Blocking multi-producer/multi-consumer queue; [None] is the
@@ -65,6 +69,7 @@ type t = {
   port : int;
   handler : Handler.t;
   queue : Unix.file_descr option Q.t;
+  queued : int Atomic.t;  (* depth of [queue], shared with the handler *)
   stop_req : bool Atomic.t;
   reload_req : bool Atomic.t;
   draining : bool Atomic.t;
@@ -125,6 +130,7 @@ let worker t i dead () =
     match Q.pop t.queue with
     | None -> ()
     | Some fd ->
+      ignore (Atomic.fetch_and_add t.queued (-1));
       serve_conn t ~slot fd;
       loop ()
   in
@@ -177,7 +183,22 @@ let listener t () =
           (try Unix.setsockopt fd Unix.TCP_NODELAY true
            with Unix.Unix_error _ -> ());
           ignore (Atomic.fetch_and_add (Handler.connections t.handler) 1);
-          Q.push t.queue (Some fd)
+          (* Admission control: refuse work beyond what the worker pool
+             plus a bounded queue can absorb. The estimate is in-flight
+             requests plus accepted-but-unserved connections; a refusal
+             is one canned write from this domain, so a saturated
+             daemon sheds at accept speed instead of queueing work
+             until deadlines fire. *)
+          if Handler.admission_load t.handler >= t.config.queue_limit then begin
+            Handler.note_shed t.handler `Overload;
+            Http.deny fd ~status:429 ~retry_after:1
+              ~body:"over capacity; retry later\n";
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end
+          else begin
+            ignore (Atomic.fetch_and_add t.queued 1);
+            Q.push t.queue (Some fd)
+          end
         | exception
             Unix.Unix_error
               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
@@ -213,7 +234,7 @@ let listener t () =
 (* Lifecycle                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let start ?(config = default_config) ~load () =
+let start ?(config = default_config) ~source () =
   if config.domains < 1 || config.domains > 64 then
     invalid_arg "Server.start: domains must be in 1..64";
   if config.port < 0 || config.port > 65535 then
@@ -223,14 +244,19 @@ let start ?(config = default_config) ~load () =
   if config.max_rows <= 0 then invalid_arg "Server.start: max_rows";
   if config.idle_timeout <= 0.0 then invalid_arg "Server.start: idle_timeout";
   if config.deadline < 0.0 then invalid_arg "Server.start: deadline";
+  if config.backlog < 1 || config.backlog > 65535 then
+    invalid_arg "Server.start: backlog must be in 1..65535";
+  if config.queue_limit < 1 then invalid_arg "Server.start: queue_limit";
   (* SIGPIPE must die before the first write to a vanished client. *)
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let telemetry = Telemetry.create ~slots:config.domains in
   let draining = Atomic.make false in
+  let queued = Atomic.make 0 in
   let handler =
-    Handler.create ~load ~telemetry ~policy:config.policy
+    Handler.create ~source ~telemetry ~policy:config.policy
       ~chunk_size:config.chunk_size ~max_body:config.max_body
-      ~max_rows:config.max_rows ~deadline:config.deadline ~draining
+      ~max_rows:config.max_rows ~deadline:config.deadline ~draining ~queued
+      ~queue_limit:config.queue_limit
   in
   let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   let t =
@@ -238,7 +264,7 @@ let start ?(config = default_config) ~load () =
       Unix.setsockopt lfd Unix.SO_REUSEADDR true;
       Unix.bind lfd
         (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
-      Unix.listen lfd 128;
+      Unix.listen lfd config.backlog;
       let port =
         match Unix.getsockname lfd with
         | Unix.ADDR_INET (_, p) -> p
@@ -250,6 +276,7 @@ let start ?(config = default_config) ~load () =
         port;
         handler;
         queue = Q.create ();
+        queued;
         stop_req = Atomic.make false;
         reload_req = Atomic.make false;
         draining;
@@ -263,8 +290,9 @@ let start ?(config = default_config) ~load () =
   t.workers <- Array.init config.domains (fun i -> spawn_worker t i);
   t.listener <- Some (Domain.spawn (listener t));
   Log.info (fun m ->
-      m "listening on %s:%d (%d worker domain(s), model generation 1)"
-        config.host t.port config.domains);
+      m "listening on %s:%d (%d worker domain(s), model generation %d)"
+        config.host t.port config.domains
+        (Handler.state handler).Handler.generation);
   t
 
 let join t =

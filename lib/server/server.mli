@@ -16,6 +16,13 @@
     client surfaces as an [EPIPE] that the HTTP layer turns into a
     closed connection, never a killed process.
 
+    The listener is also the admission controller: every accepted
+    connection is checked against [queue_limit] (in-flight plus queued
+    work) and refused with a canned [429] + [Retry-After] when the
+    daemon is saturated — accepted work is never dropped, new work is
+    shed at accept speed. Refusals are counted per reason as
+    [pnrule_shed_total].
+
     The listener also supervises the worker pool: a worker domain that
     dies on an escaped exception flags itself, and the listener joins
     the corpse and respawns a fresh domain into the same slot (same
@@ -37,25 +44,34 @@ type config = {
       (** per-request wall-clock budget in seconds; 0 disables it. A
           predict request that overruns it is answered 408 (or aborted
           mid-stream). *)
+  backlog : int;  (** kernel [listen(2)] backlog, 1..65535 *)
+  queue_limit : int;
+      (** admission limit: once in-flight requests plus
+          accepted-but-unserved connections reach this, new connections
+          are refused with [429] + [Retry-After] instead of queued *)
 }
 
 (** [{host = "127.0.0.1"; port = 0; domains = 1; policy = Strict;
     chunk_size = 8192; max_body = 64 MiB; max_rows = 1_000_000;
-    idle_timeout = 5.0; deadline = 0.0}] *)
+    idle_timeout = 5.0; deadline = 0.0; backlog = 128;
+    queue_limit = 256}] *)
 val default_config : config
 
 type t
 
-(** [start ~config ~load ()] — [load] produces the model now (initial
-    load; exceptions propagate) and again on every reload. Raises
+(** [start ~config ~source ()] — [source] produces the initial model
+    now (exceptions propagate): a {!Handler.Loader} is re-run on every
+    reload, a {!Handler.Registry} serves its CURRENT generation and
+    enables [POST /admin/rollout] / [/admin/rollback]. Raises
     [Invalid_argument] on an out-of-range config, [Unix.Unix_error] if
     the bind fails. *)
-val start : ?config:config -> load:(unit -> Pnrule.Saved.t) -> unit -> t
+val start : ?config:config -> source:Handler.source -> unit -> t
 
 (** The actually-bound port (useful with [port = 0]). *)
 val port : t -> int
 
-(** Current model generation (1 = initial load). *)
+(** Current model generation (loader source: 1 = initial load;
+    registry source: the on-disk generation number). *)
 val generation : t -> int
 
 (** Synchronous reload — what SIGHUP triggers asynchronously. *)

@@ -3,9 +3,10 @@ type endpoint =
   | Healthz
   | Model_info
   | Metrics
+  | Admin
   | Other
 
-let endpoints = [| Predict; Healthz; Model_info; Metrics; Other |]
+let endpoints = [| Predict; Healthz; Model_info; Metrics; Admin; Other |]
 
 let n_endpoints = Array.length endpoints
 
@@ -14,13 +15,15 @@ let endpoint_index = function
   | Healthz -> 1
   | Model_info -> 2
   | Metrics -> 3
-  | Other -> 4
+  | Admin -> 4
+  | Other -> 5
 
 let endpoint_label = function
   | Predict -> "predict"
   | Healthz -> "healthz"
   | Model_info -> "model"
   | Metrics -> "metrics"
+  | Admin -> "admin"
   | Other -> "other"
 
 let buckets =
@@ -90,6 +93,8 @@ let add_retries s n = if n > 0 then add s.io_retries n
 let in_flight_incr t = ignore (Atomic.fetch_and_add t.in_flight 1)
 
 let in_flight_decr t = ignore (Atomic.fetch_and_add t.in_flight (-1))
+
+let in_flight_count t = Atomic.get t.in_flight
 
 (* ------------------------------------------------------------------ *)
 (* Scrape-time merge + exposition text                                  *)

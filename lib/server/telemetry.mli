@@ -18,6 +18,7 @@ type endpoint =
   | Healthz
   | Model_info
   | Metrics
+  | Admin  (** the /admin/rollout and /admin/rollback endpoints *)
   | Other  (** unknown paths, unparsable requests *)
 
 (** [create ~slots] preallocates [slots] counter blocks (one per worker
@@ -50,6 +51,11 @@ val add_retries : slot -> int -> unit
 val in_flight_incr : t -> unit
 
 val in_flight_decr : t -> unit
+
+(** Current value of the in-flight gauge. Read by the listener's
+    admission control on every accept, so it must stay an O(1) atomic
+    load. *)
+val in_flight_count : t -> int
 
 (** [render t ~extra] merges all slots and renders the exposition text.
     [extra] may append additional, caller-owned metric lines (the server

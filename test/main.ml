@@ -21,6 +21,7 @@ let () =
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
       ("server", Test_server.suite);
+      ("registry", Test_registry.suite);
       ("fault", Test_fault.suite);
       ("columnar", Test_columnar.suite);
     ]

@@ -232,7 +232,11 @@ let test_reload_survives_corruption () =
       S.save_saved model path;
       let good = read_file path in
       let config = { Server.default_config with chunk_size = 256 } in
-      let srv = Server.start ~config ~load:(fun () -> S.load_saved path) () in
+      let srv =
+        Server.start ~config
+          ~source:(Pn_server.Handler.Loader (fun () -> S.load_saved path))
+          ()
+      in
       Fun.protect
         ~finally:(fun () -> Server.stop srv)
         (fun () ->
@@ -358,12 +362,151 @@ let test_worker_respawn () =
           Alcotest.(check int) "predict after respawn" 200 s;
           Alcotest.(check string) "bytes identical after respawn" expected got))
 
+(* ------------------------------------------------------------------ *)
+(* Staged rollout under chaos                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Reg = Pnrule.Registry
+
+(* A registry with two generations and a daemon serving generation 1. *)
+let with_rollout_daemon f =
+  let model, body, expected, _ = Lazy.force Test_server.fixture in
+  let model2, expected2 = Lazy.force Test_registry.fixture2 in
+  Test_registry.with_registry_dir (fun dir ->
+      let reg = Reg.open_dir dir in
+      ignore (Reg.publish reg model);
+      ignore (Reg.publish reg model2);
+      Reg.set_current reg 1;
+      let config = { Server.default_config with chunk_size = 256 } in
+      let srv =
+        Server.start ~config ~source:(Pn_server.Handler.Registry reg) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () -> f ~dir ~srv ~body ~expected ~expected2))
+
+let check_serving ~srv ~body ~gen ~bytes what =
+  Alcotest.(check int) (what ^ ": generation") gen (Server.generation srv);
+  let s, _, got =
+    Test_server.one_shot (Server.port srv) ~meth:"POST" ~path:"/predict" ~body
+      ()
+  in
+  Alcotest.(check int) (what ^ ": predict status") 200 s;
+  Alcotest.(check string) (what ^ ": byte-identical") bytes got
+
+let test_rollout_flip_crash_keeps_old () =
+  with_rollout_daemon (fun ~dir ~srv ~body ~expected ~expected2 ->
+      let port = Server.port srv in
+      (* The process "dies" four bytes into the CURRENT pointer write:
+         after the candidate loaded, warmed, and was about to go live. *)
+      with_chaos "registry.flip:crash@4" (fun () ->
+          let s, _, b =
+            Test_server.one_shot port ~meth:"POST" ~path:"/admin/rollout" ()
+          in
+          Alcotest.(check int) "crashed flip answers 500" 500 s;
+          Alcotest.(check bool)
+            "names the surviving generation" true
+            (Test_server.contains b "still serving generation 1");
+          Alcotest.(check bool)
+            "the crash actually fired" true
+            (F.fired "registry.flip" > 0));
+      (* The old generation serves on, byte-identical, and the registry
+         is exactly as it was: pointer untouched, no torn temp files. *)
+      check_serving ~srv ~body ~gen:1 ~bytes:expected "after crashed flip";
+      Alcotest.(check string)
+        "CURRENT untouched" "gen-1.model\n"
+        (read_file (Filename.concat dir "CURRENT"));
+      Alcotest.(check (list string))
+        "no temp droppings"
+        [ "CURRENT"; "gen-1.model"; "gen-2.model" ]
+        (List.sort compare (Array.to_list (Sys.readdir dir)));
+      let s, _, b = Test_server.one_shot port ~meth:"GET" ~path:"/healthz" () in
+      Alcotest.(check int) "healthz after crashed flip" 200 s;
+      Alcotest.(check string) "healthz body" "ok\n" b;
+      let _, _, m = Test_server.one_shot port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check (float 0.0))
+        "failure metered" 1.0
+        (Test_server.metric_value m "pnrule_model_rollout_failures_total");
+      (* Disarmed, the identical rollout goes through. *)
+      let s, _, _ =
+        Test_server.one_shot port ~meth:"POST" ~path:"/admin/rollout" ()
+      in
+      Alcotest.(check int) "retried rollout succeeds" 200 s;
+      Alcotest.(check string)
+        "pointer flipped on retry" "gen-2.model\n"
+        (read_file (Filename.concat dir "CURRENT"));
+      check_serving ~srv ~body ~gen:2 ~bytes:expected2 "after retry")
+
+let test_rollout_load_faults () =
+  with_rollout_daemon (fun ~dir:_ ~srv ~body ~expected ~expected2 ->
+      let port = Server.port srv in
+      (* Transient EINTRs inside the retry budget are absorbed: the
+         flip still happens. *)
+      with_chaos "registry.load:eintr,times=3" (fun () ->
+          let s, _, _ =
+            Test_server.one_shot port ~meth:"POST" ~path:"/admin/rollout" ()
+          in
+          Alcotest.(check int) "rollout under EINTR storm" 200 s;
+          Alcotest.(check int) "all three faults fired" 3
+            (F.fired "registry.load"));
+      check_serving ~srv ~body ~gen:2 ~bytes:expected2 "after EINTR rollout";
+      (* A hard load failure keeps the serving generation untouched. *)
+      with_chaos "registry.load:raise,times=1" (fun () ->
+          let s, _, b =
+            Test_server.one_shot port ~meth:"POST" ~path:"/admin/rollback" ()
+          in
+          Alcotest.(check int) "failed load answers 500" 500 s;
+          Alcotest.(check bool)
+            "names the surviving generation" true
+            (Test_server.contains b "still serving generation 2"));
+      check_serving ~srv ~body ~gen:2 ~bytes:expected2 "after failed load";
+      (* Disarmed, the rollback restores generation 1 exactly. *)
+      let s, _, _ =
+        Test_server.one_shot port ~meth:"POST" ~path:"/admin/rollback" ()
+      in
+      Alcotest.(check int) "rollback succeeds disarmed" 200 s;
+      check_serving ~srv ~body ~gen:1 ~bytes:expected "after rollback")
+
+(* Regression for the in-flight accounting fix: a handler that dies on
+   an escaped exception must still decrement the gauge — a leak here
+   would eat admission capacity until the daemon sheds everything. *)
+let test_in_flight_survives_crashed_handler () =
+  let model, body, _, _ = Lazy.force Test_server.fixture in
+  let srv = Test_server.boot ~model () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      with_chaos "serve.chunk_write:raise,times=1" (fun () ->
+          (match
+             Test_server.one_shot port ~meth:"POST" ~path:"/predict" ~body ()
+           with
+          | s, _, _ ->
+            Alcotest.(check int) "faulted request surfaces an error" 500 s
+          | exception (Failure _ | Unix.Unix_error _) ->
+            (* The fault can also tear the response mid-stream. *)
+            ());
+          Alcotest.(check bool)
+            "fault fired" true
+            (F.fired "serve.chunk_write" > 0));
+      (* Only the scrape itself is in flight: the crashed request's
+         decrement ran. *)
+      let _, _, m = Test_server.one_shot port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check (float 0.0))
+        "in-flight gauge reconciles" 1.0
+        (Test_server.metric_value m "pnrule_in_flight");
+      let s, _, b = Test_server.one_shot port ~meth:"GET" ~path:"/healthz" () in
+      Alcotest.(check int) "healthz after crashed handler" 200 s;
+      Alcotest.(check string) "healthz body" "ok\n" b)
+
 let test_deadline_enforced () =
   let model, body, _, _ = Lazy.force Test_server.fixture in
   let config =
     { Server.default_config with chunk_size = 256; deadline = 0.3 }
   in
-  let srv = Server.start ~config ~load:(fun () -> model) () in
+  let srv =
+    Server.start ~config ~source:(Pn_server.Handler.Loader (fun () -> model)) ()
+  in
   Fun.protect
     ~finally:(fun () -> Server.stop srv)
     (fun () ->
@@ -410,6 +553,12 @@ let suite =
       test_eintr_retried_and_metered;
     Alcotest.test_case "daemon: dead worker respawns" `Quick
       test_worker_respawn;
+    Alcotest.test_case "daemon: crash mid-flip keeps the old generation"
+      `Quick test_rollout_flip_crash_keeps_old;
+    Alcotest.test_case "daemon: rollout load faults retried or refused"
+      `Quick test_rollout_load_faults;
+    Alcotest.test_case "daemon: in-flight gauge survives crashed handler"
+      `Quick test_in_flight_survives_crashed_handler;
     Alcotest.test_case "daemon: per-request deadline" `Quick
       test_deadline_enforced;
   ]

@@ -197,7 +197,7 @@ let boot ?(domains = 1) ?config ~model () =
     | Some c -> c
     | None -> { Server.default_config with domains; chunk_size = 256 }
   in
-  Server.start ~config ~load:(fun () -> model) ()
+  Server.start ~config ~source:(Pn_server.Handler.Loader (fun () -> model)) ()
 
 (* ------------------------------------------------------------------ *)
 (* Concurrent keep-alive clients, byte-identical to batch              *)
@@ -374,6 +374,161 @@ let test_error_paths () =
            "pnrule_request_errors_total{endpoint=\"predict\"}"))
 
 (* ------------------------------------------------------------------ *)
+(* Percent-encoding: every malformed escape is a deterministic 400      *)
+(* ------------------------------------------------------------------ *)
+
+let test_bad_percent_encoding () =
+  let model, _, _, _ = Lazy.force fixture in
+  let srv = boot ~model () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let raw target =
+        let c = Client.connect port in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            Client.send c
+              (Printf.sprintf "GET %s HTTP/1.1\r\nhost: t\r\n\r\n" target);
+            Client.read_response c)
+      in
+      (* A truncated escape ("%2" at end of input) and a non-hex escape
+         ("%zz") take different branches in the decoder; both must fail
+         the same way — 400 naming the bad escape — never a silent
+         passthrough or a worker-killing exception. *)
+      List.iter
+        (fun (target, what) ->
+          let s, _, b = raw target in
+          Alcotest.(check int) (what ^ " is 400") 400 s;
+          Alcotest.(check bool)
+            (what ^ " names the escape") true
+            (contains b "percent-encoding"))
+        [
+          ("/healthz%2", "truncated escape at end of path");
+          ("/%zzmodel", "non-hex escape in path");
+          ("/%2", "truncated escape alone");
+          ("/predict?scores=%2", "truncated escape in query value");
+          ("/predict?on-error=%g1", "half-hex escape in query value");
+          ("/predict?%zz=1", "non-hex escape in query key");
+        ];
+      (* Deterministic: the same bad escape answers identically twice. *)
+      let s1, _, b1 = raw "/healthz%2" in
+      let s2, _, b2 = raw "/healthz%2" in
+      Alcotest.(check int) "same status on repeat" s1 s2;
+      Alcotest.(check string) "same body on repeat" b1 b2;
+      (* Valid escapes still decode: %2F is '/', so this is /healthz. *)
+      let s, _, b = raw "/healthz%2F" in
+      Alcotest.(check int) "valid escape decodes" 404 s;
+      Alcotest.(check bool) "decoded path in the 404" true (contains b "/healthz/");
+      (* The worker survived all of it. *)
+      let s, _, b = one_shot port ~meth:"GET" ~path:"/healthz" () in
+      Alcotest.(check int) "healthz after bad escapes" 200 s;
+      Alcotest.(check string) "healthz body" "ok\n" b)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control: saturation sheds 429, never drops admitted work   *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_sheds_overload () =
+  let model, body, expected, _ = Lazy.force fixture in
+  let config =
+    { Server.default_config with chunk_size = 256; queue_limit = 1 }
+  in
+  let srv = boot ~config ~model () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      (* Client A occupies the only admission slot: head plus half the
+         body keeps its request in flight until we finish it. *)
+      let a = Client.connect port in
+      Fun.protect
+        ~finally:(fun () -> Client.close a)
+        (fun () ->
+          let cut = String.length body / 2 in
+          Client.send a
+            (Printf.sprintf
+               "POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: %d\r\n\r\n%s"
+               (String.length body) (String.sub body 0 cut));
+          (* Wait for the worker to pick the request up (in_flight = 1). *)
+          Unix.sleepf 0.3;
+          (* Two more clients hit the saturated daemon: both are refused
+             at accept speed with a canned 429 + Retry-After, without the
+             listener ever reading their requests. *)
+          List.iter
+            (fun name ->
+              let c = Client.connect port in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  let s, hs, b = Client.read_response c in
+                  Alcotest.(check int) (name ^ " refused") 429 s;
+                  Alcotest.(check (option string))
+                    (name ^ " carries retry-after") (Some "1")
+                    (List.assoc_opt "retry-after" hs);
+                  Alcotest.(check bool)
+                    (name ^ " explains itself") true
+                    (contains b "capacity")))
+            [ "first overflow"; "second overflow" ];
+          (* The admitted request was never dropped: finishing the body
+             yields the exact batch-pipeline bytes. *)
+          Client.send a (String.sub body cut (String.length body - cut));
+          let s, _, got = Client.read_response a in
+          Alcotest.(check int) "admitted request completes" 200 s;
+          Alcotest.(check string) "admitted request byte-identical" expected
+            got);
+      (* A's connection is closed, freeing the single worker; give the
+         in-flight decrement a beat so the next accept is admitted, then
+         keep one connection for every post-check — with queue_limit = 1
+         a second accept would race its predecessor's decrement. *)
+      Unix.sleepf 0.2;
+      let c = Client.connect port in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let s, _, b = Client.request c ~meth:"GET" ~path:"/healthz" () in
+          Alcotest.(check int) "healthz after saturation" 200 s;
+          Alcotest.(check string) "healthz body" "ok\n" b;
+          let _, _, m = Client.request c ~meth:"GET" ~path:"/metrics" () in
+          Alcotest.(check (float 0.0))
+            "sheds counted by reason" 2.0
+            (metric_value m "pnrule_shed_total{reason=\"overload\"}");
+          Alcotest.(check (float 0.0))
+            "no draining sheds" 0.0
+            (metric_value m "pnrule_shed_total{reason=\"draining\"}");
+          Alcotest.(check (float 0.0))
+            "queue drained" 0.0
+            (metric_value m "pnrule_queue_depth");
+          Alcotest.(check (float 0.0))
+            "limit exported" 1.0
+            (metric_value m "pnrule_queue_limit")))
+
+(* ------------------------------------------------------------------ *)
+(* Config validation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_validation () =
+  let model, _, _, _ = Lazy.force fixture in
+  let boot_with f =
+    let config = f Server.default_config in
+    Server.start ~config ~source:(Pn_server.Handler.Loader (fun () -> model)) ()
+  in
+  List.iter
+    (fun (name, exn, f) -> Alcotest.check_raises name exn (fun () -> ignore (boot_with f)))
+    [
+      ( "zero backlog",
+        Invalid_argument "Server.start: backlog must be in 1..65535",
+        fun c -> { c with Server.backlog = 0 } );
+      ( "oversized backlog",
+        Invalid_argument "Server.start: backlog must be in 1..65535",
+        fun c -> { c with Server.backlog = 65_536 } );
+      ( "zero queue limit",
+        Invalid_argument "Server.start: queue_limit",
+        fun c -> { c with Server.queue_limit = 0 } );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Hot reload                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -382,7 +537,7 @@ let test_reload_and_generation () =
   let fail = ref false in
   let load () = if !fail then failwith "synthetic load failure" else model in
   let config = { Server.default_config with chunk_size = 256 } in
-  let srv = Server.start ~config ~load () in
+  let srv = Server.start ~config ~source:(Pn_server.Handler.Loader load) () in
   Fun.protect
     ~finally:(fun () ->
       Server.stop srv;
@@ -488,6 +643,12 @@ let suite =
     Alcotest.test_case "e2e: 4 worker domains" `Quick (run_e2e ~domains:4);
     Alcotest.test_case "error paths leave workers alive" `Quick
       test_error_paths;
+    Alcotest.test_case "bad percent-escapes are deterministic 400s" `Quick
+      test_bad_percent_encoding;
+    Alcotest.test_case "saturation sheds 429 without dropping work" `Quick
+      test_admission_sheds_overload;
+    Alcotest.test_case "backlog and queue-limit validation" `Quick
+      test_config_validation;
     Alcotest.test_case "hot reload and generations" `Quick
       test_reload_and_generation;
     Alcotest.test_case "SIGTERM drains in-flight work" `Quick
