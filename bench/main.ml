@@ -250,6 +250,40 @@ let timing_benchmarks ~scale =
         Test.make ~name:"rollout-warm"
           (Staged.stage (fun () ->
                Pnrule.Registry.warm (Pnrule.Saved.Single pn_model)));
+        (* The drift monitor's serving-path tax over 10k rows: one
+           [observe] of a pre-scored batch into the per-domain slot plus
+           one [check] (window close + per-rule scoring). The batch is
+           scored outside the measurement — serving already pays that —
+           so this is purely what --adapt adds per 10k rows. Budget:
+           <= 2% of serve-hot-loop-10k. *)
+        (let n10k = rows ~scale 10_000 in
+         let sm = Pnrule.Saved.Single pn_model in
+         let ds10k =
+           Pn_data.Dataset.subset ds (Array.init n10k (fun i -> i))
+         in
+         let batch = Pnrule.Saved.eval_batch sm ds10k in
+         let actuals =
+           Array.init n10k (fun i -> Pn_data.Dataset.label ds10k i)
+         in
+         let exp = Pn_adapt.Expectations.derive sm ds in
+         let monitor =
+           Pn_adapt.Drift.create
+             ~config:
+               {
+                 Pn_adapt.Drift.default_config with
+                 (* An unreachable threshold: detection resets state and
+                    would make runs non-uniform. *)
+                 threshold = infinity;
+               }
+             ~slots:1 ()
+         in
+         Pn_adapt.Drift.set_model monitor
+           ~n_rules:(Pnrule.Saved.n_monitored sm)
+           ~target (Some exp);
+         Test.make ~name:"drift-check-overhead"
+           (Staged.stage (fun () ->
+                Pn_adapt.Drift.observe monitor ~slot:0 ~n:n10k ~batch ~actuals;
+                ignore (Pn_adapt.Drift.check monitor))));
       ]
   in
   (* Batch 2: serving-path benchmarks over their own, larger datasets. *)

@@ -260,8 +260,10 @@ let train_cmd =
         stats.Pnrule.Learner.train_confusion;
       (match out with
       | Some path ->
-        Pnrule.Serialize.save model path;
-        Printf.printf "model written to %s\n" path
+        let sm = Pnrule.Saved.Single model in
+        let exp = Pn_adapt.Expectations.derive sm ds in
+        Pnrule.Serialize.save_saved_ex sm (Some exp) path;
+        Printf.printf "model written to %s (with drift expectations)\n" path
       | None -> ())
     | `Boosted -> (
       let params =
@@ -273,8 +275,10 @@ let train_cmd =
         (Pnrule.Ensemble.evaluate ensemble ds);
       match out with
       | Some path ->
-        Pnrule.Serialize.save_saved (Pnrule.Saved.Boosted ensemble) path;
-        Printf.printf "model written to %s\n" path
+        let sm = Pnrule.Saved.Boosted ensemble in
+        let exp = Pn_adapt.Expectations.derive sm ds in
+        Pnrule.Serialize.save_saved_ex sm (Some exp) path;
+        Printf.printf "model written to %s (with drift expectations)\n" path
       | None -> ())
   in
   let data =
@@ -494,7 +498,8 @@ let ingest_cmd =
 
 let serve_cmd =
   let run verbose model_file registry host port domains policy chunk max_body_mb
-      max_rows idle deadline backlog queue_limit =
+      max_rows idle deadline backlog queue_limit adapt window drift_threshold
+      reservoir =
     setup_logs verbose;
     let source =
       match (model_file, registry) with
@@ -509,6 +514,25 @@ let serve_cmd =
         Printf.eprintf "error: one of --model or --registry is required\n";
         exit 1
     in
+    let adapt_cfg =
+      if not adapt then None
+      else if registry = None then begin
+        Printf.eprintf "error: --adapt requires --registry\n";
+        exit 1
+      end
+      else
+        Some
+          {
+            Pn_adapt.Retrainer.default_config with
+            drift =
+              {
+                Pn_adapt.Drift.default_config with
+                window;
+                threshold = drift_threshold;
+              };
+            reservoir;
+          }
+    in
     let config =
       {
         Pn_server.Server.host;
@@ -522,6 +546,7 @@ let serve_cmd =
         deadline;
         backlog;
         queue_limit;
+        adapt = adapt_cfg;
       }
     in
     match Pn_server.Server.start ~config ~source () with
@@ -538,9 +563,11 @@ let serve_cmd =
         domains
         (if domains = 1 then "" else "s")
         (Pn_server.Server.generation server)
-        (if registry <> None then
-           ",\n           POST /admin/rollout, POST /admin/rollback"
-         else "");
+        ((if registry <> None then
+            ",\n           POST /admin/rollout, POST /admin/rollback"
+          else "")
+        ^
+        if adapt then ",\n           POST /feedback, GET /admin/drift" else "");
       Pn_server.Server.join server
     | exception Pnrule.Serialize.Corrupt msg ->
       Printf.eprintf "error: cannot read model: %s\n" msg;
@@ -648,6 +675,47 @@ let serve_cmd =
              are refused with 429 and a Retry-After header instead of \
              queueing behind the worker pool.")
   in
+  let adapt =
+    Arg.(
+      value & flag
+      & info [ "adapt" ]
+          ~doc:
+            "Online adaptation (requires $(b,--registry)): monitor per-rule \
+             firing rates on predict/feedback traffic against the model's \
+             training-time expectations, and on drift retrain in the \
+             background from recent $(b,POST /feedback) labeled rows, \
+             publish the result as the next registry generation and roll it \
+             out through the staged (canary-warmed) path. Adds \
+             $(b,POST /feedback) and $(b,GET /admin/drift).")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"window" ~lo:16 ~hi:100_000_000) 4096
+      & info [ "window" ] ~docv:"ROWS"
+          ~doc:
+            "Drift window: rows scored between two firing-rate comparisons. \
+             Smaller reacts faster but is noisier.")
+  in
+  let drift_threshold =
+    Arg.(
+      value
+      & opt (ranged_float ~what:"drift threshold" ~lo:1e-6 ~hi:1e6) 3.0
+      & info [ "drift-threshold" ] ~docv:"SCORE"
+          ~doc:
+            "Page-Hinkley score above which any single rule's accumulated \
+             deviation counts as drift. Higher needs more (or stronger) \
+             evidence.")
+  in
+  let reservoir =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"reservoir" ~lo:1 ~hi:1_000_000_000) 100_000
+      & info [ "reservoir" ] ~docv:"ROWS"
+          ~doc:
+            "Most recent labeled feedback rows retained for background \
+             retraining; older rows are evicted.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -660,13 +728,16 @@ let serve_cmd =
           $(b,class-column=NAME)), \
           $(b,GET /healthz), $(b,GET /model), $(b,GET /metrics) (Prometheus \
           text format), and — with $(b,--registry) — $(b,POST /admin/rollout) \
-          / $(b,POST /admin/rollback) for staged model flips. SIGHUP \
+          / $(b,POST /admin/rollback) for staged model flips. With \
+          $(b,--adapt): $(b,POST /feedback) (labeled rows scored and fed to \
+          the drift monitor and retrain reservoir) and $(b,GET /admin/drift) \
+          (monitor + retrainer state as JSON). SIGHUP \
           hot-reloads the model; SIGTERM drains gracefully. Load shedding: \
           beyond $(b,--queue-limit) the daemon answers 429 + Retry-After.")
     Term.(
       const run $ verbose_arg $ model_file $ registry $ host $ port $ domains
       $ policy_arg $ chunk_arg $ max_body $ max_rows $ idle $ deadline
-      $ backlog $ queue_limit)
+      $ backlog $ queue_limit $ adapt $ window $ drift_threshold $ reservoir)
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                 *)

@@ -1,0 +1,20 @@
+(** Per-rule training-time baselines for the online drift monitor.
+
+    An alias of {!Pnrule.Saved.expectations} — the record serialization
+    format v4 persists next to the model — plus the one derivation the
+    trainer and background retrainer share. *)
+
+type t = Pnrule.Saved.expectations = {
+  rates : float array;
+  precisions : float array;
+  support : int;
+}
+
+(** [derive sm ds] replays [ds] through the same compiled batch path
+    serving uses and returns each monitored rule's firing rate (fraction
+    of rows whose first matching P-rule it was, or — for a boosted
+    ensemble — the fraction of rows the member covered) and precision
+    (fraction of its firings whose label was the target class; 0 for a
+    rule that never fired). [support] is [Dataset.n_records ds]. Raises
+    [Invalid_argument] on an empty dataset. *)
+val derive : ?pool:Pn_util.Pool.t -> Pnrule.Saved.t -> Pn_data.Dataset.t -> t

@@ -1,0 +1,362 @@
+(* Supervised background retraining: the adaptation loop's slow half.
+
+   The drift monitor accumulates on the serving path; this domain polls
+   it. On a detection the retrainer snapshots its bounded reservoir of
+   recent labeled rows, spills the snapshot through the binary .pnc
+   round-trip (the same decode path a file-based retrain would take),
+   retrains the current model kind with the configured sub-sampling,
+   derives fresh expectations, publishes the result as the next registry
+   generation under the [retrain.publish] fault point and asks the
+   serving layer to roll it out through the normal canary-warmed path.
+
+   Failure discipline: every stage failure — including injected
+   [retrain.train] / [retrain.publish] faults — is caught, counted by
+   outcome and reported; the serving generation is never touched by a
+   failed attempt (a torn publish removes its temp file and allocates
+   no generation), and retries are Backoff-scheduled against wall
+   clock, never a hot loop. After [max_attempts] the detection is
+   dropped: the monitor will re-detect if the drift persists. *)
+
+let src = Logs.Src.create "pnrule.retrainer" ~doc:"background drift retraining"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  drift : Drift.config;
+  reservoir : int;
+  min_rows : int;
+  sampling : Pn_induct.Sampling.t;
+  poll_interval : float;
+  max_attempts : int;
+  spill_dir : string option;
+}
+
+let default_config =
+  {
+    drift = Drift.default_config;
+    reservoir = 100_000;
+    min_rows = 256;
+    sampling = Pn_induct.Sampling.none;
+    poll_interval = 0.25;
+    max_attempts = 5;
+    spill_dir = None;
+  }
+
+type outcome = Ok_retrain | No_data | Train_error | Publish_error | Rollout_error
+
+type stats = {
+  ok : int;
+  no_data : int;
+  train_error : int;
+  publish_error : int;
+  rollout_error : int;
+  pending : bool;
+  attempt : int;
+  reservoir_rows : int;
+  last_error : string option;
+  last_duration : float;  (** seconds; 0.0 until a retrain completed *)
+}
+
+type t = {
+  config : config;
+  drift : Drift.t;
+  registry : Pnrule.Registry.t;
+  model : unit -> Pnrule.Saved.t;
+  rollout : gen:int -> (unit, string) result;
+  (* reservoir: newest chunk first, bounded by whole-chunk eviction *)
+  res_mutex : Mutex.t;
+  mutable chunks : Pn_data.Dataset.t list;
+  mutable res_rows : int;
+  (* retrain scheduling, serialized by tick_mutex *)
+  tick_mutex : Mutex.t;
+  pending : bool Atomic.t;
+  attempt : int Atomic.t;
+  mutable not_before : float;
+  (* observability *)
+  c_ok : int Atomic.t;
+  c_no_data : int Atomic.t;
+  c_train_error : int Atomic.t;
+  c_publish_error : int Atomic.t;
+  c_rollout_error : int Atomic.t;
+  last_error : string option Atomic.t;
+  last_duration : float Atomic.t;
+  stop_req : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+let create ?(config = default_config) ~slots ~registry ~model ~rollout () =
+  if config.reservoir < 1 then invalid_arg "Retrainer.create: reservoir";
+  if config.min_rows < 1 then invalid_arg "Retrainer.create: min_rows";
+  if config.poll_interval <= 0.0 then
+    invalid_arg "Retrainer.create: poll_interval";
+  if config.max_attempts < 1 then invalid_arg "Retrainer.create: max_attempts";
+  {
+    config;
+    drift = Drift.create ~config:config.drift ~slots ();
+    registry;
+    model;
+    rollout;
+    res_mutex = Mutex.create ();
+    chunks = [];
+    res_rows = 0;
+    tick_mutex = Mutex.create ();
+    pending = Atomic.make false;
+    attempt = Atomic.make 0;
+    not_before = 0.0;
+    c_ok = Atomic.make 0;
+    c_no_data = Atomic.make 0;
+    c_train_error = Atomic.make 0;
+    c_publish_error = Atomic.make 0;
+    c_rollout_error = Atomic.make 0;
+    last_error = Atomic.make None;
+    last_duration = Atomic.make 0.0;
+    stop_req = Atomic.make false;
+    domain = None;
+  }
+
+let drift t = t.drift
+
+(* Bounded by whole-chunk eviction from the OLD end: the list holds the
+   newest window of labeled rows, which is exactly what a retrain should
+   learn from. *)
+let add t ds =
+  let n = Pn_data.Dataset.n_records ds in
+  if n > 0 then begin
+    Mutex.lock t.res_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.res_mutex)
+      (fun () ->
+        t.chunks <- ds :: t.chunks;
+        t.res_rows <- t.res_rows + n;
+        if t.res_rows > t.config.reservoir then begin
+          (* Drop oldest chunks (list tail) while the newer ones alone
+             still satisfy the cap. *)
+          let rec keep rows = function
+            | [] -> ([], rows)
+            | c :: rest ->
+              let nc = Pn_data.Dataset.n_records c in
+              if rows + nc > t.config.reservoir && rows > 0 then (* evict c and everything older *)
+                ([], rows)
+              else
+                let kept, rows' = keep (rows + nc) rest in
+                (c :: kept, rows')
+          in
+          let kept, rows = keep 0 t.chunks in
+          t.chunks <- kept;
+          t.res_rows <- rows
+        end)
+  end
+
+let reservoir_rows t =
+  Mutex.lock t.res_mutex;
+  let n = t.res_rows in
+  Mutex.unlock t.res_mutex;
+  n
+
+let snapshot_reservoir t =
+  Mutex.lock t.res_mutex;
+  let chunks = t.chunks in
+  Mutex.unlock t.res_mutex;
+  match chunks with
+  | [] -> None
+  | newest :: older ->
+    (* Oldest-first concatenation keeps row order chronological. *)
+    Some
+      (List.fold_left
+         (fun acc c -> Pn_data.Dataset.append c acc)
+         newest older)
+
+(* Transient errnos injected at [retrain.train] get the same bounded
+   backed-off absorption as the registry's load path; anything else is a
+   training failure for the attempt-level retry to handle. *)
+let train_fault_gate () =
+  let rec pass attempt =
+    match Pn_util.Fault.check "retrain.train" with
+    | () -> ()
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      when attempt < 5 ->
+      Pn_util.Backoff.sleep ~attempt ();
+      pass (attempt + 1)
+  in
+  pass 0
+
+let spill_path t =
+  let dir =
+    match t.config.spill_dir with
+    | Some d -> d
+    | None -> Pnrule.Registry.dir t.registry
+  in
+  Filename.concat dir (Printf.sprintf "retrain-%d.pnc" (Unix.getpid ()))
+
+(* One full retrain attempt. Returns the outcome and, on success, the
+   published generation. Never raises. *)
+let attempt_retrain t =
+  let t0 = Unix.gettimeofday () in
+  let fail_with outcome counter msg =
+    Atomic.incr counter;
+    Atomic.set t.last_error (Some msg);
+    Log.warn (fun m -> m "retrain failed: %s" msg);
+    (outcome, None)
+  in
+  let result =
+    match snapshot_reservoir t with
+    | None -> (No_data, None)
+    | Some mem when Pn_data.Dataset.n_records mem < t.config.min_rows ->
+      (No_data, None)
+    | Some mem -> (
+      let trained =
+        try
+          (* .pnc-backed spill: the snapshot round-trips through the
+             binary columnar path, so the retrain consumes exactly what
+             a file-based retrain would — and the spill is on disk for
+             post-mortems if training brings the domain down. *)
+          let spill = spill_path t in
+          let ds =
+            Fun.protect
+              ~finally:(fun () ->
+                try Sys.remove spill with Sys_error _ -> ())
+              (fun () ->
+                Pn_data.Columnar.save mem spill;
+                Pn_data.Columnar.load spill)
+          in
+          train_fault_gate ();
+          let current = t.model () in
+          let target = Pnrule.Saved.target current in
+          let sm =
+            match current with
+            | Pnrule.Saved.Single m ->
+              Pnrule.Saved.Single
+                (Pnrule.Learner.train ~params:m.Pnrule.Model.params
+                   ~sampling:t.config.sampling ds ~target)
+            | Pnrule.Saved.Boosted e ->
+              Pnrule.Saved.Boosted
+                (Pnrule.Ensemble.train
+                   ~params:
+                     {
+                       Pnrule.Ensemble.default_params with
+                       threshold = e.Pnrule.Ensemble.threshold;
+                     }
+                   ~sampling:t.config.sampling ds ~target)
+          in
+          let exp = Expectations.derive sm ds in
+          Ok (sm, exp)
+        with e -> Error (Printexc.to_string e)
+      in
+      match trained with
+      | Error msg -> fail_with Train_error t.c_train_error ("train: " ^ msg)
+      | Ok (sm, exp) -> (
+        match
+          Pnrule.Registry.publish ~expectations:exp
+            ~fault_point:"retrain.publish" t.registry sm
+        with
+        | exception e ->
+          fail_with Publish_error t.c_publish_error
+            ("publish: " ^ Printexc.to_string e)
+        | gen -> (
+          match t.rollout ~gen with
+          | Ok () ->
+            Atomic.incr t.c_ok;
+            Atomic.set t.last_error None;
+            Log.info (fun m -> m "retrained and rolled out generation %d" gen);
+            (Ok_retrain, Some gen)
+          | Error msg ->
+            fail_with Rollout_error t.c_rollout_error
+              (Printf.sprintf "rollout of generation %d: %s" gen msg))))
+  in
+  (match result with
+  | No_data, _ ->
+    Atomic.incr t.c_no_data;
+    Atomic.set t.last_error
+      (Some
+         (Printf.sprintf "no data: reservoir below min_rows (%d)"
+            t.config.min_rows))
+  | _ -> ());
+  Atomic.set t.last_duration (Unix.gettimeofday () -. t0);
+  result
+
+let tick ?now t =
+  Mutex.lock t.tick_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.tick_mutex)
+    (fun () ->
+      let now = match now with Some v -> v | None -> Unix.gettimeofday () in
+      (match Drift.check t.drift with
+      | Some d ->
+        Log.info (fun m ->
+            m "drift detected: rule %d score %.3f (window %d)" d.Drift.rule
+              d.Drift.score d.Drift.window);
+        if not (Atomic.get t.pending) then begin
+          Atomic.set t.pending true;
+          Atomic.set t.attempt 0;
+          t.not_before <- now
+        end
+      | None -> ());
+      if Atomic.get t.pending && now >= t.not_before then begin
+        let outcome, gen = attempt_retrain t in
+        (match outcome with
+        | Ok_retrain | No_data ->
+          (* Success clears the detection; so does an empty reservoir —
+             nothing to learn from until more labels arrive, and the
+             monitor will re-detect if the drift persists. *)
+          Atomic.set t.pending false;
+          Atomic.set t.attempt 0
+        | Train_error | Publish_error | Rollout_error ->
+          let a = Atomic.get t.attempt + 1 in
+          Atomic.set t.attempt a;
+          if a >= t.config.max_attempts then begin
+            Log.warn (fun m ->
+                m "giving up after %d failed retrain attempts" a);
+            Atomic.set t.pending false;
+            Atomic.set t.attempt 0
+          end
+          else
+            (* Never a hot loop: the next attempt waits out an
+               exponential, jittered delay. *)
+            t.not_before <-
+              now +. Pn_util.Backoff.delay ~base:0.1 ~cap:5.0 ~attempt:a ());
+        gen
+      end
+      else None)
+
+let stats t =
+  {
+    ok = Atomic.get t.c_ok;
+    no_data = Atomic.get t.c_no_data;
+    train_error = Atomic.get t.c_train_error;
+    publish_error = Atomic.get t.c_publish_error;
+    rollout_error = Atomic.get t.c_rollout_error;
+    pending = Atomic.get t.pending;
+    attempt = Atomic.get t.attempt;
+    reservoir_rows = reservoir_rows t;
+    last_error = Atomic.get t.last_error;
+    last_duration = Atomic.get t.last_duration;
+  }
+
+let start t =
+  match t.domain with
+  | Some _ -> invalid_arg "Retrainer.start: already started"
+  | None ->
+    Atomic.set t.stop_req false;
+    t.domain <-
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get t.stop_req) do
+               (try ignore (tick t)
+                with e ->
+                  (* The loop must survive anything an attempt leaks —
+                     a dead retrainer is silent non-adaptation. *)
+                  Atomic.set t.last_error (Some (Printexc.to_string e)));
+               (* OCaml's Condition has no timed wait; a bounded sleep
+                  poll keeps the loop simple and cheap. *)
+               if not (Atomic.get t.stop_req) then
+                 Unix.sleepf t.config.poll_interval
+             done))
+
+let stop t =
+  match t.domain with
+  | None -> ()
+  | Some d ->
+    Atomic.set t.stop_req true;
+    Domain.join d;
+    t.domain <- None

@@ -1,0 +1,99 @@
+(** Supervised background retraining on drift detections.
+
+    Owns a {!Drift} monitor and a bounded reservoir of recent labeled
+    rows (fed from the daemon's feedback endpoint). A background domain
+    polls {!tick}: when the monitor detects drift, the retrainer
+    snapshots the reservoir, round-trips it through the binary [.pnc]
+    path, retrains the current model kind (same decision parameters,
+    the configured sub-sampling), derives fresh expectations, publishes
+    the result as the next registry generation under the
+    [retrain.publish] fault point, and triggers the caller's rollout —
+    the daemon's canary-warmed flip.
+
+    Failure discipline: any stage failure (including injected
+    [retrain.train] / [retrain.publish] faults) is caught, counted by
+    outcome and surfaced in {!stats}; the serving generation is never
+    touched by a failed attempt, and retries are scheduled with
+    exponential backoff against wall clock — never a hot loop. After
+    [max_attempts] failures the detection is dropped; persistent drift
+    re-detects. *)
+
+type config = {
+  drift : Drift.config;
+  reservoir : int;  (** max labeled rows retained (whole-chunk eviction) *)
+  min_rows : int;  (** below this, a detection resolves as [no_data] *)
+  sampling : Pn_induct.Sampling.t;  (** sub-sampling for the retrain *)
+  poll_interval : float;  (** background loop period, seconds *)
+  max_attempts : int;  (** failed attempts before dropping a detection *)
+  spill_dir : string option;
+      (** where the snapshot [.pnc] spills; default: the registry
+          directory *)
+}
+
+(** Default drift config, 100k-row reservoir, 256 min rows, no
+    sampling, 0.25 s poll, 5 attempts, registry-dir spill. *)
+val default_config : config
+
+type outcome = Ok_retrain | No_data | Train_error | Publish_error | Rollout_error
+
+type stats = {
+  ok : int;
+  no_data : int;
+  train_error : int;
+  publish_error : int;
+  rollout_error : int;
+  pending : bool;  (** a detection awaits a (re)attempt *)
+  attempt : int;
+  reservoir_rows : int;
+  last_error : string option;
+  last_duration : float;  (** seconds; 0.0 until a retrain completed *)
+}
+
+type t
+
+(** [create ~slots ~registry ~model ~rollout ()] builds a stopped
+    retrainer. [model] must return the currently served model (the
+    retrain inherits its kind, decision parameters and target);
+    [rollout ~gen] must flip the daemon to the published generation
+    through its staged path and report failure as [Error]. [slots] is
+    the worker-domain count for the embedded drift monitor. Raises
+    [Invalid_argument] on a malformed config. *)
+val create :
+  ?config:config ->
+  slots:int ->
+  registry:Pnrule.Registry.t ->
+  model:(unit -> Pnrule.Saved.t) ->
+  rollout:(gen:int -> (unit, string) result) ->
+  unit ->
+  t
+
+(** The embedded drift monitor — the serving path feeds
+    {!Drift.observe} / {!Drift.set_model} through this. *)
+val drift : t -> Drift.t
+
+(** [add t ds] appends a chunk of labeled rows to the reservoir,
+    evicting the oldest chunks once the row cap is exceeded. [ds] must
+    be on the model's schema; the caller must pass an owned dataset
+    (never one aliasing decoder buffers). Lock-guarded, cheap, callable
+    from any worker. *)
+val add : t -> Pn_data.Dataset.t -> unit
+
+val reservoir_rows : t -> int
+
+(** One scheduler step, runnable deterministically from tests: polls
+    the drift monitor, and — when a detection is pending and its
+    backoff has elapsed (against [now], default
+    [Unix.gettimeofday ()]) — runs one retrain attempt. Returns the
+    newly published generation on a fully successful
+    retrain+publish+rollout, [None] otherwise. Serialized internally;
+    never raises. *)
+val tick : ?now:float -> t -> int option
+
+val stats : t -> stats
+
+(** Spawn the background polling domain. Raises [Invalid_argument] if
+    already started. *)
+val start : t -> unit
+
+(** Stop and join the background domain; idempotent. *)
+val stop : t -> unit

@@ -171,22 +171,29 @@ let train ?(params = default_params) ?(sampling = Pn_induct.Sampling.none) ds
 let compiled t =
   Pn_rules.Compiled.compile (Array.map (fun m -> [| m.rule |]) t.members)
 
+(* Raw per-member coverage: one first-match array per member, [||] for
+   the empty ensemble. Exposed so the serving path can derive scores
+   AND per-rule firing counts from a single eval. *)
+let eval_matches ?pool t ds =
+  if Array.length t.members = 0 then [||]
+  else Pn_rules.Compiled.eval ?pool (compiled t) ds
+
+let scores_of_matches t ~n fm =
+  let out = Array.make n t.bias in
+  Array.iteri
+    (fun l m ->
+      let fl = fm.(l) in
+      let weight = m.weight in
+      for i = 0 to n - 1 do
+        if Array.unsafe_get fl i >= 0 then
+          Array.unsafe_set out i (Array.unsafe_get out i +. weight)
+      done)
+    t.members;
+  out
+
 let score_all ?pool t ds =
   let n = Pn_data.Dataset.n_records ds in
-  let out = Array.make n t.bias in
-  if Array.length t.members > 0 then begin
-    let fm = Pn_rules.Compiled.eval ?pool (compiled t) ds in
-    Array.iteri
-      (fun l m ->
-        let fl = fm.(l) in
-        let weight = m.weight in
-        for i = 0 to n - 1 do
-          if Array.unsafe_get fl i >= 0 then
-            Array.unsafe_set out i (Array.unsafe_get out i +. weight)
-        done)
-      t.members
-  end;
-  out
+  scores_of_matches t ~n (eval_matches ?pool t ds)
 
 let predict_all ?pool (t : t) ds =
   Array.map (fun s -> s > t.threshold) (score_all ?pool t ds)

@@ -55,6 +55,19 @@ val train :
   target:int ->
   t
 
+(** [eval_matches t ds] is the compiled engine's raw per-member
+    coverage: one first-match array per member ([>= 0] = covered), [[||]]
+    for the empty ensemble. One eval; {!scores_of_matches} folds it into
+    scores, and the serving path also counts per-member firings from it
+    for the drift monitor. *)
+val eval_matches :
+  ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> int array array
+
+(** [scores_of_matches t ~n fm] is the weighted vote
+    (bias + Σ covering member weights) over [n] records given
+    {!eval_matches} output. *)
+val scores_of_matches : t -> n:int -> int array array -> float array
+
 (** [score_all ?pool t ds] is each record's ensemble score
     (bias + Σ covering member weights), resolved through one compiled
     bitset program over all members. *)

@@ -29,6 +29,20 @@ val score : t -> Pn_data.Dataset.t -> int -> float
     true iff some P-rule applies and no N-rule applies. *)
 val predict : t -> Pn_data.Dataset.t -> int -> bool
 
+(** [first_matches t ds] is the compiled batch engine's raw output: the
+    first matching P-rule and N-rule index per record, [-1] for no
+    match. One {!Pn_rules.Compiled.eval} pass; {!score_all} and
+    {!predict_all} are lookups over it, and the serving path reuses the
+    P-side as its per-rule drift signal. *)
+val first_matches :
+  ?pool:Pn_util.Pool.t -> t -> Pn_data.Dataset.t -> int array * int array
+
+(** [score_of_matches t ~p ~n] is the ScoreMatrix lookup for a record
+    whose first P-rule is [p] and first N-rule is [n] ([-1] = none):
+    0 when no P-rule applied, the last (default) column when no N-rule
+    did. *)
+val score_of_matches : t -> p:int -> n:int -> float
+
 (** [predict_all t ds] is the per-record prediction vector, served by the
     compiled bitset engine ({!Pn_rules.Compiled}): conditions are
     deduplicated across the P- and N-lists and evaluated columnar-style,

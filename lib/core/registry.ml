@@ -69,7 +69,7 @@ let set_current t g =
    backed-off retry as the production IO loops; anything else (Corrupt,
    Sys_error, a hard Injected) propagates to the caller's keep-the-old-
    generation policy. *)
-let load_gen t g =
+let load_gen_ex t g =
   let rec pass attempt =
     match Pn_util.Fault.check "registry.load" with
     | () -> ()
@@ -80,7 +80,9 @@ let load_gen t g =
       pass (attempt + 1)
   in
   pass 0;
-  Serialize.load_saved (gen_path t g)
+  Serialize.load_saved_ex (gen_path t g)
+
+let load_gen t g = fst (load_gen_ex t g)
 
 let next_above t g = List.find_opt (fun x -> x > g) (generations t)
 
@@ -89,12 +91,12 @@ let prev_below t g =
     (fun acc x -> if x < g then Some x else acc)
     None (generations t)
 
-let load_initial t =
+let load_initial_ex t =
   let gens = generations t in
   if gens = [] then fail "registry %s: no gen-N.model files" t.dir;
   let try_load g =
-    match load_gen t g with
-    | m -> Some (g, m)
+    match load_gen_ex t g with
+    | m, exp -> Some (g, m, exp)
     | exception Serialize.Corrupt reason ->
       Log.warn (fun m ->
           m "registry %s: skipping corrupt generation %d: %s" t.dir g reason);
@@ -115,9 +117,13 @@ let load_initial t =
   | Some r -> r
   | None -> fail "registry %s: no loadable generation" t.dir
 
-let publish t saved =
+let load_initial t =
+  let g, m, _ = load_initial_ex t in
+  (g, m)
+
+let publish ?expectations ?fault_point t saved =
   let g = List.fold_left max 0 (generations t) + 1 in
-  Serialize.save_saved saved (gen_path t g);
+  Serialize.save_saved_ex ?fault_point saved expectations (gen_path t g);
   g
 
 (* The canary batch is synthetic but schema-exact: every column of the

@@ -55,11 +55,19 @@ val set_current : t -> int -> unit
     the [registry.load] fault point are retried with backoff. *)
 val load_gen : t -> int -> Saved.t
 
+(** [load_gen_ex t g] is {!load_gen} keeping the generation's v4
+    drift-expectations block when it has one. *)
+val load_gen_ex : t -> int -> Saved.t * Saved.expectations option
+
 (** [load_initial t] resolves what a booting daemon should serve: the
     generation [CURRENT] names if it loads, else the highest loadable
     generation (scanning downward past corrupt files, each logged).
     Raises {!Error} when the registry is empty or nothing loads. *)
 val load_initial : t -> int * Saved.t
+
+(** [load_initial_ex t] is {!load_initial} keeping the picked
+    generation's expectations block when present. *)
+val load_initial_ex : t -> int * Saved.t * Saved.expectations option
 
 (** Smallest generation strictly above / largest strictly below [g] —
     the default rollout and rollback targets. *)
@@ -68,8 +76,14 @@ val next_above : t -> int -> int option
 val prev_below : t -> int -> int option
 
 (** [publish t saved] writes [saved] as the next generation (atomic
-    write protocol) and returns its number. Does not touch [CURRENT]. *)
-val publish : t -> Saved.t -> int
+    write protocol) and returns its number. Does not touch [CURRENT].
+    [expectations] adds the v4 drift baseline to the file;
+    [fault_point] renames the write loop's fault point (default
+    [serialize.write]) — the background retrainer publishes under
+    [retrain.publish] so chaos tests can tear exactly this write. A
+    failed write removes its temp file and allocates no generation. *)
+val publish :
+  ?expectations:Saved.expectations -> ?fault_point:string -> t -> Saved.t -> int
 
 (** [warm saved] forces the compile → score path on a synthetic canary
     batch built from the model's own schema (every column, every

@@ -1,6 +1,30 @@
 type t = Single of Model.t | Boosted of Ensemble.t
 
+(* Training-time per-rule behaviour, the drift monitor's baseline: how
+   often each monitored rule fired on the training set and how often a
+   firing meant the target class. Persisted next to the model (format
+   v4) so a freshly loaded generation arrives with its own baseline. *)
+type expectations = {
+  rates : float array;
+  precisions : float array;
+  support : int;
+}
+
+type fires =
+  | First_match of int array
+  | Per_rule of int array array
+
+type batch = {
+  preds : bool array;
+  scores_v : float array option;
+  fires : fires;
+}
+
 let kind = function Single _ -> "pnrule" | Boosted _ -> "boosted"
+
+let n_monitored = function
+  | Single m -> fst (Model.rule_counts m)
+  | Boosted e -> Ensemble.n_members e
 
 let attrs = function
   | Single m -> m.Model.attrs
@@ -48,6 +72,39 @@ let score_all ?pool t ds =
   match t with
   | Single m -> Model.score_all ?pool m ds
   | Boosted e -> Ensemble.score_all ?pool e ds
+
+(* The serving batch path: one compiled-engine pass yields predictions,
+   optional scores, and the per-rule firing evidence — so arming the
+   drift monitor (and asking for scores) costs no extra evals. *)
+let eval_batch ?pool ?(scores = false) t ds =
+  let n = Pn_data.Dataset.n_records ds in
+  match t with
+  | Single m ->
+    let pm, nm = Model.first_matches ?pool m ds in
+    let score i =
+      Model.score_of_matches m ~p:(Array.unsafe_get pm i)
+        ~n:(Array.unsafe_get nm i)
+    in
+    let preds =
+      if m.Model.params.Params.use_scoring then begin
+        let thr = m.Model.params.Params.score_threshold in
+        Array.init n (fun i -> score i > thr)
+      end
+      else
+        Array.init n (fun i ->
+            Array.unsafe_get pm i >= 0 && Array.unsafe_get nm i < 0)
+    in
+    let scores_v = if scores then Some (Array.init n score) else None in
+    { preds; scores_v; fires = First_match pm }
+  | Boosted e ->
+    let fm = Ensemble.eval_matches ?pool e ds in
+    let sv = Ensemble.scores_of_matches e ~n fm in
+    let thr = e.Ensemble.threshold in
+    {
+      preds = Array.map (fun s -> s > thr) sv;
+      scores_v = (if scores then Some sv else None);
+      fires = Per_rule fm;
+    }
 
 let evaluate ?pool t ds =
   match t with

@@ -54,9 +54,9 @@ let add_crc_footer buf =
     (Printf.sprintf "crc %08x\n" (Pn_util.Crc32.string (Buffer.contents buf)));
   Buffer.contents buf
 
-let to_string (m : Model.t) =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "pnrule-model v2\n";
+(* Everything of a single model below the header line: the v2 payload,
+   shared verbatim by the v4 writer. *)
+let write_single_body buf (m : Model.t) =
   write_schema buf ~target:m.Model.target ~classes:m.Model.classes
     ~attrs:m.Model.attrs;
   let p = m.Model.params in
@@ -72,7 +72,27 @@ let to_string (m : Model.t) =
       Buffer.add_string buf " ";
       Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf " %h" s)) row;
       Buffer.add_char buf '\n')
-    m.Model.scores;
+    m.Model.scores
+
+let write_boosted_body buf (e : Ensemble.t) =
+  write_schema buf ~target:e.Ensemble.target ~classes:e.Ensemble.classes
+    ~attrs:e.Ensemble.attrs;
+  Buffer.add_string buf (Printf.sprintf "decision %h\n" e.Ensemble.threshold);
+  Buffer.add_string buf (Printf.sprintf "bias %h\n" e.Ensemble.bias);
+  Buffer.add_string buf
+    (Printf.sprintf "members %d\n" (Array.length e.Ensemble.members));
+  Array.iter
+    (fun (mb : Ensemble.member) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  member %h %d\n" mb.Ensemble.weight
+           (Pn_rules.Rule.n_conditions mb.Ensemble.rule));
+      List.iter (write_condition buf) mb.Ensemble.rule.Pn_rules.Rule.conditions)
+    e.Ensemble.members
+
+let to_string (m : Model.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "pnrule-model v2\n";
+  write_single_body buf m;
   add_crc_footer buf
 
 (* v3 carries a boosted ensemble: same schema block as v2, then the
@@ -84,19 +104,43 @@ let string_of_saved = function
   | Saved.Boosted e ->
     let buf = Buffer.create 4096 in
     Buffer.add_string buf "pnrule-model v3\nkind boosted\n";
-    write_schema buf ~target:e.Ensemble.target ~classes:e.Ensemble.classes
-      ~attrs:e.Ensemble.attrs;
-    Buffer.add_string buf (Printf.sprintf "decision %h\n" e.Ensemble.threshold);
-    Buffer.add_string buf (Printf.sprintf "bias %h\n" e.Ensemble.bias);
-    Buffer.add_string buf
-      (Printf.sprintf "members %d\n" (Array.length e.Ensemble.members));
-    Array.iter
-      (fun (mb : Ensemble.member) ->
-        Buffer.add_string buf
-          (Printf.sprintf "  member %h %d\n" mb.Ensemble.weight
-             (Pn_rules.Rule.n_conditions mb.Ensemble.rule));
-        List.iter (write_condition buf) mb.Ensemble.rule.Pn_rules.Rule.conditions)
-      e.Ensemble.members;
+    write_boosted_body buf e;
+    add_crc_footer buf
+
+(* v4 is a v2/v3 payload plus a drift-expectations block, under an
+   explicit kind discriminator for both model kinds. Writing stays
+   opt-in: [string_of_saved] above keeps emitting v2/v3 bytes, so every
+   pre-v4 file and every file written without expectations is
+   byte-identical to what earlier releases produced. *)
+let write_expectations buf (e : Saved.expectations) =
+  Buffer.add_string buf
+    (Printf.sprintf "expectations %d\n" (Array.length e.Saved.rates));
+  Array.iteri
+    (fun k rate ->
+      Buffer.add_string buf
+        (Printf.sprintf "  exp %h %h\n" rate e.Saved.precisions.(k)))
+    e.Saved.rates;
+  Buffer.add_string buf (Printf.sprintf "support %d\n" e.Saved.support)
+
+let string_of_saved_ex sm expectations =
+  match expectations with
+  | None -> string_of_saved sm
+  | Some exp ->
+    if Array.length exp.Saved.rates <> Array.length exp.Saved.precisions then
+      invalid_arg "Serialize.string_of_saved_ex: rates/precisions lengths differ";
+    if Array.length exp.Saved.rates <> Saved.n_monitored sm then
+      invalid_arg
+        "Serialize.string_of_saved_ex: expectations do not match the model's \
+         monitored rules";
+    let buf = Buffer.create 4096 in
+    (match sm with
+    | Saved.Single m ->
+      Buffer.add_string buf "pnrule-model v4\nkind pnrule\n";
+      write_single_body buf m
+    | Saved.Boosted e ->
+      Buffer.add_string buf "pnrule-model v4\nkind boosted\n";
+      write_boosted_body buf e);
+    write_expectations buf exp;
     add_crc_footer buf
 
 (* ------------------------------------------------------------------ *)
@@ -255,7 +299,10 @@ let read_schema st =
   if target < 0 || target >= n_classes then fail "target class out of range";
   (target, classes, attrs)
 
-let read_single st ~version =
+(* [consume_crc] eats the trailing "crc XXXXXXXX" tokens when the body
+   is the last block of the file (v2). v1 has no footer; in v4 the
+   expectations block follows, so the dispatcher consumes the footer. *)
+let read_single st ~consume_crc =
   let target, classes, attrs = read_schema st in
   expect st "decision";
   let score_threshold = float_tok st in
@@ -272,7 +319,7 @@ let read_single st ~version =
   if rows <> Pn_rules.Rule_list.length p_rules then
     fail "score matrix height %d does not match %d P-rules" rows
       (Pn_rules.Rule_list.length p_rules);
-  if version >= 2 then begin
+  if consume_crc then begin
     expect st "crc";
     ignore (next st)
   end;
@@ -304,11 +351,26 @@ let read_boosted st =
         in
         { Ensemble.rule; weight })
   in
-  expect st "crc";
-  ignore (next st);
   { Ensemble.target; classes; attrs; members; bias; threshold }
 
-let saved_of_string s =
+let read_expectations st ~monitored =
+  expect st "expectations";
+  let count = count_tok st ~what:"expectation" in
+  if count <> monitored then
+    fail "expectations block covers %d rules, model has %d" count monitored;
+  let rates = Array.make count 0.0 in
+  let precisions = Array.make count 0.0 in
+  for k = 0 to count - 1 do
+    expect st "exp";
+    rates.(k) <- float_tok st;
+    precisions.(k) <- float_tok st
+  done;
+  expect st "support";
+  let support = int_tok st in
+  if support < 0 then fail "negative expectations support %d" support;
+  { Saved.rates; precisions; support }
+
+let saved_of_string_ex s =
   let parse () =
     let st = tokenize s in
     expect st "pnrule-model";
@@ -317,16 +379,34 @@ let saved_of_string s =
       | "v1" -> 1 (* legacy: no checksum footer *)
       | "v2" -> 2
       | "v3" -> 3
+      | "v4" -> 4
       | other -> fail "unsupported format version %S" other
     in
     if version >= 2 then verify_crc s;
-    if version <= 2 then Saved.Single (read_single st ~version)
-    else begin
+    match version with
+    | 1 | 2 ->
+      (Saved.Single (read_single st ~consume_crc:(version = 2)), None)
+    | 3 ->
       expect st "kind";
-      match next st with
-      | "boosted" -> Saved.Boosted (read_boosted st)
-      | other -> fail "unknown model kind %S" other
-    end
+      (match next st with
+      | "boosted" ->
+        let e = read_boosted st in
+        expect st "crc";
+        ignore (next st);
+        (Saved.Boosted e, None)
+      | other -> fail "unknown model kind %S" other)
+    | _ ->
+      expect st "kind";
+      let sm =
+        match next st with
+        | "pnrule" -> Saved.Single (read_single st ~consume_crc:false)
+        | "boosted" -> Saved.Boosted (read_boosted st)
+        | other -> fail "unknown model kind %S" other
+      in
+      let exp = read_expectations st ~monitored:(Saved.n_monitored sm) in
+      expect st "crc";
+      ignore (next st);
+      (sm, Some exp)
   in
   (* Every reader failure mode must come out as [Corrupt]: callers (hot
      reload, the CLI) decide "keep the old model" on that one exception,
@@ -336,6 +416,8 @@ let saved_of_string s =
   | Scanf.Scan_failure _ | Failure _ | Invalid_argument _ | Not_found
   | End_of_file ->
     fail "malformed model text"
+
+let saved_of_string s = fst (saved_of_string_ex s)
 
 let of_string s =
   match saved_of_string s with
@@ -398,6 +480,9 @@ let save m path = write_atomic (to_string m) path
 
 let save_saved sm path = write_atomic (string_of_saved sm) path
 
+let save_saved_ex ?fault_point sm expectations path =
+  write_atomic ?fault_point (string_of_saved_ex sm expectations) path
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -407,3 +492,5 @@ let read_file path =
 let load path = of_string (read_file path)
 
 let load_saved path = saved_of_string (read_file path)
+
+let load_saved_ex path = saved_of_string_ex (read_file path)

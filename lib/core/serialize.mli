@@ -10,7 +10,15 @@
     weighted rule per member). Both end with a [crc XXXXXXXX] footer —
     the CRC-32 of every byte above it — which the readers verify before
     parsing, so torn, truncated or bit-flipped files are rejected with
-    one clean error. v1 files (no footer) still load. *)
+    one clean error. v1 files (no footer) still load.
+
+    v4 ([kind pnrule] or [kind boosted]) appends a per-rule
+    drift-expectations block ({!Saved.expectations}) between the v2/v3
+    body and the footer, for the online drift monitor's baseline.
+    Writing v4 is opt-in ({!string_of_saved_ex} with [Some]
+    expectations); everything written without expectations stays
+    byte-identical to v2/v3, and all of v1–v4 load through
+    {!saved_of_string_ex}. *)
 
 exception Corrupt of string
 (** Raised by the readers on malformed input — bad syntax, implausible
@@ -32,8 +40,22 @@ val of_string : string -> Model.t
 val string_of_saved : Saved.t -> string
 
 (** [saved_of_string s] parses any supported version: v1/v2 come back as
-    [Single], v3 as [Boosted]. Raises [Corrupt]. *)
+    [Single], v3 as [Boosted], v4 as its embedded kind (the expectations
+    block is verified and dropped — use {!saved_of_string_ex} to keep
+    it). Raises [Corrupt]. *)
 val saved_of_string : string -> Saved.t
+
+(** [string_of_saved_ex sm expectations] serializes [sm] together with
+    its drift-expectations baseline: [None] falls back to
+    {!string_of_saved} (v2/v3 bytes), [Some e] produces v4. Raises
+    [Invalid_argument] when [e]'s arrays do not cover exactly
+    [Saved.n_monitored sm] rules. *)
+val string_of_saved_ex : Saved.t -> Saved.expectations option -> string
+
+(** [saved_of_string_ex s] parses any supported version and surfaces the
+    expectations block when the file has one (v4 only — v1–v3 load as
+    [(model, None)]). Raises [Corrupt]. *)
+val saved_of_string_ex : string -> Saved.t * Saved.expectations option
 
 (** [write_atomic data path] is the raw crash-safe write protocol
     behind {!save}: temp file in [path]'s directory, fsync, rename,
@@ -57,6 +79,13 @@ val save : Model.t -> string -> unit
     protocol, same [serialize.write] fault point. *)
 val save_saved : Saved.t -> string -> unit
 
+(** [save_saved_ex sm expectations path] is {!save_saved} plus the v4
+    expectations block when [expectations] is [Some]. [fault_point]
+    overrides the write loop's fault point (default [serialize.write]) —
+    the background retrainer publishes under [retrain.publish]. *)
+val save_saved_ex :
+  ?fault_point:string -> Saved.t -> Saved.expectations option -> string -> unit
+
 (** [load path] reads and verifies a single-model file. Raises [Corrupt]
     or [Sys_error]. *)
 val load : string -> Model.t
@@ -64,3 +93,7 @@ val load : string -> Model.t
 (** [load_saved path] reads and verifies a model file of any supported
     version. Raises [Corrupt] or [Sys_error]. *)
 val load_saved : string -> Saved.t
+
+(** [load_saved_ex path] is {!load_saved} keeping the v4 expectations
+    block when present. Raises [Corrupt] or [Sys_error]. *)
+val load_saved_ex : string -> Saved.t * Saved.expectations option

@@ -12,6 +12,13 @@ type report = {
   confusion : Pn_metrics.Confusion.t option;
 }
 
+type observer =
+  n:int ->
+  columns:Pn_data.Dataset.column array ->
+  batch:Saved.batch ->
+  actuals:int array ->
+  unit
+
 (* Per-attribute chunk column storage, preallocated once and reused. *)
 type store =
   | Snum of float array
@@ -38,7 +45,7 @@ type emitter = {
   em_confusion : Pn_metrics.Confusion.t ref;
 }
 
-let make_emitter ?pool ~scores ~(model : Saved.t) ~write () =
+let make_emitter ?pool ?observe ~scores ~(model : Saved.t) ~write () =
   let outbuf = Buffer.create 4096 in
   let chunks = ref 0 in
   let rows_out = ref 0 in
@@ -54,8 +61,11 @@ let make_emitter ?pool ~scores ~(model : Saved.t) ~write () =
       Pn_data.Dataset.create ~attrs:(Saved.attrs model) ~columns
         ~labels:(Array.make n 0) ~classes:(Saved.classes model) ()
     in
-    let predicted = Saved.predict_all ?pool model ds in
-    let score_v = if scores then Some (Saved.score_all ?pool model ds) else None in
+    (* One compiled-engine pass serves predictions, scores and the
+       per-rule firing evidence the drift observer consumes. *)
+    let batch = Saved.eval_batch ?pool ~scores model ds in
+    let predicted = batch.Saved.preds in
+    let score_v = batch.Saved.scores_v in
     Buffer.clear outbuf;
     for i = 0 to n - 1 do
       let name = if predicted.(i) then target_name else negative_name in
@@ -72,6 +82,13 @@ let make_emitter ?pool ~scores ~(model : Saved.t) ~write () =
           Pn_metrics.Confusion.add !confusion ~actual:(actuals.(i) = target)
             ~predicted:predicted.(i) ~weight:1.0
     done;
+    (* Observer runs before the write so drift evidence cannot be lost
+       to a client that disconnects mid-chunk. [columns] may alias
+       reader-owned buffers reused for the next chunk — an observer
+       retaining rows must copy. *)
+    (match observe with
+    | Some f -> f ~n ~columns ~batch ~actuals
+    | None -> ());
     write (Buffer.contents outbuf);
     incr chunks
   in
@@ -90,8 +107,8 @@ let make_emitter ?pool ~scores ~(model : Saved.t) ~write () =
    source; output leaves through [write], one call for the header line
    and one per scored chunk. *)
 let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
-    ?class_column ?(scores = false) ?max_rows ?pool ~(model : Saved.t) ~source
-    ~write () =
+    ?class_column ?(scores = false) ?max_rows ?pool ?observe ~(model : Saved.t)
+    ~source ~write () =
   if chunk_size <= 0 then invalid_arg "Serve.predict_stream: chunk_size";
   (match max_rows with
   | Some m when m <= 0 -> invalid_arg "Serve.predict_stream: max_rows"
@@ -134,7 +151,7 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
   let actuals = Array.make chunk_size (-1) in
   let fill = ref 0 in
   let unknown_labels = ref 0 in
-  let em = make_emitter ?pool ~scores ~model ~write () in
+  let em = make_emitter ?pool ?observe ~scores ~model ~write () in
   (* Every data row — kept, skipped or malformed — counts against the
      row budget; the daemon maps [Limit] to 413. *)
   let count_row () =
@@ -335,7 +352,8 @@ let predict_stream ?(policy = Pn_data.Ingest_report.Strict) ?(chunk_size = 8192)
    skipped entirely when the dictionaries already agree); numeric
    columns go to the scorer as the decode buffers themselves. *)
 let predict_columnar_stream ?(policy = Pn_data.Ingest_report.Strict)
-    ?(scores = false) ?max_rows ?pool ~(model : Saved.t) ~source ~write () =
+    ?(scores = false) ?max_rows ?pool ?observe ~(model : Saved.t) ~source
+    ~write () =
   (match max_rows with
   | Some m when m <= 0 -> invalid_arg "Serve.predict_columnar_stream: max_rows"
   | Some _ | None -> ());
@@ -408,7 +426,7 @@ let predict_columnar_stream ?(policy = Pn_data.Ingest_report.Strict)
   Pn_data.Columnar.set_wanted r wanted;
   let ingest = Pn_data.Ingest_report.create () in
   let unknown_labels = ref 0 in
-  let em = make_emitter ?pool ~scores ~model ~write () in
+  let em = make_emitter ?pool ?observe ~scores ~model ~write () in
   em.em_header ();
   let gs = sch.Pn_data.Columnar.group_size in
   let actuals = Array.make gs (-1) in

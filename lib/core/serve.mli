@@ -45,6 +45,21 @@ type report = {
       (** running test metrics, when a usable class column exists *)
 }
 
+(** Per-chunk tap on the scored stream, for the drift monitor and the
+    retraining reservoir: called once per scored chunk, after scoring
+    and before the chunk's output is written, with the chunk's decoded
+    [columns], the {!Saved.eval_batch} result and the resolved label
+    codes ([actuals.(i) < 0] = unlabeled; only the first [n] entries
+    are valid). [columns] may alias decoder-owned buffers that the next
+    chunk overwrites — an observer that retains rows must copy. An
+    exception from the observer aborts the feed like a scoring error. *)
+type observer =
+  n:int ->
+  columns:Pn_data.Dataset.column array ->
+  batch:Saved.batch ->
+  actuals:int array ->
+  unit
+
 (** [predict_stream ~model ~source ~write ()] is the decode/score core
     shared by the batch pipeline and the online daemon: it pulls CSV
     rows from an arbitrary {!Pn_data.Stream.source} (a file, a socket
@@ -62,6 +77,7 @@ val predict_stream :
   ?scores:bool ->
   ?max_rows:int ->
   ?pool:Pn_util.Pool.t ->
+  ?observe:observer ->
   model:Saved.t ->
   source:Pn_data.Stream.source ->
   write:(string -> unit) ->
@@ -87,6 +103,7 @@ val predict_columnar_stream :
   ?scores:bool ->
   ?max_rows:int ->
   ?pool:Pn_util.Pool.t ->
+  ?observe:observer ->
   model:Saved.t ->
   source:Pn_data.Stream.source ->
   write:(string -> unit) ->

@@ -6,6 +6,8 @@ type state = {
   model : Pnrule.Saved.t;
   generation : int;
   loaded_at : float;
+  expectations : Pnrule.Saved.expectations option;
+      (* the model file's v4 drift baseline; None idles the monitor *)
 }
 
 (* Where models come from: a plain loader (SIGHUP re-runs it, generation
@@ -46,15 +48,19 @@ type t = {
   shed_overload : int Atomic.t;
   shed_draining : int Atomic.t;
   shed_warming : int Atomic.t;
+  (* Online adaptation, attached after construction by the server when
+     --adapt is set; None = no monitor, no feedback reservoir. *)
+  adapt : Pn_adapt.Retrainer.t option Atomic.t;
 }
 
 let initial_state source =
   let loaded_at = Unix.gettimeofday () in
   match source with
-  | Loader load -> { model = load (); generation = 1; loaded_at }
+  | Loader load ->
+    { model = load (); generation = 1; loaded_at; expectations = None }
   | Registry reg ->
-    let generation, model = Pnrule.Registry.load_initial reg in
-    { model; generation; loaded_at }
+    let generation, model, expectations = Pnrule.Registry.load_initial_ex reg in
+    { model; generation; loaded_at; expectations }
 
 let create ~source ~telemetry ~policy ~chunk_size ~max_body ~max_rows ~deadline
     ~draining ~queued ~queue_limit =
@@ -82,11 +88,31 @@ let create ~source ~telemetry ~policy ~chunk_size ~max_body ~max_rows ~deadline
     shed_overload = Atomic.make 0;
     shed_draining = Atomic.make 0;
     shed_warming = Atomic.make 0;
+    adapt = Atomic.make None;
   }
 
 let telemetry t = t.telemetry
 
 let state t = Atomic.get t.state
+
+let adapt t = Atomic.get t.adapt
+
+(* Every model swap — boot, reload, rollout, adaptation — re-arms the
+   drift monitor against the new generation's own baseline (or idles it
+   when the file carries none), so counts from different rule index
+   spaces never mix. *)
+let sync_drift t st =
+  match Atomic.get t.adapt with
+  | None -> ()
+  | Some r ->
+    Pn_adapt.Drift.set_model (Pn_adapt.Retrainer.drift r)
+      ~n_rules:(Pnrule.Saved.n_monitored st.model)
+      ~target:(Pnrule.Saved.target st.model)
+      st.expectations
+
+let set_adapt t r =
+  Atomic.set t.adapt (Some r);
+  sync_drift t (Atomic.get t.state)
 
 let connections t = t.connections
 
@@ -111,13 +137,17 @@ let admission_load t =
 let reload t =
   match
     match t.source with
-    | Loader load -> (load (), (Atomic.get t.state).generation + 1)
+    | Loader load -> (load (), (Atomic.get t.state).generation + 1, None)
     | Registry reg ->
-      let g, m = Pnrule.Registry.load_initial reg in
-      (m, g)
+      let g, m, exp = Pnrule.Registry.load_initial_ex reg in
+      (m, g, exp)
   with
-  | model, generation ->
-    Atomic.set t.state { model; generation; loaded_at = Unix.gettimeofday () };
+  | model, generation, expectations ->
+    let st =
+      { model; generation; loaded_at = Unix.gettimeofday (); expectations }
+    in
+    Atomic.set t.state st;
+    sync_drift t st;
     ignore (Atomic.fetch_and_add t.reloads 1);
     Log.info (fun m -> m "model reloaded (generation %d)" generation);
     Ok ()
@@ -175,14 +205,22 @@ let rollout t ~back ~gen =
               ~finally:(fun () -> Atomic.set t.warming false)
               (fun () ->
                 match
-                  let model = Pnrule.Registry.load_gen reg g in
+                  let model, exp = Pnrule.Registry.load_gen_ex reg g in
                   Pnrule.Registry.warm model;
                   Pnrule.Registry.set_current reg g;
-                  model
+                  (model, exp)
                 with
-                | model ->
-                  Atomic.set t.state
-                    { model; generation = g; loaded_at = Unix.gettimeofday () };
+                | model, expectations ->
+                  let st =
+                    {
+                      model;
+                      generation = g;
+                      loaded_at = Unix.gettimeofday ();
+                      expectations;
+                    }
+                  in
+                  Atomic.set t.state st;
+                  sync_drift t st;
                   ignore
                     (Atomic.fetch_and_add
                        (if back then t.rollbacks else t.rollouts)
@@ -248,6 +286,8 @@ let model_json t =
     (match t.source with Loader _ -> "file" | Registry _ -> "registry");
   Printf.bprintf buf " \"generation\": %d,\n \"loaded_at\": %.3f,\n" st.generation
     st.loaded_at;
+  Printf.bprintf buf " \"uptime\": %.3f,\n"
+    (Float.max 0.0 (Unix.gettimeofday () -. st.loaded_at));
   Printf.bprintf buf " \"attributes\": [";
   Array.iteri
     (fun i (a : Pn_data.Attribute.t) ->
@@ -267,12 +307,23 @@ let model_json t =
 let metrics_text t =
   Telemetry.render t.telemetry ~extra:(fun buf ->
       let st = Atomic.get t.state in
+      (* Generation semantics differ by source: a registry daemon
+         serves the on-disk generation number (rollbacks move it DOWN),
+         a file daemon counts loads up from 1. The help text must not
+         promise the file behaviour for both. *)
       Printf.bprintf buf
-        "# HELP pnrule_model_generation Model generation (1 = initial load, +1 \
-         per reload).\n\
+        "# HELP pnrule_model_generation Serving model generation (file \
+         source: 1 = initial load, +1 per reload; registry source: the \
+         on-disk generation number, moved by rollout/rollback).\n\
          # TYPE pnrule_model_generation gauge\n\
          pnrule_model_generation %d\n"
         st.generation;
+      Printf.bprintf buf
+        "# HELP pnrule_model_loaded_at_seconds Unix time the serving model \
+         was loaded.\n\
+         # TYPE pnrule_model_loaded_at_seconds gauge\n\
+         pnrule_model_loaded_at_seconds %.3f\n"
+        st.loaded_at;
       Printf.bprintf buf
         "# HELP pnrule_model_reloads_total Successful hot reloads.\n\
          # TYPE pnrule_model_reloads_total counter\n\
@@ -340,12 +391,56 @@ let metrics_text t =
          dying on an escaped exception.\n\
          # TYPE pnrule_worker_restarts_total counter\n\
          pnrule_worker_restarts_total %d\n"
-        (Atomic.get t.worker_restarts))
+        (Atomic.get t.worker_restarts);
+      match Atomic.get t.adapt with
+      | None -> ()
+      | Some r ->
+        let dr = Pn_adapt.Retrainer.drift r in
+        let snap = Pn_adapt.Drift.snapshot dr in
+        Printf.bprintf buf
+          "# HELP pnrule_drift_score Current Page-Hinkley drift score, by \
+           monitored rule.\n\
+           # TYPE pnrule_drift_score gauge\n";
+        Array.iteri
+          (fun k (rs : Pn_adapt.Drift.rule_stat) ->
+            Printf.bprintf buf "pnrule_drift_score{rule=\"%d\"} %g\n" k
+              rs.Pn_adapt.Drift.score)
+          snap.Pn_adapt.Drift.rules;
+        Printf.bprintf buf
+          "# HELP pnrule_drift_detected_total Concept-drift detections.\n\
+           # TYPE pnrule_drift_detected_total counter\n\
+           pnrule_drift_detected_total %d\n"
+          (Pn_adapt.Drift.detections_total dr);
+        let s = Pn_adapt.Retrainer.stats r in
+        Printf.bprintf buf
+          "# HELP pnrule_retrains_total Background retrain attempts, by \
+           outcome.\n\
+           # TYPE pnrule_retrains_total counter\n\
+           pnrule_retrains_total{outcome=\"ok\"} %d\n\
+           pnrule_retrains_total{outcome=\"no_data\"} %d\n\
+           pnrule_retrains_total{outcome=\"train_error\"} %d\n\
+           pnrule_retrains_total{outcome=\"publish_error\"} %d\n\
+           pnrule_retrains_total{outcome=\"rollout_error\"} %d\n"
+          s.Pn_adapt.Retrainer.ok s.Pn_adapt.Retrainer.no_data
+          s.Pn_adapt.Retrainer.train_error s.Pn_adapt.Retrainer.publish_error
+          s.Pn_adapt.Retrainer.rollout_error;
+        Printf.bprintf buf
+          "# HELP pnrule_retrain_duration_seconds Wall-clock duration of the \
+           last retrain attempt.\n\
+           # TYPE pnrule_retrain_duration_seconds gauge\n\
+           pnrule_retrain_duration_seconds %.6f\n"
+          s.Pn_adapt.Retrainer.last_duration;
+        Printf.bprintf buf
+          "# HELP pnrule_feedback_reservoir_rows Labeled rows currently held \
+           for background retraining.\n\
+           # TYPE pnrule_feedback_reservoir_rows gauge\n\
+           pnrule_feedback_reservoir_rows %d\n"
+          s.Pn_adapt.Retrainer.reservoir_rows)
 
 (* Serving pools: each worker domain is already one lane of parallelism,
    and Pool.map_array does not support concurrent submitters — so every
    request scores sequentially in its worker domain. *)
-let predict t conn (req : Http.request) ~keep =
+let predict t conn (req : Http.request) ~index ~keep =
   (* Per-request overrides, validated before any body byte is read. *)
   let q name = List.assoc_opt name req.query in
   let policy =
@@ -430,15 +525,29 @@ let predict t conn (req : Http.request) ~keep =
           guard ();
           Http.stream_write resp s
         in
+        (* Predict traffic feeds the drift monitor's firing-rate side;
+           labels (when a class column rides along) feed its
+           false-positive side too. Only /feedback fills the retraining
+           reservoir. *)
+        let observe =
+          match Atomic.get t.adapt with
+          | None -> None
+          | Some r ->
+            let dr = Pn_adapt.Retrainer.drift r in
+            Some
+              (fun ~n ~columns:_ ~batch ~actuals ->
+                Pn_adapt.Drift.observe dr ~slot:index ~n ~batch ~actuals)
+        in
         match
           if columnar then
             Pnrule.Serve.predict_columnar_stream ~policy ~scores
-              ~max_rows:t.max_rows ~pool:Pn_util.Pool.sequential ~model:st.model
-              ~source ~write ()
+              ~max_rows:t.max_rows ~pool:Pn_util.Pool.sequential ?observe
+              ~model:st.model ~source ~write ()
           else
             Pnrule.Serve.predict_stream ~policy ~chunk_size:t.chunk_size
               ?class_column:(q "class-column") ~scores ~max_rows:t.max_rows
-              ~pool:Pn_util.Pool.sequential ~model:st.model ~source ~write ()
+              ~pool:Pn_util.Pool.sequential ?observe ~model:st.model ~source
+              ~write ()
         with
         | report ->
           Http.stream_finish resp;
@@ -469,6 +578,215 @@ let predict t conn (req : Http.request) ~keep =
             Http.respond conn ~status:413 ~body:(msg ^ "\n") ();
             (413, `Close)
           end))
+
+(* POST /feedback: the labeled-stream endpoint of online adaptation.
+   The body rides the exact predict pipeline (same decoders, same
+   policies, same scoring — so drift sees precisely what serving would
+   have answered), but predictions are discarded instead of streamed
+   back; labeled rows are copied out of the decoder's buffers into the
+   retrainer's reservoir. A body that resolves no labels at all is a
+   client error: feedback without labels cannot feed anything. *)
+let feedback t conn (req : Http.request) ~index ~keep =
+  match Atomic.get t.adapt with
+  | None ->
+    Http.respond conn ~status:409
+      ~body:"online adaptation is not enabled; start the daemon with --adapt\n"
+      ();
+    (409, `Close)
+  | Some r -> (
+    let q name = List.assoc_opt name req.query in
+    let policy =
+      match q "on-error" with
+      | None -> Ok t.policy
+      | Some v -> (
+        match Pn_data.Ingest_report.policy_of_string v with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "unknown on-error policy %S" v))
+    in
+    let columnar =
+      match Http.header req "content-type" with
+      | None -> false
+      | Some v ->
+        let v =
+          match String.index_opt v ';' with
+          | Some i -> String.sub v 0 i
+          | None -> v
+        in
+        String.lowercase_ascii (String.trim v) = "application/x-pnrule-columnar"
+    in
+    let policy =
+      if columnar && q "class-column" <> None then
+        Error
+          "class-column does not apply to columnar input (labels are in the \
+           file)"
+      else policy
+    in
+    match policy with
+    | Error msg ->
+      Http.respond conn ~status:400 ~body:(msg ^ "\n") ();
+      (400, `Close)
+    | Ok policy -> (
+      if req.Http.chunked_body then begin
+        Http.respond conn ~status:411
+          ~body:"chunked request bodies are not supported; send Content-Length\n"
+          ();
+        (411, `Close)
+      end
+      else
+        match req.Http.content_length with
+        | None ->
+          Http.respond conn ~status:411 ~body:"Content-Length required\n" ();
+          (411, `Close)
+        | Some len when len > t.max_body ->
+          Http.respond conn ~status:413
+            ~body:
+              (Printf.sprintf "body of %d bytes exceeds the %d byte limit\n" len
+                 t.max_body)
+            ();
+          (413, `Close)
+        | Some len -> (
+          (match Http.header req "expect" with
+          | Some v when String.lowercase_ascii v = "100-continue" ->
+            Http.continue_100 conn
+          | Some _ | None -> ());
+          let st = Atomic.get t.state in
+          let deadline_at =
+            if t.deadline > 0.0 then Unix.gettimeofday () +. t.deadline
+            else Float.infinity
+          in
+          let guard () =
+            if Unix.gettimeofday () > deadline_at then raise Deadline
+          in
+          let reader = Http.body_reader conn ~length:len in
+          let source =
+            Pn_data.Stream.of_refill (fun buf ->
+                guard ();
+                reader buf)
+          in
+          let dr = Pn_adapt.Retrainer.drift r in
+          let attrs = Pnrule.Saved.attrs st.model in
+          let classes = Pnrule.Saved.classes st.model in
+          let labeled_total = ref 0 in
+          let observe ~n ~columns ~batch ~actuals =
+            Pn_adapt.Drift.observe dr ~slot:index ~n ~batch ~actuals;
+            let sel = ref [] in
+            let cnt = ref 0 in
+            for i = n - 1 downto 0 do
+              if actuals.(i) >= 0 then begin
+                sel := i :: !sel;
+                incr cnt
+              end
+            done;
+            if !cnt > 0 then begin
+              labeled_total := !labeled_total + !cnt;
+              let sel = Array.of_list !sel in
+              (* Copy, never alias: [columns] may be decoder-owned
+                 buffers that the next chunk overwrites. *)
+              let sub =
+                Array.map
+                  (function
+                    | Pn_data.Dataset.Num col ->
+                      Pn_data.Dataset.Num (Array.map (Array.get col) sel)
+                    | Pn_data.Dataset.Cat col ->
+                      Pn_data.Dataset.Cat (Array.map (Array.get col) sel))
+                  columns
+              in
+              let labels = Array.map (Array.get actuals) sel in
+              Pn_adapt.Retrainer.add r
+                (Pn_data.Dataset.create ~attrs ~columns:sub ~labels ~classes ())
+            end
+          in
+          match
+            if columnar then
+              Pnrule.Serve.predict_columnar_stream ~policy ~scores:false
+                ~max_rows:t.max_rows ~pool:Pn_util.Pool.sequential ~observe
+                ~model:st.model ~source ~write:ignore ()
+            else
+              Pnrule.Serve.predict_stream ~policy ~chunk_size:t.chunk_size
+                ?class_column:(q "class-column") ~scores:false
+                ~max_rows:t.max_rows ~pool:Pn_util.Pool.sequential ~observe
+                ~model:st.model ~source ~write:ignore ()
+          with
+          | report ->
+            if !labeled_total = 0 then begin
+              Http.respond conn ~status:400
+                ~body:
+                  "no labeled rows in the feedback body; provide a class \
+                   column (CSV) or a labeled .pnc file\n"
+                ();
+              (400, `Close)
+            end
+            else begin
+              Http.respond conn ~status:200 ~keep_alive:keep
+                ~content_type:"application/json; charset=utf-8"
+                ~body:
+                  (Printf.sprintf
+                     "{\"status\": \"ok\", \"rows\": %d, \"labeled\": %d, \
+                      \"reservoir_rows\": %d}\n"
+                     report.Pnrule.Serve.rows_out !labeled_total
+                     (Pn_adapt.Retrainer.reservoir_rows r))
+                ();
+              (200, `Keep)
+            end
+          | exception Deadline ->
+            Http.respond conn ~status:408
+              ~body:
+                (Printf.sprintf "request exceeded the %gs deadline\n" t.deadline)
+              ();
+            (408, `Close)
+          | exception Pnrule.Serve.Error msg ->
+            Http.respond conn ~status:400 ~body:(msg ^ "\n") ();
+            (400, `Close)
+          | exception Pnrule.Serve.Limit msg ->
+            Http.respond conn ~status:413 ~body:(msg ^ "\n") ();
+            (413, `Close))))
+
+(* GET /admin/drift: one JSON snapshot of the whole adaptation loop —
+   monitor state per rule plus the retrainer's outcome counters. *)
+let drift_json r =
+  let dr = Pn_adapt.Retrainer.drift r in
+  let snap = Pn_adapt.Drift.snapshot dr in
+  let s = Pn_adapt.Retrainer.stats r in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\"monitoring\": %b,\n" snap.Pn_adapt.Drift.monitoring;
+  Printf.bprintf buf " \"rows\": %d,\n \"labeled\": %d,\n \"windows\": %d,\n"
+    snap.Pn_adapt.Drift.rows snap.Pn_adapt.Drift.labeled
+    snap.Pn_adapt.Drift.windows;
+  Printf.bprintf buf " \"detections\": %d,\n \"detections_total\": %d,\n"
+    snap.Pn_adapt.Drift.detections
+    (Pn_adapt.Drift.detections_total dr);
+  (match snap.Pn_adapt.Drift.last with
+  | None -> Buffer.add_string buf " \"last_detection\": null,\n"
+  | Some d ->
+    Printf.bprintf buf
+      " \"last_detection\": {\"rule\": %d, \"score\": %g, \"window\": %d},\n"
+      d.Pn_adapt.Drift.rule d.Pn_adapt.Drift.score d.Pn_adapt.Drift.window);
+  Printf.bprintf buf
+    " \"retrain\": {\"ok\": %d, \"no_data\": %d, \"train_error\": %d, \
+     \"publish_error\": %d, \"rollout_error\": %d, \"pending\": %b, \
+     \"attempt\": %d, \"reservoir_rows\": %d, \"last_duration\": %.6f, \
+     \"last_error\": %s},\n"
+    s.Pn_adapt.Retrainer.ok s.Pn_adapt.Retrainer.no_data
+    s.Pn_adapt.Retrainer.train_error s.Pn_adapt.Retrainer.publish_error
+    s.Pn_adapt.Retrainer.rollout_error s.Pn_adapt.Retrainer.pending
+    s.Pn_adapt.Retrainer.attempt s.Pn_adapt.Retrainer.reservoir_rows
+    s.Pn_adapt.Retrainer.last_duration
+    (match s.Pn_adapt.Retrainer.last_error with
+    | None -> "null"
+    | Some e -> Printf.sprintf "\"%s\"" (json_escape e));
+  Printf.bprintf buf " \"rules\": [";
+  Array.iteri
+    (fun k (rs : Pn_adapt.Drift.rule_stat) ->
+      if k > 0 then Buffer.add_string buf ",";
+      Printf.bprintf buf
+        "\n  {\"rule\": %d, \"expected_rate\": %g, \"observed_rate\": %g, \
+         \"expected_precision\": %g, \"observed_fp_rate\": %g, \"score\": %g}"
+        k rs.Pn_adapt.Drift.expected_rate rs.Pn_adapt.Drift.observed_rate
+        rs.Pn_adapt.Drift.expected_precision rs.Pn_adapt.Drift.observed_fp_rate
+        rs.Pn_adapt.Drift.score)
+    snap.Pn_adapt.Drift.rules;
+  Buffer.add_string buf "\n ]}\n";
+  Buffer.contents buf
 
 let admin t conn (req : Http.request) ~back ~keep =
   let action = if back then "rollback" else "rollout" in
@@ -511,7 +829,7 @@ let admin t conn (req : Http.request) ~back ~keep =
         ();
       (500, `Close))
 
-let dispatch t conn (req : Http.request) ~keep =
+let dispatch t conn (req : Http.request) ~index ~keep =
   match (req.Http.meth, req.Http.path) with
   | "POST", "/predict" ->
     if Atomic.get t.draining then begin
@@ -523,14 +841,41 @@ let dispatch t conn (req : Http.request) ~keep =
         ~body:"draining; retry against another instance\n" ();
       (Telemetry.Predict, (503, `Close))
     end
-    else (Telemetry.Predict, predict t conn req ~keep)
+    else (Telemetry.Predict, predict t conn req ~index ~keep)
   | _, "/predict" ->
     Http.respond conn ~status:405 ~body:"use POST\n" ();
     (Telemetry.Predict, (405, `Close))
+  | "POST", "/feedback" ->
+    if Atomic.get t.draining then begin
+      note_shed t `Draining;
+      Http.respond conn ~status:503
+        ~headers:[ ("retry-after", "1") ]
+        ~body:"draining; retry against another instance\n" ();
+      (Telemetry.Feedback, (503, `Close))
+    end
+    else (Telemetry.Feedback, feedback t conn req ~index ~keep)
+  | _, "/feedback" ->
+    Http.respond conn ~status:405 ~body:"use POST\n" ();
+    (Telemetry.Feedback, (405, `Close))
   | "POST", "/admin/rollout" -> (Telemetry.Admin, admin t conn req ~back:false ~keep)
   | "POST", "/admin/rollback" -> (Telemetry.Admin, admin t conn req ~back:true ~keep)
+  | "GET", "/admin/drift" -> (
+    match Atomic.get t.adapt with
+    | None ->
+      Http.respond conn ~status:409
+        ~body:
+          "online adaptation is not enabled; start the daemon with --adapt\n"
+        ();
+      (Telemetry.Admin, (409, `Close))
+    | Some r ->
+      Http.respond conn ~status:200 ~keep_alive:keep
+        ~content_type:"application/json; charset=utf-8" ~body:(drift_json r) ();
+      (Telemetry.Admin, (200, `Keep)))
   | _, ("/admin/rollout" | "/admin/rollback") ->
     Http.respond conn ~status:405 ~body:"use POST\n" ();
+    (Telemetry.Admin, (405, `Close))
+  | _, "/admin/drift" ->
+    Http.respond conn ~status:405 ~body:"use GET\n" ();
     (Telemetry.Admin, (405, `Close))
   | "GET", "/healthz" ->
     if Atomic.get t.draining then begin
@@ -559,7 +904,7 @@ let dispatch t conn (req : Http.request) ~keep =
     Http.respond conn ~status:404 ~body:(Printf.sprintf "no route %s\n" path) ();
     (Telemetry.Other, (404, `Close))
 
-let handle t ~slot conn =
+let handle t ~slot ~index conn =
   match Http.read_request conn with
   | exception Http.Disconnect -> `Close
   | exception Http.Timeout -> `Close
@@ -591,7 +936,7 @@ let handle t ~slot conn =
           && not req.Http.chunked_body
         in
         let result =
-          match dispatch t conn req ~keep with
+          match dispatch t conn req ~index ~keep with
           | r -> r
           | exception (Http.Disconnect | Http.Timeout) ->
             (* nginx's 499: the client went away mid-request *)

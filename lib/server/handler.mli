@@ -13,6 +13,9 @@ type state = {
       (** [Loader] source: 1 for the initial load, +1 per successful
           reload. [Registry] source: the on-disk generation number. *)
   loaded_at : float;  (** unix time of the swap *)
+  expectations : Pnrule.Saved.expectations option;
+      (** training-time coverage expectations carried by a v4 model
+          file, if any — what the drift monitor compares against *)
 }
 
 (** Where models come from. A [Loader] is re-run on every reload and
@@ -98,9 +101,21 @@ val rollout :
     | `Failed of int * string ] )
   result
 
-(** [handle t ~slot conn] reads one request off [conn], dispatches it,
-    writes the response, and records telemetry into [slot]. Returns
-    whether the connection may serve another request. Never raises:
-    protocol errors become 4xx responses, handler bugs become 500s, and
-    a vanished peer becomes [`Close]. *)
-val handle : t -> slot:Telemetry.slot -> Http.conn -> [ `Keep | `Close ]
+(** [set_adapt t r] attaches an online-adaptation retrainer: predict
+    and feedback bodies start feeding its drift monitor, [/feedback]
+    and [GET /admin/drift] come alive, and the monitor is (re)synced to
+    the serving model's expectations now and on every future model
+    swap. Call once, before serving traffic. *)
+val set_adapt : t -> Pn_adapt.Retrainer.t -> unit
+
+val adapt : t -> Pn_adapt.Retrainer.t option
+
+(** [handle t ~slot ~index conn] reads one request off [conn],
+    dispatches it, writes the response, and records telemetry into
+    [slot] ([index] is the worker's slot index, used to address the
+    drift monitor's per-domain counters). Returns whether the
+    connection may serve another request. Never raises: protocol errors
+    become 4xx responses, handler bugs become 500s, and a vanished peer
+    becomes [`Close]. *)
+val handle :
+  t -> slot:Telemetry.slot -> index:int -> Http.conn -> [ `Keep | `Close ]

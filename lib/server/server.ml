@@ -14,6 +14,7 @@ type config = {
   deadline : float;
   backlog : int;
   queue_limit : int;
+  adapt : Pn_adapt.Retrainer.config option;
 }
 
 let default_config =
@@ -29,6 +30,7 @@ let default_config =
     deadline = 0.0;
     backlog = 128;
     queue_limit = 256;
+    adapt = None;
   }
 
 (* Blocking multi-producer/multi-consumer queue; [None] is the
@@ -73,6 +75,7 @@ type t = {
   stop_req : bool Atomic.t;
   reload_req : bool Atomic.t;
   draining : bool Atomic.t;
+  retrainer : Pn_adapt.Retrainer.t option;
   mutable workers : worker_slot array;
   mutable listener : unit Domain.t option;
 }
@@ -98,7 +101,7 @@ let request_stop t = Atomic.set t.stop_req true
    deliberate hole: an injected [server.worker] fault is re-raised so it
    kills the worker domain, which is exactly the crash the supervision
    path exists to recover from. *)
-let serve_conn t ~slot fd =
+let serve_conn t ~slot ~index fd =
   let conn = Http.make_conn fd in
   let rec requests () =
     match
@@ -107,7 +110,7 @@ let serve_conn t ~slot fd =
     with
     | `Timeout | `Stopped -> ()
     | `Readable -> (
-      match Handler.handle t.handler ~slot conn with
+      match Handler.handle t.handler ~slot ~index conn with
       | `Keep -> requests ()
       | `Close -> ())
   in
@@ -131,7 +134,7 @@ let worker t i dead () =
     | None -> ()
     | Some fd ->
       ignore (Atomic.fetch_and_add t.queued (-1));
-      serve_conn t ~slot fd;
+      serve_conn t ~slot ~index:i fd;
       loop ()
   in
   try loop ()
@@ -228,6 +231,7 @@ let listener t () =
      those are served before the workers exit. *)
   Array.iter (fun _ -> Q.push t.queue None) t.workers;
   Array.iter (fun ws -> Domain.join ws.domain) t.workers;
+  Option.iter Pn_adapt.Retrainer.stop t.retrainer;
   Log.info (fun m -> m "drained")
 
 (* ------------------------------------------------------------------ *)
@@ -247,6 +251,10 @@ let start ?(config = default_config) ~source () =
   if config.backlog < 1 || config.backlog > 65535 then
     invalid_arg "Server.start: backlog must be in 1..65535";
   if config.queue_limit < 1 then invalid_arg "Server.start: queue_limit";
+  (match (config.adapt, source) with
+  | Some _, Handler.Loader _ ->
+    invalid_arg "Server.start: adapt requires a Registry source"
+  | _ -> ());
   (* SIGPIPE must die before the first write to a vanished client. *)
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let telemetry = Telemetry.create ~slots:config.domains in
@@ -257,6 +265,28 @@ let start ?(config = default_config) ~source () =
       ~chunk_size:config.chunk_size ~max_body:config.max_body
       ~max_rows:config.max_rows ~deadline:config.deadline ~draining ~queued
       ~queue_limit:config.queue_limit
+  in
+  (* Built before the socket so a malformed adapt config raises without
+     leaking the listener fd. *)
+  let retrainer =
+    match (config.adapt, source) with
+    | None, _ | _, Handler.Loader _ -> None
+    | Some acfg, Handler.Registry reg ->
+      let r =
+        Pn_adapt.Retrainer.create ~config:acfg ~slots:config.domains
+          ~registry:reg
+          ~model:(fun () -> (Handler.state handler).Handler.model)
+          ~rollout:(fun ~gen ->
+            match Handler.rollout handler ~back:false ~gen:(Some gen) with
+            | Ok _ -> Ok ()
+            | Error `Busy -> Error "admin lock busy"
+            | Error `No_registry -> Error "no registry"
+            | Error (`No_candidate msg) -> Error msg
+            | Error (`Failed (_, msg)) -> Error msg)
+          ()
+      in
+      Handler.set_adapt handler r;
+      Some r
   in
   let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   let t =
@@ -280,6 +310,7 @@ let start ?(config = default_config) ~source () =
         stop_req = Atomic.make false;
         reload_req = Atomic.make false;
         draining;
+        retrainer;
         workers = [||];
         listener = None;
       }
@@ -288,6 +319,7 @@ let start ?(config = default_config) ~source () =
       raise e
   in
   t.workers <- Array.init config.domains (fun i -> spawn_worker t i);
+  Option.iter Pn_adapt.Retrainer.start t.retrainer;
   t.listener <- Some (Domain.spawn (listener t));
   Log.info (fun m ->
       m "listening on %s:%d (%d worker domain(s), model generation %d)"

@@ -49,12 +49,18 @@ type config = {
       (** admission limit: once in-flight requests plus
           accepted-but-unserved connections reach this, new connections
           are refused with [429] + [Retry-After] instead of queued *)
+  adapt : Pn_adapt.Retrainer.config option;
+      (** online adaptation: [Some cfg] attaches a drift monitor fed
+          from predict/feedback traffic and a background retrainer that
+          publishes and rolls out new generations on detection. Requires
+          a {!Handler.Registry} source — [start] raises
+          [Invalid_argument] otherwise. *)
 }
 
 (** [{host = "127.0.0.1"; port = 0; domains = 1; policy = Strict;
     chunk_size = 8192; max_body = 64 MiB; max_rows = 1_000_000;
     idle_timeout = 5.0; deadline = 0.0; backlog = 128;
-    queue_limit = 256}] *)
+    queue_limit = 256; adapt = None}] *)
 val default_config : config
 
 type t

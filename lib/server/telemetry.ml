@@ -4,9 +4,10 @@ type endpoint =
   | Model_info
   | Metrics
   | Admin
+  | Feedback
   | Other
 
-let endpoints = [| Predict; Healthz; Model_info; Metrics; Admin; Other |]
+let endpoints = [| Predict; Healthz; Model_info; Metrics; Admin; Feedback; Other |]
 
 let n_endpoints = Array.length endpoints
 
@@ -16,7 +17,8 @@ let endpoint_index = function
   | Model_info -> 2
   | Metrics -> 3
   | Admin -> 4
-  | Other -> 5
+  | Feedback -> 5
+  | Other -> 6
 
 let endpoint_label = function
   | Predict -> "predict"
@@ -24,6 +26,7 @@ let endpoint_label = function
   | Model_info -> "model"
   | Metrics -> "metrics"
   | Admin -> "admin"
+  | Feedback -> "feedback"
   | Other -> "other"
 
 let buckets =

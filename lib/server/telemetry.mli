@@ -19,6 +19,7 @@ type endpoint =
   | Model_info
   | Metrics
   | Admin  (** the /admin/rollout and /admin/rollback endpoints *)
+  | Feedback  (** the /feedback labeled-stream endpoint *)
   | Other  (** unknown paths, unparsable requests *)
 
 (** [create ~slots] preallocates [slots] counter blocks (one per worker

@@ -22,6 +22,7 @@ let () =
       ("integration", Test_integration.suite);
       ("server", Test_server.suite);
       ("registry", Test_registry.suite);
+      ("adapt", Test_adapt.suite);
       ("fault", Test_fault.suite);
       ("columnar", Test_columnar.suite);
     ]

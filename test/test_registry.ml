@@ -224,6 +224,12 @@ let test_rollout_rollback_e2e () =
           Alcotest.(check bool)
             "explains the floor" true
             (contains b "no generation below");
+          (* The generation gauge follows the rollback down — it tracks
+             the on-disk generation number, not a load counter. *)
+          let _, _, m = one_shot port ~meth:"GET" ~path:"/metrics" () in
+          Alcotest.(check (float 0.0))
+            "generation gauge rolled back" 1.0
+            (Test_server.metric_value m "pnrule_model_generation");
           (* Explicit ?gen targeting. *)
           let s, _, _ =
             one_shot port ~meth:"POST" ~path:"/admin/rollout?gen=abc" ()

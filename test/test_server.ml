@@ -251,6 +251,12 @@ let run_e2e ~domains () =
           Alcotest.(check bool)
             "model json generation" true
             (contains b "\"generation\": 1");
+          Alcotest.(check bool)
+            "model json load time" true
+            (contains b "\"loaded_at\"");
+          Alcotest.(check bool)
+            "model json uptime" true
+            (contains b "\"uptime\"");
           let s, _, got = Client.request c ~meth:"POST" ~path:"/predict" ~body () in
           Alcotest.(check int) "keep-alive predict" 200 s;
           Alcotest.(check string) "keep-alive predict bytes" expected got;
@@ -278,7 +284,11 @@ let run_e2e ~domains () =
           (* The scrape itself is the one request in flight. *)
           Alcotest.(check (float 0.0))
             "in flight" 1.0
-            (metric_value m "pnrule_in_flight")))
+            (metric_value m "pnrule_in_flight");
+          (* The load-time gauge is a live unix timestamp. *)
+          Alcotest.(check bool)
+            "model load time exported" true
+            (metric_value m "pnrule_model_loaded_at_seconds" > 1e9)))
 
 (* ------------------------------------------------------------------ *)
 (* Error paths: the worker must survive every one of them              *)
