@@ -502,7 +502,125 @@ let timing_benchmarks ~scale =
   | [ (_, Some t_sampled); (_, Some t_full); _ ] ->
     Printf.printf "sampled vs full training speedup: %.1fx\n%!" (t_full /. t_sampled)
   | _ -> ());
-  let estimates = batch1 @ batch2 @ batch3 @ batch4 in
+  (* Batch 5: the sharded tier. The router supervises N real [pnrule
+     serve] processes and proxies over them; concurrent keep-alive
+     clients push the same 10k-row body through [POST /predict].
+     Wall-clocked like batch 4 — each measurement spawns and drains a
+     whole process fleet, so Bechamel's repeated-run protocol would
+     multiply minutes of fixture cost for noise that the per-request
+     average over [clients * reqs] requests already absorbs. Compare
+     serve-sharded-10k-1 against serve-hot-loop-10k for the proxy hop
+     tax, and the 2/4-backend variants against 1 for the scale-out win
+     (which needs free cores: on a single-core host the extra backends
+     only add scheduling overhead). *)
+  let batch5 =
+    let cli =
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        "../bin/pnrule_cli.exe"
+    in
+    let variants = [ 1; 2; 4 ] in
+    let bench_name n = Printf.sprintf "serve-sharded-10k-%d" n in
+    if not (Sys.file_exists cli) then begin
+      Printf.printf
+        "\n== Sharded serving (skipped: %s not built; run dune build) ==\n%!"
+        cli;
+      List.map (fun n -> (bench_name n, None)) variants
+    end
+    else begin
+      Printf.printf "\n== Sharded serving (wall clock, 10k rows/request) ==\n%!";
+      let dir = Filename.temp_file "pnrule_bench_reg" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o700;
+      let reg = Pnrule.Registry.open_dir dir in
+      ignore (Pnrule.Registry.publish reg (Pnrule.Saved.Single pn_model));
+      let bench_backends n =
+        let name = bench_name n in
+        let config =
+          {
+            Pn_shard.Router.default_config with
+            backends = n;
+            domains = 2;
+            backend_argv =
+              (fun ~index:_ ~port ->
+                [|
+                  cli;
+                  "serve";
+                  "--registry";
+                  dir;
+                  "--host";
+                  "127.0.0.1";
+                  "--port";
+                  string_of_int port;
+                  "--domains";
+                  "1";
+                |]);
+          }
+        in
+        let t = Pn_shard.Router.start ~config () in
+        let deadline = Unix.gettimeofday () +. 60.0 in
+        while
+          Pn_shard.Router.healthy_count t < n
+          && Unix.gettimeofday () < deadline
+        do
+          Unix.sleepf 0.05
+        done;
+        if Pn_shard.Router.healthy_count t < n then begin
+          Pn_shard.Router.stop t;
+          failwith "sharded bench: fleet failed to become healthy"
+        end;
+        let port = Pn_shard.Router.port t in
+        let clients = 4 and reqs = 6 in
+        let run_client warm =
+          let c =
+            Pn_server.Http.connect ~host:"127.0.0.1" ~port ~timeout:60.0 ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Pn_server.Http.close c)
+            (fun () ->
+              for _ = 1 to if warm then 1 else reqs do
+                Pn_server.Http.send_request c ~meth:"POST" ~target:"/predict"
+                  ~body ();
+                let r = Pn_server.Http.read_response c in
+                if r.Pn_server.Http.status <> 200 then
+                  failwith
+                    (Printf.sprintf "sharded bench: HTTP %d"
+                       r.Pn_server.Http.status)
+              done)
+        in
+        (* One request per shard first so every backend has faulted in
+           its model pages before the clock starts. *)
+        for _ = 1 to n do
+          run_client true
+        done;
+        let t0 = Unix.gettimeofday () in
+        List.init clients (fun _ -> Domain.spawn (fun () -> run_client false))
+        |> List.iter Domain.join;
+        let ns =
+          (Unix.gettimeofday () -. t0)
+          *. 1e9
+          /. float_of_int (clients * reqs)
+        in
+        Pn_shard.Router.stop t;
+        Printf.printf "%-32s %14.0f ns/request (%d backends)\n%!" name ns n;
+        (name, Some ns)
+      in
+      let results = List.map bench_backends variants in
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      (match (List.assoc_opt "serve-hot-loop-10k" batch3, results) with
+      | Some (Some hot), (_, Some s1) :: (_, Some s2) :: _ ->
+        Printf.printf
+          "proxy hop tax (sharded-1 vs hot-loop): %.2fx; 2-backend speedup \
+           vs sharded-1: %.2fx (meaningful only with >1 core)\n%!"
+          (s1 /. hot) (s1 /. s2)
+      | _ -> ());
+      results
+    end
+  in
+  let estimates = batch1 @ batch2 @ batch3 @ batch4 @ batch5 in
   match !json_file with
   | Some path -> write_json ~path ~scale estimates
   | None -> ()

@@ -740,6 +740,213 @@ let serve_cmd =
       $ backlog $ queue_limit $ adapt $ window $ drift_threshold $ reservoir)
 
 (* ------------------------------------------------------------------ *)
+(* shard                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let shard_cmd =
+  let run verbose registry host port backends domains policy chunk max_body_mb
+      max_rows idle deadline queue_limit probe_interval fail_threshold =
+    setup_logs verbose;
+    (* Fail fast on a registry the backends could not serve from —
+       otherwise the supervisor would spawn a crash-looping fleet. *)
+    (match Pnrule.Registry.open_dir registry with
+    | reg -> (
+      match Pnrule.Registry.load_initial reg with
+      | _ -> ()
+      | exception Pnrule.Registry.Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
+    | exception Pnrule.Registry.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1);
+    let policy_str =
+      match policy with
+      | Pn_data.Ingest_report.Strict -> "strict"
+      | Pn_data.Ingest_report.Skip -> "skip"
+      | Pn_data.Ingest_report.Impute -> "impute"
+    in
+    let backend_argv ~index:_ ~port =
+      [|
+        Sys.executable_name;
+        "serve";
+        "--registry";
+        registry;
+        "--host";
+        "127.0.0.1";
+        "--port";
+        string_of_int port;
+        "--domains";
+        string_of_int domains;
+        "--on-error";
+        policy_str;
+        "--chunk";
+        string_of_int chunk;
+        "--max-body";
+        string_of_int max_body_mb;
+        "--max-rows";
+        string_of_int max_rows;
+        "--deadline";
+        string_of_float deadline;
+        "--queue-limit";
+        string_of_int queue_limit;
+      |]
+    in
+    let config =
+      {
+        Pn_shard.Router.default_config with
+        host;
+        port;
+        domains = min 4 (backends + 1);
+        backends;
+        backend_argv;
+        max_body = max_body_mb * 1024 * 1024;
+        idle_timeout = idle;
+        probe_interval;
+        fail_threshold;
+        queue_limit;
+      }
+    in
+    match Pn_shard.Router.start ~config () with
+    | router ->
+      Pn_shard.Router.install_signals router;
+      Printf.printf
+        "pnrule shard router listening on http://%s:%d/ (%d backend%s x %d \
+         worker domain%s)\n\
+         endpoints: POST /predict, POST /feedback, GET /healthz, GET /model, \
+         GET /metrics,\n\
+        \           POST /admin/rollout, POST /admin/rollback, GET \
+         /admin/backends\n\
+         SIGTERM/SIGINT drains the router, then rolls the fleet down\n\
+         %!"
+        host
+        (Pn_shard.Router.port router)
+        backends
+        (if backends = 1 then "" else "s")
+        domains
+        (if domains = 1 then "" else "s");
+      Pn_shard.Router.join router
+    | exception Unix.Unix_error (err, fn, _) ->
+      Printf.eprintf "error: cannot bind %s:%d: %s (%s)\n" host port
+        (Unix.error_message err) fn;
+      exit 1
+  in
+  let registry =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "registry" ] ~docv:"DIR"
+          ~doc:
+            "Versioned model registry directory shared by every backend \
+             shard. Required: the sharded tier exists to roll generations \
+             across a fleet.")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address the router binds.")
+  in
+  let port =
+    Arg.(
+      value & opt port_conv 8080
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"Router TCP port; 0 picks an ephemeral port. Backends bind \
+                ephemeral loopback ports of their own.")
+  in
+  let backends =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"backends" ~lo:1 ~hi:64) 2
+      & info [ "backends" ] ~docv:"N"
+          ~doc:"Backend shard processes to spawn and supervise.")
+  in
+  let domains =
+    let default =
+      match Sys.getenv_opt "PNRULE_DOMAINS" with
+      | Some raw -> (
+        match Pn_util.Pool.domains_of_env raw with Ok d -> d | Error _ -> 1)
+      | None -> min 4 (Domain.recommended_domain_count ())
+    in
+    Arg.(
+      value & opt domains_conv default
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains per backend shard (the router itself uses \
+                $(b,min(4, backends+1)) domains for proxying).")
+  in
+  let max_body =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"max body" ~lo:1 ~hi:4096) 64
+      & info [ "max-body" ] ~docv:"MIB"
+          ~doc:"Request body size limit in MiB; larger bodies get a 413.")
+  in
+  let max_rows =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"max rows" ~lo:1 ~hi:1_000_000_000) 1_000_000
+      & info [ "max-rows" ] ~docv:"ROWS"
+          ~doc:"Rows-per-request limit passed to every backend.")
+  in
+  let idle =
+    Arg.(
+      value & opt float 5.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close keep-alive client connections idle longer than this.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (ranged_float ~what:"deadline" ~lo:0.0 ~hi:86_400.0) 0.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-request wall-clock budget passed to every backend.")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"queue limit" ~lo:1 ~hi:1_000_000) 256
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Router admission limit: beyond it new connections get 429 + \
+             Retry-After. Also passed to every backend.")
+  in
+  let probe_interval =
+    Arg.(
+      value
+      & opt (ranged_float ~what:"probe interval" ~lo:0.01 ~hi:60.0) 0.05
+      & info [ "probe-interval" ] ~docv:"SECONDS"
+          ~doc:"Supervisor tick: health probes, reaping, respawn checks.")
+  in
+  let fail_threshold =
+    Arg.(
+      value
+      & opt (ranged_int ~what:"fail threshold" ~lo:1 ~hi:100) 3
+      & info [ "fail-threshold" ] ~docv:"N"
+          ~doc:
+            "Consecutive failed probes before a healthy shard is marked \
+             suspect (and a suspect shard is killed for respawn).")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run the sharded serving tier: spawn and supervise $(b,--backends) \
+          $(b,pnrule serve) processes on loopback ports, all serving from the \
+          same $(b,--registry), and route $(b,POST /predict) / \
+          $(b,POST /feedback) across the healthy ones with transparent \
+          failover — a shard that dies mid-request is retried on another, \
+          reaped, and respawned with exponential backoff. $(b,GET /healthz), \
+          $(b,GET /model) and $(b,GET /metrics) aggregate the fleet (backend \
+          series summed; router series under $(b,pnrule_router_*)). \
+          $(b,POST /admin/rollout) / $(b,/admin/rollback) flip generations \
+          one shard at a time, aborting on the first warm failure. When every \
+          shard is down the router answers 503 + Retry-After and keeps \
+          running. SIGTERM drains the router, then rolls SIGTERM across the \
+          fleet.")
+    Term.(
+      const run $ verbose_arg $ registry $ host $ port $ backends $ domains
+      $ policy_arg $ chunk_arg $ max_body $ max_rows $ idle $ deadline
+      $ queue_limit $ probe_interval $ fail_threshold)
+
+(* ------------------------------------------------------------------ *)
 (* eval                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -844,5 +1051,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "pnrule" ~version:"1.0.0" ~doc)
-          [ train_cmd; eval_cmd; predict_cmd; ingest_cmd; serve_cmd; gen_cmd;
-            inspect_cmd ]))
+          [ train_cmd; eval_cmd; predict_cmd; ingest_cmd; serve_cmd; shard_cmd;
+            gen_cmd; inspect_cmd ]))

@@ -8,11 +8,22 @@ type conn = {
   mutable rpos : int;
   mutable rlen : int;
   mutable wretries : int;
+  write_fault : string;
+  read_fault : string option;
 }
 
-let make_conn ?(buf_size = 65536) fd =
+let make_conn ?(buf_size = 65536) ?(write_fault = "serve.chunk_write")
+    ?read_fault fd =
   if buf_size <= 0 then invalid_arg "Http.make_conn: buf_size";
-  { fd; rbuf = Bytes.create buf_size; rpos = 0; rlen = 0; wretries = 0 }
+  {
+    fd;
+    rbuf = Bytes.create buf_size;
+    rpos = 0;
+    rlen = 0;
+    wretries = 0;
+    write_fault;
+    read_fault;
+  }
 
 let fd c = c.fd
 
@@ -32,13 +43,29 @@ let take_io_retries c =
    worker. *)
 let refill c =
   let rec go () =
-    match Unix.read c.fd c.rbuf 0 (Bytes.length c.rbuf) with
+    match
+      let want = Bytes.length c.rbuf in
+      let want =
+        (* Client-side conns (the router's proxy legs) carry a named
+           read fault point so chaos runs can starve or kill the read
+           deterministically; server conns read clean. *)
+        match c.read_fault with
+        | None -> want
+        | Some p -> max 1 (Pn_util.Fault.cap p want)
+      in
+      Unix.read c.fd c.rbuf 0 want
+    with
     | 0 -> false
     | n ->
       c.rpos <- 0;
       c.rlen <- n;
       true
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* Only fault-instrumented (client) conns count read retries:
+         server-side [pnrule_io_retries_total] keeps its historical
+         write-only meaning. *)
+      if c.read_fault <> None then c.wretries <- c.wretries + 1;
+      go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       raise Timeout
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
@@ -58,7 +85,7 @@ let write_all c s =
   let rec go off attempts =
     if off < len then
       match
-        let want = Pn_util.Fault.cap "serve.chunk_write" (len - off) in
+        let want = Pn_util.Fault.cap c.write_fault (len - off) in
         Unix.write_substring c.fd s off want
       with
       | n -> go (off + n) 0
@@ -166,6 +193,34 @@ let parse_query s =
                    url_decode ~plus_space:true
                      (String.sub kv (eq + 1) (String.length kv - eq - 1)) ))
 
+(* Inverse of [url_decode]: unreserved bytes pass through, everything
+   else becomes %XX (or '+' for space when [plus_space]). The pair is a
+   true round-trip — the router re-serializes a parsed query string
+   when proxying, so decode∘encode must be the identity. *)
+let url_encode ?(plus_space = false) s =
+  let unreserved = function
+    | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '.' | '_' | '~' -> true
+    | _ -> false
+  in
+  if String.for_all unreserved s then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun ch ->
+        if unreserved ch then Buffer.add_char buf ch
+        else if ch = ' ' && plus_space then Buffer.add_char buf '+'
+        else Printf.bprintf buf "%%%02X" (Char.code ch))
+      s;
+    Buffer.contents buf
+  end
+
+let encode_query q =
+  String.concat "&"
+    (List.map
+       (fun (k, v) ->
+         url_encode ~plus_space:true k ^ "=" ^ url_encode ~plus_space:true v)
+       q)
+
 (* Read one head line (up to '\n', '\r' stripped). [budget] is the
    remaining head byte allowance, mutated as we consume. [at_start]
    distinguishes a clean EOF between keep-alive requests (Disconnect)
@@ -190,9 +245,18 @@ let read_line c ~budget ~at_start =
       if !nl < c.rlen && Bytes.unsafe_get c.rbuf !nl = '\n' then begin
         c.rpos <- !nl + 1;
         decr budget;
+        (* The LF byte counts against the budget too: without this
+           check a head exactly one byte over the limit is admitted. *)
+        if !budget < 0 then raise (Bad_request "request head too large");
         let s = Buffer.contents buf in
         let n = String.length s in
-        if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+        let s = if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s in
+        (* A CR anywhere but immediately before the LF is a smuggling
+           vector (some stacks treat bare CR as a line break, we do
+           not); reject instead of silently disagreeing with the peer. *)
+        if String.contains s '\r' then
+          raise (Bad_request "bare CR in request head");
+        s
       end
       else begin
         c.rpos <- !nl;
@@ -202,6 +266,28 @@ let read_line c ~budget ~at_start =
     end
   in
   go ()
+
+(* Header block shared by the server half (request heads) and the
+   client half (response heads): lowercased names, trimmed values,
+   terminated by the empty line. *)
+let read_header_block c ~budget =
+  let headers = ref [] in
+  let rec loop () =
+    let line = read_line c ~budget ~at_start:false in
+    if line <> "" then begin
+      (match String.index_opt line ':' with
+      | None | Some 0 -> raise (Bad_request "malformed header line")
+      | Some colon ->
+        let name = String.lowercase_ascii (String.sub line 0 colon) in
+        let value =
+          String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
+        in
+        headers := (name, value) :: !headers);
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !headers
 
 let read_request ?(max_header = 8192) c =
   let budget = ref max_header in
@@ -220,23 +306,7 @@ let read_request ?(max_header = 8192) c =
       ( url_decode (String.sub target 0 q),
         parse_query (String.sub target (q + 1) (String.length target - q - 1)) )
   in
-  let headers = ref [] in
-  let rec loop () =
-    let line = read_line c ~budget ~at_start:false in
-    if line <> "" then begin
-      (match String.index_opt line ':' with
-      | None | Some 0 -> raise (Bad_request "malformed header line")
-      | Some colon ->
-        let name = String.lowercase_ascii (String.sub line 0 colon) in
-        let value =
-          String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
-        in
-        headers := (name, value) :: !headers);
-      loop ()
-    end
-  in
-  loop ();
-  let headers = List.rev !headers in
+  let headers = read_header_block c ~budget in
   let find name = List.assoc_opt name headers in
   let content_length =
     match find "content-length" with
@@ -313,6 +383,7 @@ let status_text = function
   | 413 -> "Payload Too Large"
   | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
+  | 502 -> "Bad Gateway"
   | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
@@ -422,3 +493,152 @@ let stream_finish r =
         ~body:(Buffer.contents r.pending)
         ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Client half                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The router reuses this module's buffered conn for its proxy legs:
+   same framing code on both sides of the wire means a response the
+   backend can emit is by construction one the router can parse, and
+   anything else is a deterministic [Bad_request] (mapped to 502
+   upstream), never a hang — both directions are bounded by the socket
+   timeouts set in [connect]. *)
+
+type response = {
+  status : int;
+  reason : string;
+  rheaders : (string * string) list;  (* names lowercased *)
+  body : string;
+}
+
+let rheader r name = List.assoc_opt name r.rheaders
+
+let connect ?buf_size ?write_fault ?read_fault ~host ~port ~timeout () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true;
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  make_conn ?buf_size ?write_fault ?read_fault fd
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_request c ~meth ~target ?(headers = []) ?body () =
+  let buf =
+    Buffer.create (match body with Some b -> String.length b + 256 | None -> 256)
+  in
+  Printf.bprintf buf "%s %s HTTP/1.1\r\n" meth target;
+  List.iter (fun (k, v) -> Printf.bprintf buf "%s: %s\r\n" k v) headers;
+  (match body with
+  | Some b -> Printf.bprintf buf "content-length: %d\r\n" (String.length b)
+  | None -> ());
+  Buffer.add_string buf "\r\n";
+  (match body with Some b -> Buffer.add_string buf b | None -> ());
+  write_all c (Buffer.contents buf)
+
+(* Exactly [n] body bytes; EOF first raises [Disconnect] (a backend
+   that died mid-response is a retryable IO failure, not a protocol
+   error). *)
+let read_exact c n =
+  let out = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    if c.rpos >= c.rlen && not (refill c) then raise Disconnect;
+    let take = min (n - !off) (c.rlen - c.rpos) in
+    Bytes.blit c.rbuf c.rpos out !off take;
+    c.rpos <- c.rpos + take;
+    off := !off + take
+  done;
+  Bytes.unsafe_to_string out
+
+let read_to_eof c ~max_body =
+  let buf = Buffer.create 4096 in
+  let rec go () =
+    if c.rpos < c.rlen then begin
+      Buffer.add_subbytes buf c.rbuf c.rpos (c.rlen - c.rpos);
+      c.rpos <- c.rlen
+    end;
+    if Buffer.length buf > max_body then
+      raise (Bad_request "response body too large");
+    if refill c then go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_chunked c ~max_body =
+  let buf = Buffer.create 4096 in
+  let rec chunks () =
+    let lbudget = ref 256 in
+    let line = read_line c ~budget:lbudget ~at_start:false in
+    let size =
+      let line =
+        match String.index_opt line ';' with
+        | Some i -> String.sub line 0 i (* drop any chunk extension *)
+        | None -> line
+      in
+      match int_of_string_opt ("0x" ^ String.trim line) with
+      | Some n when n >= 0 -> n
+      | _ ->
+        raise (Bad_request (Printf.sprintf "malformed chunk size %S" line))
+    in
+    if Buffer.length buf + size > max_body then
+      raise (Bad_request "response body too large");
+    if size > 0 then begin
+      Buffer.add_string buf (read_exact c size);
+      (match read_exact c 2 with
+      | "\r\n" -> ()
+      | s ->
+        raise (Bad_request (Printf.sprintf "malformed chunk terminator %S" s)));
+      chunks ()
+    end
+    else begin
+      (* trailer section, up to the closing empty line *)
+      let tbudget = ref 1024 in
+      let rec trailers () =
+        if read_line c ~budget:tbudget ~at_start:false <> "" then trailers ()
+      in
+      trailers ()
+    end
+  in
+  chunks ();
+  Buffer.contents buf
+
+let read_response ?(max_header = 16384) ?(max_body = Sys.max_string_length) c =
+  let budget = ref max_header in
+  let status_line = read_line c ~budget ~at_start:true in
+  let status, reason =
+    match String.split_on_char ' ' status_line with
+    | version :: code :: rest
+      when String.length version >= 8 && String.sub version 0 7 = "HTTP/1." -> (
+      match int_of_string_opt code with
+      | Some s when s >= 100 && s <= 599 -> (s, String.concat " " rest)
+      | _ ->
+        raise
+          (Bad_request (Printf.sprintf "malformed status line %S" status_line)))
+    | _ ->
+      raise (Bad_request (Printf.sprintf "malformed status line %S" status_line))
+  in
+  let rheaders = read_header_block c ~budget in
+  let find name = List.assoc_opt name rheaders in
+  let chunked =
+    match find "transfer-encoding" with
+    | Some v -> String.lowercase_ascii (String.trim v) <> "identity"
+    | None -> false
+  in
+  let body =
+    if chunked then read_chunked c ~max_body
+    else
+      match find "content-length" with
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 0 && n <= max_body -> read_exact c n
+        | Some n when n >= 0 -> raise (Bad_request "response body too large")
+        | Some _ | None -> raise (Bad_request "malformed Content-Length"))
+      | None -> read_to_eof c ~max_body
+  in
+  { status; reason; rheaders; body }

@@ -23,8 +23,18 @@ exception Timeout
 type conn
 
 (** [make_conn fd] wraps an accepted socket. [buf_size] is the
-    per-connection read buffer (default 64 KiB). The caller closes [fd]. *)
-val make_conn : ?buf_size:int -> Unix.file_descr -> conn
+    per-connection read buffer (default 64 KiB). [write_fault] names the
+    fault point passed on every write (default ["serve.chunk_write"]);
+    [read_fault], when given, names one passed on every buffered read —
+    the router's proxy legs use ["router.proxy_write"] /
+    ["router.proxy_read"] so chaos runs can fail either direction of a
+    proxied request deterministically. The caller closes [fd]. *)
+val make_conn :
+  ?buf_size:int ->
+  ?write_fault:string ->
+  ?read_fault:string ->
+  Unix.file_descr ->
+  conn
 
 val fd : conn -> Unix.file_descr
 
@@ -124,3 +134,71 @@ val stream_write : stream_response -> string -> unit
 val stream_finish : stream_response -> unit
 
 val status_text : int -> string
+
+(** [url_encode s] percent-encodes everything outside the RFC 3986
+    unreserved set; with [plus_space] a space becomes ['+'] (form
+    encoding). Inverse of [url_decode] under the same [plus_space]. *)
+val url_encode : ?plus_space:bool -> string -> string
+
+(** [encode_query q] re-serializes a parsed query string such that
+    {!parse_query} [(encode_query q) = q] for any [q] — the router
+    depends on this round-trip when proxying. *)
+val encode_query : (string * string) list -> string
+
+val url_decode : ?plus_space:bool -> string -> string
+val parse_query : string -> (string * string) list
+
+(** {1 Client half}
+
+    The same buffered conn, framing code and exceptions, pointed at the
+    other side of the wire. Used by the shard router for proxy legs,
+    health probes and metrics scrapes. A response that cannot be parsed
+    raises {!Bad_request} (the router maps it to a 502); EOF before or
+    inside a response raises {!Disconnect} (retryable — the backend
+    died); a stalled backend raises {!Timeout} via the socket receive
+    timeout, never a hang. *)
+
+type response = {
+  status : int;
+  reason : string;
+  rheaders : (string * string) list;  (** names lowercased *)
+  body : string;  (** fully buffered; chunked bodies are de-chunked *)
+}
+
+(** First value of response header [name] (give it lowercased). *)
+val rheader : response -> string -> string option
+
+(** [connect ~host ~port ~timeout ()] opens a TCP connection with
+    [TCP_NODELAY] and both socket timeouts set to [timeout].
+    [write_fault]/[read_fault] as in {!make_conn}. Raises
+    [Unix.Unix_error] on connect failure (the fd is closed). *)
+val connect :
+  ?buf_size:int ->
+  ?write_fault:string ->
+  ?read_fault:string ->
+  host:string ->
+  port:int ->
+  timeout:float ->
+  unit ->
+  conn
+
+(** Close the underlying fd, ignoring errors. *)
+val close : conn -> unit
+
+(** [send_request c ~meth ~target ()] writes one request head (plus
+    [body], framed with [Content-Length], when given). [headers] are
+    written as-is; pass [("connection", "close")] for one-shot use. *)
+val send_request :
+  conn ->
+  meth:string ->
+  target:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  unit
+
+(** [read_response c] blocks for and fully buffers one response.
+    [max_header] bounds the head (default 16 KiB), [max_body] the
+    decoded body (default unbounded). Raises {!Bad_request},
+    {!Disconnect}, {!Timeout} as described above. *)
+val read_response : ?max_header:int -> ?max_body:int -> conn -> response

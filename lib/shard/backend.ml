@@ -1,0 +1,63 @@
+(* One supervised backend shard.
+
+   Lifecycle state machine, driven by the router's supervisor domain:
+
+     {v
+     dead ──backoff elapsed, spawn──▶ starting
+     starting ──first good probe──▶ healthy
+     starting ──start budget blown──▶ (SIGKILL) ──reap──▶ dead
+     healthy ──fail_threshold bad probes──▶ suspect
+     healthy ──proxy IO failure (worker CAS)──▶ suspect
+     suspect ──one good probe──▶ healthy
+     suspect ──fail_threshold more bad probes──▶ (SIGKILL) ──reap──▶ dead
+     any ──process exit (reaped)──▶ dead
+     v}
+
+   Ownership discipline: worker domains only read [state]/[port] and CAS
+   [Healthy -> Suspect] (tripping the circuit breaker on a proxy
+   failure). Every other field is written exclusively by the single
+   supervisor domain, so the plain mutable fields need no lock. *)
+
+type state = Starting | Healthy | Suspect | Dead
+
+let state_label = function
+  | Starting -> "starting"
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Dead -> "dead"
+
+type t = {
+  index : int;
+  port : int Atomic.t;  (* current listen port; re-picked per spawn *)
+  pid : int Atomic.t;  (* 0 when no live process *)
+  state : state Atomic.t;
+  (* supervisor-owned *)
+  mutable consec_failures : int;  (* consecutive bad probes *)
+  mutable respawn_attempt : int;  (* backoff ladder position *)
+  mutable respawn_at : float;  (* earliest next spawn, epoch seconds *)
+  mutable started_at : float;  (* when the current process was spawned *)
+  mutable healthy_since : float;  (* last Starting/Suspect -> Healthy *)
+  mutable ever_spawned : bool;  (* distinguishes respawns from boot *)
+  (* counters *)
+  proxied : int Atomic.t;  (* requests this shard answered *)
+}
+
+let make index =
+  {
+    index;
+    port = Atomic.make 0;
+    pid = Atomic.make 0;
+    state = Atomic.make Dead;
+    consec_failures = 0;
+    respawn_attempt = 0;
+    respawn_at = 0.0;
+    started_at = 0.0;
+    healthy_since = 0.0;
+    ever_spawned = false;
+    proxied = Atomic.make 0;
+  }
+
+(* Trip the circuit breaker: only a healthy shard can be tripped, and
+   the CAS makes concurrent trips idempotent. Returns whether this call
+   did the tripping. *)
+let trip b = Atomic.compare_and_set b.state Healthy Suspect

@@ -1,0 +1,28 @@
+(** Per-shard state for the router's backend fleet.
+
+    Worker domains only read {!val-state}/[port] and trip the circuit
+    breaker with {!trip}; all other mutable fields belong to the single
+    supervisor domain and need no lock. *)
+
+type state = Starting | Healthy | Suspect | Dead
+
+val state_label : state -> string
+
+type t = {
+  index : int;
+  port : int Atomic.t;
+  pid : int Atomic.t;
+  state : state Atomic.t;
+  mutable consec_failures : int;
+  mutable respawn_attempt : int;
+  mutable respawn_at : float;
+  mutable started_at : float;
+  mutable healthy_since : float;
+  mutable ever_spawned : bool;
+  proxied : int Atomic.t;
+}
+
+val make : int -> t
+
+(** CAS [Healthy -> Suspect]; true when this call tripped it. *)
+val trip : t -> bool

@@ -1,0 +1,1144 @@
+let log = Logs.Src.create "pn_shard.router" ~doc:"shard router lifecycle"
+
+module Log = (val Logs.src_log log)
+module Http = Pn_server.Http
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  host : string;
+  port : int;
+  domains : int;  (* router worker domains *)
+  backends : int;  (* shard processes to supervise *)
+  backend_argv : index:int -> port:int -> string array;
+  backend_env : index:int -> string array option;
+      (* [None] inherits the router's environment — the hook exists so
+         tests can arm per-shard PNRULE_FAULTS *)
+  max_body : int;
+  idle_timeout : float;  (* client keep-alive idle bound *)
+  proxy_timeout : float;  (* per-IO bound on proxy legs *)
+  probe_interval : float;  (* supervisor tick *)
+  probe_timeout : float;  (* per-IO bound on probes and scrapes *)
+  fail_threshold : int;  (* consecutive bad probes before escalating *)
+  start_budget : float;  (* seconds a starting shard gets to go healthy *)
+  flap_window : float;  (* healthy seconds before the backoff ladder resets *)
+  respawn_cap : int;  (* backoff ladder cap (flap damping) *)
+  drain_budget : float;  (* SIGTERM-to-SIGKILL grace per shard on drain *)
+  backlog : int;
+  queue_limit : int;  (* admission bound: queued + in-flight *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    domains = 1;
+    backends = 2;
+    backend_argv = (fun ~index:_ ~port:_ -> [||]);
+    backend_env = (fun ~index:_ -> None);
+    max_body = 64 * 1024 * 1024;
+    idle_timeout = 5.0;
+    proxy_timeout = 30.0;
+    probe_interval = 0.05;
+    probe_timeout = 2.0;
+    fail_threshold = 3;
+    start_budget = 30.0;
+    flap_window = 10.0;
+    respawn_cap = 8;
+    drain_budget = 5.0;
+    backlog = 128;
+    queue_limit = 256;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Router telemetry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The router's own series live under [pnrule_router_*] so they can
+   never collide with the backend [pnrule_*] series merged into the
+   same /metrics scrape. Plain shared atomics (not the per-domain
+   Telemetry slots): the router's counters are incremented once per
+   request, not per chunk, so contention is negligible. *)
+
+let endpoint_labels =
+  [| "predict"; "feedback"; "healthz"; "model"; "metrics"; "admin"; "other" |]
+
+let ep_predict = 0
+let ep_feedback = 1
+let ep_healthz = 2
+let ep_model = 3
+let ep_metrics = 4
+let ep_admin = 5
+let ep_other = 6
+
+let classify path =
+  match path with
+  | "/predict" -> ep_predict
+  | "/feedback" -> ep_feedback
+  | "/healthz" -> ep_healthz
+  | "/model" -> ep_model
+  | "/metrics" -> ep_metrics
+  | _ ->
+    if String.length path >= 7 && String.sub path 0 7 = "/admin/" then ep_admin
+    else ep_other
+
+type rtel = {
+  requests : int Atomic.t array;  (* per endpoint class *)
+  errors : int Atomic.t array;  (* responses >= 400, per class *)
+  failovers : int Atomic.t;  (* re-dispatches to another shard *)
+  proxy_retries : int Atomic.t;  (* transient IO retries on proxy legs *)
+  respawns : int Atomic.t;  (* shard processes respawned *)
+  spawn_failures : int Atomic.t;  (* spawn attempts that failed outright *)
+  shed_overload : int Atomic.t;
+  shed_no_backend : int Atomic.t;
+  shed_draining : int Atomic.t;
+  connections : int Atomic.t;
+  in_flight : int Atomic.t;
+}
+
+let make_rtel () =
+  let n = Array.length endpoint_labels in
+  {
+    requests = Array.init n (fun _ -> Atomic.make 0);
+    errors = Array.init n (fun _ -> Atomic.make 0);
+    failovers = Atomic.make 0;
+    proxy_retries = Atomic.make 0;
+    respawns = Atomic.make 0;
+    spawn_failures = Atomic.make 0;
+    shed_overload = Atomic.make 0;
+    shed_no_backend = Atomic.make 0;
+    shed_draining = Atomic.make 0;
+    connections = Atomic.make 0;
+    in_flight = Atomic.make 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Router state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Q = struct
+  type 'a t = { q : 'a Queue.t; m : Mutex.t; c : Condition.t }
+
+  let create () =
+    { q = Queue.create (); m = Mutex.create (); c = Condition.create () }
+
+  let push t v =
+    Mutex.lock t.m;
+    Queue.push v t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.c t.m
+    done;
+    let v = Queue.pop t.q in
+    Mutex.unlock t.m;
+    v
+end
+
+type worker_slot = { mutable domain : unit Domain.t; dead : bool Atomic.t }
+
+type t = {
+  config : config;
+  lfd : Unix.file_descr;
+  port : int;
+  backends : Backend.t array;
+  queue : Unix.file_descr option Q.t;
+  queued : int Atomic.t;
+  stop_req : bool Atomic.t;
+  draining : bool Atomic.t;
+  stop_backends : bool Atomic.t;  (* raised only after workers drained *)
+  chld : bool Atomic.t;  (* SIGCHLD arrived; reap promptly *)
+  rr : int Atomic.t;  (* round-robin cursor *)
+  rtel : rtel;
+  admin : Mutex.t;  (* serializes rolling rollout/rollback *)
+  mutable workers : worker_slot array;
+  mutable listener : unit Domain.t option;
+  mutable supervisor : unit Domain.t option;
+}
+
+let port t = t.port
+let request_stop t = Atomic.set t.stop_req true
+let note_chld t = Atomic.set t.chld true
+
+let healthy_count t =
+  Array.fold_left
+    (fun acc b -> if Atomic.get b.Backend.state = Backend.Healthy then acc + 1 else acc)
+    0 t.backends
+
+let backend_pid t i = Atomic.get t.backends.(i).Backend.pid
+let backend_port t i = Atomic.get t.backends.(i).Backend.port
+let backend_state t i = Atomic.get t.backends.(i).Backend.state
+
+(* ------------------------------------------------------------------ *)
+(* Proxy legs                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One request/response exchange with one shard on a fresh connection.
+   The leg carries the [router.proxy_write] / [router.proxy_read] fault
+   points, so chaos runs can kill either direction deterministically;
+   transient retries inside the leg are drained into
+   [pnrule_router_proxy_io_retries_total] whether the leg succeeds or
+   not. *)
+let attempt t b ~meth ~target ~headers ~body =
+  let port = Atomic.get b.Backend.port in
+  match
+    let c =
+      Http.connect ~host:t.config.host ~port ~timeout:t.config.proxy_timeout
+        ~write_fault:"router.proxy_write" ~read_fault:"router.proxy_read" ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        ignore
+          (Atomic.fetch_and_add t.rtel.proxy_retries (Http.take_io_retries c));
+        Http.close c)
+      (fun () ->
+        Http.send_request c ~meth ~target ~headers ?body ();
+        Http.read_response ~max_body:Sys.max_string_length c)
+  with
+  | resp -> Ok resp
+  | exception Http.Bad_request msg -> Error (`Malformed msg)
+  | exception Http.Disconnect -> Error (`Io "connection lost")
+  | exception Http.Timeout -> Error (`Io "timed out")
+  | exception Unix.Unix_error (e, _, _) -> Error (`Io (Unix.error_message e))
+  | exception Pn_util.Fault.Injected m -> Error (`Io ("injected fault " ^ m))
+
+(* Probes and scrapes run on clean conns (no fault points): injected
+   proxy chaos must not make the supervisor's view of shard health
+   nondeterministic. *)
+let scrape t b target =
+  match
+    let c =
+      Http.connect ~host:t.config.host
+        ~port:(Atomic.get b.Backend.port)
+        ~timeout:t.config.probe_timeout ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Http.close c)
+      (fun () ->
+        Http.send_request c ~meth:"GET" ~target
+          ~headers:[ ("connection", "close") ]
+          ();
+        Http.read_response c)
+  with
+  | resp -> Some resp
+  | exception _ -> None
+
+let probe t b =
+  match scrape t b "/healthz" with Some r -> r.Http.status = 200 | None -> false
+
+(* Round-robin over healthy shards with transparent failover: an IO
+   failure trips the shard's breaker and re-dispatches the buffered
+   request to the next healthy shard (each shard tried at most once) —
+   scores are idempotent, so an admitted request is never lost to a
+   crash. A parseable-but-malformed response is a protocol bug, not a
+   crash: no retry, deterministic 502. *)
+let dispatch_failover t ~meth ~target ~headers ~body =
+  let n = Array.length t.backends in
+  let tried = Array.make n false in
+  let start = Atomic.fetch_and_add t.rr 1 in
+  let pick () =
+    let rec go k =
+      if k >= n then None
+      else begin
+        let b = t.backends.((start + k) mod n) in
+        if
+          (not tried.(b.Backend.index))
+          && Atomic.get b.Backend.state = Backend.Healthy
+        then Some b
+        else go (k + 1)
+      end
+    in
+    go 0
+  in
+  let rec go ntried =
+    match pick () with
+    | None -> if ntried = 0 then Error `No_backend else Error (`Exhausted ntried)
+    | Some b -> (
+      tried.(b.Backend.index) <- true;
+      if ntried > 0 then ignore (Atomic.fetch_and_add t.rtel.failovers 1);
+      match attempt t b ~meth ~target ~headers ~body with
+      | Ok resp -> Ok (b, resp)
+      | Error (`Io msg) ->
+        ignore (Backend.trip b);
+        Log.warn (fun m ->
+            m "backend %d (127.0.0.1:%d) failed mid-request (%s); failing over"
+              b.Backend.index
+              (Atomic.get b.Backend.port)
+              msg);
+        go (ntried + 1)
+      | Error (`Malformed msg) ->
+        ignore (Backend.trip b);
+        Error (`Bad_gateway (b, msg)))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Aggregated endpoints                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge Prometheus text bodies: series with the same name+labels sum,
+   comment lines keep their first occurrence, order is first-seen.
+   Backends are identical processes, so their HELP/TYPE lines agree. *)
+let merge_scrapes bodies =
+  let items = ref [] in
+  let vals : (string, float) Hashtbl.t = Hashtbl.create 128 in
+  let seen_comment : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun body ->
+      String.split_on_char '\n' body
+      |> List.iter (fun line ->
+             if line = "" then ()
+             else if line.[0] = '#' then begin
+               if not (Hashtbl.mem seen_comment line) then begin
+                 Hashtbl.add seen_comment line ();
+                 items := `Comment line :: !items
+               end
+             end
+             else
+               match String.rindex_opt line ' ' with
+               | None -> ()
+               | Some sp -> (
+                 let key = String.sub line 0 sp in
+                 match
+                   float_of_string_opt
+                     (String.sub line (sp + 1) (String.length line - sp - 1))
+                 with
+                 | None -> ()
+                 | Some v -> (
+                   match Hashtbl.find_opt vals key with
+                   | None ->
+                     Hashtbl.add vals key v;
+                     items := `Series key :: !items
+                   | Some old -> Hashtbl.replace vals key (old +. v)))))
+    bodies;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (function
+      | `Comment l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n'
+      | `Series k ->
+        let v = Hashtbl.find vals k in
+        if Float.is_integer v && Float.abs v < 1e15 then
+          Printf.bprintf buf "%s %.0f\n" k v
+        else Printf.bprintf buf "%s %.9g\n" k v)
+    (List.rev !items);
+  Buffer.contents buf
+
+let router_metrics_text t =
+  let buf = Buffer.create 2048 in
+  let counter name help render =
+    Printf.bprintf buf "# HELP %s %s\n# TYPE %s counter\n" name help name;
+    render name
+  in
+  let gauge name help render =
+    Printf.bprintf buf "# HELP %s %s\n# TYPE %s gauge\n" name help name;
+    render name
+  in
+  let scalar v name = Printf.bprintf buf "%s %d\n" name v in
+  counter "pnrule_router_requests_total" "Requests seen by the shard router"
+    (fun name ->
+      Array.iteri
+        (fun i c ->
+          Printf.bprintf buf "%s{endpoint=%S} %d\n" name endpoint_labels.(i)
+            (Atomic.get c))
+        t.rtel.requests);
+  counter "pnrule_router_request_errors_total"
+    "Router responses with status >= 400" (fun name ->
+      Array.iteri
+        (fun i c ->
+          Printf.bprintf buf "%s{endpoint=%S} %d\n" name endpoint_labels.(i)
+            (Atomic.get c))
+        t.rtel.errors);
+  counter "pnrule_router_failovers_total"
+    "Requests transparently re-dispatched to another shard after a failure"
+    (scalar (Atomic.get t.rtel.failovers));
+  counter "pnrule_router_proxy_io_retries_total"
+    "Transient IO retries on router->shard proxy legs"
+    (scalar (Atomic.get t.rtel.proxy_retries));
+  counter "pnrule_router_respawns_total" "Shard processes respawned"
+    (scalar (Atomic.get t.rtel.respawns));
+  counter "pnrule_router_spawn_failures_total"
+    "Shard spawn attempts that failed"
+    (scalar (Atomic.get t.rtel.spawn_failures));
+  counter "pnrule_router_shed_total" "Requests refused by the router"
+    (fun name ->
+      Printf.bprintf buf "%s{reason=\"overload\"} %d\n" name
+        (Atomic.get t.rtel.shed_overload);
+      Printf.bprintf buf "%s{reason=\"no_backend\"} %d\n" name
+        (Atomic.get t.rtel.shed_no_backend);
+      Printf.bprintf buf "%s{reason=\"draining\"} %d\n" name
+        (Atomic.get t.rtel.shed_draining));
+  counter "pnrule_router_connections_total" "Client connections accepted"
+    (scalar (Atomic.get t.rtel.connections));
+  gauge "pnrule_router_backends" "Configured shard count"
+    (scalar (Array.length t.backends));
+  gauge "pnrule_router_backends_healthy" "Shards currently in rotation"
+    (scalar (healthy_count t));
+  gauge "pnrule_router_backend_up" "Per-shard health (1 = in rotation)"
+    (fun name ->
+      Array.iter
+        (fun b ->
+          Printf.bprintf buf "%s{backend=\"%d\"} %d\n" name b.Backend.index
+            (if Atomic.get b.Backend.state = Backend.Healthy then 1 else 0))
+        t.backends);
+  Buffer.contents buf
+
+let metrics_body t =
+  let bodies =
+    Array.to_list t.backends
+    |> List.filter_map (fun b ->
+           if Atomic.get b.Backend.state = Backend.Healthy then
+             match scrape t b "/metrics" with
+             | Some r when r.Http.status = 200 -> Some r.Http.body
+             | _ -> None
+           else None)
+  in
+  router_metrics_text t ^ merge_scrapes bodies
+
+let model_body t =
+  let shards =
+    Array.to_list t.backends
+    |> List.map (fun b ->
+           let st = Atomic.get b.Backend.state in
+           if st = Backend.Healthy then
+             match scrape t b "/model" with
+             | Some r when r.Http.status = 200 ->
+               Printf.sprintf
+                 "{\"index\": %d, \"port\": %d, \"state\": \"healthy\", \
+                  \"model\": %s}"
+                 b.Backend.index
+                 (Atomic.get b.Backend.port)
+                 (String.trim r.Http.body)
+             | _ ->
+               Printf.sprintf
+                 "{\"index\": %d, \"port\": %d, \"state\": \"unreachable\"}"
+                 b.Backend.index
+                 (Atomic.get b.Backend.port)
+           else
+             Printf.sprintf "{\"index\": %d, \"port\": %d, \"state\": %S}"
+               b.Backend.index
+               (Atomic.get b.Backend.port)
+               (Backend.state_label st))
+  in
+  Printf.sprintf
+    "{\"router\": {\"backends\": %d, \"healthy\": %d}, \"shards\": [%s]}\n"
+    (Array.length t.backends) (healthy_count t)
+    (String.concat ", " shards)
+
+let backends_body t =
+  let rows =
+    Array.to_list t.backends
+    |> List.map (fun b ->
+           Printf.sprintf
+             "{\"index\": %d, \"port\": %d, \"pid\": %d, \"state\": %S, \
+              \"respawn_attempt\": %d, \"proxied\": %d}"
+             b.Backend.index
+             (Atomic.get b.Backend.port)
+             (Atomic.get b.Backend.pid)
+             (Backend.state_label (Atomic.get b.Backend.state))
+             b.Backend.respawn_attempt
+             (Atomic.get b.Backend.proxied))
+  in
+  Printf.sprintf "[%s]\n" (String.concat ", " rows)
+
+(* ------------------------------------------------------------------ *)
+(* Rolling admin fan-out                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Flip one shard at a time, in index order, aborting on the first
+   failure: survivors keep serving the generation they already hold, so
+   no response ever mixes generations, and the error names the stuck
+   shard. Requires the whole fleet healthy up front — rolling over a
+   degraded fleet would leave even less capacity mid-flip. *)
+let rolling_admin t ~back ~query =
+  if not (Mutex.try_lock t.admin) then
+    ( 503,
+      [ ("retry-after", "1") ],
+      "rolling admin operation already in progress; retry later\n" )
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.admin)
+      (fun () ->
+        let action = if back then "rollback" else "rollout" in
+        let n = Array.length t.backends in
+        match
+          Array.fold_left
+            (fun acc b ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if Atomic.get b.Backend.state <> Backend.Healthy then Some b
+                else None)
+            None t.backends
+        with
+        | Some b ->
+          ( 503,
+            [ ("retry-after", "1") ],
+            Printf.sprintf
+              "backend %d is %s; the whole fleet must be healthy to %s\n"
+              b.Backend.index
+              (Backend.state_label (Atomic.get b.Backend.state))
+              action )
+        | None ->
+          let target =
+            "/admin/" ^ action
+            ^ match query with [] -> "" | q -> "?" ^ Http.encode_query q
+          in
+          let coverage i =
+            if i = 0 then "no backends were flipped"
+            else
+              Printf.sprintf
+                "backends 0..%d serve the new generation; %d..%d remain on \
+                 the old"
+                (i - 1) i (n - 1)
+          in
+          let rec flip i last_body =
+            if i >= n then
+              ( 200,
+                [],
+                Printf.sprintf
+                  "{\"action\": %S, \"backends\": %d, \"result\": %s}\n" action
+                  n (String.trim last_body) )
+            else begin
+              let b = t.backends.(i) in
+              match
+                attempt t b ~meth:"POST" ~target
+                  ~headers:[ ("connection", "close") ]
+                  ~body:None
+              with
+              | Ok resp when resp.Http.status = 200 ->
+                Log.info (fun m ->
+                    m "%s: backend %d flipped" action b.Backend.index);
+                flip (i + 1) resp.Http.body
+              | Ok resp when i = 0 && resp.Http.status = 409 ->
+                (* Nothing flipped anywhere yet: relay the refusal
+                   (e.g. nothing to roll out to). *)
+                (409, [], resp.Http.body)
+              | Ok resp ->
+                ( 500,
+                  [],
+                  Printf.sprintf
+                    "%s aborted at backend %d (127.0.0.1:%d): HTTP %d: %s; %s\n"
+                    action b.Backend.index
+                    (Atomic.get b.Backend.port)
+                    resp.Http.status
+                    (String.trim resp.Http.body)
+                    (coverage i) )
+              | Error (`Io msg) | Error (`Malformed msg) ->
+                ignore (Backend.trip b);
+                ( 500,
+                  [],
+                  Printf.sprintf
+                    "%s aborted at backend %d (127.0.0.1:%d): %s; %s\n" action
+                    b.Backend.index
+                    (Atomic.get b.Backend.port)
+                    msg (coverage i) )
+            end
+          in
+          flip 0 "{}")
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let observe t ~ep ~status =
+  ignore (Atomic.fetch_and_add t.rtel.requests.(ep) 1);
+  if status >= 400 then ignore (Atomic.fetch_and_add t.rtel.errors.(ep) 1)
+
+let read_body conn ~length =
+  let reader = Http.body_reader conn ~length in
+  let out = Buffer.create (min length 65536) in
+  let tmp = Bytes.create 65536 in
+  let rec go () =
+    let n = reader tmp in
+    if n > 0 then begin
+      Buffer.add_subbytes out tmp 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents out
+
+let encode_target req =
+  let path =
+    String.split_on_char '/' req.Http.path
+    |> List.map Http.url_encode |> String.concat "/"
+  in
+  match req.Http.query with
+  | [] -> path
+  | q -> path ^ "?" ^ Http.encode_query q
+
+(* Proxy one scoring request: buffer the body (it must survive the
+   first shard dying mid-exchange), dispatch with failover, relay the
+   winning response under Content-Length framing. The body bytes are
+   relayed untouched, so predictions through the router are
+   byte-identical to a direct backend (and to batch Serve). *)
+let proxy t conn req ~ep ~keep =
+  if Atomic.get t.draining then begin
+    ignore (Atomic.fetch_and_add t.rtel.shed_draining 1);
+    observe t ~ep ~status:503;
+    Http.respond conn ~status:503
+      ~headers:[ ("retry-after", "1") ]
+      ~body:"draining; retry later\n" ();
+    `Close
+  end
+  else if req.Http.chunked_body then begin
+    observe t ~ep ~status:411;
+    Http.respond conn ~status:411
+      ~body:"chunked request bodies are not supported; send Content-Length\n"
+      ();
+    `Close
+  end
+  else
+    match req.Http.content_length with
+    | None ->
+      observe t ~ep ~status:411;
+      Http.respond conn ~status:411 ~body:"Content-Length required\n" ();
+      `Close
+    | Some len when len > t.config.max_body ->
+      observe t ~ep ~status:413;
+      Http.respond conn ~status:413 ~body:"request body too large\n" ();
+      `Close
+    | Some len -> (
+      (match Http.header req "expect" with
+      | Some e when String.lowercase_ascii e = "100-continue" ->
+        Http.continue_100 conn
+      | _ -> ());
+      match read_body conn ~length:len with
+      | exception (Http.Disconnect | Http.Timeout) ->
+        (* The client vanished before the request was admitted. *)
+        `Close
+      | body -> (
+        let target = encode_target req in
+        let headers =
+          ("connection", "close")
+          ::
+          (match Http.header req "content-type" with
+          | Some ct -> [ ("content-type", ct) ]
+          | None -> [])
+        in
+        match
+          dispatch_failover t ~meth:req.Http.meth ~target ~headers
+            ~body:(Some body)
+        with
+        | Ok (b, resp) ->
+          ignore (Atomic.fetch_and_add b.Backend.proxied 1);
+          observe t ~ep ~status:resp.Http.status;
+          let content_type =
+            Option.value
+              (Http.rheader resp "content-type")
+              ~default:"text/plain; charset=utf-8"
+          in
+          let extra =
+            match Http.rheader resp "retry-after" with
+            | Some v -> [ ("retry-after", v) ]
+            | None -> []
+          in
+          Http.respond conn ~content_type ~keep_alive:keep ~headers:extra
+            ~status:resp.Http.status ~body:resp.Http.body ();
+          if keep then `Keep else `Close
+        | Error `No_backend ->
+          ignore (Atomic.fetch_and_add t.rtel.shed_no_backend 1);
+          observe t ~ep ~status:503;
+          Http.respond conn ~status:503
+            ~headers:[ ("retry-after", "1") ]
+            ~body:"no healthy backends; retry later\n" ();
+          `Close
+        | Error (`Exhausted ntried) ->
+          observe t ~ep ~status:502;
+          Http.respond conn ~status:502
+            ~body:
+              (Printf.sprintf "all %d healthy backends failed; retry later\n"
+                 ntried)
+            ();
+          `Close
+        | Error (`Bad_gateway (b, msg)) ->
+          observe t ~ep ~status:502;
+          Http.respond conn ~status:502
+            ~body:
+              (Printf.sprintf
+                 "backend %d (127.0.0.1:%d) returned a malformed response: \
+                  %s\n"
+                 b.Backend.index
+                 (Atomic.get b.Backend.port)
+                 msg)
+            ();
+          `Close))
+
+let handle t conn =
+  match Http.read_request conn with
+  | exception Http.Bad_request msg ->
+    observe t ~ep:ep_other ~status:400;
+    (try Http.respond conn ~status:400 ~body:(msg ^ "\n") ()
+     with Http.Disconnect | Http.Timeout -> ());
+    `Close
+  | exception (Http.Disconnect | Http.Timeout) -> `Close
+  | req ->
+    ignore (Atomic.fetch_and_add t.rtel.in_flight 1);
+    Fun.protect
+      ~finally:(fun () -> ignore (Atomic.fetch_and_add t.rtel.in_flight (-1)))
+      (fun () ->
+        let keep = req.Http.keep_alive && not (Atomic.get t.draining) in
+        let ep = classify req.Http.path in
+        let simple ?headers status body =
+          observe t ~ep ~status;
+          Http.respond conn ?headers ~keep_alive:keep ~status ~body ();
+          if keep then `Keep else `Close
+        in
+        match (req.Http.meth, req.Http.path) with
+        | "GET", "/healthz" ->
+          if Atomic.get t.draining then
+            simple ~headers:[ ("retry-after", "1") ] 503 "draining\n"
+          else begin
+            let healthy = healthy_count t in
+            if healthy > 0 then
+              simple 200
+                (Printf.sprintf "ok %d/%d backends healthy\n" healthy
+                   (Array.length t.backends))
+            else
+              simple
+                ~headers:[ ("retry-after", "1") ]
+                503 "no healthy backends\n"
+          end
+        | "GET", "/metrics" -> simple 200 (metrics_body t)
+        | "GET", "/model" -> simple 200 (model_body t)
+        | "GET", "/admin/backends" -> simple 200 (backends_body t)
+        | "POST", "/admin/rollout" | "POST", "/admin/rollback" ->
+          if Atomic.get t.draining then
+            simple ~headers:[ ("retry-after", "1") ] 503 "draining\n"
+          else begin
+            let status, headers, body =
+              rolling_admin t
+                ~back:(req.Http.path = "/admin/rollback")
+                ~query:req.Http.query
+            in
+            simple ~headers status body
+          end
+        | "POST", ("/predict" | "/feedback") -> proxy t conn req ~ep ~keep
+        | _, ("/predict" | "/feedback") -> simple 405 "use POST\n"
+        | _, ("/healthz" | "/model" | "/metrics" | "/admin/backends") ->
+          simple 405 "use GET\n"
+        | _, ("/admin/rollout" | "/admin/rollback") -> simple 405 "use POST\n"
+        | _ -> simple 404 "not found\n")
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let serve_conn t fd =
+  let conn = Http.make_conn fd in
+  let rec requests () =
+    match
+      Http.wait_readable conn ~timeout:t.config.idle_timeout ~stop:(fun () ->
+          Atomic.get t.draining)
+    with
+    | `Timeout | `Stopped -> ()
+    | `Readable -> (
+      match handle t conn with `Keep -> requests () | `Close -> ())
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try requests () with _ -> ())
+
+let worker t i dead () =
+  let rec loop () =
+    match Q.pop t.queue with
+    | None -> ()
+    | Some fd ->
+      ignore (Atomic.fetch_and_add t.queued (-1));
+      serve_conn t fd;
+      loop ()
+  in
+  try loop ()
+  with e ->
+    Log.err (fun m ->
+        m "router worker domain %d died: %s" i (Printexc.to_string e));
+    Atomic.set dead true
+
+let spawn_worker t i =
+  let dead = Atomic.make false in
+  { domain = Domain.spawn (worker t i dead); dead }
+
+let check_workers t =
+  Array.iteri
+    (fun i ws ->
+      if Atomic.get ws.dead then begin
+        Domain.join ws.domain;
+        Log.warn (fun m -> m "respawning dead router worker domain %d" i);
+        Atomic.set ws.dead false;
+        ws.domain <- Domain.spawn (worker t i ws.dead)
+      end)
+    t.workers
+
+(* ------------------------------------------------------------------ *)
+(* Backend supervision                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pick_port host =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, 0));
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false)
+
+(* Respawn pacing: jittered exponential from 50 ms, capped at 2 s, with
+   the ladder position itself capped (flap damping) — a shard that
+   crash-loops settles into a bounded respawn rate instead of a hot
+   fork loop, and the ladder only resets after [flap_window] healthy
+   seconds. *)
+let schedule_respawn t b =
+  b.Backend.respawn_at <-
+    Unix.gettimeofday ()
+    +. Pn_util.Backoff.delay ~base:0.05 ~cap:2.0
+         ~attempt:b.Backend.respawn_attempt ();
+  b.Backend.respawn_attempt <-
+    min (b.Backend.respawn_attempt + 1) t.config.respawn_cap
+
+let kill_backend b signal =
+  let pid = Atomic.get b.Backend.pid in
+  if pid > 0 then try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+(* The [router.spawn] fault point: injected EINTR/EAGAIN are transient
+   (retried with backoff, like any syscall); an injected Raise aborts
+   this attempt and the backoff ladder schedules the next one. *)
+let spawn_backend t b =
+  let rec check attempts =
+    match Pn_util.Fault.check "router.spawn" with
+    | () -> ()
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      when attempts < 5 ->
+      Pn_util.Backoff.sleep ~attempt:attempts ();
+      check (attempts + 1)
+  in
+  check 0;
+  let port = pick_port t.config.host in
+  let argv = t.config.backend_argv ~index:b.Backend.index ~port in
+  if Array.length argv = 0 then invalid_arg "Router: backend_argv is empty";
+  let env = t.config.backend_env ~index:b.Backend.index in
+  (* [Unix.fork] is forbidden once other domains exist (OCaml 5), and
+     the router always has worker domains by the time the supervisor
+     spawns anything — [create_process] uses the spawn path instead and
+     is domain-safe. The shard inherits the router's stdio. *)
+  let pid =
+    match env with
+    | None ->
+      Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
+    | Some e ->
+      Unix.create_process_env argv.(0) argv e Unix.stdin Unix.stdout
+        Unix.stderr
+  in
+  Atomic.set b.Backend.port port;
+  Atomic.set b.Backend.pid pid;
+  if b.Backend.ever_spawned then
+    ignore (Atomic.fetch_and_add t.rtel.respawns 1);
+  b.Backend.ever_spawned <- true;
+  Log.info (fun m ->
+      m "spawned backend %d (pid %d, 127.0.0.1:%d)" b.Backend.index pid port)
+
+(* Targeted reaping — each shard's pid is waited on individually so a
+   router embedded in a larger process never steals another
+   subsystem's children. *)
+let reap t =
+  Array.iter
+    (fun b ->
+      let pid = Atomic.get b.Backend.pid in
+      if pid > 0 then begin
+        let gone =
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> false
+          | _, _ -> true
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        in
+        if gone then begin
+          Atomic.set b.Backend.pid 0;
+          if Atomic.get b.Backend.state <> Backend.Dead then begin
+            Log.warn (fun m ->
+                m "backend %d (pid %d) exited; scheduling respawn"
+                  b.Backend.index pid);
+            Atomic.set b.Backend.state Backend.Dead;
+            schedule_respawn t b
+          end
+        end
+      end)
+    t.backends
+
+let step t b now =
+  match Atomic.get b.Backend.state with
+  | Backend.Dead ->
+    if Atomic.get b.Backend.pid = 0 && now >= b.Backend.respawn_at then begin
+      match spawn_backend t b with
+      | () ->
+        Atomic.set b.Backend.state Backend.Starting;
+        b.Backend.started_at <- now;
+        b.Backend.consec_failures <- 0
+      | exception e ->
+        ignore (Atomic.fetch_and_add t.rtel.spawn_failures 1);
+        Log.err (fun m ->
+            m "spawning backend %d failed: %s" b.Backend.index
+              (Printexc.to_string e));
+        schedule_respawn t b
+    end
+  | Backend.Starting ->
+    if probe t b then begin
+      Atomic.set b.Backend.state Backend.Healthy;
+      b.Backend.healthy_since <- now;
+      b.Backend.consec_failures <- 0;
+      Log.info (fun m ->
+          m "backend %d healthy (127.0.0.1:%d)" b.Backend.index
+            (Atomic.get b.Backend.port))
+    end
+    else if now -. b.Backend.started_at > t.config.start_budget then begin
+      Log.err (fun m ->
+          m "backend %d failed to become healthy within %gs; killing"
+            b.Backend.index t.config.start_budget);
+      kill_backend b Sys.sigkill
+      (* the reap path transitions to Dead and schedules the respawn *)
+    end
+  | Backend.Healthy ->
+    if probe t b then begin
+      b.Backend.consec_failures <- 0;
+      if
+        b.Backend.respawn_attempt > 0
+        && now -. b.Backend.healthy_since >= t.config.flap_window
+      then b.Backend.respawn_attempt <- 0
+    end
+    else begin
+      b.Backend.consec_failures <- b.Backend.consec_failures + 1;
+      if b.Backend.consec_failures >= t.config.fail_threshold then begin
+        ignore (Backend.trip b);
+        b.Backend.consec_failures <- 0;
+        Log.warn (fun m ->
+            m "backend %d failed %d probes; suspect" b.Backend.index
+              t.config.fail_threshold)
+      end
+    end
+  | Backend.Suspect ->
+    if probe t b then begin
+      Atomic.set b.Backend.state Backend.Healthy;
+      b.Backend.healthy_since <- now;
+      b.Backend.consec_failures <- 0;
+      Log.info (fun m -> m "backend %d recovered" b.Backend.index)
+    end
+    else begin
+      b.Backend.consec_failures <- b.Backend.consec_failures + 1;
+      if b.Backend.consec_failures >= t.config.fail_threshold then begin
+        Log.err (fun m ->
+            m "backend %d unresponsive while suspect; killing for respawn"
+              b.Backend.index);
+        kill_backend b Sys.sigkill
+      end
+    end
+
+(* Rolling drain: TERM each shard in turn, give it [drain_budget] to
+   exit, then KILL. Runs after the router's own workers have finished,
+   so no in-flight proxied request is cut. *)
+let drain_backends t =
+  Array.iter
+    (fun b ->
+      Atomic.set b.Backend.state Backend.Dead;
+      let pid = Atomic.get b.Backend.pid in
+      if pid > 0 then begin
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        let deadline = Unix.gettimeofday () +. t.config.drain_budget in
+        let rec waitloop killed =
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ ->
+            if (not killed) && Unix.gettimeofday () > deadline then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              waitloop true
+            end
+            else begin
+              (try Unix.sleepf 0.02
+               with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+              waitloop killed
+            end
+          | _, _ -> ()
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitloop killed
+        in
+        waitloop false;
+        Atomic.set b.Backend.pid 0
+      end)
+    t.backends;
+  Log.info (fun m -> m "backend fleet drained")
+
+let supervisor t () =
+  let rec loop () =
+    if Atomic.get t.stop_backends then ()
+    else begin
+      (* SIGCHLD interrupts the sleep below, so an exited shard is
+         reaped now rather than at the next tick. *)
+      if Atomic.exchange t.chld false then reap t;
+      reap t;
+      let now = Unix.gettimeofday () in
+      Array.iter (fun b -> try step t b now with _ -> ()) t.backends;
+      (try Unix.sleepf t.config.probe_interval
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  (try loop ()
+   with e ->
+     Log.err (fun m -> m "supervisor died: %s" (Printexc.to_string e)));
+  drain_backends t
+
+(* ------------------------------------------------------------------ *)
+(* Listener domain                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let admission_load t = Atomic.get t.queued + Atomic.get t.rtel.in_flight
+
+let listener t () =
+  let rec loop () =
+    check_workers t;
+    if Atomic.get t.stop_req then ()
+    else begin
+      (match Unix.select [ t.lfd ] [] [] 0.05 with
+      | [ _ ], _, _ -> (
+        match Unix.accept ~cloexec:true t.lfd with
+        | fd, _ ->
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout
+           with Unix.Unix_error _ -> ());
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          ignore (Atomic.fetch_and_add t.rtel.connections 1);
+          if admission_load t >= t.config.queue_limit then begin
+            ignore (Atomic.fetch_and_add t.rtel.shed_overload 1);
+            Http.deny fd ~status:429 ~retry_after:1
+              ~body:"over capacity; retry later\n";
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end
+          else begin
+            ignore (Atomic.fetch_and_add t.queued 1);
+            Q.push t.queue (Some fd)
+          end
+        | exception
+            Unix.Unix_error
+              ( (Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED),
+                _,
+                _ ) ->
+          ()
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          Atomic.set t.stop_req true)
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        Atomic.set t.stop_req true);
+      loop ()
+    end
+  in
+  loop ();
+  (* Drain order matters: stop accepting, finish queued + in-flight
+     client requests (which may still be proxying), and only then let
+     the supervisor take the backend fleet down. *)
+  Log.info (fun m -> m "router draining: %d worker domain(s)" t.config.domains);
+  Atomic.set t.draining true;
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  Array.iter (fun _ -> Q.push t.queue None) t.workers;
+  Array.iter (fun ws -> Domain.join ws.domain) t.workers;
+  Atomic.set t.stop_backends true;
+  Log.info (fun m -> m "router drained")
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = default_config) () =
+  if config.domains < 1 || config.domains > 64 then
+    invalid_arg "Router.start: domains must be in 1..64";
+  if config.backends < 1 || config.backends > 64 then
+    invalid_arg "Router.start: backends must be in 1..64";
+  if config.port < 0 || config.port > 65535 then
+    invalid_arg "Router.start: port must be in 0..65535";
+  if config.max_body <= 0 then invalid_arg "Router.start: max_body";
+  if config.idle_timeout <= 0.0 then invalid_arg "Router.start: idle_timeout";
+  if config.proxy_timeout <= 0.0 then invalid_arg "Router.start: proxy_timeout";
+  if config.probe_interval <= 0.0 then
+    invalid_arg "Router.start: probe_interval";
+  if config.probe_timeout <= 0.0 then invalid_arg "Router.start: probe_timeout";
+  if config.fail_threshold < 1 then invalid_arg "Router.start: fail_threshold";
+  if config.start_budget <= 0.0 then invalid_arg "Router.start: start_budget";
+  if config.respawn_cap < 0 then invalid_arg "Router.start: respawn_cap";
+  if config.backlog < 1 || config.backlog > 65535 then
+    invalid_arg "Router.start: backlog must be in 1..65535";
+  if config.queue_limit < 1 then invalid_arg "Router.start: queue_limit";
+  if Array.length (config.backend_argv ~index:0 ~port:0) = 0 then
+    invalid_arg "Router.start: backend_argv";
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+      Unix.bind lfd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+      Unix.listen lfd config.backlog;
+      let port =
+        match Unix.getsockname lfd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> assert false
+      in
+      {
+        config;
+        lfd;
+        port;
+        backends = Array.init config.backends Backend.make;
+        queue = Q.create ();
+        queued = Atomic.make 0;
+        stop_req = Atomic.make false;
+        draining = Atomic.make false;
+        stop_backends = Atomic.make false;
+        chld = Atomic.make false;
+        rr = Atomic.make 0;
+        rtel = make_rtel ();
+        admin = Mutex.create ();
+        workers = [||];
+        listener = None;
+        supervisor = None;
+      }
+    with e ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  t.workers <- Array.init config.domains (fun i -> spawn_worker t i);
+  t.supervisor <- Some (Domain.spawn (supervisor t));
+  t.listener <- Some (Domain.spawn (listener t));
+  Log.info (fun m ->
+      m "router listening on %s:%d (%d worker domain(s), %d backend(s))"
+        config.host t.port config.domains config.backends);
+  t
+
+let join t =
+  (match t.listener with
+  | None -> ()
+  | Some d ->
+    t.listener <- None;
+    Domain.join d);
+  match t.supervisor with
+  | None -> ()
+  | Some d ->
+    t.supervisor <- None;
+    (* If the listener never ran (or already joined), make sure the
+       supervisor is told to stop before we block on it. *)
+    if Atomic.get t.stop_req then Atomic.set t.stop_backends true;
+    Domain.join d
+
+let stop t =
+  request_stop t;
+  join t
+
+let install_signals t =
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_stop t));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop t));
+  Sys.set_signal Sys.sigchld (Sys.Signal_handle (fun _ -> note_chld t))

@@ -2,8 +2,9 @@
 
     A fault point is a named site in production code — [serialize.write],
     [stream.refill], [server.worker], [serve.chunk_write],
-    [columnar.read], [columnar.write], [registry.flip],
-    [registry.load] — that consults
+    [columnar.read], [columnar.write], [registry.flip], [registry.load],
+    [router.proxy_read], [router.proxy_write], [router.spawn] — that
+    consults
     this registry on every pass. When the registry is disarmed (the
     default) a pass costs one atomic load and a branch, so the points can
     live permanently in hot paths. When a point is armed, a deterministic

@@ -25,4 +25,5 @@ let () =
       ("adapt", Test_adapt.suite);
       ("fault", Test_fault.suite);
       ("columnar", Test_columnar.suite);
+      ("shard", Test_shard.suite);
     ]

@@ -647,6 +647,227 @@ let test_sigterm_drains_in_flight () =
         Alcotest.fail "server still accepting after drain"
       | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ())
 
+(* ------------------------------------------------------------------ *)
+(* URL codec: property round-trips and hostile edge cases               *)
+(* ------------------------------------------------------------------ *)
+
+module Http = Pn_server.Http
+
+(* The router re-serializes every parsed query string when proxying, so
+   decode∘encode must be the identity on arbitrary bytes — not just the
+   strings a polite client would send. *)
+let url_qcheck_tests =
+  let any_string =
+    QCheck.make
+      ~print:(Printf.sprintf "%S")
+      QCheck.Gen.(
+        string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 40))
+  in
+  let query =
+    let s =
+      QCheck.Gen.(
+        string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12))
+    in
+    QCheck.make
+      ~print:(fun q ->
+        String.concat "; "
+          (List.map (fun (k, v) -> Printf.sprintf "%S=%S" k v) q))
+      QCheck.Gen.(list_size (int_bound 8) (pair s s))
+  in
+  [
+    QCheck.Test.make ~count:500 ~name:"url_decode inverts url_encode"
+      any_string (fun s -> Http.url_decode (Http.url_encode s) = s);
+    QCheck.Test.make ~count:500
+      ~name:"url_decode inverts url_encode under plus_space" any_string
+      (fun s ->
+        Http.url_decode ~plus_space:true (Http.url_encode ~plus_space:true s)
+        = s);
+    QCheck.Test.make ~count:500 ~name:"parse_query inverts encode_query" query
+      (fun q -> Http.parse_query (Http.encode_query q) = q);
+    (* Encoding is canonical: no unreserved byte is ever escaped, and
+       everything else always is, so an encoded string never needs a
+       second encoding pass. *)
+    QCheck.Test.make ~count:500 ~name:"url_encode output is canonical"
+      any_string (fun s ->
+        let e = Http.url_encode s in
+        Http.url_encode (Http.url_decode e) = e);
+  ]
+
+let test_url_edge_cases () =
+  let bad_request f =
+    match f () with
+    | exception Http.Bad_request _ -> ()
+    | s -> Alcotest.failf "expected Bad_request, decoded %S" s
+  in
+  (* '+' is a literal byte on the path side, a space only under form
+     decoding — and %2B is a plus under both. *)
+  Alcotest.(check string) "plus is literal" "a+b" (Http.url_decode "a+b");
+  Alcotest.(check string) "plus is space under plus_space" "a b"
+    (Http.url_decode ~plus_space:true "a+b");
+  Alcotest.(check string) "%2B is a plus even under plus_space" "a+b"
+    (Http.url_decode ~plus_space:true "a%2Bb");
+  Alcotest.(check string) "space encodes as plus under plus_space" "a+b"
+    (Http.url_encode ~plus_space:true "a b");
+  (* Empty keys and empty values are preserved, not collapsed. *)
+  Alcotest.(check (list (pair string string)))
+    "empty key" [ ("", "v") ] (Http.parse_query "=v");
+  Alcotest.(check (list (pair string string)))
+    "empty values and bare keys"
+    [ ("a", ""); ("", "b"); ("c", "") ]
+    (Http.parse_query "a=&=b&c");
+  Alcotest.(check (list (pair string string)))
+    "empty pairs are dropped"
+    [ ("a", ""); ("b", "") ]
+    (Http.parse_query "a&&b");
+  Alcotest.(check (list (pair string string)))
+    "empty keys survive the proxy round-trip" [ ("", "v"); ("k", "") ]
+    (Http.parse_query (Http.encode_query [ ("", "v"); ("k", "") ]));
+  (* Double-encoded input decodes exactly one layer per pass. *)
+  Alcotest.(check string) "one layer at a time" "%41" (Http.url_decode "%2541");
+  Alcotest.(check string) "second pass finishes the job" "A"
+    (Http.url_decode (Http.url_decode "%2541"));
+  Alcotest.(check (list (pair string string)))
+    "double-encoded values survive the proxy round-trip"
+    [ ("k", "%2541") ]
+    (Http.parse_query (Http.encode_query [ ("k", "%2541") ]));
+  (* Malformed escapes fail deterministically, never mangle bytes. *)
+  bad_request (fun () -> Http.url_decode "%");
+  bad_request (fun () -> Http.url_decode "%2");
+  bad_request (fun () -> Http.url_decode "%zz");
+  bad_request (fun () -> Http.url_decode "ok%f");
+  bad_request (fun () -> Http.url_decode ~plus_space:true "a+%G0")
+
+(* ------------------------------------------------------------------ *)
+(* Request-head hardening: bare CR, header budget boundary, malformed
+   responses                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed raw bytes to the protocol layer over a socketpair — no server,
+   no TCP, fully deterministic. *)
+let with_raw_conn raw parse =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let conn = Http.make_conn a in
+      let w = Bytes.of_string raw in
+      let n = Bytes.length w in
+      let off = ref 0 in
+      while !off < n do
+        off := !off + Unix.write b w !off (n - !off)
+      done;
+      Unix.shutdown b Unix.SHUTDOWN_SEND;
+      parse conn)
+
+let try_request ?max_header raw =
+  with_raw_conn raw (fun conn ->
+      match Http.read_request ?max_header conn with
+      | req -> Ok req
+      | exception Http.Bad_request m -> Error m)
+
+let test_bare_cr_rejected () =
+  let expect_bad label raw =
+    match try_request raw with
+    | Error m ->
+      Alcotest.(check bool)
+        (label ^ ": names the bare CR") true
+        (contains m "bare CR")
+    | Ok req ->
+      Alcotest.failf "%s: parsed %s %s instead of rejecting" label
+        req.Http.meth req.Http.path
+  in
+  (* CR-only "line endings": some stacks treat a lone CR as a line
+     break, which would let a request smuggle a header we never saw.
+     Reject the whole head instead. *)
+  expect_bad "CR-only separator" "GET / HTTP/1.1\rhost: t\r\n\r\n";
+  expect_bad "bare CR inside a header" "GET / HTTP/1.1\r\nh: a\rb\r\n\r\n";
+  expect_bad "CR-only blank line" "GET / HTTP/1.1\r\nhost: t\r\n\r\r\n";
+  (* CRLF and bare LF both still parse. *)
+  (match try_request "GET /ok HTTP/1.1\r\nhost: t\r\n\r\n" with
+  | Ok req -> Alcotest.(check string) "CRLF head parses" "/ok" req.Http.path
+  | Error m -> Alcotest.failf "CRLF head rejected: %s" m);
+  match try_request "GET /ok HTTP/1.1\nhost: t\n\n" with
+  | Ok req -> Alcotest.(check string) "bare-LF head parses" "/ok" req.Http.path
+  | Error m -> Alcotest.failf "bare-LF head rejected: %s" m
+
+let test_header_budget_boundary () =
+  let head = "GET /exact HTTP/1.1\r\nhost: boundary-test\r\n\r\n" in
+  let budget = String.length head in
+  (* Exactly at the budget: admitted. *)
+  (match try_request ~max_header:budget head with
+  | Ok req ->
+    Alcotest.(check string) "exactly-at-budget head parses" "/exact"
+      req.Http.path
+  | Error m -> Alcotest.failf "exactly-at-budget head rejected: %s" m);
+  (* One byte over (same budget, one more header byte): rejected with
+     the deterministic oversize error, not a hang or a mangled parse. *)
+  let over = "GET /exact HTTP/1.1\r\nhost: boundary-test!\r\n\r\n" in
+  Alcotest.(check int) "over-head is one byte larger" (budget + 1)
+    (String.length over);
+  match try_request ~max_header:budget over with
+  | Error m ->
+    Alcotest.(check bool) "oversize error names the budget" true
+      (contains m "too large")
+  | Ok _ -> Alcotest.fail "one-over-budget head was admitted"
+
+(* The router maps any Bad_request from a shard's response to a
+   deterministic 502; this pins down that every malformed shape raises
+   Bad_request promptly rather than hanging or leaking garbage. *)
+let test_malformed_responses () =
+  let try_response raw =
+    with_raw_conn raw (fun conn ->
+        match Http.read_response conn with
+        | r -> Ok r
+        | exception Http.Bad_request m -> Error m)
+  in
+  let expect_bad label raw =
+    match try_response raw with
+    | Error _ -> ()
+    | Ok r -> Alcotest.failf "%s: parsed as HTTP %d" label r.Http.status
+  in
+  (* Well-formed framings parse. *)
+  (match try_response "HTTP/1.1 200 OK\r\ncontent-length: 3\r\n\r\nabc" with
+  | Ok r ->
+    Alcotest.(check int) "content-length status" 200 r.Http.status;
+    Alcotest.(check string) "content-length body" "abc" r.Http.body
+  | Error m -> Alcotest.failf "content-length response rejected: %s" m);
+  (match
+     try_response
+       "HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n"
+   with
+  | Ok r -> Alcotest.(check string) "chunked body de-chunked" "abc" r.Http.body
+  | Error m -> Alcotest.failf "chunked response rejected: %s" m);
+  (match try_response "HTTP/1.1 204 No Content\r\n\r\n" with
+  | Ok r -> Alcotest.(check string) "EOF-delimited empty body" "" r.Http.body
+  | Error m -> Alcotest.failf "EOF-delimited response rejected: %s" m);
+  (* Malformed shapes are deterministic Bad_request. *)
+  expect_bad "garbage status line" "garbage\r\n\r\n";
+  expect_bad "non-numeric status" "HTTP/1.1 abc OK\r\n\r\n";
+  expect_bad "status out of range" "HTTP/1.1 999 Nope\r\n\r\n";
+  expect_bad "negative content-length"
+    "HTTP/1.1 200 OK\r\ncontent-length: -1\r\n\r\n";
+  expect_bad "non-numeric content-length"
+    "HTTP/1.1 200 OK\r\ncontent-length: lots\r\n\r\n";
+  expect_bad "garbage chunk size"
+    "HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\nabc\r\n0\r\n\r\n";
+  expect_bad "chunk missing its CRLF terminator"
+    "HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n3\r\nabcXY0\r\n\r\n";
+  (* Truncation is Disconnect (retryable — the shard died), never a
+     silent short body. *)
+  match
+    with_raw_conn "HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc"
+      (fun conn ->
+        match Http.read_response conn with
+        | r -> Some r
+        | exception Http.Disconnect -> None)
+  with
+  | None -> ()
+  | Some r ->
+    Alcotest.failf "truncated body parsed as %d-byte response"
+      (String.length r.Http.body)
+
 let suite =
   [
     Alcotest.test_case "e2e: 1 worker domain" `Quick (run_e2e ~domains:1);
@@ -663,4 +884,12 @@ let suite =
       test_reload_and_generation;
     Alcotest.test_case "SIGTERM drains in-flight work" `Quick
       test_sigterm_drains_in_flight;
+    Alcotest.test_case "url codec edge cases" `Quick test_url_edge_cases;
+    Alcotest.test_case "bare CR in a request head is rejected" `Quick
+      test_bare_cr_rejected;
+    Alcotest.test_case "header budget boundary is exact" `Quick
+      test_header_budget_boundary;
+    Alcotest.test_case "malformed responses raise, never hang" `Quick
+      test_malformed_responses;
   ]
+  @ List.map QCheck_alcotest.to_alcotest url_qcheck_tests

@@ -1,0 +1,463 @@
+(* End-to-end tests for the sharded serving tier (lib/shard): an
+   in-process router supervising real [pnrule serve] child processes
+   (the built CLI binary), exercised by real TCP clients. The core
+   robustness claims are tested literally: SIGKILL a shard under
+   concurrent load and lose nothing; roll a generation across the fleet
+   and abort cleanly on an injected warm failure; lose every shard and
+   keep answering 503 with a retry hint. *)
+
+module Router = Pn_shard.Router
+module R = Pnrule.Registry
+module F = Pn_util.Fault
+module Client = Test_server.Client
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* The router tests exec the real CLI binary: the test executable lives
+   at _build/default/test/main.exe, the CLI one directory over (a dune
+   dep keeps it fresh). *)
+let cli_exe =
+  lazy
+    (let p =
+       Filename.concat
+         (Filename.dirname Sys.executable_name)
+         "../bin/pnrule_cli.exe"
+     in
+     if Sys.file_exists p then p
+     else Alcotest.failf "CLI binary missing at %s (dune dependency broken?)" p)
+
+(* Tests that arm fault points programmatically must put the process
+   back the way chaos CI set it up, or every later suite runs with the
+   wrong schedule. *)
+let with_faults arm body =
+  F.reset ();
+  arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      F.reset ();
+      match Sys.getenv_opt "PNRULE_FAULTS" with
+      | Some spec -> ignore (F.arm_spec spec)
+      | None -> ())
+    body
+
+(* Under a chaos env (PNRULE_FAULTS set) the router's own proxy legs
+   take scheduled faults, so "exactly N" accounting claims relax to
+   ">= N" — correctness claims (statuses, bytes) never relax. *)
+let chaos_env = Sys.getenv_opt "PNRULE_FAULTS" <> None
+
+let wait_until ?(timeout = 30.0) msg f =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" msg
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+(* A fresh registry directory holding the shared fixture model as
+   gen-1. *)
+let make_registry () =
+  let model, _, _, _ = Lazy.force Test_server.fixture in
+  let dir = Filename.temp_file "pnrule_shard" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let reg = R.open_dir dir in
+  let gen = R.publish reg model in
+  Alcotest.(check int) "fixture generation" 1 gen;
+  (dir, reg)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+(* Shards must score with the fixture's reference chunk size or the
+   byte-identity checks are vacuous. One worker domain per shard keeps
+   the fleet honest on small CI machines. *)
+let serve_argv registry ~index:_ ~port =
+  [|
+    Lazy.force cli_exe;
+    "serve";
+    "--registry";
+    registry;
+    "--host";
+    "127.0.0.1";
+    "--port";
+    string_of_int port;
+    "--domains";
+    "1";
+    "--chunk";
+    "256";
+  |]
+
+let router_config ?(backends = 2) ?(backend_env = fun ~index:_ -> None)
+    ?(backend_argv = serve_argv) registry =
+  {
+    Router.default_config with
+    backends;
+    domains = 2;
+    backend_argv = backend_argv registry;
+    backend_env;
+    probe_interval = 0.02;
+    start_budget = 25.0;
+  }
+
+(* Boot a router over a fresh fixture registry, run [body], and always
+   stop the fleet and remove the registry. [wait] (default true) blocks
+   until every shard is in rotation. *)
+let with_router ?(backends = 2) ?backend_env ?backend_argv ?(wait = true) body =
+  let dir, reg = make_registry () in
+  let t =
+    Router.start
+      ~config:(router_config ~backends ?backend_env ?backend_argv dir)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.stop t;
+      rm_rf dir)
+    (fun () ->
+      if wait then
+        wait_until "fleet healthy" (fun () -> Router.healthy_count t = backends);
+      body t reg)
+
+let scrape t =
+  let s, _, body =
+    Test_server.one_shot (Router.port t) ~meth:"GET" ~path:"/metrics" ()
+  in
+  Alcotest.(check int) "metrics scrape status" 200 s;
+  body
+
+let metric = Test_server.metric_value
+
+let backend_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+
+(* ------------------------------------------------------------------ *)
+(* e2e: byte-identity through the router, merged metrics, rolling
+   rollout, clean shutdown                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_sharded_e2e () =
+  let _, body, expected, _ = Lazy.force Test_server.fixture in
+  with_router ~backends:2 (fun t reg ->
+      let port = Router.port t in
+      let s, _, b = Test_server.one_shot port ~meth:"GET" ~path:"/healthz" () in
+      Alcotest.(check int) "healthz" 200 s;
+      Alcotest.(check string) "healthz body" "ok 2/2 backends healthy\n" b;
+      (* Concurrent keep-alive clients; every response must carry the
+         batch pipeline's exact bytes even though any shard may serve
+         any request. *)
+      let clients = 3 and reqs = 4 in
+      let results =
+        List.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                let c = Client.connect port in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    List.init reqs (fun _ ->
+                        Client.request c ~meth:"POST" ~path:"/predict" ~body ()))))
+        |> List.map Domain.join
+      in
+      List.iter
+        (List.iter (fun (status, _, got) ->
+             Alcotest.(check int) "predict status" 200 status;
+             Alcotest.(check string) "byte-identical through the router"
+               expected got))
+        results;
+      let total = float_of_int (clients * reqs) in
+      let m = scrape t in
+      (* Router accounting and the merged fleet scrape must agree: the
+         router saw N predicts, and the shards' summed
+         pnrule_requests_total says they served N between them (a chaos
+         schedule can add a failover re-dispatch, so >= under chaos). *)
+      let router_seen = metric m "pnrule_router_requests_total{endpoint=\"predict\"}" in
+      let fleet_served = metric m "pnrule_requests_total{endpoint=\"predict\"}" in
+      Alcotest.(check (float 0.0)) "router predict count" total router_seen;
+      if chaos_env then
+        Alcotest.(check bool)
+          "fleet served at least the admitted predicts" true
+          (fleet_served >= total)
+      else
+        Alcotest.(check (float 0.0))
+          "fleet served exactly the admitted predicts" total fleet_served;
+      Alcotest.(check (float 0.0))
+        "no predict errors" 0.0
+        (metric m "pnrule_router_request_errors_total{endpoint=\"predict\"}");
+      Alcotest.(check (float 0.0))
+        "both shards in rotation" 2.0
+        (metric m "pnrule_router_backends_healthy");
+      (* Rolling rollout: publish gen-2, flip the fleet one shard at a
+         time through the router, then confirm every shard serves it. *)
+      let model, _, _, _ = Lazy.force Test_server.fixture in
+      let gen2 = R.publish reg model in
+      Alcotest.(check int) "second generation" 2 gen2;
+      let s, _, rb =
+        Test_server.one_shot port ~meth:"POST" ~path:"/admin/rollout" ()
+      in
+      Alcotest.(check int) "rollout status" 200 s;
+      Alcotest.(check bool)
+        "rollout response names the action" true
+        (contains rb "\"action\": \"rollout\"");
+      let s, _, mb = Test_server.one_shot port ~meth:"GET" ~path:"/model" () in
+      Alcotest.(check int) "model status" 200 s;
+      Alcotest.(check bool)
+        "all shards on generation 2" true
+        (contains mb "\"generation\": 2" && not (contains mb "\"generation\": 1"));
+      (* Predictions are unchanged across the flip (same model bytes). *)
+      let s, _, got =
+        Test_server.one_shot port ~meth:"POST" ~path:"/predict" ~body ()
+      in
+      Alcotest.(check int) "post-rollout predict" 200 s;
+      Alcotest.(check string) "post-rollout bytes" expected got;
+      (* Rollback walks the fleet down again. *)
+      let s, _, _ =
+        Test_server.one_shot port ~meth:"POST" ~path:"/admin/rollback" ()
+      in
+      Alcotest.(check int) "rollback status" 200 s;
+      let _, _, mb = Test_server.one_shot port ~meth:"GET" ~path:"/model" () in
+      Alcotest.(check bool)
+        "all shards back on generation 1" true
+        (contains mb "\"generation\": 1" && not (contains mb "\"generation\": 2"));
+      let pids = [ Router.backend_pid t 0; Router.backend_pid t 1 ] in
+      Router.stop t;
+      (* The drain rolled SIGTERM across the fleet and reaped it: no
+         shard processes survive the router. *)
+      wait_until ~timeout:10.0 "shards exit after drain" (fun () ->
+          List.for_all (fun pid -> not (backend_alive pid)) pids))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic failover and retry accounting                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Satellite: pnrule_router_failovers_total (whole requests re-dispatched
+   to another shard) and pnrule_router_proxy_io_retries_total (transient
+   IO retries inside one proxy leg) are distinct series and must
+   reconcile with what was injected. *)
+let test_failover_accounting () =
+  let _, body, expected, _ = Lazy.force Test_server.fixture in
+  with_router ~backends:2 (fun t _reg ->
+      let port = Router.port t in
+      (* A hard read fault on the first proxy leg: the shard is tripped
+         and the buffered request transparently retries on the other
+         shard — the client sees one clean 200. *)
+      with_faults
+        (fun () -> F.arm ~times:1 "router.proxy_read" F.Raise)
+        (fun () ->
+          let s, _, got =
+            Test_server.one_shot port ~meth:"POST" ~path:"/predict" ~body ()
+          in
+          Alcotest.(check int) "predict despite dead leg" 200 s;
+          Alcotest.(check string) "failover is byte-identical" expected got;
+          let m = scrape t in
+          Alcotest.(check (float 0.0))
+            "exactly one failover" 1.0
+            (metric m "pnrule_router_failovers_total");
+          Alcotest.(check (float 0.0))
+            "client saw no error" 0.0
+            (metric m
+               "pnrule_router_request_errors_total{endpoint=\"predict\"}"));
+      (* Transient EINTRs on the write leg: absorbed in place by the
+         bounded retry loop — retries are accounted, no failover. *)
+      wait_until "fleet recovers from the tripped leg" (fun () ->
+          Router.healthy_count t = 2);
+      with_faults
+        (fun () -> F.arm ~times:3 "router.proxy_write" F.Eintr)
+        (fun () ->
+          let s, _, got =
+            Test_server.one_shot port ~meth:"POST" ~path:"/predict" ~body ()
+          in
+          Alcotest.(check int) "predict despite EINTR storm" 200 s;
+          Alcotest.(check string) "retried leg is byte-identical" expected got;
+          let m = scrape t in
+          Alcotest.(check (float 0.0))
+            "the three injected EINTRs are accounted as proxy retries" 3.0
+            (metric m "pnrule_router_proxy_io_retries_total");
+          Alcotest.(check (float 0.0))
+            "retries did not inflate failovers" 1.0
+            (metric m "pnrule_router_failovers_total"));
+      (* Both legs hard-fail: the router answers a deterministic 502 —
+         it never hangs and never fabricates a prediction. *)
+      wait_until "fleet recovers again" (fun () -> Router.healthy_count t = 2);
+      with_faults
+        (fun () -> F.arm ~times:2 "router.proxy_read" F.Raise)
+        (fun () ->
+          let s, _, b =
+            Test_server.one_shot port ~meth:"POST" ~path:"/predict" ~body ()
+          in
+          Alcotest.(check int) "502 when every healthy leg fails" 502 s;
+          Alcotest.(check string) "502 names the exhaustion"
+            "all 2 healthy backends failed; retry later\n" b);
+      wait_until "fleet recovers from the double trip" (fun () ->
+          Router.healthy_count t = 2))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: SIGKILL a shard under concurrent load                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_death_under_load () =
+  let _, body, expected, _ = Lazy.force Test_server.fixture in
+  with_router ~backends:3 (fun t _reg ->
+      let port = Router.port t in
+      let victim = Router.backend_pid t 0 in
+      Alcotest.(check bool) "victim shard is running" true (victim > 0);
+      let clients = 3 and reqs = 12 in
+      let workers =
+        List.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                let c = Client.connect port in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    List.init reqs (fun _ ->
+                        Client.request c ~meth:"POST" ~path:"/predict" ~body ()))))
+      in
+      (* Kill -9 one shard mid-load. Requests in flight on it are
+         transparently re-dispatched; no admitted request may fail. *)
+      Unix.sleepf 0.05;
+      Unix.kill victim Sys.sigkill;
+      let results = List.map Domain.join workers in
+      List.iter
+        (List.iter (fun (status, _, got) ->
+             Alcotest.(check int) "predict status across shard death" 200
+               status;
+             Alcotest.(check string) "bytes identical across shard death"
+               expected got))
+        results;
+      let m = scrape t in
+      Alcotest.(check (float 0.0))
+        "zero client-visible predict errors" 0.0
+        (metric m "pnrule_router_request_errors_total{endpoint=\"predict\"}");
+      Alcotest.(check (float 0.0))
+        "every admitted predict answered" (float_of_int (clients * reqs))
+        (metric m "pnrule_router_requests_total{endpoint=\"predict\"}");
+      (* The supervisor reaps the corpse and respawns within the backoff
+         budget; the fleet returns to full strength. *)
+      wait_until "respawn observed" (fun () ->
+          metric (scrape t) "pnrule_router_respawns_total" >= 1.0);
+      wait_until "fleet back to 3/3" (fun () -> Router.healthy_count t = 3);
+      Alcotest.(check bool)
+        "respawned shard has a fresh pid" true
+        (Router.backend_pid t 0 > 0 && Router.backend_pid t 0 <> victim);
+      let s, _, got =
+        Test_server.one_shot port ~meth:"POST" ~path:"/predict" ~body ()
+      in
+      Alcotest.(check int) "predict after recovery" 200 s;
+      Alcotest.(check string) "recovered shard serves identical bytes" expected
+        got)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: every shard down                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_backends_down () =
+  let broken _registry ~index:_ ~port:_ =
+    [| "/nonexistent/pnrule-shard-backend"; "serve" |]
+  in
+  with_router ~backends:2 ~backend_argv:broken ~wait:false (fun t _reg ->
+      let port = Router.port t in
+      (* The supervisor keeps trying (and accounting) spawns that can
+         never succeed... *)
+      wait_until "spawn failures accounted" (fun () ->
+          let m = scrape t in
+          metric m "pnrule_router_spawn_failures_total" >= 1.0
+          || metric m "pnrule_router_respawns_total" >= 1.0);
+      Alcotest.(check int) "no shard in rotation" 0 (Router.healthy_count t);
+      (* ...while the router itself stays up and degrades gracefully:
+         503 + Retry-After, never a hang or a crash. *)
+      let s, _, b = Test_server.one_shot port ~meth:"GET" ~path:"/healthz" () in
+      Alcotest.(check int) "healthz is 503" 503 s;
+      Alcotest.(check string) "healthz names the condition"
+        "no healthy backends\n" b;
+      let s, hs, b =
+        Test_server.one_shot port ~meth:"POST" ~path:"/predict" ~body:"x\n" ()
+      in
+      Alcotest.(check int) "predict is 503" 503 s;
+      Alcotest.(check (option string))
+        "predict carries Retry-After" (Some "1")
+        (List.assoc_opt "retry-after" hs);
+      Alcotest.(check string) "predict names the condition"
+        "no healthy backends; retry later\n" b;
+      let m = scrape t in
+      Alcotest.(check bool)
+        "shed accounted as no_backend" true
+        (metric m "pnrule_router_shed_total{reason=\"no_backend\"}" >= 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Rolling rollout aborts on a warm failure                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Shard 1 boots normally (its first registry.load pass is let through)
+   but its next load — the rollout's — raises. The fan-out must stop
+   there: shard 0 on gen-2, shards 1..2 still serving gen-1, and the
+   500 names the stuck shard. *)
+let test_rollout_warm_failure () =
+  let env_with spec =
+    Unix.environment () |> Array.to_list
+    |> List.filter (fun kv ->
+           not
+             (String.length kv >= 14 && String.sub kv 0 14 = "PNRULE_FAULTS="))
+    |> List.cons ("PNRULE_FAULTS=" ^ spec)
+    |> Array.of_list
+  in
+  let backend_env ~index =
+    if index = 1 then Some (env_with "registry.load:raise,after=1") else None
+  in
+  with_router ~backends:3 ~backend_env (fun t reg ->
+      let port = Router.port t in
+      let gen2 = R.publish reg (let m, _, _, _ = Lazy.force Test_server.fixture in m) in
+      Alcotest.(check int) "candidate generation" 2 gen2;
+      let s, _, b =
+        Test_server.one_shot port ~meth:"POST" ~path:"/admin/rollout" ()
+      in
+      Alcotest.(check int) "rollout aborts with 500" 500 s;
+      Alcotest.(check bool)
+        "error names the stuck shard" true
+        (contains b "aborted at backend 1");
+      Alcotest.(check bool)
+        "error states the fleet coverage" true
+        (contains b "backends 0..0 serve the new generation");
+      (* Ground truth straight from each shard, bypassing the router. *)
+      let shard_gen i =
+        let _, _, mb =
+          Test_server.one_shot
+            (Router.backend_port t i)
+            ~meth:"GET" ~path:"/model" ()
+        in
+        if contains mb "\"generation\": 2" then 2
+        else if contains mb "\"generation\": 1" then 1
+        else Alcotest.failf "shard %d reports no generation: %s" i mb
+      in
+      Alcotest.(check (list int))
+        "gen-2 stops at the failed shard" [ 2; 1; 1 ]
+        (List.map shard_gen [ 0; 1; 2 ]);
+      (* The failed shard answered a well-formed 500: it is still
+         healthy and still serving its old generation. *)
+      Alcotest.(check int) "fleet still 3/3 healthy" 3 (Router.healthy_count t))
+
+let suite =
+  [
+    Alcotest.test_case "sharded e2e: bytes, merged metrics, rolling rollout"
+      `Quick test_sharded_e2e;
+    Alcotest.test_case "failover vs proxy-retry accounting reconciles" `Quick
+      test_failover_accounting;
+    Alcotest.test_case "SIGKILL a shard under load: zero lost requests" `Quick
+      test_shard_death_under_load;
+    Alcotest.test_case "all shards down: graceful 503 + Retry-After" `Quick
+      test_all_backends_down;
+    Alcotest.test_case "rolling rollout aborts on warm failure" `Quick
+      test_rollout_warm_failure;
+  ]
